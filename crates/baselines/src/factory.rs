@@ -1,0 +1,203 @@
+//! Factory constructing any baseline by name — the experiment harness
+//! enumerates [`BaselineKind::all`] to fill the columns of Table III.
+
+use embsr_train::{NeuralRecommender, Recommender, TrainConfig};
+
+use crate::{
+    Bert4Rec, Fpmc, GcSan, Gru4Rec, Hup, ItemKnn, MarkovChain, MkmSr, Narm, Rib, SgnnHn, Sknn,
+    SPop, SrGnn, Stamp, Stan,
+};
+
+/// All baseline identifiers, in the paper's Table III column order
+/// (plus STAN, discussed in related work).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BaselineKind {
+    SPop,
+    Sknn,
+    Stan,
+    Markov,
+    Fpmc,
+    ItemKnn,
+    Gru4Rec,
+    Narm,
+    Stamp,
+    SrGnn,
+    GcSan,
+    Bert4Rec,
+    SgnnHn,
+    Rib,
+    Hup,
+    MkmSr,
+}
+
+impl BaselineKind {
+    /// The twelve Table III baselines in column order.
+    pub fn table3() -> [BaselineKind; 11] {
+        [
+            BaselineKind::SPop,
+            BaselineKind::Sknn,
+            BaselineKind::Narm,
+            BaselineKind::Stamp,
+            BaselineKind::SrGnn,
+            BaselineKind::GcSan,
+            BaselineKind::Bert4Rec,
+            BaselineKind::SgnnHn,
+            BaselineKind::Rib,
+            BaselineKind::Hup,
+            BaselineKind::MkmSr,
+        ]
+    }
+
+    /// Every implemented baseline.
+    pub fn all() -> [BaselineKind; 16] {
+        [
+            BaselineKind::SPop,
+            BaselineKind::Sknn,
+            BaselineKind::Stan,
+            BaselineKind::Markov,
+            BaselineKind::Fpmc,
+            BaselineKind::ItemKnn,
+            BaselineKind::Gru4Rec,
+            BaselineKind::Narm,
+            BaselineKind::Stamp,
+            BaselineKind::SrGnn,
+            BaselineKind::GcSan,
+            BaselineKind::Bert4Rec,
+            BaselineKind::SgnnHn,
+            BaselineKind::Rib,
+            BaselineKind::Hup,
+            BaselineKind::MkmSr,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BaselineKind::SPop => "S-POP",
+            BaselineKind::Sknn => "SKNN",
+            BaselineKind::Stan => "STAN",
+            BaselineKind::Markov => "Markov",
+            BaselineKind::Fpmc => "FPMC",
+            BaselineKind::ItemKnn => "Item-KNN",
+            BaselineKind::Gru4Rec => "GRU4Rec",
+            BaselineKind::Narm => "NARM",
+            BaselineKind::Stamp => "STAMP",
+            BaselineKind::SrGnn => "SR-GNN",
+            BaselineKind::GcSan => "GC-SAN",
+            BaselineKind::Bert4Rec => "BERT4Rec",
+            BaselineKind::SgnnHn => "SGNN-HN",
+            BaselineKind::Rib => "RIB",
+            BaselineKind::Hup => "HUP",
+            BaselineKind::MkmSr => "MKM-SR",
+        }
+    }
+
+    /// Whether the model consumes micro-behavior operations.
+    pub fn is_micro_behavior(&self) -> bool {
+        matches!(
+            self,
+            BaselineKind::Rib | BaselineKind::Hup | BaselineKind::MkmSr
+        )
+    }
+}
+
+/// Builds a ready-to-fit recommender.
+///
+/// `dim` is the embedding size; `seed` controls initialization; `cfg` is the
+/// shared training configuration (ignored by the non-neural methods).
+pub fn build_baseline(
+    kind: BaselineKind,
+    num_items: usize,
+    num_ops: usize,
+    dim: usize,
+    seed: u64,
+    cfg: &TrainConfig,
+) -> Box<dyn Recommender> {
+    match kind {
+        BaselineKind::SPop => Box::new(SPop::new(num_items)),
+        BaselineKind::Sknn => Box::new(Sknn::new(num_items)),
+        BaselineKind::Stan => Box::new(Stan::new(num_items)),
+        BaselineKind::Markov => Box::new(MarkovChain::new(num_items)),
+        BaselineKind::ItemKnn => Box::new(ItemKnn::new(num_items)),
+        BaselineKind::Fpmc => Box::new(NeuralRecommender::new(
+            Fpmc::new(num_items, dim, seed),
+            cfg.clone(),
+        )),
+        BaselineKind::Gru4Rec => Box::new(NeuralRecommender::new(
+            Gru4Rec::new(num_items, dim, seed),
+            cfg.clone(),
+        )),
+        BaselineKind::Narm => Box::new(NeuralRecommender::new(
+            Narm::new(num_items, dim, 0.1, seed),
+            cfg.clone(),
+        )),
+        BaselineKind::Stamp => Box::new(NeuralRecommender::new(
+            Stamp::new(num_items, dim, seed),
+            cfg.clone(),
+        )),
+        BaselineKind::SrGnn => Box::new(NeuralRecommender::new(
+            SrGnn::new(num_items, dim, seed),
+            cfg.clone(),
+        )),
+        BaselineKind::GcSan => Box::new(NeuralRecommender::new(
+            GcSan::new(num_items, dim, seed),
+            cfg.clone(),
+        )),
+        BaselineKind::Bert4Rec => Box::new(NeuralRecommender::new(
+            Bert4Rec::new(num_items, dim, seed),
+            cfg.clone(),
+        )),
+        BaselineKind::SgnnHn => Box::new(NeuralRecommender::new(
+            SgnnHn::new(num_items, dim, seed),
+            cfg.clone(),
+        )),
+        BaselineKind::Rib => Box::new(NeuralRecommender::new(
+            Rib::new(num_items, num_ops, dim, seed),
+            cfg.clone(),
+        )),
+        BaselineKind::Hup => Box::new(NeuralRecommender::new(
+            Hup::new(num_items, num_ops, dim, seed),
+            cfg.clone(),
+        )),
+        BaselineKind::MkmSr => Box::new(NeuralRecommender::new(
+            MkmSr::new(num_items, num_ops, dim, seed),
+            cfg.clone(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embsr_sessions::{MicroBehavior, Session};
+
+    #[test]
+    fn factory_builds_every_kind() {
+        let cfg = TrainConfig::fast();
+        let s = Session {
+            id: 0,
+            events: vec![MicroBehavior::new(1, 0), MicroBehavior::new(2, 1)],
+        };
+        for kind in BaselineKind::all() {
+            let rec = build_baseline(kind, 10, 5, 8, 0, &cfg);
+            assert_eq!(rec.name(), kind.name());
+            assert_eq!(rec.num_items(), 10);
+            assert_eq!(rec.scores(&s).len(), 10, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn micro_behavior_classification_matches_paper() {
+        assert!(BaselineKind::Rib.is_micro_behavior());
+        assert!(BaselineKind::MkmSr.is_micro_behavior());
+        assert!(!BaselineKind::SgnnHn.is_micro_behavior());
+    }
+
+    #[test]
+    fn table3_order_matches_paper_columns() {
+        let names: Vec<&str> = BaselineKind::table3().iter().map(|k| k.name()).collect();
+        assert_eq!(names[0], "S-POP");
+        assert_eq!(names.last(), Some(&"MKM-SR"));
+        assert_eq!(names.len(), 11);
+    }
+}

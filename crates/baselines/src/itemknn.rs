@@ -1,0 +1,145 @@
+//! Item-KNN (Sarwar et al., WWW 2001; paper related work [17]): item-item
+//! cosine similarity over session co-occurrence. The paper notes this class
+//! of method ignores item order, which is why it trails sequential models —
+//! included here as that reference point.
+
+use std::collections::HashMap;
+
+use embsr_sessions::{Example, ItemId, Session};
+use embsr_train::Recommender;
+
+/// The item-to-item cosine baseline.
+pub struct ItemKnn {
+    num_items: usize,
+    /// Number of neighbors kept per item.
+    pub k: usize,
+    /// `item -> [(similar item, cosine)]`, top-k by similarity.
+    neighbors: Vec<Vec<(ItemId, f32)>>,
+}
+
+impl ItemKnn {
+    /// Creates the baseline (k = 50 neighbors per item).
+    pub fn new(num_items: usize) -> Self {
+        ItemKnn {
+            num_items,
+            k: 50,
+            neighbors: vec![Vec::new(); num_items],
+        }
+    }
+}
+
+impl Recommender for ItemKnn {
+    fn name(&self) -> &str {
+        "Item-KNN"
+    }
+
+    fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    fn fit(&mut self, train: &[Example], _val: &[Example]) {
+        // session-level co-occurrence counts
+        let mut co: HashMap<(ItemId, ItemId), f32> = HashMap::new();
+        let mut freq = vec![0.0f32; self.num_items];
+        for ex in train {
+            let mut items: Vec<ItemId> = ex.session.items().collect();
+            items.push(ex.target);
+            items.sort_unstable();
+            items.dedup();
+            for &a in &items {
+                if (a as usize) < self.num_items {
+                    freq[a as usize] += 1.0;
+                }
+            }
+            for i in 0..items.len() {
+                for j in i + 1..items.len() {
+                    *co.entry((items[i], items[j])).or_insert(0.0) += 1.0;
+                }
+            }
+        }
+        // cosine = co(a,b) / sqrt(freq a * freq b)
+        let mut sims: Vec<Vec<(ItemId, f32)>> = vec![Vec::new(); self.num_items];
+        for (&(a, b), &c) in &co {
+            let (ai, bi) = (a as usize, b as usize);
+            if ai >= self.num_items || bi >= self.num_items {
+                continue;
+            }
+            let denom = (freq[ai] * freq[bi]).sqrt();
+            if denom > 0.0 {
+                let sim = c / denom;
+                sims[ai].push((b, sim));
+                sims[bi].push((a, sim));
+            }
+        }
+        for list in &mut sims {
+            // deterministic: break similarity ties by item id so HashMap
+            // iteration order cannot leak into the truncation
+            list.sort_by(|x, y| y.1.total_cmp(&x.1).then(x.0.cmp(&y.0)));
+            list.truncate(self.k);
+        }
+        self.neighbors = sims;
+    }
+
+    fn scores(&self, session: &Session) -> Vec<f32> {
+        let mut scores = vec![0.0f32; self.num_items];
+        for it in session.items() {
+            if (it as usize) >= self.num_items {
+                continue;
+            }
+            for &(other, sim) in &self.neighbors[it as usize] {
+                scores[other as usize] += sim;
+            }
+        }
+        scores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embsr_sessions::MicroBehavior;
+
+    fn example(items: &[u32], target: u32) -> Example {
+        Example {
+            session: Session {
+                id: 0,
+                events: items.iter().map(|&i| MicroBehavior::new(i, 0)).collect(),
+            },
+            target,
+        }
+    }
+
+    fn query(items: &[u32]) -> Session {
+        Session {
+            id: 9,
+            events: items.iter().map(|&i| MicroBehavior::new(i, 0)).collect(),
+        }
+    }
+
+    #[test]
+    fn co_occurring_items_are_similar() {
+        let mut m = ItemKnn::new(5);
+        m.fit(&[example(&[1, 2], 3), example(&[1, 2], 4)], &[]);
+        let s = m.scores(&query(&[1]));
+        assert!(s[2] > 0.0, "1 and 2 co-occur");
+        assert!(s[2] > s[3], "2 co-occurs twice, 3 once");
+    }
+
+    #[test]
+    fn order_is_ignored() {
+        let mut m = ItemKnn::new(6);
+        m.fit(&[example(&[1, 2, 3], 4), example(&[3, 2, 1], 5)], &[]);
+        let a = m.scores(&query(&[1, 2]));
+        let b = m.scores(&query(&[2, 1]));
+        assert_eq!(a, b, "Item-KNN is order-blind by design");
+    }
+
+    #[test]
+    fn neighbor_list_is_capped() {
+        let mut m = ItemKnn::new(100);
+        m.k = 3;
+        let train: Vec<Example> = (1..60).map(|i| example(&[0, i], i)).collect();
+        m.fit(&train, &[]);
+        assert!(m.neighbors[0].len() <= 3);
+    }
+}

@@ -1,0 +1,132 @@
+//! First-order Markov chain over macro-item transitions — the classic
+//! non-neural sequential baseline underlying FPMC (paper related work [4],
+//! [18]). Scores the next item by the smoothed transition frequency from the
+//! session's last macro item, with a popularity back-off for unseen rows.
+
+use std::collections::HashMap;
+
+use embsr_sessions::{Example, ItemId, Session};
+use embsr_train::Recommender;
+
+/// The Markov-chain baseline.
+pub struct MarkovChain {
+    num_items: usize,
+    /// Sparse transition counts `from -> (to -> count)`.
+    transitions: HashMap<ItemId, HashMap<ItemId, f32>>,
+    /// Global popularity back-off, normalized to (0, 0.5].
+    popularity: Vec<f32>,
+}
+
+impl MarkovChain {
+    /// Creates the baseline.
+    pub fn new(num_items: usize) -> Self {
+        MarkovChain {
+            num_items,
+            transitions: HashMap::new(),
+            popularity: vec![0.0; num_items],
+        }
+    }
+}
+
+impl Recommender for MarkovChain {
+    fn name(&self) -> &str {
+        "Markov"
+    }
+
+    fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    fn fit(&mut self, train: &[Example], _val: &[Example]) {
+        self.transitions.clear();
+        let mut pop = vec![0.0f32; self.num_items];
+        for ex in train {
+            let mut seq = ex.session.macro_items();
+            seq.push(ex.target);
+            for w in seq.windows(2) {
+                *self
+                    .transitions
+                    .entry(w[0])
+                    .or_default()
+                    .entry(w[1])
+                    .or_insert(0.0) += 1.0;
+            }
+            for &it in &seq {
+                if (it as usize) < self.num_items {
+                    pop[it as usize] += 1.0;
+                }
+            }
+        }
+        let max = pop.iter().cloned().fold(1.0f32, f32::max);
+        self.popularity = pop.into_iter().map(|c| 0.5 * c / max).collect();
+    }
+
+    fn scores(&self, session: &Session) -> Vec<f32> {
+        let mut scores = self.popularity.clone();
+        if let Some(last) = session.macro_items().last() {
+            if let Some(row) = self.transitions.get(last) {
+                for (&to, &count) in row {
+                    if (to as usize) < self.num_items {
+                        scores[to as usize] += count;
+                    }
+                }
+            }
+        }
+        scores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embsr_sessions::MicroBehavior;
+
+    fn example(items: &[u32], target: u32) -> Example {
+        Example {
+            session: Session {
+                id: 0,
+                events: items.iter().map(|&i| MicroBehavior::new(i, 0)).collect(),
+            },
+            target,
+        }
+    }
+
+    fn query(items: &[u32]) -> Session {
+        Session {
+            id: 9,
+            events: items.iter().map(|&i| MicroBehavior::new(i, 0)).collect(),
+        }
+    }
+
+    #[test]
+    fn learns_dominant_transition() {
+        let mut m = MarkovChain::new(5);
+        m.fit(
+            &[example(&[1], 2), example(&[1], 2), example(&[1], 3)],
+            &[],
+        );
+        let s = m.scores(&query(&[0, 1]));
+        assert!(s[2] > s[3], "2 is the more frequent successor of 1");
+        assert!(s[3] > s[4], "3 seen once still beats never-seen");
+    }
+
+    #[test]
+    fn backs_off_to_popularity_for_unseen_context() {
+        let mut m = MarkovChain::new(4);
+        m.fit(&[example(&[1], 2)], &[]);
+        let s = m.scores(&query(&[3])); // item 3 has no outgoing transitions
+        // popularity gives items 1 and 2 non-zero mass
+        assert!(s[1] > 0.0 && s[2] > 0.0);
+        assert_eq!(s[0], 0.0);
+    }
+
+    #[test]
+    fn uses_macro_not_micro_last_item() {
+        let mut m = MarkovChain::new(5);
+        m.fit(&[example(&[1], 4)], &[]);
+        // two micro events on item 1: still one macro item
+        let s = m.scores(&query(&[1, 1]));
+        let best = (0..5).max_by(|&a, &b| s[a].total_cmp(&s[b])).unwrap();
+        assert_eq!(best, 4);
+    }
+}

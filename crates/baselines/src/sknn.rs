@@ -1,0 +1,170 @@
+//! SKNN: session-based k-nearest-neighbors (Jannach & Ludewig, 2017).
+//!
+//! A test session is compared (binary cosine over item sets) against
+//! training sessions that share at least one item; the scores of the `k`
+//! most similar neighbors are accumulated onto their items.
+
+use std::collections::{HashMap, HashSet};
+
+use embsr_sessions::{Example, ItemId, Session};
+use embsr_train::Recommender;
+
+/// The session-kNN baseline.
+pub struct Sknn {
+    num_items: usize,
+    /// Number of neighbors to use.
+    pub k: usize,
+    /// Cap on candidate neighbors scanned per query (most recent first),
+    /// the standard SKNN efficiency trick.
+    pub sample_size: usize,
+    /// Item sets of the training sessions.
+    neighbors: Vec<HashSet<ItemId>>,
+    /// Inverted index: item → training-session indices.
+    index: HashMap<ItemId, Vec<u32>>,
+}
+
+impl Sknn {
+    /// Creates SKNN with the usual defaults (k=100, sample 500).
+    pub fn new(num_items: usize) -> Self {
+        Sknn {
+            num_items,
+            k: 100,
+            sample_size: 500,
+            neighbors: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+}
+
+impl Recommender for Sknn {
+    fn name(&self) -> &str {
+        "SKNN"
+    }
+
+    fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    fn fit(&mut self, train: &[Example], _val: &[Example]) {
+        self.neighbors.clear();
+        self.index.clear();
+        for (i, ex) in train.iter().enumerate() {
+            let mut items: HashSet<ItemId> = ex.session.items().collect();
+            items.insert(ex.target);
+            for &it in &items {
+                self.index.entry(it).or_default().push(i as u32);
+            }
+            self.neighbors.push(items);
+        }
+    }
+
+    fn scores(&self, session: &Session) -> Vec<f32> {
+        let query: HashSet<ItemId> = session.items().collect();
+        if query.is_empty() {
+            return vec![0.0; self.num_items];
+        }
+        // candidate sessions sharing any item, most recent first
+        let mut cands: Vec<u32> = Vec::new();
+        let mut seen: HashSet<u32> = HashSet::new();
+        for it in &query {
+            if let Some(ids) = self.index.get(it) {
+                for &id in ids.iter().rev() {
+                    if seen.insert(id) {
+                        cands.push(id);
+                        if cands.len() >= self.sample_size {
+                            break;
+                        }
+                    }
+                }
+            }
+            if cands.len() >= self.sample_size {
+                break;
+            }
+        }
+        // binary cosine similarity
+        let mut sims: Vec<(f32, u32)> = cands
+            .into_iter()
+            .map(|id| {
+                let other = &self.neighbors[id as usize];
+                let inter = query.intersection(other).count() as f32;
+                let sim = inter / ((query.len() as f32).sqrt() * (other.len() as f32).sqrt());
+                (sim, id)
+            })
+            .filter(|(s, _)| *s > 0.0)
+            .collect();
+        sims.sort_by(|a, b| b.0.total_cmp(&a.0));
+        sims.truncate(self.k);
+
+        let mut scores = vec![0.0f32; self.num_items];
+        for (sim, id) in sims {
+            for &it in &self.neighbors[id as usize] {
+                if !query.contains(&it) && (it as usize) < self.num_items {
+                    scores[it as usize] += sim;
+                }
+            }
+        }
+        scores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embsr_sessions::MicroBehavior;
+
+    fn example(items: &[u32], target: u32) -> Example {
+        Example {
+            session: Session {
+                id: 0,
+                events: items.iter().map(|&i| MicroBehavior::new(i, 0)).collect(),
+            },
+            target,
+        }
+    }
+
+    fn query(items: &[u32]) -> Session {
+        Session {
+            id: 9,
+            events: items.iter().map(|&i| MicroBehavior::new(i, 0)).collect(),
+        }
+    }
+
+    #[test]
+    fn co_occurring_item_is_recommended() {
+        let mut m = Sknn::new(6);
+        m.fit(
+            &[
+                example(&[1, 2], 3),
+                example(&[1, 2], 3),
+                example(&[4], 5),
+            ],
+            &[],
+        );
+        let scores = m.scores(&query(&[1, 2]));
+        let best = (0..6).max_by(|&a, &b| scores[a].total_cmp(&scores[b])).unwrap();
+        assert_eq!(best, 3);
+    }
+
+    #[test]
+    fn query_items_are_not_recommended_back() {
+        let mut m = Sknn::new(4);
+        m.fit(&[example(&[1, 2], 3)], &[]);
+        let scores = m.scores(&query(&[1, 2]));
+        assert_eq!(scores[1], 0.0);
+        assert_eq!(scores[2], 0.0);
+        assert!(scores[3] > 0.0);
+    }
+
+    #[test]
+    fn disjoint_sessions_contribute_nothing() {
+        let mut m = Sknn::new(6);
+        m.fit(&[example(&[4, 5], 4)], &[]);
+        assert!(m.scores(&query(&[1, 2])).iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn empty_query_is_safe() {
+        let m = Sknn::new(3);
+        assert_eq!(m.scores(&query(&[])), vec![0.0; 3]);
+    }
+}

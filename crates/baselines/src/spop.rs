@@ -1,0 +1,122 @@
+//! S-POP: session popularity (paper baseline list, after GRU4Rec's setup).
+//!
+//! Recommends the items most frequent *within the current session*, breaking
+//! ties (and filling the tail) by global training popularity. On corpora
+//! where the ground truth rarely re-occurs in the session (Trivago) it
+//! scores essentially zero — exactly the behaviour Table III reports.
+
+use std::collections::HashMap;
+
+use embsr_sessions::{Example, Session};
+use embsr_train::Recommender;
+
+/// The improved popularity baseline.
+pub struct SPop {
+    num_items: usize,
+    global: Vec<f32>,
+}
+
+impl SPop {
+    /// Creates the baseline for a vocabulary of `num_items`.
+    pub fn new(num_items: usize) -> Self {
+        SPop {
+            num_items,
+            global: vec![0.0; num_items],
+        }
+    }
+}
+
+impl Recommender for SPop {
+    fn name(&self) -> &str {
+        "S-POP"
+    }
+
+    fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    fn fit(&mut self, train: &[Example], _val: &[Example]) {
+        let mut counts: HashMap<u32, f32> = HashMap::new();
+        for ex in train {
+            for e in &ex.session.events {
+                *counts.entry(e.item).or_default() += 1.0;
+            }
+            *counts.entry(ex.target).or_default() += 1.0;
+        }
+        let max = counts.values().cloned().fold(1.0f32, f32::max);
+        for (&item, &c) in &counts {
+            if (item as usize) < self.num_items {
+                self.global[item as usize] = c / max; // in (0, 1]
+            }
+        }
+    }
+
+    fn scores(&self, session: &Session) -> Vec<f32> {
+        let mut scores = vec![0.0f32; self.num_items];
+        // global popularity in (0,1] as tie-breaker / tail
+        scores.copy_from_slice(&self.global);
+        // in-session counts dominate (integer part)
+        for e in &session.events {
+            if (e.item as usize) < self.num_items {
+                scores[e.item as usize] += 1.0;
+            }
+        }
+        scores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embsr_sessions::MicroBehavior;
+
+    fn example(items: &[u32], target: u32) -> Example {
+        Example {
+            session: Session {
+                id: 0,
+                events: items.iter().map(|&i| MicroBehavior::new(i, 0)).collect(),
+            },
+            target,
+        }
+    }
+
+    #[test]
+    fn in_session_items_beat_global_popularity() {
+        let mut m = SPop::new(5);
+        // item 0 globally hot
+        m.fit(&vec![example(&[0, 0, 0, 1], 0); 10], &[]);
+        let s = Session {
+            id: 1,
+            events: vec![MicroBehavior::new(3, 0)],
+        };
+        let scores = m.scores(&s);
+        let best = (0..5).max_by(|&a, &b| scores[a].total_cmp(&scores[b])).unwrap();
+        assert_eq!(best, 3, "session item must outrank global popularity");
+    }
+
+    #[test]
+    fn repeated_session_items_rank_by_count() {
+        let m = SPop::new(4);
+        let s = Session {
+            id: 0,
+            events: vec![
+                MicroBehavior::new(2, 0),
+                MicroBehavior::new(1, 0),
+                MicroBehavior::new(2, 1),
+            ],
+        };
+        let scores = m.scores(&s);
+        assert!(scores[2] > scores[1]);
+        assert!(scores[1] > scores[0]);
+    }
+
+    #[test]
+    fn unseen_items_score_zero_without_fit() {
+        let m = SPop::new(3);
+        let s = Session {
+            id: 0,
+            events: vec![],
+        };
+        assert_eq!(m.scores(&s), vec![0.0; 3]);
+    }
+}

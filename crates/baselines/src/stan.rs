@@ -1,0 +1,188 @@
+//! STAN: sequence and time-aware neighborhood (Garg et al., SIGIR 2019).
+//!
+//! Extends SKNN with three decays: (1) recency weighting of the query's own
+//! items, (2) similarity weighting by neighbor-session recency (we use
+//! insertion order as the time proxy — the generator emits sessions in
+//! chronological order), and (3) within-neighbor weighting of items by their
+//! distance to the items shared with the query.
+
+use std::collections::{HashMap, HashSet};
+
+use embsr_sessions::{Example, ItemId, Session};
+use embsr_train::Recommender;
+
+/// The STAN baseline.
+pub struct Stan {
+    num_items: usize,
+    pub k: usize,
+    pub sample_size: usize,
+    /// Decay for the query's own item recency (λ₁).
+    pub lambda_recency: f32,
+    /// Decay for item distance inside a neighbor session (λ₃).
+    pub lambda_distance: f32,
+    /// Macro-item sequences of the training sessions (target appended).
+    sequences: Vec<Vec<ItemId>>,
+    index: HashMap<ItemId, Vec<u32>>,
+}
+
+impl Stan {
+    /// Creates STAN with moderate decay defaults.
+    pub fn new(num_items: usize) -> Self {
+        Stan {
+            num_items,
+            k: 100,
+            sample_size: 500,
+            lambda_recency: 0.5,
+            lambda_distance: 0.4,
+            sequences: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+}
+
+impl Recommender for Stan {
+    fn name(&self) -> &str {
+        "STAN"
+    }
+
+    fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    fn fit(&mut self, train: &[Example], _val: &[Example]) {
+        self.sequences.clear();
+        self.index.clear();
+        for (i, ex) in train.iter().enumerate() {
+            let mut seq = ex.session.macro_items();
+            seq.push(ex.target);
+            let distinct: HashSet<ItemId> = seq.iter().copied().collect();
+            for it in distinct {
+                self.index.entry(it).or_default().push(i as u32);
+            }
+            self.sequences.push(seq);
+        }
+    }
+
+    fn scores(&self, session: &Session) -> Vec<f32> {
+        let query_seq = session.macro_items();
+        if query_seq.is_empty() {
+            return vec![0.0; self.num_items];
+        }
+        let qlen = query_seq.len();
+        // recency weight of each query item (most recent position wins)
+        let mut qweight: HashMap<ItemId, f32> = HashMap::new();
+        for (pos, &it) in query_seq.iter().enumerate() {
+            let w = (-self.lambda_recency * (qlen - 1 - pos) as f32).exp();
+            let e = qweight.entry(it).or_insert(0.0);
+            if w > *e {
+                *e = w;
+            }
+        }
+        let qset: HashSet<ItemId> = query_seq.iter().copied().collect();
+
+        // candidates, most recent training sessions first
+        let mut cands: Vec<u32> = Vec::new();
+        let mut seen: HashSet<u32> = HashSet::new();
+        for it in &qset {
+            if let Some(ids) = self.index.get(it) {
+                for &id in ids.iter().rev() {
+                    if seen.insert(id) {
+                        cands.push(id);
+                        if cands.len() >= self.sample_size {
+                            break;
+                        }
+                    }
+                }
+            }
+            if cands.len() >= self.sample_size {
+                break;
+            }
+        }
+
+        let norm_q: f32 = qweight.values().map(|w| w * w).sum::<f32>().sqrt();
+        let mut sims: Vec<(f32, u32)> = cands
+            .into_iter()
+            .map(|id| {
+                let other = &self.sequences[id as usize];
+                let oset: HashSet<ItemId> = other.iter().copied().collect();
+                let inter: f32 = oset
+                    .iter()
+                    .filter_map(|it| qweight.get(it))
+                    .sum();
+                let sim = inter / (norm_q.max(1e-9) * (oset.len() as f32).sqrt());
+                (sim, id)
+            })
+            .filter(|(s, _)| *s > 0.0)
+            .collect();
+        sims.sort_by(|a, b| b.0.total_cmp(&a.0));
+        sims.truncate(self.k);
+
+        let mut scores = vec![0.0f32; self.num_items];
+        for (sim, id) in sims {
+            let seq = &self.sequences[id as usize];
+            // anchor: latest position in the neighbor shared with the query
+            let anchor = seq
+                .iter()
+                .enumerate()
+                .filter(|(_, it)| qset.contains(it))
+                .map(|(p, _)| p)
+                .next_back();
+            let Some(anchor) = anchor else { continue };
+            for (pos, &it) in seq.iter().enumerate() {
+                if qset.contains(&it) || (it as usize) >= self.num_items {
+                    continue;
+                }
+                let dist = pos.abs_diff(anchor) as f32;
+                scores[it as usize] += sim * (-self.lambda_distance * (dist - 1.0).max(0.0)).exp();
+            }
+        }
+        scores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embsr_sessions::MicroBehavior;
+
+    fn example(items: &[u32], target: u32) -> Example {
+        Example {
+            session: Session {
+                id: 0,
+                events: items.iter().map(|&i| MicroBehavior::new(i, 0)).collect(),
+            },
+            target,
+        }
+    }
+
+    fn query(items: &[u32]) -> Session {
+        Session {
+            id: 9,
+            events: items.iter().map(|&i| MicroBehavior::new(i, 0)).collect(),
+        }
+    }
+
+    #[test]
+    fn neighbor_items_near_shared_anchor_score_higher() {
+        let mut m = Stan::new(8);
+        // anchor item 3 at end; 4 adjacent, 7 far
+        m.fit(&[example(&[7, 6, 3], 4)], &[]);
+        let scores = m.scores(&query(&[3]));
+        assert!(scores[4] > scores[7], "4: {}, 7: {}", scores[4], scores[7]);
+    }
+
+    #[test]
+    fn recent_query_items_drive_similarity() {
+        let mut m = Stan::new(10);
+        m.fit(&[example(&[1], 5), example(&[2], 6)], &[]);
+        // query ends with 2: the session containing 2 should dominate
+        let scores = m.scores(&query(&[1, 2]));
+        assert!(scores[6] > scores[5]);
+    }
+
+    #[test]
+    fn empty_query_safe() {
+        let m = Stan::new(3);
+        assert_eq!(m.scores(&query(&[])), vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,47 @@
+//! Micro-bench: full-model inference (one session → full-vocabulary
+//! logits) for EMBSR and its main variants — quantifies the cost of each
+//! architectural component.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use embsr_core::{Embsr, EmbsrConfig};
+use embsr_sessions::Session;
+use embsr_tensor::Rng;
+use embsr_train::SessionModel;
+use std::hint::black_box;
+
+fn make_session(len: usize, num_items: u32, num_ops: u16) -> Session {
+    let mut rng = Rng::seed_from_u64(3);
+    let pairs: Vec<(u32, u16)> = (0..len)
+        .map(|_| {
+            (
+                rng.below(num_items as usize) as u32,
+                rng.below(num_ops as usize) as u16,
+            )
+        })
+        .collect();
+    Session::from_pairs(0, &pairs)
+}
+
+fn bench_models(c: &mut Criterion) {
+    let (v, o, d) = (500usize, 10usize, 32usize);
+    let session = make_session(20, v as u32, o as u16);
+    let variants: Vec<(&str, EmbsrConfig)> = vec![
+        ("EMBSR", EmbsrConfig::full(v, o, d)),
+        ("EMBSR-NS", EmbsrConfig::ablation_ns(v, o, d)),
+        ("EMBSR-NG", EmbsrConfig::ablation_ng(v, o, d)),
+        ("SGNN-Self", EmbsrConfig::sgnn_self(v, o, d)),
+        ("RNN-Self", EmbsrConfig::rnn_self(v, o, d)),
+    ];
+    let mut group = c.benchmark_group("model_forward");
+    for (name, cfg) in variants {
+        let model = Embsr::new(cfg);
+        group.bench_with_input(BenchmarkId::new("logits", name), &session, |b, s| {
+            let mut rng = Rng::seed_from_u64(0);
+            b.iter(|| black_box(model.logits(black_box(s), false, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,190 @@
+//! `embsr_cli` — train, evaluate, and query EMBSR models from the command
+//! line.
+//!
+//! ```bash
+//! embsr_cli stats     --preset jd-appliances
+//! embsr_cli train     --preset jd-appliances --dim 24 --epochs 6 --out /tmp/embsr.ckpt
+//! embsr_cli evaluate  --preset jd-appliances --ckpt /tmp/embsr.ckpt
+//! embsr_cli recommend --preset jd-appliances --ckpt /tmp/embsr.ckpt \
+//!     --session "3:0,7:0,7:2,7:3" --k 5
+//! ```
+//!
+//! The session syntax is `item:op` pairs separated by commas. Models are
+//! reconstructed deterministically from the preset + flags, so a checkpoint
+//! is portable across invocations with the same flags.
+
+use embsr_core::{Embsr, EmbsrConfig};
+use embsr_datasets::{build_dataset, Dataset, DatasetPreset, SyntheticConfig};
+use embsr_eval::{evaluate, top_k};
+use embsr_sessions::Session;
+use embsr_train::{load_model, save_model, NeuralRecommender, Recommender, TrainConfig};
+use std::path::PathBuf;
+use std::process::exit;
+
+struct Args(Vec<String>);
+
+impl Args {
+    fn get(&self, flag: &str) -> Option<String> {
+        self.0
+            .iter()
+            .position(|a| a == flag)
+            .and_then(|i| self.0.get(i + 1).cloned())
+    }
+
+    fn usize_or(&self, flag: &str, default: usize) -> usize {
+        self.get(flag)
+            .map(|s| s.parse().unwrap_or_else(|_| die(&format!("{flag} takes a number"))))
+            .unwrap_or(default)
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("run `embsr_cli help` for usage");
+    exit(2)
+}
+
+fn preset(args: &Args) -> DatasetPreset {
+    match args.get("--preset").as_deref() {
+        Some("jd-appliances") | None => DatasetPreset::JdAppliances,
+        Some("jd-computers") => DatasetPreset::JdComputers,
+        Some("trivago") => DatasetPreset::Trivago,
+        Some(other) => die(&format!(
+            "unknown preset {other}; use jd-appliances | jd-computers | trivago"
+        )),
+    }
+}
+
+fn dataset(args: &Args) -> Dataset {
+    let factor = args
+        .get("--factor")
+        .map(|s| s.parse().unwrap_or_else(|_| die("--factor takes a number")))
+        .unwrap_or(0.2f32);
+    build_dataset(&SyntheticConfig::preset(preset(args)).scaled(factor))
+}
+
+fn model_config(args: &Args, data: &Dataset) -> EmbsrConfig {
+    let dim = args.usize_or("--dim", 24);
+    EmbsrConfig::full(data.num_items, data.num_ops, dim)
+}
+
+fn parse_session(spec: &str) -> Session {
+    let pairs: Vec<(u32, u16)> = spec
+        .split(',')
+        .map(|pair| {
+            let (item, op) = pair
+                .split_once(':')
+                .unwrap_or_else(|| die(&format!("bad session element '{pair}', want item:op")));
+            (
+                item.trim().parse().unwrap_or_else(|_| die("bad item id")),
+                op.trim().parse().unwrap_or_else(|_| die("bad op id")),
+            )
+        })
+        .collect();
+    if pairs.is_empty() {
+        die("empty --session");
+    }
+    Session::from_pairs(0, &pairs)
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = argv.first().cloned().unwrap_or_else(|| "help".into());
+    let args = Args(argv);
+
+    match cmd.as_str() {
+        "stats" => {
+            let data = dataset(&args);
+            println!("{}", data.name);
+            println!("{}", data.stats);
+            println!(
+                "splits: {} train / {} val / {} test examples, {} items",
+                data.train.len(),
+                data.val.len(),
+                data.test.len(),
+                data.num_items
+            );
+        }
+        "train" => {
+            let data = dataset(&args);
+            let out: PathBuf = args
+                .get("--out")
+                .unwrap_or_else(|| die("train requires --out <path>"))
+                .into();
+            let cfg = TrainConfig {
+                epochs: args.usize_or("--epochs", 6),
+                lr: 8e-3,
+                ..TrainConfig::default()
+            };
+            let mut rec = NeuralRecommender::new(Embsr::new(model_config(&args, &data)), cfg);
+            eprintln!(
+                "training EMBSR on {} ({} examples)…",
+                data.name,
+                data.train.len()
+            );
+            rec.fit(&data.train, &data.val);
+            if let Some(report) = &rec.report {
+                for e in &report.epochs {
+                    eprintln!(
+                        "epoch {}: train {:.3}, val {:.3}",
+                        e.epoch, e.train_loss, e.val_loss
+                    );
+                }
+            }
+            save_model(&rec.model, &out).unwrap_or_else(|e| die(&format!("save failed: {e}")));
+            println!("saved checkpoint to {}", out.display());
+        }
+        "evaluate" => {
+            let data = dataset(&args);
+            let ckpt: PathBuf = args
+                .get("--ckpt")
+                .unwrap_or_else(|| die("evaluate requires --ckpt <path>"))
+                .into();
+            let rec = NeuralRecommender::new(
+                Embsr::new(model_config(&args, &data)),
+                TrainConfig::default(),
+            );
+            load_model(&rec.model, &ckpt).unwrap_or_else(|e| die(&format!("load failed: {e}")));
+            let e = evaluate(&rec, &data.test, &[5, 10, 20]);
+            println!(
+                "H@5 {:.2}  H@10 {:.2}  H@20 {:.2}  M@5 {:.2}  M@10 {:.2}  M@20 {:.2}",
+                e.hit_at(5),
+                e.hit_at(10),
+                e.hit_at(20),
+                e.mrr_at(5),
+                e.mrr_at(10),
+                e.mrr_at(20)
+            );
+        }
+        "recommend" => {
+            let data = dataset(&args);
+            let ckpt: PathBuf = args
+                .get("--ckpt")
+                .unwrap_or_else(|| die("recommend requires --ckpt <path>"))
+                .into();
+            let session =
+                parse_session(&args.get("--session").unwrap_or_else(|| die("need --session")));
+            let k = args.usize_or("--k", 5);
+            let rec = NeuralRecommender::new(
+                Embsr::new(model_config(&args, &data)),
+                TrainConfig::default(),
+            );
+            load_model(&rec.model, &ckpt).unwrap_or_else(|e| die(&format!("load failed: {e}")));
+            let scores = rec.scores(&session);
+            for (rank, item) in top_k(&scores, k).into_iter().enumerate() {
+                println!("{:>2}. item {:>6}  score {:.4}", rank + 1, item, scores[item]);
+            }
+        }
+        _ => {
+            println!("embsr_cli — EMBSR session-based recommendation");
+            println!();
+            println!("commands:");
+            println!("  stats     --preset P [--factor F]");
+            println!("  train     --preset P --out FILE [--dim N] [--epochs N] [--factor F]");
+            println!("  evaluate  --preset P --ckpt FILE [--dim N] [--factor F]");
+            println!("  recommend --preset P --ckpt FILE --session \"item:op,…\" [--k N]");
+            println!();
+            println!("presets: jd-appliances | jd-computers | trivago");
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Experiment F7 — paper Fig. 7: case study.
+//!
+//! The paper shows a "Computers" session where the user clicks many
+//! accessories but reads details/comments and adds-to-cart only on mouse
+//! pads; item-only models recommend keyboards (the last item), while models
+//! that see micro-behaviors recall the carted mouse pad.
+//!
+//! Here we train the same four variants on the JD-Computers-style corpus and
+//! pick the test session with the strongest buyer signal (deep operation
+//! sub-sequence + cart + repeat target); we print each model's top-5 recall
+//! and the rank of the ground truth.
+
+use embsr_bench::{build_recommender, parse_args, EmbsrVariant, ModelSpec};
+use embsr_datasets::DatasetPreset;
+use embsr_eval::{rank_of_target, top_k};
+use embsr_sessions::Example;
+
+/// Score for "how case-study-like" a test example is: prefers sessions whose
+/// target repeats an in-session item that carries a deep op sub-sequence.
+fn case_signal(ex: &Example) -> usize {
+    let steps = ex.session.macro_steps();
+    let target_visits: usize = steps
+        .iter()
+        .filter(|s| s.item == ex.target)
+        .map(|s| s.ops.len())
+        .sum();
+    let depth: usize = steps.iter().map(|s| s.ops.len().saturating_sub(1)).sum();
+    target_visits * 10 + depth + steps.len().min(12)
+}
+
+fn main() {
+    let args = parse_args();
+    let dataset = args.dataset(DatasetPreset::JdComputers);
+    let case = dataset
+        .test
+        .iter()
+        .max_by_key(|ex| case_signal(ex))
+        .expect("non-empty test set")
+        .clone();
+
+    println!("Case session (id {}):", case.session.id);
+    for step in case.session.macro_steps() {
+        println!("  item {:>4}  ops {:?}", step.item, step.ops);
+    }
+    println!("  ground truth -> item {}\n", case.target);
+
+    let specs = [
+        ModelSpec::Embsr(EmbsrVariant::SgnnSelf),
+        ModelSpec::Embsr(EmbsrVariant::SgnnSeqSelf),
+        ModelSpec::Embsr(EmbsrVariant::SgnnDyadic),
+        ModelSpec::Embsr(EmbsrVariant::Full),
+    ];
+    for spec in specs {
+        let mut rec = build_recommender(spec, &dataset, &args);
+        eprintln!("[fig7] training {}…", rec.name());
+        rec.fit(&dataset.train, &dataset.val);
+        let scores = rec.scores(&case.session);
+        let top = top_k(&scores, 5);
+        let rank = rank_of_target(&scores, case.target as usize);
+        let hit = if top.contains(&(case.target as usize)) {
+            "HIT"
+        } else if rank <= 20 {
+            "top-20"
+        } else {
+            "miss"
+        };
+        println!(
+            "{:<14} top-5 = {:?}  target rank = {:>4}  [{}]",
+            rec.name(),
+            top,
+            rank,
+            hit
+        );
+    }
+    println!("\nShape to verify (Fig. 7): micro-behavior variants rank the engaged item");
+    println!("far higher than SGNN-Self, which keys on the last clicked item only.");
+}

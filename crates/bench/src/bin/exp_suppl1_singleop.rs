@@ -1,0 +1,46 @@
+//! Experiment S1 — supplemental Table I: macro-behavior baselines on
+//! *single-operation* item sequences.
+//!
+//! The macro baselines (BERT4Rec, SGNN-HN) see only click-type events, while
+//! EMBSR keeps the full micro-behavior stream; ground truths stay identical,
+//! so the comparison is fair.
+
+use embsr_baselines::BaselineKind;
+use embsr_bench::{parse_args, run_cell, EmbsrVariant, ModelSpec};
+use embsr_datasets::{single_op_view, DatasetPreset};
+use embsr_eval::ResultsTable;
+
+fn main() {
+    let args = parse_args();
+    let ks = [5usize, 10, 20];
+    for preset in DatasetPreset::all() {
+        let dataset = args.dataset(preset);
+        let clicks_only = single_op_view(&dataset);
+        eprintln!(
+            "[suppl1] {}: single-op view keeps {}/{} test examples",
+            dataset.name,
+            clicks_only.test.len(),
+            dataset.test.len()
+        );
+
+        // macro baselines on the click-only view; EMBSR on the full view.
+        let bert = run_cell(
+            ModelSpec::Baseline(BaselineKind::Bert4Rec),
+            &clicks_only,
+            &ks,
+            &args,
+        );
+        let sgnn = run_cell(
+            ModelSpec::Baseline(BaselineKind::SgnnHn),
+            &clicks_only,
+            &ks,
+            &args,
+        );
+        let embsr = run_cell(ModelSpec::Embsr(EmbsrVariant::Full), &dataset, &ks, &args);
+        let table = ResultsTable::new(&dataset.name, &ks, vec![bert, sgnn, embsr]);
+        println!("{}", table.render());
+    }
+    println!("Shape to verify (Suppl. Table I): the single-operation view does not close");
+    println!("the gap — EMBSR, which exploits every operation, still leads, with the");
+    println!("largest margins on the Trivago-style data.");
+}

@@ -1,0 +1,34 @@
+//! Experiment T2 — paper Table II: dataset statistics after preprocessing.
+//!
+//! Prints, for each of the three synthetic datasets, the counts the paper
+//! reports (#train/#validation/#test sessions, #items, #micro-behavior) plus
+//! the target-repeat ratio that explains the S-POP behaviour on Trivago.
+
+use embsr_bench::parse_args;
+use embsr_datasets::DatasetPreset;
+
+fn main() {
+    let args = parse_args();
+    println!("Table II — dataset statistics (synthetic, scale {:?})\n", args.scale);
+    println!(
+        "{:<18}{:>10}{:>12}{:>8}{:>9}{:>17}{:>15}",
+        "Dataset", "# train", "# validation", "# test", "# items", "# micro-behavior", "target-repeat"
+    );
+    for preset in DatasetPreset::all() {
+        let d = args.dataset(preset);
+        println!(
+            "{:<18}{:>10}{:>12}{:>8}{:>9}{:>17}{:>15.3}",
+            d.name,
+            d.train.len(),
+            d.val.len(),
+            d.test.len(),
+            d.num_items,
+            d.stats.micro_behaviors,
+            d.stats.target_repeat_ratio
+        );
+    }
+    println!("\nPaper reference (Table II): JD datasets have ~32M/24M micro-behaviors over");
+    println!("75k/93k items; Trivago 5.7M over 183k items. The synthetic corpora reproduce");
+    println!("the structural contrasts (10 vs 6 operations, high vs near-zero repeat ratio)");
+    println!("at CPU scale.");
+}

@@ -1,0 +1,48 @@
+//! Hyper-parameter grid search on the validation set — the protocol of
+//! paper Sec. V-A-4 ("tuned on the validation set via grid search", learning
+//! rate in [0.001 … 0.01]).
+//!
+//! ```bash
+//! cargo run --release -p embsr-bench --bin tune_grid -- --scale tiny
+//! ```
+//!
+//! Prints validation M@20 for every (model, lr) cell; the per-model defaults
+//! baked into `embsr_bench::harness::learning_rate` were selected with this
+//! tool.
+
+use embsr_baselines::BaselineKind;
+use embsr_bench::{build_recommender, parse_args, EmbsrVariant, ModelSpec};
+use embsr_datasets::DatasetPreset;
+use embsr_eval::evaluate;
+
+fn main() {
+    let mut args = parse_args();
+    let dataset = args.dataset(DatasetPreset::JdAppliances);
+    let grid = [1e-3f32, 3e-3, 5e-3, 8e-3, 1.2e-2];
+    let specs: Vec<ModelSpec> = BaselineKind::all()
+        .into_iter()
+        .filter(|k| !matches!(k, BaselineKind::SPop | BaselineKind::Sknn | BaselineKind::Stan))
+        .map(ModelSpec::Baseline)
+        .chain([ModelSpec::Embsr(EmbsrVariant::Full)])
+        .collect();
+
+    print!("{:<12}", "model");
+    for lr in grid {
+        print!("{lr:>10}");
+    }
+    println!();
+    for spec in specs {
+        let mut name = String::new();
+        let mut row = String::new();
+        for lr in grid {
+            args.lr_override = Some(lr);
+            let mut rec = build_recommender(spec, &dataset, &args);
+            name = rec.name().to_string();
+            rec.fit(&dataset.train, &dataset.val);
+            let e = evaluate(rec.as_ref(), &dataset.val, &[20]);
+            row.push_str(&format!("{:>10.2}", e.mrr_at(20)));
+        }
+        println!("{name:<12}{row}");
+    }
+    println!("\n(validation M@20; pick the argmax per row)");
+}

@@ -1,0 +1,25 @@
+//! # embsr-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper (see
+//! `src/bin/`), plus Criterion micro-benchmarks (see `benches/`).
+//!
+//! Every binary accepts the same flags:
+//!
+//! ```text
+//! --scale tiny|small|full   experiment size (default: small)
+//! --threads N               parallel jobs (default: available cores)
+//! --dim N                   embedding size override
+//! --epochs N                training epochs override
+//! --seed N                  RNG seed override
+//! ```
+//!
+//! Absolute numbers differ from the paper (synthetic data, CPU scale); the
+//! harness reproduces the *shape* of every result: orderings, relative
+//! improvements and crossovers. See EXPERIMENTS.md for paper-vs-measured.
+
+pub mod harness;
+
+pub use harness::{
+    build_recommender, learning_rate, parse_args, run_cell, run_table, EmbsrVariant, HarnessArgs,
+    ModelSpec, Scale,
+};

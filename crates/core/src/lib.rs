@@ -1,0 +1,39 @@
+//! # embsr-core
+//!
+//! The EMBSR model — *Encoding Micro-Behaviors in Session-based
+//! Recommendation* (ICDE 2022) — implemented exactly as Sec. IV of the
+//! paper describes, plus a configuration switchboard producing every ablation
+//! and variant used in the paper's evaluation:
+//!
+//! * **Sequential patterns** (Sec. IV-B): the session is converted to a
+//!   directed multigraph with ordered edges; each macro item's
+//!   micro-operation sub-sequence is encoded by a GRU and injected into the
+//!   GNN messages; gated graph updates, star-node propagation and a highway
+//!   blend produce the item representations.
+//! * **Dyadic relational patterns** (Sec. IV-C): an operation-aware
+//!   self-attention with a `|O|²` dyadic relation table relates operation
+//!   *pairs* across positions.
+//! * **Prediction** (Sec. IV-D): a fusion gate combines global preference
+//!   and recent interest; scores are scaled cosines (`w_k = 12`).
+//!
+//! ## Variants
+//!
+//! | constructor | paper name | section |
+//! |---|---|---|
+//! | [`EmbsrConfig::full`] | EMBSR | Table III |
+//! | [`EmbsrConfig::ablation_ns`] | EMBSR-NS | Table IV |
+//! | [`EmbsrConfig::ablation_ng`] | EMBSR-NG | Table IV |
+//! | [`EmbsrConfig::ablation_nf`] | EMBSR-NF | Table IV |
+//! | [`EmbsrConfig::sgnn_self`] | SGNN-Self | Fig. 4/5 |
+//! | [`EmbsrConfig::sgnn_seq_self`] | SGNN-Seq-Self | Fig. 4 |
+//! | [`EmbsrConfig::rnn_self`] | RNN-Self | Fig. 4/5 |
+//! | [`EmbsrConfig::sgnn_abs_self`] | SGNN-Abs-Self | Fig. 5 |
+//! | [`EmbsrConfig::sgnn_dyadic`] | SGNN-Dyadic / EMBSR-Dyadic | Fig. 5, Suppl. Table II |
+//! | [`EmbsrConfig::fixed_beta`] | β sweep | Fig. 6 |
+
+mod config;
+mod model;
+
+pub use config::{Backbone, EmbsrConfig};
+pub use model::Embsr;
+pub use embsr_nn::FusionMode;

@@ -1,0 +1,166 @@
+//! The item catalog: categories and Zipf popularity.
+
+use embsr_tensor::Rng;
+
+/// A catalog of items partitioned into categories, each with a Zipf
+/// popularity distribution over its members.
+pub struct Catalog {
+    /// Category of each item.
+    pub category_of: Vec<usize>,
+    /// Items per category.
+    pub members: Vec<Vec<u32>>,
+    /// Unnormalized sampling weight of each item (Zipf within category).
+    pub weight_of: Vec<f32>,
+}
+
+impl Catalog {
+    /// Builds a catalog of `num_items` items over `num_categories`
+    /// categories (round-robin assignment, Zipf rank by position within the
+    /// category).
+    pub fn new(num_items: usize, num_categories: usize, zipf_exponent: f64) -> Self {
+        assert!(num_categories > 0 && num_items >= num_categories);
+        let mut category_of = vec![0usize; num_items];
+        let mut members: Vec<Vec<u32>> = vec![Vec::new(); num_categories];
+        let mut weight_of = vec![0.0f32; num_items];
+        for item in 0..num_items {
+            let cat = item % num_categories;
+            category_of[item] = cat;
+            let rank = members[cat].len() + 1;
+            members[cat].push(item as u32);
+            weight_of[item] = (1.0 / (rank as f64).powf(zipf_exponent)) as f32;
+        }
+        Catalog {
+            category_of,
+            members,
+            weight_of,
+        }
+    }
+
+    /// Number of items.
+    pub fn num_items(&self) -> usize {
+        self.category_of.len()
+    }
+
+    /// Number of categories.
+    pub fn num_categories(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Samples an item from `category` by popularity.
+    pub fn sample_from_category(&self, category: usize, rng: &mut Rng) -> u32 {
+        let items = &self.members[category];
+        let weights: Vec<f32> = items.iter().map(|&i| self.weight_of[i as usize]).collect();
+        items[rng.sample_weighted(&weights)]
+    }
+
+    /// Samples an item from `category` *near* the popularity rank of
+    /// `anchor` (used for "similar item" targets, e.g. the same mouse pad in
+    /// a different size in the paper's case study).
+    pub fn sample_similar(&self, anchor: u32, rng: &mut Rng) -> u32 {
+        let cat = self.category_of[anchor as usize];
+        let items = &self.members[cat];
+        if items.len() == 1 {
+            return anchor;
+        }
+        let pos = items
+            .iter()
+            .position(|&i| i == anchor)
+            .expect("anchor in its category");
+        // Triangular window around the anchor's rank.
+        let window = 8usize;
+        let lo = pos.saturating_sub(window);
+        let hi = (pos + window + 1).min(items.len());
+        self.sample_window(items, pos, lo, hi, rng)
+    }
+
+    /// Like [`Catalog::sample_similar`], but one-sided: `up = true` samples
+    /// among *more popular* neighbors (lower rank), `up = false` among less
+    /// popular ones. Session personas use opposite directions, so the
+    /// anchor alone does not determine the target — the persona (readable
+    /// only from micro-operations) does.
+    pub fn sample_similar_directional(&self, anchor: u32, up: bool, rng: &mut Rng) -> u32 {
+        let cat = self.category_of[anchor as usize];
+        let items = &self.members[cat];
+        if items.len() == 1 {
+            return anchor;
+        }
+        let pos = items
+            .iter()
+            .position(|&i| i == anchor)
+            .expect("anchor in its category");
+        let window = 6usize;
+        let (lo, hi) = if up {
+            (pos.saturating_sub(window), (pos + 1).min(items.len()))
+        } else {
+            (pos, (pos + window + 1).min(items.len()))
+        };
+        self.sample_window(items, pos, lo, hi, rng)
+    }
+
+    fn sample_window(
+        &self,
+        items: &[u32],
+        pos: usize,
+        lo: usize,
+        hi: usize,
+        rng: &mut Rng,
+    ) -> u32 {
+        let anchor = items[pos];
+        let mut choice = items[lo + rng.below(hi - lo)];
+        if choice == anchor {
+            choice = items[if pos + 1 < items.len() { pos + 1 } else { pos - 1 }];
+        }
+        choice
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_item_has_a_category_and_weight() {
+        let c = Catalog::new(25, 4, 1.0);
+        assert_eq!(c.num_items(), 25);
+        assert_eq!(c.num_categories(), 4);
+        let total: usize = c.members.iter().map(Vec::len).sum();
+        assert_eq!(total, 25);
+        assert!(c.weight_of.iter().all(|&w| w > 0.0));
+    }
+
+    #[test]
+    fn zipf_head_is_heavier() {
+        let c = Catalog::new(40, 2, 1.2);
+        let cat0 = &c.members[0];
+        assert!(c.weight_of[cat0[0] as usize] > c.weight_of[cat0.last().copied().unwrap() as usize]);
+    }
+
+    #[test]
+    fn sampling_respects_category() {
+        let c = Catalog::new(30, 3, 1.0);
+        let mut rng = Rng::seed_from_u64(0);
+        for _ in 0..100 {
+            let item = c.sample_from_category(2, &mut rng);
+            assert_eq!(c.category_of[item as usize], 2);
+        }
+    }
+
+    #[test]
+    fn similar_item_is_same_category_and_not_anchor() {
+        let c = Catalog::new(30, 3, 1.0);
+        let mut rng = Rng::seed_from_u64(1);
+        let anchor = c.members[1][2];
+        for _ in 0..50 {
+            let sim = c.sample_similar(anchor, &mut rng);
+            assert_eq!(c.category_of[sim as usize], 1);
+            assert_ne!(sim, anchor);
+        }
+    }
+
+    #[test]
+    fn singleton_category_similar_returns_anchor() {
+        let c = Catalog::new(3, 3, 1.0);
+        let mut rng = Rng::seed_from_u64(2);
+        assert_eq!(c.sample_similar(0, &mut rng), 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Generator configuration and the three dataset presets.
+
+use serde::{Deserialize, Serialize};
+
+/// Which of the paper's datasets a config is modeled on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum DatasetPreset {
+    JdAppliances,
+    JdComputers,
+    Trivago,
+}
+
+impl DatasetPreset {
+    /// All presets, in the paper's column order.
+    pub fn all() -> [DatasetPreset; 3] {
+        [
+            DatasetPreset::JdAppliances,
+            DatasetPreset::JdComputers,
+            DatasetPreset::Trivago,
+        ]
+    }
+
+    /// Display name as used in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetPreset::JdAppliances => "JD-Appliances",
+            DatasetPreset::JdComputers => "JD-Computers",
+            DatasetPreset::Trivago => "Trivago",
+        }
+    }
+}
+
+/// Parameters of the synthetic session generator.
+///
+/// Scales are reduced relative to Table II (hundreds of thousands of
+/// sessions → thousands) so the full 13-model × 3-dataset grid trains on a
+/// CPU; the *structural* knobs (operation vocabulary, repeat ratio,
+/// engagement dynamics) mirror each dataset.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SyntheticConfig {
+    pub preset: DatasetPreset,
+    /// Item catalog size before frequency filtering.
+    pub num_items: usize,
+    /// Number of latent categories partitioning the catalog.
+    pub num_categories: usize,
+    /// Operation vocabulary size (10 for the JD datasets, 6 for Trivago).
+    pub num_ops: usize,
+    /// Sessions to generate before filtering.
+    pub num_sessions: usize,
+    /// Mean number of macro items per session (geometric tail around it).
+    pub mean_macro_len: f32,
+    /// Probability that a step wanders off the focus category.
+    pub distractor_prob: f32,
+    /// Probability that the ground-truth item repeats an in-session item
+    /// (high for JD-style shopping, near zero for Trivago).
+    pub repeat_ratio: f32,
+    /// Zipf exponent of item popularity inside each category.
+    pub zipf_exponent: f64,
+    /// Items occurring fewer than this many times are dropped (paper: 50 on
+    /// JD, 5 on Trivago — scaled down with the corpus).
+    pub min_item_occurrences: usize,
+    /// Probability a session follows the "buyer" persona (vs "browser").
+    pub buyer_fraction: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SyntheticConfig {
+    /// Full-scale preset used by the experiment harness.
+    pub fn preset(preset: DatasetPreset) -> SyntheticConfig {
+        match preset {
+            DatasetPreset::JdAppliances => SyntheticConfig {
+                preset,
+                num_items: 800,
+                num_categories: 20,
+                num_ops: 10,
+                num_sessions: 6000,
+                mean_macro_len: 6.0,
+                distractor_prob: 0.25,
+                repeat_ratio: 0.55,
+                zipf_exponent: 1.05,
+                min_item_occurrences: 8,
+                buyer_fraction: 0.5,
+                seed: 101,
+            },
+            DatasetPreset::JdComputers => SyntheticConfig {
+                preset,
+                num_items: 1000,
+                num_categories: 25,
+                num_ops: 10,
+                num_sessions: 6000,
+                mean_macro_len: 5.0,
+                distractor_prob: 0.35,
+                repeat_ratio: 0.40,
+                zipf_exponent: 0.95,
+                min_item_occurrences: 8,
+                buyer_fraction: 0.45,
+                seed: 202,
+            },
+            DatasetPreset::Trivago => SyntheticConfig {
+                preset,
+                num_items: 1500,
+                num_categories: 30,
+                num_ops: 6,
+                num_sessions: 5000,
+                mean_macro_len: 5.0,
+                distractor_prob: 0.30,
+                repeat_ratio: 0.03,
+                zipf_exponent: 0.85,
+                min_item_occurrences: 3,
+                buyer_fraction: 0.5,
+                seed: 303,
+            },
+        }
+    }
+
+    /// A tiny configuration for unit tests (hundreds of sessions).
+    pub fn tiny(preset: DatasetPreset) -> SyntheticConfig {
+        let mut c = Self::preset(preset);
+        c.num_items = 120;
+        c.num_categories = 8;
+        c.num_sessions = 400;
+        c.min_item_occurrences = 2;
+        c
+    }
+
+    /// Scales session count and catalog by `factor` (for quick sweeps).
+    pub fn scaled(mut self, factor: f32) -> SyntheticConfig {
+        assert!(factor > 0.0);
+        self.num_sessions = ((self.num_sessions as f32 * factor) as usize).max(50);
+        self.num_items = ((self.num_items as f32 * factor.sqrt()) as usize).max(20);
+        self
+    }
+
+    /// Basic validity checks; called by the generator.
+    pub fn validate(&self) {
+        assert!(self.num_items >= self.num_categories, "items < categories");
+        assert!(self.num_ops >= 4, "need at least 4 operations (see roles)");
+        assert!((0.0..=1.0).contains(&self.distractor_prob));
+        assert!((0.0..=1.0).contains(&self.repeat_ratio));
+        assert!((0.0..=1.0).contains(&self.buyer_fraction));
+        assert!(self.mean_macro_len >= 2.0, "sessions need >= 2 macro items");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_operation_vocabularies() {
+        assert_eq!(SyntheticConfig::preset(DatasetPreset::JdAppliances).num_ops, 10);
+        assert_eq!(SyntheticConfig::preset(DatasetPreset::JdComputers).num_ops, 10);
+        assert_eq!(SyntheticConfig::preset(DatasetPreset::Trivago).num_ops, 6);
+    }
+
+    #[test]
+    fn trivago_has_negligible_repeat_ratio() {
+        let t = SyntheticConfig::preset(DatasetPreset::Trivago);
+        assert!(t.repeat_ratio < 0.1);
+        let jd = SyntheticConfig::preset(DatasetPreset::JdAppliances);
+        assert!(jd.repeat_ratio > 0.4);
+    }
+
+    #[test]
+    fn all_presets_validate() {
+        for p in DatasetPreset::all() {
+            SyntheticConfig::preset(p).validate();
+            SyntheticConfig::tiny(p).validate();
+        }
+    }
+
+    #[test]
+    fn scaled_shrinks_sessions() {
+        let c = SyntheticConfig::preset(DatasetPreset::JdAppliances).scaled(0.1);
+        assert!(c.num_sessions < 6000);
+        c.validate();
+    }
+}

@@ -1,0 +1,319 @@
+//! The latent-intent session generator.
+//!
+//! ## Operation vocabulary roles
+//!
+//! Operation ids carry fixed roles mirroring the JD vocabulary
+//! ("SearchList2Product", "Detail_comments", "Order", …):
+//!
+//! | id | role |
+//! |---|---|
+//! | 0 | entry click / list→product (first op of every visit) |
+//! | 1 | read detail specification |
+//! | 2 | read comments |
+//! | 3 | add-to-cart (JD) / rating interaction (Trivago) |
+//! | 4.. | miscellaneous (image, deals, share, …) |
+//! | `|O|-1` | order / clickout — the terminal intent operation |
+//!
+//! ## Generative process (per session)
+//!
+//! 1. Sample a latent *focus category* and *persona* (buyer / browser).
+//! 2. Random-walk over items: focus-category items by popularity, with
+//!    `distractor_prob` excursions and occasional revisits of earlier items
+//!    (which is what makes the session graph a **multi**graph).
+//! 3. Each visit emits an operation sub-sequence whose depth follows the
+//!    item's *engagement* (higher on focus items) and whose composition
+//!    follows the persona.
+//! 4. The ground-truth next item is decided by the micro-behavior history:
+//!    buyers who carted an item and show terminal intent *repeat* the carted
+//!    item; otherwise the target is a *similar* fresh item of the most
+//!    engaged item. This is exactly the dyadic `(add-to-cart, order)` vs
+//!    `(click, order)` distinction of the paper's Fig. 1.
+
+use embsr_sessions::{MicroBehavior, Session};
+use embsr_tensor::Rng;
+
+use crate::catalog::Catalog;
+use crate::config::SyntheticConfig;
+
+/// Operation-role helpers shared with the single-op view and the examples.
+pub(crate) mod ops {
+    /// Entry click — present on every item visit.
+    pub const CLICK: u16 = 0;
+    /// Read detail specification.
+    pub const DETAIL: u16 = 1;
+    /// Read comments.
+    pub const COMMENTS: u16 = 2;
+    /// Add to cart.
+    pub const CART: u16 = 3;
+    /// Terminal intent (order / clickout) — always `num_ops - 1`.
+    pub fn order(num_ops: usize) -> u16 {
+        (num_ops - 1) as u16
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Persona {
+    Buyer,
+    Browser,
+}
+
+/// Generates the raw (unfiltered) session corpus for a configuration.
+pub fn generate_sessions(cfg: &SyntheticConfig) -> Vec<Session> {
+    cfg.validate();
+    let catalog = Catalog::new(cfg.num_items, cfg.num_categories, cfg.zipf_exponent);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
+    let mut sessions = Vec::with_capacity(cfg.num_sessions);
+    for sid in 0..cfg.num_sessions {
+        sessions.push(generate_one(sid as u64, cfg, &catalog, &mut rng));
+    }
+    sessions
+}
+
+fn geometric_len(mean: f32, min: usize, rng: &mut Rng) -> usize {
+    // Geometric with the given mean, floored at `min`.
+    let p = 1.0 / mean.max(1.0);
+    let mut n = min;
+    while !rng.bernoulli(p) && n < (mean * 4.0) as usize + min {
+        n += 1;
+    }
+    n
+}
+
+fn generate_one(id: u64, cfg: &SyntheticConfig, catalog: &Catalog, rng: &mut Rng) -> Session {
+    let focus = rng.below(cfg.num_categories);
+    let persona = if rng.bernoulli(cfg.buyer_fraction) {
+        Persona::Buyer
+    } else {
+        Persona::Browser
+    };
+    let n_macro = geometric_len(cfg.mean_macro_len, 2, rng);
+    let order_op = ops::order(cfg.num_ops);
+
+    let mut events: Vec<MicroBehavior> = Vec::new();
+    let mut visited: Vec<u32> = Vec::new();
+    let mut carted: Option<u32> = None;
+    let mut best_engaged: Option<(u32, usize)> = None; // (item, depth)
+
+    for step in 0..n_macro - 1 {
+        // --- pick the next item -----------------------------------------
+        let item = loop {
+            let candidate = if !visited.is_empty() && rng.bernoulli(0.15) {
+                // revisit: parallel edges in the session multigraph
+                visited[rng.below(visited.len())]
+            } else if rng.bernoulli(cfg.distractor_prob) {
+                let cat = rng.below(cfg.num_categories);
+                catalog.sample_from_category(cat, rng)
+            } else {
+                catalog.sample_from_category(focus, rng)
+            };
+            // merging collapses adjacent duplicates; avoid generating them
+            if visited.last() != Some(&candidate) {
+                break candidate;
+            }
+        };
+        visited.push(item);
+        let on_focus = catalog.category_of[item as usize] == focus;
+
+        // --- engagement: how deep the operation sub-sequence goes --------
+        let engagement = if on_focus {
+            1 + rng.below(4) // 1..=4 extra ops
+        } else if rng.bernoulli(0.3) {
+            1 + rng.below(2)
+        } else {
+            0
+        };
+
+        // --- emit the operation sub-sequence ------------------------------
+        events.push(MicroBehavior::new(item, ops::CLICK));
+        for depth in 0..engagement {
+            let op = match (persona, depth) {
+                (_, 0) => ops::DETAIL,
+                (Persona::Buyer, 1) => ops::COMMENTS,
+                (Persona::Buyer, _) => {
+                    if carted.is_none() && on_focus {
+                        carted = Some(item);
+                        ops::CART
+                    } else {
+                        misc_op(cfg.num_ops, rng)
+                    }
+                }
+                (Persona::Browser, _) => misc_op(cfg.num_ops, rng),
+            };
+            events.push(MicroBehavior::new(item, op));
+        }
+
+        let depth_now = engagement + 1;
+        if on_focus {
+            match best_engaged {
+                Some((_, d)) if d >= depth_now => {}
+                _ => best_engaged = Some((item, depth_now)),
+            }
+        }
+        let _ = step;
+    }
+
+    // Fallback when the walk never touched the focus category.
+    let anchor = best_engaged
+        .map(|(i, _)| i)
+        .unwrap_or_else(|| catalog.sample_from_category(focus, rng));
+
+    // --- decide the ground-truth next item -------------------------------
+    // Buyers with a carted item close the loop (repeat) when terminal intent
+    // fires; everyone else moves to a similar fresh item.
+    let terminal_intent = persona == Persona::Buyer && carted.is_some();
+    let (target, target_op) = if terminal_intent && rng.bernoulli(cfg.repeat_ratio) {
+        // Terminal intent fires *before* the revisit: the user hits the
+        // order flow on whatever item they are on, then returns to the
+        // carted item. The prefix thus contains the dyadic pair
+        // (add-to-cart @ carted item, order @ last item) that predicts the
+        // repeat — the paper's Fig. 1 pattern.
+        if let Some(&last_item) = visited.last() {
+            events.push(MicroBehavior::new(last_item, order_op));
+        }
+        (carted.expect("checked"), ops::CLICK)
+    } else if rng.bernoulli(cfg.repeat_ratio * 0.3) && !visited.is_empty() {
+        // occasional non-purchase repeat (re-click an earlier item)
+        (visited[rng.below(visited.len())], ops::CLICK)
+    } else {
+        // Fresh target: a similar item *not* already in the session, so the
+        // preset's repeat ratio is controlled by the explicit branches above
+        // (Trivago needs this to stay near zero).
+        // 30% of fresh targets are drawn category-uniform rather than from the
+        // anchor's popularity neighborhood: keeps co-occurrence methods (SKNN)
+        // from reading the target straight off the anchor, as in real catalogs
+        // whose item spaces are orders of magnitude larger.
+        let anchor_cat = catalog.category_of[anchor as usize];
+        // Persona decides the *direction* of similarity: buyers step toward
+        // the popular head (comparison shoppers converging on best-sellers),
+        // browsers toward the long tail. The persona is visible only in the
+        // micro-operations, so this is signal macro models cannot use.
+        let up = persona == Persona::Buyer;
+        let mut t = if rng.bernoulli(0.15) {
+            catalog.sample_from_category(anchor_cat, rng)
+        } else {
+            catalog.sample_similar_directional(anchor, up, rng)
+        };
+        let mut tries = 0;
+        while visited.contains(&t) && tries < 12 {
+            t = if tries < 6 {
+                catalog.sample_similar_directional(anchor, up, rng)
+            } else {
+                catalog.sample_from_category(anchor_cat, rng)
+            };
+            tries += 1;
+        }
+        (t, ops::CLICK)
+    };
+
+    // Decoy terminal op: browsers occasionally touch the order flow without
+    // a cart, so the ORDER operation alone does not give the answer away —
+    // only the *pair* with an earlier add-to-cart does.
+    if persona == Persona::Browser && rng.bernoulli(0.1) {
+        if let Some(&last_item) = visited.last() {
+            events.push(MicroBehavior::new(last_item, order_op));
+        }
+    }
+
+    // Never let the target merge into the previous macro step.
+    if visited.last() == Some(&target) {
+        events.push(MicroBehavior::new(
+            catalog.sample_similar(target, rng),
+            ops::CLICK,
+        ));
+    }
+    events.push(MicroBehavior::new(target, target_op));
+    Session { id, events }
+}
+
+fn misc_op(num_ops: usize, rng: &mut Rng) -> u16 {
+    // any op in [1, |O|-1) except CART (cart is persona-controlled)
+    loop {
+        let op = 1 + rng.below(num_ops - 2);
+        if op as u16 != ops::CART {
+            return op as u16;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DatasetPreset;
+    use embsr_sessions::CorpusStats;
+
+    fn tiny() -> Vec<Session> {
+        generate_sessions(&SyntheticConfig::tiny(DatasetPreset::JdAppliances))
+    }
+
+    #[test]
+    fn corpus_has_requested_size() {
+        let cfg = SyntheticConfig::tiny(DatasetPreset::JdAppliances);
+        let sessions = generate_sessions(&cfg);
+        assert_eq!(sessions.len(), cfg.num_sessions);
+    }
+
+    #[test]
+    fn every_session_has_at_least_two_macro_items() {
+        for s in tiny() {
+            assert!(s.macro_items().len() >= 2, "session {} too short", s.id);
+        }
+    }
+
+    #[test]
+    fn items_and_ops_stay_in_vocabulary() {
+        let cfg = SyntheticConfig::tiny(DatasetPreset::Trivago);
+        for s in generate_sessions(&cfg) {
+            for e in &s.events {
+                assert!((e.item as usize) < cfg.num_items);
+                assert!((e.op as usize) < cfg.num_ops);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = SyntheticConfig::tiny(DatasetPreset::JdComputers);
+        assert_eq!(generate_sessions(&cfg), generate_sessions(&cfg));
+    }
+
+    #[test]
+    fn jd_repeat_ratio_far_exceeds_trivago() {
+        let jd = CorpusStats::compute(&generate_sessions(&SyntheticConfig::tiny(
+            DatasetPreset::JdAppliances,
+        )));
+        let tv = CorpusStats::compute(&generate_sessions(&SyntheticConfig::tiny(
+            DatasetPreset::Trivago,
+        )));
+        assert!(
+            jd.target_repeat_ratio > tv.target_repeat_ratio + 0.15,
+            "jd {} vs trivago {}",
+            jd.target_repeat_ratio,
+            tv.target_repeat_ratio
+        );
+        assert!(tv.target_repeat_ratio < 0.12, "trivago {}", tv.target_repeat_ratio);
+    }
+
+    #[test]
+    fn sessions_contain_multi_op_visits() {
+        // micro-behavior structure exists: some macro steps have >1 op
+        let sessions = tiny();
+        let multi = sessions
+            .iter()
+            .flat_map(|s| s.macro_steps())
+            .filter(|st| st.ops.len() > 1)
+            .count();
+        assert!(multi > 100, "only {multi} multi-op visits");
+    }
+
+    #[test]
+    fn some_sessions_revisit_items() {
+        let with_revisit = tiny()
+            .iter()
+            .filter(|s| {
+                let g = embsr_sessions::SessionGraph::from_session(s);
+                g.has_revisits()
+            })
+            .count();
+        assert!(with_revisit > 20, "only {with_revisit} multigraph sessions");
+    }
+}

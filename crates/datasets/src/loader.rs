@@ -1,0 +1,207 @@
+//! Loading real micro-behavior logs.
+//!
+//! The synthetic generator stands in for the paper's (unavailable) datasets,
+//! but users with their own logs — e.g. the original JD files or the RecSys
+//! 2019 Trivago dump — can load them here. The expected format is a
+//! delimited text file with one micro-behavior per line:
+//!
+//! ```text
+//! session_id,item_id,operation[,timestamp]
+//! ```
+//!
+//! * `session_id` — any string; lines sharing it form one session,
+//! * `item_id` / `operation` — any strings; mapped to dense ids in
+//!   first-seen order (the mapping is returned for decoding),
+//! * `timestamp` — optional integer; when present, lines are sorted by it
+//!   within each session (the file need not be pre-sorted).
+//!
+//! Lines starting with `#` and a leading header line (detected by a
+//! non-numeric timestamp column or the literal `session_id`) are skipped.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead};
+use std::path::Path;
+
+use embsr_sessions::{MicroBehavior, Session};
+
+/// Vocabulary mappings produced while loading.
+#[derive(Debug, Default)]
+pub struct LoadedVocab {
+    /// Raw item label per dense item id.
+    pub items: Vec<String>,
+    /// Raw operation label per dense op id.
+    pub ops: Vec<String>,
+}
+
+impl LoadedVocab {
+    /// Number of distinct items.
+    pub fn num_items(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Number of distinct operations.
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+}
+
+/// Parses sessions from delimited text. `delimiter` is typically `,` or
+/// `\t`.
+///
+/// # Errors
+/// Fails on I/O errors or structurally invalid lines (fewer than three
+/// fields). Unknown columns beyond the fourth are ignored.
+pub fn load_sessions_from_reader(
+    reader: impl BufRead,
+    delimiter: char,
+) -> io::Result<(Vec<Session>, LoadedVocab)> {
+    let mut item_ids: HashMap<String, u32> = HashMap::new();
+    let mut op_ids: HashMap<String, u16> = HashMap::new();
+    let mut vocab = LoadedVocab::default();
+    // session key -> (first-seen order, events with optional timestamp)
+    let mut sessions: HashMap<String, (usize, Vec<(i64, MicroBehavior)>)> = HashMap::new();
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(delimiter).map(str::trim).collect();
+        if lineno == 0 && fields.first() == Some(&"session_id") {
+            continue; // header
+        }
+        if fields.len() < 3 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: expected at least 3 fields", lineno + 1),
+            ));
+        }
+        let (sid, item_raw, op_raw) = (fields[0], fields[1], fields[2]);
+        let ts: i64 = fields
+            .get(3)
+            .and_then(|t| t.parse().ok())
+            .unwrap_or(lineno as i64);
+
+        let next_item = item_ids.len() as u32;
+        let item = *item_ids.entry(item_raw.to_string()).or_insert_with(|| {
+            vocab.items.push(item_raw.to_string());
+            next_item
+        });
+        let next_op = op_ids.len() as u16;
+        let op = *op_ids.entry(op_raw.to_string()).or_insert_with(|| {
+            vocab.ops.push(op_raw.to_string());
+            next_op
+        });
+
+        let order = sessions.len();
+        sessions
+            .entry(sid.to_string())
+            .or_insert_with(|| (order, Vec::new()))
+            .1
+            .push((ts, MicroBehavior { item, op }));
+    }
+
+    let mut ordered: Vec<(usize, Vec<(i64, MicroBehavior)>)> = sessions.into_values().collect();
+    ordered.sort_by_key(|(order, _)| *order);
+    let out = ordered
+        .into_iter()
+        .enumerate()
+        .map(|(id, (_, mut events))| {
+            events.sort_by_key(|(ts, _)| *ts);
+            Session {
+                id: id as u64,
+                events: events.into_iter().map(|(_, e)| e).collect(),
+            }
+        })
+        .collect();
+    Ok((out, vocab))
+}
+
+/// Loads sessions from a file path (see [`load_sessions_from_reader`]).
+pub fn load_sessions_from_path(
+    path: &Path,
+    delimiter: char,
+) -> io::Result<(Vec<Session>, LoadedVocab)> {
+    let file = std::fs::File::open(path)?;
+    load_sessions_from_reader(io::BufReader::new(file), delimiter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn load(text: &str) -> (Vec<Session>, LoadedVocab) {
+        load_sessions_from_reader(Cursor::new(text), ',').expect("parse")
+    }
+
+    #[test]
+    fn parses_sessions_in_first_seen_order() {
+        let (sessions, vocab) = load(
+            "s1,iphone,click\n\
+             s1,iphone,read-comments\n\
+             s2,macbook,click\n\
+             s1,airpods,click\n",
+        );
+        assert_eq!(sessions.len(), 2);
+        assert_eq!(sessions[0].len(), 3); // s1 first
+        assert_eq!(sessions[1].len(), 1);
+        assert_eq!(vocab.num_items(), 3);
+        assert_eq!(vocab.num_ops(), 2);
+        assert_eq!(vocab.items[0], "iphone");
+        assert_eq!(vocab.ops[1], "read-comments");
+    }
+
+    #[test]
+    fn timestamps_reorder_within_session() {
+        let (sessions, _) = load(
+            "s1,b,click,200\n\
+             s1,a,click,100\n",
+        );
+        let items: Vec<u32> = sessions[0].items().collect();
+        // item "b" got id 0, "a" got id 1; after time sort, "a" comes first
+        assert_eq!(items, vec![1, 0]);
+    }
+
+    #[test]
+    fn header_and_comments_skipped() {
+        let (sessions, _) = load(
+            "session_id,item_id,operation\n\
+             # a comment\n\
+             s1,x,click\n\
+             s1,y,click\n",
+        );
+        assert_eq!(sessions.len(), 1);
+        assert_eq!(sessions[0].len(), 2);
+    }
+
+    #[test]
+    fn malformed_line_is_an_error() {
+        let err = load_sessions_from_reader(Cursor::new("s1,only-two"), ',').unwrap_err();
+        assert!(err.to_string().contains("3 fields"));
+    }
+
+    #[test]
+    fn tab_delimiter_supported() {
+        let (sessions, vocab) =
+            load_sessions_from_reader(Cursor::new("s1\ti1\tclickout item\n"), '\t').unwrap();
+        assert_eq!(sessions.len(), 1);
+        assert_eq!(vocab.ops[0], "clickout item");
+    }
+
+    #[test]
+    fn loaded_sessions_feed_the_pipeline() {
+        // end-to-end: loaded sessions merge and form examples like synthetic ones
+        let (sessions, _) = load(
+            "s1,a,click\ns1,a,detail\ns1,b,click\n\
+             s2,b,click\ns2,c,click\n",
+        );
+        let examples: Vec<_> = sessions
+            .iter()
+            .filter_map(embsr_sessions::Example::from_session)
+            .collect();
+        assert_eq!(examples.len(), 2);
+        assert_eq!(examples[0].session.macro_items().len(), 1);
+    }
+}

@@ -1,0 +1,232 @@
+//! Preprocessing pipeline (paper Sec. V-A-1):
+//!
+//! 1. filter out items with fewer than `min_item_occurrences` occurrences,
+//! 2. drop sessions left with fewer than two macro items,
+//! 3. remap item ids to a dense vocabulary,
+//! 4. split 70% / 10% / 20% into train / validation / test,
+//! 5. use the last macro item of each session as the ground truth.
+
+use std::collections::HashMap;
+
+use embsr_sessions::{CorpusStats, Example, MicroBehavior, Session};
+use embsr_tensor::Rng;
+
+use crate::config::SyntheticConfig;
+use crate::generator::generate_sessions;
+
+/// Train/validation/test fractions. Must sum to ≤ 1.
+#[derive(Clone, Copy, Debug)]
+pub struct SplitRatios {
+    pub train: f32,
+    pub val: f32,
+}
+
+impl Default for SplitRatios {
+    fn default() -> Self {
+        // the paper's 70/10/20
+        SplitRatios {
+            train: 0.7,
+            val: 0.1,
+        }
+    }
+}
+
+/// A fully preprocessed dataset ready for training and evaluation.
+pub struct Dataset {
+    /// Display name (paper table row).
+    pub name: String,
+    /// Dense item vocabulary size after filtering.
+    pub num_items: usize,
+    /// Operation vocabulary size.
+    pub num_ops: usize,
+    pub train: Vec<Example>,
+    pub val: Vec<Example>,
+    pub test: Vec<Example>,
+    /// The full training sessions (for augmentation and diagnostics).
+    pub train_sessions: Vec<Session>,
+    /// Statistics over the retained full sessions (Table II).
+    pub stats: CorpusStats,
+}
+
+impl Dataset {
+    /// Returns a copy whose training split uses sequence-splitting
+    /// augmentation (one example per macro transition), the GRU4Rec+ /
+    /// SR-GNN training augmentation. Validation and test splits are
+    /// untouched so evaluation stays comparable.
+    pub fn with_augmented_train(&self) -> Dataset {
+        let train: Vec<Example> = self
+            .train_sessions
+            .iter()
+            .flat_map(Example::augmented_from_session)
+            .collect();
+        Dataset {
+            name: format!("{} (augmented)", self.name),
+            num_items: self.num_items,
+            num_ops: self.num_ops,
+            train,
+            val: self.val.clone(),
+            test: self.test.clone(),
+            train_sessions: self.train_sessions.clone(),
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Total number of examples across splits.
+    pub fn len(&self) -> usize {
+        self.train.len() + self.val.len() + self.test.len()
+    }
+
+    /// True when no examples survived preprocessing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Removes rare items and remaps ids densely. Returns the retained sessions
+/// and the vocabulary size.
+fn filter_and_remap(sessions: Vec<Session>, min_occurrences: usize) -> (Vec<Session>, usize) {
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for s in &sessions {
+        for e in &s.events {
+            *counts.entry(e.item).or_default() += 1;
+        }
+    }
+    let mut kept: Vec<u32> = counts
+        .iter()
+        .filter(|(_, &c)| c >= min_occurrences)
+        .map(|(&i, _)| i)
+        .collect();
+    kept.sort_unstable();
+    let remap: HashMap<u32, u32> = kept
+        .iter()
+        .enumerate()
+        .map(|(new, &old)| (old, new as u32))
+        .collect();
+
+    let filtered: Vec<Session> = sessions
+        .into_iter()
+        .filter_map(|s| {
+            let events: Vec<MicroBehavior> = s
+                .events
+                .iter()
+                .filter_map(|e| {
+                    remap
+                        .get(&e.item)
+                        .map(|&item| MicroBehavior { item, op: e.op })
+                })
+                .collect();
+            let retained = Session { id: s.id, events };
+            (retained.macro_items().len() >= 2).then_some(retained)
+        })
+        .collect();
+    (filtered, remap.len())
+}
+
+/// Builds the complete dataset for a configuration.
+pub fn build_dataset(cfg: &SyntheticConfig) -> Dataset {
+    let raw = generate_sessions(cfg);
+    let (mut sessions, num_items) = filter_and_remap(raw, cfg.min_item_occurrences);
+    let stats = CorpusStats::compute(&sessions);
+
+    // Shuffle deterministically before splitting so splits are iid.
+    let mut rng = Rng::seed_from_u64(cfg.seed ^ 0x9E37_79B9_7F4A_7C15);
+    rng.shuffle(&mut sessions);
+
+    let ratios = SplitRatios::default();
+    let n = sessions.len();
+    let n_train = (n as f32 * ratios.train) as usize;
+    let n_val = (n as f32 * ratios.val) as usize;
+
+    let to_examples = |slice: &[Session]| -> Vec<Example> {
+        slice.iter().filter_map(Example::from_session).collect()
+    };
+
+    Dataset {
+        name: cfg.preset.name().to_string(),
+        num_items,
+        num_ops: cfg.num_ops,
+        train: to_examples(&sessions[..n_train]),
+        val: to_examples(&sessions[n_train..n_train + n_val]),
+        test: to_examples(&sessions[n_train + n_val..]),
+        train_sessions: sessions[..n_train].to_vec(),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DatasetPreset;
+
+    fn tiny_dataset() -> Dataset {
+        build_dataset(&SyntheticConfig::tiny(DatasetPreset::JdAppliances))
+    }
+
+    #[test]
+    fn splits_roughly_70_10_20() {
+        let d = tiny_dataset();
+        let total = d.len() as f32;
+        assert!(total > 100.0);
+        assert!((d.train.len() as f32 / total - 0.7).abs() < 0.06);
+        assert!((d.val.len() as f32 / total - 0.1).abs() < 0.05);
+        assert!((d.test.len() as f32 / total - 0.2).abs() < 0.06);
+    }
+
+    #[test]
+    fn ids_are_dense_after_filtering() {
+        let d = tiny_dataset();
+        let mut seen = vec![false; d.num_items];
+        for ex in d.train.iter().chain(&d.val).chain(&d.test) {
+            for e in &ex.session.events {
+                assert!((e.item as usize) < d.num_items, "id out of range");
+                seen[e.item as usize] = true;
+            }
+            assert!((ex.target as usize) < d.num_items);
+            seen[ex.target as usize] = true;
+        }
+        let coverage = seen.iter().filter(|&&b| b).count() as f32 / d.num_items as f32;
+        assert!(coverage > 0.9, "vocabulary not dense: {coverage}");
+    }
+
+    #[test]
+    fn rare_items_are_dropped() {
+        let cfg = SyntheticConfig::tiny(DatasetPreset::JdAppliances);
+        let raw_items = CorpusStats::compute(&generate_sessions(&cfg)).items;
+        let d = build_dataset(&cfg);
+        assert!(d.num_items <= raw_items);
+    }
+
+    #[test]
+    fn no_single_macro_item_examples() {
+        let d = tiny_dataset();
+        for ex in d.train.iter().chain(&d.val).chain(&d.test) {
+            assert!(!ex.session.is_empty());
+        }
+    }
+
+    #[test]
+    fn augmented_train_has_one_example_per_transition() {
+        let d = tiny_dataset();
+        let aug = d.with_augmented_train();
+        let expected: usize = d
+            .train_sessions
+            .iter()
+            .map(|s| s.macro_items().len().saturating_sub(1))
+            .sum();
+        assert_eq!(aug.train.len(), expected);
+        assert!(aug.train.len() > d.train.len());
+        // eval splits untouched
+        assert_eq!(aug.test.len(), d.test.len());
+        assert_eq!(aug.val.len(), d.val.len());
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let cfg = SyntheticConfig::tiny(DatasetPreset::Trivago);
+        let a = build_dataset(&cfg);
+        let b = build_dataset(&cfg);
+        assert_eq!(a.num_items, b.num_items);
+        assert_eq!(a.train.len(), b.train.len());
+        assert_eq!(a.train.first(), b.train.first());
+    }
+}

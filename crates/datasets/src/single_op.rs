@@ -1,0 +1,88 @@
+//! The "single operation type" view of a dataset (paper supplemental
+//! Sec. I-A / Table I).
+//!
+//! Macro-behavior baselines are usually tuned for clickstream data, so the
+//! supplement re-defines the item sequence using only click-type events
+//! (clicks on JD, click-outs on Trivago) while **keeping the ground truth of
+//! each sequence consistent** so the comparison with EMBSR stays fair.
+
+use embsr_sessions::{Example, MicroBehavior, Session};
+
+use crate::generator::ops;
+use crate::pipeline::Dataset;
+
+/// Projects every example's session onto click-only events, preserving the
+/// original target. Examples whose prefix loses all events are dropped
+/// (mirroring the paper's filtering).
+pub fn single_op_view(dataset: &Dataset) -> Dataset {
+    let project = |examples: &[Example]| -> Vec<Example> {
+        examples
+            .iter()
+            .filter_map(|ex| {
+                let events: Vec<MicroBehavior> = ex
+                    .session
+                    .events
+                    .iter()
+                    .copied()
+                    .filter(|e| e.op == ops::CLICK)
+                    .collect();
+                if events.is_empty() {
+                    return None;
+                }
+                Some(Example {
+                    session: Session {
+                        id: ex.session.id,
+                        events,
+                    },
+                    target: ex.target,
+                })
+            })
+            .collect()
+    };
+    Dataset {
+        name: format!("{} (single-op)", dataset.name),
+        num_items: dataset.num_items,
+        num_ops: dataset.num_ops,
+        train: project(&dataset.train),
+        val: project(&dataset.val),
+        test: project(&dataset.test),
+        train_sessions: dataset
+            .train_sessions
+            .iter()
+            .map(|s| s.filter_ops(|o| o == ops::CLICK))
+            .collect(),
+        stats: dataset.stats.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DatasetPreset, SyntheticConfig};
+    use crate::pipeline::build_dataset;
+
+    #[test]
+    fn view_contains_only_clicks_with_same_targets() {
+        let d = build_dataset(&SyntheticConfig::tiny(DatasetPreset::JdAppliances));
+        let v = single_op_view(&d);
+        assert!(v.test.len() <= d.test.len());
+        assert!(!v.test.is_empty());
+        for ex in &v.test {
+            assert!(ex.session.events.iter().all(|e| e.op == ops::CLICK));
+        }
+        // targets preserved for surviving sessions (match by session id)
+        let orig: std::collections::HashMap<u64, u32> =
+            d.test.iter().map(|e| (e.session.id, e.target)).collect();
+        for ex in &v.test {
+            assert_eq!(orig[&ex.session.id], ex.target);
+        }
+    }
+
+    #[test]
+    fn vocab_is_unchanged() {
+        let d = build_dataset(&SyntheticConfig::tiny(DatasetPreset::Trivago));
+        let v = single_op_view(&d);
+        assert_eq!(v.num_items, d.num_items);
+        assert_eq!(v.num_ops, d.num_ops);
+    }
+}

@@ -1,0 +1,158 @@
+//! Test-set evaluation of a fitted recommender.
+
+use embsr_sessions::Example;
+use embsr_train::Recommender;
+
+use crate::metrics::{hit_at_k, rank_of_target, reciprocal_rank_at_k};
+
+/// The outcome of evaluating one model on one test set.
+#[derive(Clone, Debug)]
+pub struct Evaluation {
+    /// Model name.
+    pub model: String,
+    /// The cutoffs evaluated.
+    pub ks: Vec<usize>,
+    /// H@K per cutoff, in percent (as the paper reports).
+    pub hit: Vec<f64>,
+    /// M@K (MRR@K) per cutoff, in percent.
+    pub mrr: Vec<f64>,
+    /// Per-session target ranks (for significance testing and case studies).
+    pub ranks: Vec<usize>,
+}
+
+impl Evaluation {
+    /// H@K for a specific cutoff.
+    ///
+    /// # Panics
+    /// Panics when `k` was not evaluated.
+    pub fn hit_at(&self, k: usize) -> f64 {
+        let i = self.ks.iter().position(|&x| x == k).expect("k evaluated");
+        self.hit[i]
+    }
+
+    /// M@K for a specific cutoff.
+    pub fn mrr_at(&self, k: usize) -> f64 {
+        let i = self.ks.iter().position(|&x| x == k).expect("k evaluated");
+        self.mrr[i]
+    }
+
+    /// Per-session reciprocal ranks at cutoff `k` (for Wilcoxon pairing).
+    pub fn reciprocal_ranks_at(&self, k: usize) -> Vec<f64> {
+        self.ranks
+            .iter()
+            .map(|&r| reciprocal_rank_at_k(r, k))
+            .collect()
+    }
+}
+
+/// Evaluates `rec` on `test` at the given cutoffs.
+///
+/// Sessions whose prefix is empty are skipped (they carry no evidence).
+pub fn evaluate(rec: &dyn Recommender, test: &[Example], ks: &[usize]) -> Evaluation {
+    assert!(!ks.is_empty(), "no cutoffs requested");
+    let mut ranks = Vec::with_capacity(test.len());
+    for ex in test {
+        if ex.session.is_empty() {
+            continue;
+        }
+        let scores = rec.scores(&ex.session);
+        debug_assert_eq!(scores.len(), rec.num_items());
+        ranks.push(rank_of_target(&scores, ex.target as usize));
+    }
+    let n = ranks.len().max(1) as f64;
+    let hit = ks
+        .iter()
+        .map(|&k| 100.0 * ranks.iter().map(|&r| hit_at_k(r, k)).sum::<f64>() / n)
+        .collect();
+    let mrr = ks
+        .iter()
+        .map(|&k| 100.0 * ranks.iter().map(|&r| reciprocal_rank_at_k(r, k)).sum::<f64>() / n)
+        .collect();
+    Evaluation {
+        model: rec.name().to_string(),
+        ks: ks.to_vec(),
+        hit,
+        mrr,
+        ranks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embsr_sessions::{MicroBehavior, Session};
+
+    /// Oracle that always puts the target first if its id is even.
+    struct EvenOracle {
+        n: usize,
+    }
+
+    impl Recommender for EvenOracle {
+        fn name(&self) -> &str {
+            "EvenOracle"
+        }
+        fn num_items(&self) -> usize {
+            self.n
+        }
+        fn fit(&mut self, _t: &[Example], _v: &[Example]) {}
+        fn scores(&self, session: &Session) -> Vec<f32> {
+            // score even items by id descending, odd items zero
+            let last = session.events.last().map(|e| e.item).unwrap_or(0);
+            (0..self.n)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        10.0 + (i as f32 + last as f32 * 0.0)
+                    } else {
+                        0.0
+                    }
+                })
+                .collect()
+        }
+    }
+
+    fn ex(items: &[u32], target: u32) -> Example {
+        Example {
+            session: Session {
+                id: 0,
+                events: items.iter().map(|&i| MicroBehavior::new(i, 0)).collect(),
+            },
+            target,
+        }
+    }
+
+    #[test]
+    fn perfect_and_failed_predictions_average() {
+        let rec = EvenOracle { n: 10 };
+        // target 8 = top even item (rank 1); target 1 = odd (rank > 5)
+        let test = vec![ex(&[0], 8), ex(&[0], 1)];
+        let e = evaluate(&rec, &test, &[1, 5]);
+        assert!((e.hit_at(1) - 50.0).abs() < 1e-9);
+        assert_eq!(e.ranks.len(), 2);
+        assert_eq!(e.ranks[0], 1);
+    }
+
+    #[test]
+    fn mrr_leq_hit() {
+        let rec = EvenOracle { n: 10 };
+        let test: Vec<Example> = (0..10).map(|t| ex(&[0], t)).collect();
+        let e = evaluate(&rec, &test, &[5, 10]);
+        for i in 0..e.ks.len() {
+            assert!(e.mrr[i] <= e.hit[i] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn reciprocal_ranks_match_ranks() {
+        let rec = EvenOracle { n: 4 };
+        let e = evaluate(&rec, &[ex(&[0], 2)], &[4]);
+        let rr = e.reciprocal_ranks_at(4);
+        assert!((rr[0] - 1.0 / e.ranks[0] as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sessions_are_skipped() {
+        let rec = EvenOracle { n: 4 };
+        let e = evaluate(&rec, &[ex(&[], 2), ex(&[1], 2)], &[2]);
+        assert_eq!(e.ranks.len(), 1);
+    }
+}

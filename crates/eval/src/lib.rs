@@ -1,0 +1,27 @@
+//! # embsr-eval
+//!
+//! Evaluation machinery for the paper's experiments:
+//!
+//! * [`rank_of_target`], [`hit_at_k`], [`reciprocal_rank_at_k`] — the H@K
+//!   and M@K (MRR@K) measures of paper Sec. V-A-3 (eq. 21–22);
+//! * [`evaluate`] — scores a [`embsr_train::Recommender`] over a test set,
+//!   keeping per-session reciprocal ranks for significance testing;
+//! * [`wilcoxon_signed_rank`] — the paired significance test the paper uses
+//!   to report p ≪ 0.01;
+//! * [`ResultsTable`] — paper-style result tables with best/second-best
+//!   highlighting and the `Imp.%` column;
+//! * [`run_parallel`] — a scoped-thread job pool for the 13-model × 3-dataset
+//!   experiment grid (each job owns its model; models never cross threads).
+
+mod evaluate;
+mod metrics;
+mod parallel;
+mod report;
+mod table;
+mod wilcoxon;
+
+pub use evaluate::{evaluate, Evaluation};
+pub use metrics::{hit_at_k, rank_of_target, reciprocal_rank_at_k, top_k};
+pub use parallel::run_parallel;
+pub use table::ResultsTable;
+pub use wilcoxon::{wilcoxon_signed_rank, WilcoxonResult};

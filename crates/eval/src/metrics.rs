@@ -1,0 +1,136 @@
+//! Ranking metrics (paper eq. 21–22).
+
+/// 1-based rank of `target` under `scores`, with *pessimistic* tie handling:
+/// items scoring equal to the target are counted ahead of it. This avoids
+/// inflating metrics when a model emits constant scores.
+///
+/// # Panics
+/// Panics when `target` is out of range.
+pub fn rank_of_target(scores: &[f32], target: usize) -> usize {
+    let ts = scores[target];
+    let mut rank = 1usize;
+    for (i, &s) in scores.iter().enumerate() {
+        if i != target && s >= ts {
+            rank += 1;
+        }
+    }
+    rank
+}
+
+/// H@K contribution of one session: 1 when the target ranks in the top `k`.
+pub fn hit_at_k(rank: usize, k: usize) -> f64 {
+    if rank <= k {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// M@K (MRR@K) contribution: `1/rank` when within top `k`, else 0
+/// (the paper zeroes reciprocal ranks beyond K).
+pub fn reciprocal_rank_at_k(rank: usize, k: usize) -> f64 {
+    if rank <= k {
+        1.0 / rank as f64
+    } else {
+        0.0
+    }
+}
+
+/// Indices of the `k` highest-scoring items, best first (ties broken by
+/// lower index). Partial selection — O(n log k) — since `k ≪ |V|`.
+pub fn top_k(scores: &[f32], k: usize) -> Vec<usize> {
+    let k = k.min(scores.len());
+    // simple selection via a sorted buffer of size k
+    let mut best: Vec<usize> = Vec::with_capacity(k + 1);
+    for (i, &s) in scores.iter().enumerate() {
+        let pos = best
+            .iter()
+            .position(|&j| s > scores[j])
+            .unwrap_or(best.len());
+        if pos < k {
+            best.insert(pos, i);
+            best.truncate(k);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_counts_strictly_better_items() {
+        let scores = [0.1, 0.9, 0.5, 0.7];
+        assert_eq!(rank_of_target(&scores, 1), 1);
+        assert_eq!(rank_of_target(&scores, 3), 2);
+        assert_eq!(rank_of_target(&scores, 0), 4);
+    }
+
+    #[test]
+    fn ties_are_pessimistic() {
+        let scores = [0.5, 0.5, 0.5];
+        assert_eq!(rank_of_target(&scores, 0), 3);
+    }
+
+    #[test]
+    fn hit_and_mrr_respect_cutoff() {
+        assert_eq!(hit_at_k(3, 5), 1.0);
+        assert_eq!(hit_at_k(6, 5), 0.0);
+        assert!((reciprocal_rank_at_k(4, 5) - 0.25).abs() < 1e-12);
+        assert_eq!(reciprocal_rank_at_k(6, 5), 0.0);
+    }
+
+    #[test]
+    fn rank_one_gives_full_credit() {
+        assert_eq!(hit_at_k(1, 1), 1.0);
+        assert_eq!(reciprocal_rank_at_k(1, 1), 1.0);
+    }
+
+    #[test]
+    fn top_k_orders_best_first() {
+        let scores = [0.1, 0.9, 0.5, 0.7];
+        assert_eq!(top_k(&scores, 3), vec![1, 3, 2]);
+        assert_eq!(top_k(&scores, 10), vec![1, 3, 2, 0]);
+        assert!(top_k(&scores, 0).is_empty());
+    }
+
+    #[test]
+    fn top_k_consistent_with_rank() {
+        let scores = [0.3, 0.8, 0.2, 0.6, 0.6];
+        let top = top_k(&scores, scores.len());
+        for (pos, &item) in top.iter().enumerate() {
+            let r = rank_of_target(&scores, item);
+            // pessimistic tie handling: rank >= position+1
+            assert!(r > pos, "item {item}: rank {r} < pos {}", pos + 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Rank is always within [1, n] and H@n == 1.
+        #[test]
+        fn rank_bounds(scores in proptest::collection::vec(-10.0f32..10.0, 1..50), idx in 0usize..49) {
+            let target = idx % scores.len();
+            let r = rank_of_target(&scores, target);
+            prop_assert!(r >= 1 && r <= scores.len());
+            prop_assert_eq!(hit_at_k(r, scores.len()), 1.0);
+        }
+
+        /// MRR@K is monotone non-decreasing in K.
+        #[test]
+        fn mrr_monotone_in_k(rank in 1usize..100) {
+            let mut prev = 0.0;
+            for k in 1..100 {
+                let m = reciprocal_rank_at_k(rank, k);
+                prop_assert!(m >= prev);
+                prev = m;
+            }
+        }
+    }
+}

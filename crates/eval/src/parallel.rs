@@ -1,0 +1,90 @@
+//! A scoped-thread job pool for the experiment grid.
+//!
+//! Models in this workspace are intentionally single-threaded (`Rc`-based
+//! autograd), so parallelism lives at the *job* level: each job constructs,
+//! trains and evaluates its own model entirely inside one thread, returning
+//! only plain data. This is how the harness fills a 13-model × 3-dataset
+//! table on a multicore machine.
+
+use parking_lot::Mutex;
+
+/// Runs `jobs` on up to `threads` worker threads, returning results in the
+/// original job order.
+///
+/// Each job is a `FnOnce` producing a `Send` result; jobs themselves must be
+/// `Send` (capture only `Send` data — build non-`Send` models *inside* the
+/// closure).
+pub fn run_parallel<T, F>(jobs: Vec<F>, threads: usize) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let threads = threads.max(1);
+    let n = jobs.len();
+    let queue: Mutex<Vec<(usize, F)>> = Mutex::new(jobs.into_iter().enumerate().rev().collect());
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|_| loop {
+                let job = queue.lock().pop();
+                match job {
+                    Some((idx, f)) => {
+                        let out = f();
+                        results.lock()[idx] = Some(out);
+                    }
+                    None => break,
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("job completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_preserve_order() {
+        let jobs: Vec<_> = (0..20).map(|i| move || i * i).collect();
+        let out = run_parallel(jobs, 4);
+        assert_eq!(out, (0..20).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let jobs: Vec<_> = (0..5).map(|i| move || i + 1).collect();
+        assert_eq!(run_parallel(jobs, 1), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn more_threads_than_jobs_is_fine() {
+        let jobs: Vec<_> = (0..2).map(|i| move || i).collect();
+        assert_eq!(run_parallel(jobs, 16), vec![0, 1]);
+    }
+
+    #[test]
+    fn heavy_jobs_actually_parallelize() {
+        // smoke test: no deadlock with contention
+        let jobs: Vec<_> = (0..8)
+            .map(|i| {
+                move || {
+                    let mut acc = 0u64;
+                    for x in 0..200_000u64 {
+                        acc = acc.wrapping_add(x ^ i);
+                    }
+                    acc
+                }
+            })
+            .collect();
+        let out = run_parallel(jobs, 4);
+        assert_eq!(out.len(), 8);
+    }
+}

@@ -1,0 +1,108 @@
+//! Exporting result tables as Markdown and CSV, for EXPERIMENTS.md and
+//! external plotting.
+
+use crate::table::ResultsTable;
+
+impl ResultsTable {
+    /// Renders the table as GitHub-flavored Markdown, with the best score
+    /// per row in bold and the second best in italics (mirroring the
+    /// paper's bold/underline convention).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.dataset));
+        out.push_str("| Metric |");
+        for e in &self.evaluations {
+            out.push_str(&format!(" {} |", e.model));
+        }
+        out.push_str(" Imp.% |\n|---|");
+        for _ in &self.evaluations {
+            out.push_str("---|");
+        }
+        out.push_str("---|\n");
+        for (name, values) in self.rows() {
+            out.push_str(&format!("| {name} |"));
+            let mut sorted = values.clone();
+            sorted.sort_by(|a, b| b.total_cmp(a));
+            let best = sorted.first().copied().unwrap_or(f64::NAN);
+            let second = sorted.get(1).copied().unwrap_or(f64::NAN);
+            for &v in &values {
+                if (v - best).abs() < 1e-9 {
+                    out.push_str(&format!(" **{v:.2}** |"));
+                } else if (v - second).abs() < 1e-9 {
+                    out.push_str(&format!(" *{v:.2}* |"));
+                } else {
+                    out.push_str(&format!(" {v:.2} |"));
+                }
+            }
+            let imp = Self::improvement(&values);
+            if imp.is_nan() {
+                out.push_str(" – |\n");
+            } else {
+                out.push_str(&format!(" {imp:+.2}% |\n"));
+            }
+        }
+        out
+    }
+
+    /// Renders the table as CSV (`dataset,metric,model,value` long format),
+    /// convenient for external plotting of the figure experiments.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("dataset,metric,model,value\n");
+        for (name, values) in self.rows() {
+            for (e, v) in self.evaluations.iter().zip(&values) {
+                out.push_str(&format!("{},{},{},{:.4}\n", self.dataset, name, e.model, v));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::Evaluation;
+
+    fn table() -> ResultsTable {
+        let eval = |name: &str, hit: Vec<f64>, mrr: Vec<f64>| Evaluation {
+            model: name.to_string(),
+            ks: vec![10],
+            hit,
+            mrr,
+            ranks: vec![],
+        };
+        ResultsTable::new(
+            "JD-Appliances",
+            &[10],
+            vec![
+                eval("SR-GNN", vec![43.8], vec![21.1]),
+                eval("SGNN-HN", vec![47.0], vec![22.6]),
+                eval("EMBSR", vec![49.6], vec![25.2]),
+            ],
+        )
+    }
+
+    #[test]
+    fn markdown_marks_best_and_second() {
+        let md = table().to_markdown();
+        assert!(md.contains("**49.60**"), "best bold: {md}");
+        assert!(md.contains("*47.00*"), "second italic: {md}");
+        assert!(md.contains("| Metric |"));
+        assert!(md.contains("Imp.%"));
+    }
+
+    #[test]
+    fn markdown_has_one_row_per_metric() {
+        let md = table().to_markdown();
+        let data_rows = md.lines().filter(|l| l.starts_with("| H@") || l.starts_with("| M@")).count();
+        assert_eq!(data_rows, 2); // H@10 and M@10
+    }
+
+    #[test]
+    fn csv_long_format() {
+        let csv = table().to_csv();
+        assert!(csv.starts_with("dataset,metric,model,value\n"));
+        // 2 metrics × 3 models = 6 data lines
+        assert_eq!(csv.lines().count(), 7);
+        assert!(csv.contains("JD-Appliances,M@10,EMBSR,25.2000"));
+    }
+}

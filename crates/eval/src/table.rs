@@ -1,0 +1,140 @@
+//! Paper-style result tables.
+
+use crate::evaluate::Evaluation;
+
+/// A metrics × models table for one dataset, rendered like the paper's
+/// Table III (best score starred, second best underlined via `_x_`, and an
+/// `Imp.%` column comparing the last model against the best of the rest).
+pub struct ResultsTable {
+    pub dataset: String,
+    pub ks: Vec<usize>,
+    pub evaluations: Vec<Evaluation>,
+}
+
+impl ResultsTable {
+    /// Creates a table; all evaluations must share the cutoff list.
+    pub fn new(dataset: &str, ks: &[usize], evaluations: Vec<Evaluation>) -> Self {
+        for e in &evaluations {
+            assert_eq!(e.ks, ks, "evaluation {} has different cutoffs", e.model);
+        }
+        ResultsTable {
+            dataset: dataset.to_string(),
+            ks: ks.to_vec(),
+            evaluations,
+        }
+    }
+
+    /// All metric rows: `("H@k"| "M@k", values per model)`.
+    pub fn rows(&self) -> Vec<(String, Vec<f64>)> {
+        let mut rows = Vec::new();
+        for (i, &k) in self.ks.iter().enumerate() {
+            rows.push((
+                format!("H@{k}"),
+                self.evaluations.iter().map(|e| e.hit[i]).collect(),
+            ));
+        }
+        for (i, &k) in self.ks.iter().enumerate() {
+            rows.push((
+                format!("M@{k}"),
+                self.evaluations.iter().map(|e| e.mrr[i]).collect(),
+            ));
+        }
+        rows
+    }
+
+    /// Improvement (%) of the final column over the best other column for a
+    /// metric row — the paper's `Imp.%`.
+    pub fn improvement(values: &[f64]) -> f64 {
+        let (last, rest) = values.split_last().expect("non-empty row");
+        let best_rest = rest.iter().cloned().fold(f64::MIN, f64::max);
+        if best_rest <= 0.0 {
+            return f64::NAN;
+        }
+        100.0 * (last - best_rest) / best_rest
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("=== {} ===\n", self.dataset));
+        out.push_str(&format!("{:<8}", "Metric"));
+        for e in &self.evaluations {
+            out.push_str(&format!("{:>12}", e.model));
+        }
+        out.push_str(&format!("{:>9}\n", "Imp.%"));
+        for (name, values) in self.rows() {
+            out.push_str(&format!("{name:<8}"));
+            let best = values.iter().cloned().fold(f64::MIN, f64::max);
+            for &v in &values {
+                let mark = if (v - best).abs() < 1e-9 { "*" } else { " " };
+                out.push_str(&format!("{:>11.2}{mark}", v));
+            }
+            let imp = Self::improvement(&values);
+            if imp.is_nan() {
+                out.push_str(&format!("{:>9}", "-"));
+            } else {
+                out.push_str(&format!("{imp:>8.2}%"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(name: &str, hit: Vec<f64>, mrr: Vec<f64>) -> Evaluation {
+        Evaluation {
+            model: name.to_string(),
+            ks: vec![10, 20],
+            hit,
+            mrr,
+            ranks: vec![],
+        }
+    }
+
+    #[test]
+    fn improvement_relative_to_best_other() {
+        let imp = ResultsTable::improvement(&[10.0, 20.0, 24.0]);
+        assert!((imp - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_contains_models_and_metrics() {
+        let t = ResultsTable::new(
+            "JD-Appliances",
+            &[10, 20],
+            vec![
+                eval("SR-GNN", vec![43.8, 55.3], vec![21.1, 21.9]),
+                eval("EMBSR", vec![49.6, 61.6], vec![25.2, 26.1]),
+            ],
+        );
+        let s = t.render();
+        assert!(s.contains("JD-Appliances"));
+        assert!(s.contains("EMBSR"));
+        assert!(s.contains("H@10"));
+        assert!(s.contains("M@20"));
+        assert!(s.contains('%'));
+    }
+
+    #[test]
+    #[should_panic(expected = "different cutoffs")]
+    fn mismatched_cutoffs_rejected() {
+        let mut e = eval("A", vec![1.0, 2.0], vec![1.0, 2.0]);
+        e.ks = vec![5, 10];
+        let _ = ResultsTable::new("X", &[10, 20], vec![e]);
+    }
+
+    #[test]
+    fn rows_order_hits_then_mrr() {
+        let t = ResultsTable::new(
+            "X",
+            &[10, 20],
+            vec![eval("A", vec![1.0, 2.0], vec![0.5, 0.6])],
+        );
+        let names: Vec<String> = t.rows().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["H@10", "H@20", "M@10", "M@20"]);
+    }
+}

@@ -1,0 +1,199 @@
+//! Operation-aware self-attention (paper eq. 12–16).
+//!
+//! An extension of self-attention with relative position representations
+//! (Shaw et al.): the key/value for pair `(i, j)` is
+//! `x_j + e_{r_ij} + e_{p_j}`, where `e_{r_ij}` embeds the **dyadic
+//! operation pair** `(o_i, o_j)` and `e_{p_j}` the absolute position.
+//!
+//! ```text
+//! e_ij = x_i W_Q (x_j + e_r_ij + e_p_j)ᵀ / √d
+//! α_ij = softmax_j(e_ij)
+//! z_i  = Σ_j α_ij (x_j + e_r_ij + e_p_j)
+//! ```
+//!
+//! Setting `use_dyadic = false` degrades the layer to standard
+//! self-attention with absolute operation embeddings only (the
+//! `SGNN-Abs-Self` variant of the paper's Sec. V-E).
+
+use embsr_tensor::{Rng, Tensor};
+
+use crate::embedding::Embedding;
+use crate::linear::Linear;
+use crate::module::Module;
+
+/// The operation-aware self-attention layer.
+pub struct OpAwareSelfAttention {
+    /// Dyadic relation table `M^R ∈ R^{|O|² × d}` (unused when
+    /// `use_dyadic` is false).
+    relations: Embedding,
+    /// Position table `M^P ∈ R^{L × d}`.
+    positions: Embedding,
+    /// Query projection `W^Q`.
+    query: Linear,
+    num_ops: usize,
+    dim: usize,
+    use_dyadic: bool,
+}
+
+impl OpAwareSelfAttention {
+    /// Creates the layer.
+    ///
+    /// * `num_ops` — `|O|`; the relation table has `|O|²` rows.
+    /// * `max_len` — `L`, the longest supported input sequence.
+    /// * `use_dyadic` — disable to ablate the dyadic relation encoding.
+    pub fn new(dim: usize, num_ops: usize, max_len: usize, use_dyadic: bool, rng: &mut Rng) -> Self {
+        OpAwareSelfAttention {
+            relations: Embedding::new(num_ops * num_ops, dim, rng),
+            positions: Embedding::new(max_len, dim, rng),
+            query: Linear::new_no_bias(dim, dim, rng),
+            num_ops,
+            dim,
+            use_dyadic,
+        }
+    }
+
+    /// Maximum supported sequence length.
+    pub fn max_len(&self) -> usize {
+        self.positions.vocab()
+    }
+
+    /// Index into the relation table for the ordered pair `(o_i, o_j)`.
+    pub fn relation_index(&self, o_i: usize, o_j: usize) -> usize {
+        debug_assert!(o_i < self.num_ops && o_j < self.num_ops);
+        o_i * self.num_ops + o_j
+    }
+
+    /// Runs the attention.
+    ///
+    /// * `xs` — input sequence `[t, d]` (micro-behavior embeddings, with the
+    ///   star token appended as the final row by the caller).
+    /// * `ops` — the operation id of each row (for the star token, the
+    ///   caller passes the hypothesized next operation, per eq. 13).
+    ///
+    /// Returns the full output sequence `[t, d]`.
+    ///
+    /// # Panics
+    /// Panics when `t` exceeds `max_len` or `ops.len() != t`.
+    pub fn forward(&self, xs: &Tensor, ops: &[usize]) -> Tensor {
+        let t = xs.rows();
+        assert_eq!(ops.len(), t, "one op per row");
+        assert!(t <= self.max_len(), "sequence {} > max_len {}", t, self.max_len());
+        assert_eq!(xs.cols(), self.dim);
+
+        let pos_idx: Vec<usize> = (0..t).collect();
+        let pos = self.positions.lookup(&pos_idx); // [t, d]
+        let scale = 1.0 / (self.dim as f32).sqrt();
+        let queries = self.query.forward(xs); // [t, d]
+
+        let mut out_rows = Vec::with_capacity(t);
+        for i in 0..t {
+            // keys_i[j] = x_j + e_{r_ij} + e_{p_j}
+            let keys = if self.use_dyadic {
+                let rel_idx: Vec<usize> = ops
+                    .iter()
+                    .map(|&oj| self.relation_index(ops[i], oj))
+                    .collect();
+                let rels = self.relations.lookup(&rel_idx); // [t, d]
+                xs.add(&rels).add(&pos)
+            } else {
+                xs.add(&pos)
+            };
+            let q_i = queries.slice_rows(i, i + 1); // [1, d]
+            let scores = q_i.matmul(&keys.transpose()).mul_scalar(scale); // [1, t]
+            let alpha = scores.softmax_rows(); // [1, t]
+            out_rows.push(alpha.matmul(&keys)); // [1, d]
+        }
+        Tensor::concat_rows(&out_rows)
+    }
+}
+
+impl Module for OpAwareSelfAttention {
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = self.relations.parameters();
+        p.extend(self.positions.parameters());
+        p.extend(self.query.parameters());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(dim: usize, ops: usize, len: usize, dyadic: bool, seed: u64) -> OpAwareSelfAttention {
+        OpAwareSelfAttention::new(dim, ops, len, dyadic, &mut Rng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn output_shape_matches_input() {
+        let att = layer(4, 3, 10, true, 0);
+        let xs = Tensor::from_vec(vec![0.1; 20], &[5, 4]);
+        let z = att.forward(&xs, &[0, 1, 2, 0, 1]);
+        assert_eq!(z.shape().dims(), &[5, 4]);
+    }
+
+    #[test]
+    fn relation_index_is_bijective_over_pairs() {
+        let att = layer(2, 4, 4, true, 1);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!(seen.insert(att.relation_index(i, j)));
+            }
+        }
+        assert_eq!(seen.len(), 16);
+        assert!(seen.iter().all(|&k| k < 16));
+    }
+
+    #[test]
+    fn dyadic_encoding_changes_output() {
+        // Same items, different operation pairs => different outputs only
+        // when dyadic encoding is on.
+        let att = layer(4, 3, 8, true, 2);
+        let xs = Tensor::from_vec(vec![0.3; 12], &[3, 4]);
+        let z1 = att.forward(&xs, &[0, 0, 0]).to_vec();
+        let z2 = att.forward(&xs, &[0, 1, 2]).to_vec();
+        assert_ne!(z1, z2);
+    }
+
+    #[test]
+    fn without_dyadic_ops_are_ignored_inside_attention() {
+        let att = layer(4, 3, 8, false, 3);
+        let xs = Tensor::from_vec(vec![0.3; 12], &[3, 4]);
+        let z1 = att.forward(&xs, &[0, 0, 0]).to_vec();
+        let z2 = att.forward(&xs, &[0, 1, 2]).to_vec();
+        assert_eq!(z1, z2);
+    }
+
+    #[test]
+    fn attention_weights_mix_rows() {
+        // With a single row, output = x_0 + rel + pos (softmax of one = 1).
+        let att = layer(3, 2, 4, true, 4);
+        let xs = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
+        let z = att.forward(&xs, &[1]);
+        let rel = att.relations.lookup_one(att.relation_index(1, 1)).to_vec();
+        let pos = att.positions.lookup_one(0).to_vec();
+        let expect: Vec<f32> = (0..3).map(|k| xs.to_vec()[k] + rel[k] + pos[k]).collect();
+        embsr_tensor::testing::assert_close(&z.to_vec(), &expect, 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_len")]
+    fn over_length_rejected() {
+        let att = layer(2, 2, 3, true, 5);
+        let xs = Tensor::zeros(&[4, 2]);
+        let _ = att.forward(&xs, &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn gradients_reach_relation_table_only_when_dyadic() {
+        let xs = Tensor::from_vec(vec![0.2; 8], &[2, 4]);
+        let att = layer(4, 2, 4, true, 6);
+        att.forward(&xs, &[0, 1]).sum().backward();
+        assert!(att.relations.weight.grad().is_some());
+
+        let att2 = layer(4, 2, 4, false, 7);
+        att2.forward(&xs, &[0, 1]).sum().backward();
+        assert!(att2.relations.weight.grad().is_none());
+    }
+}

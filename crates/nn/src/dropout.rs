@@ -1,0 +1,81 @@
+//! Inverted dropout.
+
+use embsr_tensor::{Rng, Tensor};
+
+/// Inverted dropout: at train time each element is zeroed with probability
+/// `p` and survivors are scaled by `1/(1-p)`; at eval time it is the
+/// identity.
+#[derive(Clone, Copy, Debug)]
+pub struct Dropout {
+    pub p: f32,
+}
+
+impl Dropout {
+    /// Creates a dropout layer. `p` must be in `[0, 1)`.
+    pub fn new(p: f32) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1)");
+        Dropout { p }
+    }
+
+    /// Applies dropout. Gradient flows through the same mask.
+    pub fn forward(&self, x: &Tensor, training: bool, rng: &mut Rng) -> Tensor {
+        if !training || self.p == 0.0 {
+            return x.clone();
+        }
+        let scale = 1.0 / (1.0 - self.p);
+        let mask: Vec<f32> = (0..x.len())
+            .map(|_| if rng.bernoulli(self.p) { 0.0 } else { scale })
+            .collect();
+        x.mul(&Tensor::from_vec(mask, x.shape().dims()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let d = Dropout::new(0.5);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let mut rng = Rng::seed_from_u64(0);
+        assert_eq!(d.forward(&x, false, &mut rng).to_vec(), x.to_vec());
+    }
+
+    #[test]
+    fn train_mode_preserves_expectation() {
+        let d = Dropout::new(0.3);
+        let x = Tensor::ones(&[10_000]);
+        let mut rng = Rng::seed_from_u64(1);
+        let y = d.forward(&x, true, &mut rng);
+        let mean: f32 = y.to_vec().iter().sum::<f32>() / 10_000.0;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn dropped_elements_block_gradient() {
+        let d = Dropout::new(0.5);
+        let x = Tensor::ones(&[64]).requires_grad();
+        let mut rng = Rng::seed_from_u64(2);
+        let y = d.forward(&x, true, &mut rng);
+        let zeros: Vec<usize> = y
+            .to_vec()
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v == 0.0)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(!zeros.is_empty());
+        y.sum().backward();
+        let g = x.grad().unwrap();
+        for i in zeros {
+            assert_eq!(g[i], 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout p")]
+    fn p_of_one_rejected() {
+        let _ = Dropout::new(1.0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Embedding tables (`M^V`, `M^O`, `M^P`, `M^R` in the paper).
+
+use embsr_tensor::{uniform_init, Rng, Tensor};
+
+use crate::module::Module;
+
+/// A trainable lookup table `[vocab, d]`.
+pub struct Embedding {
+    pub weight: Tensor,
+}
+
+impl Embedding {
+    /// New table with uniform `[-1/√d, 1/√d]` init (the paper's scheme).
+    pub fn new(vocab: usize, dim: usize, rng: &mut Rng) -> Self {
+        Embedding {
+            weight: uniform_init(&[vocab, dim], rng),
+        }
+    }
+
+    /// Looks up a batch of rows: `[n] -> [n, d]`. Backward is a sparse
+    /// scatter-add into the table.
+    pub fn lookup(&self, indices: &[usize]) -> Tensor {
+        self.weight.gather_rows(indices)
+    }
+
+    /// Looks up a single row as a `[d]` vector.
+    pub fn lookup_one(&self, index: usize) -> Tensor {
+        self.weight.row(index)
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.weight.cols()
+    }
+}
+
+impl Module for Embedding {
+    fn parameters(&self) -> Vec<Tensor> {
+        vec![self.weight.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embsr_tensor::testing::assert_close;
+
+    #[test]
+    fn lookup_returns_requested_rows() {
+        let e = Embedding::new(5, 3, &mut Rng::seed_from_u64(0));
+        let w = e.weight.to_vec();
+        let got = e.lookup(&[4, 0]).to_vec();
+        assert_close(&got[0..3], &w[12..15], 1e-6);
+        assert_close(&got[3..6], &w[0..3], 1e-6);
+    }
+
+    #[test]
+    fn repeated_lookup_gradient_accumulates() {
+        let e = Embedding::new(3, 2, &mut Rng::seed_from_u64(1));
+        e.lookup(&[1, 1]).sum().backward();
+        let g = e.weight.grad().unwrap();
+        assert_close(&g, &[0.0, 0.0, 2.0, 2.0, 0.0, 0.0], 1e-6);
+    }
+
+    #[test]
+    fn dims_reported() {
+        let e = Embedding::new(10, 4, &mut Rng::seed_from_u64(2));
+        assert_eq!(e.vocab(), 10);
+        assert_eq!(e.dim(), 4);
+        assert_eq!(e.num_parameters(), 40);
+    }
+}

@@ -1,0 +1,89 @@
+//! Position-wise feed-forward block (paper eq. 17) with the residual
+//! connection, layer normalization and dropout of the standard transformer
+//! block.
+
+use embsr_tensor::{zeros_init, Rng, Tensor};
+
+use crate::dropout::Dropout;
+use crate::linear::Linear;
+use crate::module::Module;
+
+/// `FFN(z) = max(0, z·W₁ + b₁)·W₂ + b₂`, then `LayerNorm(z + Dropout(FFN(z)))`
+/// with learned affine parameters.
+pub struct Ffn {
+    w1: Linear,
+    w2: Linear,
+    gamma: Tensor,
+    beta: Tensor,
+    dropout: Dropout,
+}
+
+impl Ffn {
+    /// Creates the block; the paper keeps the inner width at `d`.
+    pub fn new(dim: usize, dropout: f32, rng: &mut Rng) -> Self {
+        let gamma = Tensor::ones(&[dim]).requires_grad();
+        Ffn {
+            w1: Linear::new(dim, dim, rng),
+            w2: Linear::new(dim, dim, rng),
+            gamma,
+            beta: zeros_init(&[dim]),
+            dropout: Dropout::new(dropout),
+        }
+    }
+
+    /// Applies the block to `[n, d]`.
+    pub fn forward(&self, z: &Tensor, training: bool, rng: &mut Rng) -> Tensor {
+        let inner = self.w2.forward(&self.w1.forward(z).relu());
+        let inner = self.dropout.forward(&inner, training, rng);
+        z.add(&inner)
+            .layer_norm_rows(1e-5)
+            .mul(&self.gamma)
+            .add(&self.beta)
+    }
+}
+
+impl Module for Ffn {
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = self.w1.parameters();
+        p.extend(self.w2.parameters());
+        p.push(self.gamma.clone());
+        p.push(self.beta.clone());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_rows_are_normalized_at_identity_affine() {
+        let f = Ffn::new(8, 0.0, &mut Rng::seed_from_u64(0));
+        let z = Tensor::from_vec((0..16).map(|i| i as f32 * 0.1).collect(), &[2, 8]);
+        let y = f.forward(&z, false, &mut Rng::seed_from_u64(1));
+        for r in 0..2 {
+            let row: Vec<f32> = (0..8).map(|c| y.at(r, c)).collect();
+            let mean: f32 = row.iter().sum::<f32>() / 8.0;
+            assert!(mean.abs() < 1e-4, "row {r} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn parameters_count() {
+        let f = Ffn::new(4, 0.1, &mut Rng::seed_from_u64(2));
+        // w1 (w+b) + w2 (w+b) + gamma + beta = 6 tensors
+        assert_eq!(f.parameters().len(), 6);
+        assert_eq!(f.num_parameters(), 16 + 4 + 16 + 4 + 4 + 4);
+    }
+
+    #[test]
+    fn gradients_flow_through_residual_path() {
+        let f = Ffn::new(4, 0.0, &mut Rng::seed_from_u64(3));
+        let z = Tensor::from_vec(vec![0.1; 4], &[1, 4]).requires_grad();
+        f.forward(&z, false, &mut Rng::seed_from_u64(4))
+            .sum()
+            .backward();
+        assert!(z.grad().is_some());
+        assert!(f.gamma.grad().is_some());
+    }
+}

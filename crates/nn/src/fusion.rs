@@ -1,0 +1,124 @@
+//! Fusion gating network (paper eq. 18).
+//!
+//! Combines the attention output `z_s` (global preference) with the last
+//! micro-behavior embedding `x_t` (recent interest):
+//! `β = σ(W_m [z_s ; x_t] + b_m)`, `m = β ⊙ z_s + (1−β) ⊙ x_t`.
+//!
+//! A fixed-β mode reproduces the sweep of paper Fig. 6, and a concat+MLP
+//! mode reproduces the `EMBSR-NF` ablation.
+
+use embsr_tensor::{Rng, Tensor};
+
+use crate::linear::Linear;
+use crate::module::Module;
+
+/// How the two representations are combined.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FusionMode {
+    /// Learned gate (the full model).
+    Gated,
+    /// Fixed scalar weight `β` (Fig. 6 sweep).
+    Fixed(f32),
+    /// `EMBSR-NF`: concatenate and project with an MLP instead of gating.
+    ConcatMlp,
+}
+
+/// The fusion layer.
+pub struct FusionGate {
+    gate: Linear,
+    mlp: Linear,
+    pub mode: FusionMode,
+}
+
+impl FusionGate {
+    /// Creates the layer for `d`-dimensional representations.
+    pub fn new(dim: usize, mode: FusionMode, rng: &mut Rng) -> Self {
+        FusionGate {
+            gate: Linear::new(2 * dim, dim, rng),
+            mlp: Linear::new(2 * dim, dim, rng),
+            mode,
+        }
+    }
+
+    /// Combines `z_s` and `x_t`, both `[d]`.
+    pub fn forward(&self, z_s: &Tensor, x_t: &Tensor) -> Tensor {
+        assert_eq!(z_s.len(), x_t.len(), "fusion input length mismatch");
+        match self.mode {
+            FusionMode::Gated => {
+                let beta = self.gate.forward(&z_s.concat_cols(x_t)).sigmoid();
+                beta.mul(z_s).add(&beta.one_minus().mul(x_t))
+            }
+            FusionMode::Fixed(beta) => z_s.mul_scalar(beta).add(&x_t.mul_scalar(1.0 - beta)),
+            FusionMode::ConcatMlp => self.mlp.forward(&z_s.concat_cols(x_t)),
+        }
+    }
+}
+
+impl Module for FusionGate {
+    fn parameters(&self) -> Vec<Tensor> {
+        match self.mode {
+            FusionMode::Gated => self.gate.parameters(),
+            FusionMode::Fixed(_) => Vec::new(),
+            FusionMode::ConcatMlp => self.mlp.parameters(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embsr_tensor::testing::assert_close;
+
+    #[test]
+    fn fixed_zero_returns_recent_interest() {
+        let f = FusionGate::new(3, FusionMode::Fixed(0.0), &mut Rng::seed_from_u64(0));
+        let z = Tensor::from_vec(vec![1.0, 1.0, 1.0], &[3]);
+        let x = Tensor::from_vec(vec![9.0, 8.0, 7.0], &[3]);
+        assert_close(&f.forward(&z, &x).to_vec(), &[9.0, 8.0, 7.0], 1e-6);
+    }
+
+    #[test]
+    fn fixed_one_returns_global_preference() {
+        let f = FusionGate::new(3, FusionMode::Fixed(1.0), &mut Rng::seed_from_u64(1));
+        let z = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let x = Tensor::from_vec(vec![9.0, 8.0, 7.0], &[3]);
+        assert_close(&f.forward(&z, &x).to_vec(), &[1.0, 2.0, 3.0], 1e-6);
+    }
+
+    #[test]
+    fn gated_output_is_elementwise_between_inputs() {
+        let f = FusionGate::new(4, FusionMode::Gated, &mut Rng::seed_from_u64(2));
+        let z = Tensor::zeros(&[4]);
+        let x = Tensor::ones(&[4]);
+        let out = f.forward(&z, &x).to_vec();
+        assert!(out.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn mode_controls_trainable_params() {
+        let mut rng = Rng::seed_from_u64(3);
+        assert_eq!(
+            FusionGate::new(2, FusionMode::Gated, &mut rng).parameters().len(),
+            2
+        );
+        assert!(FusionGate::new(2, FusionMode::Fixed(0.5), &mut rng)
+            .parameters()
+            .is_empty());
+        assert_eq!(
+            FusionGate::new(2, FusionMode::ConcatMlp, &mut rng)
+                .parameters()
+                .len(),
+            2
+        );
+    }
+
+    #[test]
+    fn concat_mlp_uses_the_mlp() {
+        let f = FusionGate::new(2, FusionMode::ConcatMlp, &mut Rng::seed_from_u64(4));
+        let z = Tensor::from_vec(vec![1.0, 0.0], &[2]);
+        let x = Tensor::from_vec(vec![0.0, 1.0], &[2]);
+        f.forward(&z, &x).sum().backward();
+        assert!(f.mlp.weight.grad().is_some());
+        assert!(f.gate.weight.grad().is_none());
+    }
+}

@@ -1,0 +1,132 @@
+//! Gated graph update (paper eq. 8, after Li et al.'s GGNN).
+//!
+//! Each satellite node combines its aggregated incoming/outgoing messages
+//! `a_i ∈ R^{2d}` with its previous embedding through GRU-style gates.
+
+use embsr_tensor::{uniform_init, Rng, Tensor};
+
+use crate::module::Module;
+
+/// The gated update cell:
+///
+/// ```text
+/// z̃ = σ(a·W_z + e·U_z)
+/// r = σ(a·W_r + e·U_r)
+/// ẽ = tanh(a·W_u + (r ⊙ e)·U_u)
+/// ê = (1 - z̃) ⊙ e + z̃ ⊙ ẽ
+/// ```
+///
+/// Operates on all nodes at once: `a` is `[c, 2d]`, `e` is `[c, d]`.
+pub struct GgnnCell {
+    w_z: Tensor,
+    w_r: Tensor,
+    w_u: Tensor,
+    u_z: Tensor,
+    u_r: Tensor,
+    u_u: Tensor,
+    dim: usize,
+}
+
+impl GgnnCell {
+    /// Creates a cell for `d`-dimensional node embeddings.
+    pub fn new(dim: usize, rng: &mut Rng) -> Self {
+        GgnnCell {
+            w_z: uniform_init(&[2 * dim, dim], rng),
+            w_r: uniform_init(&[2 * dim, dim], rng),
+            w_u: uniform_init(&[2 * dim, dim], rng),
+            u_z: uniform_init(&[dim, dim], rng),
+            u_r: uniform_init(&[dim, dim], rng),
+            u_u: uniform_init(&[dim, dim], rng),
+            dim,
+        }
+    }
+
+    /// Node embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Applies the gated update. `agg` is `[c, 2d]`, `prev` is `[c, d]`;
+    /// returns the updated `[c, d]` embeddings.
+    pub fn update(&self, agg: &Tensor, prev: &Tensor) -> Tensor {
+        assert_eq!(agg.cols(), 2 * self.dim, "aggregate must be [c, 2d]");
+        assert_eq!(prev.cols(), self.dim, "prev must be [c, d]");
+        assert_eq!(agg.rows(), prev.rows(), "node count mismatch");
+        let z = agg.matmul(&self.w_z).add(&prev.matmul(&self.u_z)).sigmoid();
+        let r = agg.matmul(&self.w_r).add(&prev.matmul(&self.u_r)).sigmoid();
+        let cand = agg
+            .matmul(&self.w_u)
+            .add(&r.mul(prev).matmul(&self.u_u))
+            .tanh();
+        z.one_minus().mul(prev).add(&z.mul(&cand))
+    }
+}
+
+impl Module for GgnnCell {
+    fn parameters(&self) -> Vec<Tensor> {
+        vec![
+            self.w_z.clone(),
+            self.w_r.clone(),
+            self.w_u.clone(),
+            self.u_z.clone(),
+            self.u_r.clone(),
+            self.u_u.clone(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_preserves_shape() {
+        let cell = GgnnCell::new(4, &mut Rng::seed_from_u64(0));
+        let agg = Tensor::zeros(&[3, 8]);
+        let prev = Tensor::ones(&[3, 4]);
+        let out = cell.update(&agg, &prev);
+        assert_eq!(out.shape().dims(), &[3, 4]);
+    }
+
+    #[test]
+    fn zero_update_gate_keeps_previous() {
+        // With all weights at zero, z = σ(0) = 0.5, cand = 0, so
+        // out = 0.5 * prev. Verifies the convex-combination structure.
+        let cell = GgnnCell::new(2, &mut Rng::seed_from_u64(1));
+        for p in cell.parameters() {
+            p.set_data(&vec![0.0; p.len()]);
+        }
+        let agg = Tensor::zeros(&[1, 4]);
+        let prev = Tensor::from_vec(vec![1.0, -2.0], &[1, 2]);
+        let out = cell.update(&agg, &prev).to_vec();
+        embsr_tensor::testing::assert_close(&out, &[0.5, -1.0], 1e-6);
+    }
+
+    #[test]
+    fn output_bounded_by_gate_structure() {
+        let cell = GgnnCell::new(3, &mut Rng::seed_from_u64(2));
+        let agg = Tensor::full(&[2, 6], 100.0);
+        let prev = Tensor::full(&[2, 3], 0.5);
+        // ê is a convex combination of prev ∈ [-0.5, 0.5] and tanh ∈ [-1, 1]
+        let out = cell.update(&agg, &prev);
+        assert!(out.to_vec().iter().all(|&v| v.abs() <= 1.0 + 1e-5));
+    }
+
+    #[test]
+    #[should_panic(expected = "node count mismatch")]
+    fn row_mismatch_rejected() {
+        let cell = GgnnCell::new(2, &mut Rng::seed_from_u64(3));
+        let _ = cell.update(&Tensor::zeros(&[2, 4]), &Tensor::zeros(&[3, 2]));
+    }
+
+    #[test]
+    fn gradients_flow_to_all_six_weights() {
+        let cell = GgnnCell::new(2, &mut Rng::seed_from_u64(4));
+        let agg = Tensor::from_vec(vec![0.1, 0.2, 0.3, 0.4], &[1, 4]);
+        let prev = Tensor::from_vec(vec![0.5, -0.5], &[1, 2]);
+        cell.update(&agg, &prev).sum().backward();
+        for (i, p) in cell.parameters().iter().enumerate() {
+            assert!(p.grad().is_some(), "weight {i} has no gradient");
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Gated Recurrent Unit (paper eq. 3).
+//!
+//! EMBSR runs a GRU over each macro-item's micro-operation sub-sequence and
+//! takes the last hidden state as the edge feature `h̃^i`. The RNN baselines
+//! (GRU4Rec, NARM, RIB, HUP) reuse the same cell over item sequences.
+
+use embsr_tensor::{uniform_init, zeros_init, Rng, Tensor};
+
+use crate::module::Module;
+
+/// A single-layer GRU with PyTorch-style gate equations:
+///
+/// ```text
+/// r = σ(x·W_r + h·U_r + b_r)
+/// z = σ(x·W_z + h·U_z + b_z)
+/// n = tanh(x·W_n + r ⊙ (h·U_n) + b_n)
+/// h' = (1 - z) ⊙ n + z ⊙ h
+/// ```
+pub struct Gru {
+    w_r: Tensor,
+    w_z: Tensor,
+    w_n: Tensor,
+    u_r: Tensor,
+    u_z: Tensor,
+    u_n: Tensor,
+    b_r: Tensor,
+    b_z: Tensor,
+    b_n: Tensor,
+    hidden: usize,
+}
+
+impl Gru {
+    /// Creates a GRU mapping inputs of `input` dims to `hidden` dims.
+    pub fn new(input: usize, hidden: usize, rng: &mut Rng) -> Self {
+        Gru {
+            w_r: uniform_init(&[input, hidden], rng),
+            w_z: uniform_init(&[input, hidden], rng),
+            w_n: uniform_init(&[input, hidden], rng),
+            u_r: uniform_init(&[hidden, hidden], rng),
+            u_z: uniform_init(&[hidden, hidden], rng),
+            u_n: uniform_init(&[hidden, hidden], rng),
+            b_r: zeros_init(&[hidden]),
+            b_z: zeros_init(&[hidden]),
+            b_n: zeros_init(&[hidden]),
+            hidden,
+        }
+    }
+
+    /// Hidden state dimensionality.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden
+    }
+
+    /// One step: `x` is `[1, input]` (or `[input]`), `h` is `[1, hidden]`.
+    pub fn step(&self, x: &Tensor, h: &Tensor) -> Tensor {
+        let x = if x.shape().rank() == 1 {
+            x.reshape(&[1, x.len()])
+        } else {
+            x.clone()
+        };
+        let r = x
+            .matmul(&self.w_r)
+            .add(&h.matmul(&self.u_r))
+            .add(&self.b_r)
+            .sigmoid();
+        let z = x
+            .matmul(&self.w_z)
+            .add(&h.matmul(&self.u_z))
+            .add(&self.b_z)
+            .sigmoid();
+        let n = x
+            .matmul(&self.w_n)
+            .add(&r.mul(&h.matmul(&self.u_n)))
+            .add(&self.b_n)
+            .tanh();
+        z.one_minus().mul(&n).add(&z.mul(h))
+    }
+
+    /// Runs the GRU over a sequence given as rows of `[t, input]`, starting
+    /// from a zero state. Returns all hidden states `[t, hidden]`.
+    pub fn forward_all(&self, xs: &Tensor) -> Tensor {
+        let t = xs.rows();
+        assert!(t > 0, "GRU over empty sequence");
+        let mut h = Tensor::zeros(&[1, self.hidden]);
+        let mut states = Vec::with_capacity(t);
+        for i in 0..t {
+            let x = xs.slice_rows(i, i + 1);
+            h = self.step(&x, &h);
+            states.push(h.clone());
+        }
+        Tensor::concat_rows(&states)
+    }
+
+    /// Runs the GRU over the sequence and returns only the final hidden
+    /// state `[hidden]` — `h̃^i = h̃^i_k` in the paper.
+    pub fn forward_last(&self, xs: &Tensor) -> Tensor {
+        let all = self.forward_all(xs);
+        let t = all.rows();
+        all.slice_rows(t - 1, t).reshape(&[self.hidden])
+    }
+}
+
+impl Module for Gru {
+    fn parameters(&self) -> Vec<Tensor> {
+        vec![
+            self.w_r.clone(),
+            self.w_z.clone(),
+            self.w_n.clone(),
+            self.u_r.clone(),
+            self.u_z.clone(),
+            self.u_n.clone(),
+            self.b_r.clone(),
+            self.b_z.clone(),
+            self.b_n.clone(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embsr_tensor::{Adam, AdamConfig, Optimizer};
+
+    #[test]
+    fn output_stays_bounded() {
+        let g = Gru::new(3, 4, &mut Rng::seed_from_u64(0));
+        let xs = Tensor::from_vec(vec![5.0; 15], &[5, 3]);
+        let h = g.forward_last(&xs);
+        assert!(h.to_vec().iter().all(|&v| v.abs() <= 1.0 + 1e-5));
+    }
+
+    #[test]
+    fn state_depends_on_order() {
+        let g = Gru::new(2, 3, &mut Rng::seed_from_u64(1));
+        let ab = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        let ba = Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], &[2, 2]);
+        let h1 = g.forward_last(&ab).to_vec();
+        let h2 = g.forward_last(&ba).to_vec();
+        assert_ne!(h1, h2);
+    }
+
+    #[test]
+    fn forward_all_shape() {
+        let g = Gru::new(2, 5, &mut Rng::seed_from_u64(2));
+        let xs = Tensor::from_vec(vec![0.1; 8], &[4, 2]);
+        assert_eq!(g.forward_all(&xs).shape().dims(), &[4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sequence")]
+    fn empty_sequence_rejected() {
+        let g = Gru::new(2, 2, &mut Rng::seed_from_u64(3));
+        let _ = g.forward_all(&Tensor::zeros(&[0, 2]));
+    }
+
+    #[test]
+    fn gru_can_learn_last_input_sign() {
+        // tiny task: predict the sign of the last input element
+        let mut rng = Rng::seed_from_u64(4);
+        let g = Gru::new(1, 4, &mut rng);
+        let readout = crate::linear::Linear::new(4, 1, &mut rng);
+        let mut params = g.parameters();
+        params.extend(readout.parameters());
+        let mut opt = Adam::new(
+            params,
+            AdamConfig {
+                lr: 0.05,
+                ..Default::default()
+            },
+        );
+        let seqs: Vec<(Vec<f32>, f32)> = vec![
+            (vec![0.3, -0.9, 1.0], 1.0),
+            (vec![0.5, 0.2, -1.0], -1.0),
+            (vec![-0.7, 1.0], 1.0),
+            (vec![0.9, -1.0], -1.0),
+        ];
+        let mut last_loss = f32::MAX;
+        for _ in 0..150 {
+            opt.zero_grad();
+            let mut total = Tensor::scalar(0.0);
+            for (xs, y) in &seqs {
+                let t = Tensor::from_vec(xs.clone(), &[xs.len(), 1]);
+                let h = g.forward_last(&t);
+                let pred = readout.forward(&h);
+                let err = pred.add_scalar(-y).square().sum();
+                total = total.add(&err);
+            }
+            last_loss = total.item();
+            total.backward();
+            opt.step();
+        }
+        assert!(last_loss < 0.1, "GRU failed to fit toy task: {last_loss}");
+    }
+}

@@ -1,0 +1,74 @@
+//! Highway network (paper eq. 11, after Srivastava et al.).
+//!
+//! Blends the item embeddings before (`h⁰`) and after (`h^last`) the stacked
+//! GNN layers: `g = σ(W_g [h⁰; h^last])`, `h^f = g ⊙ h⁰ + (1−g) ⊙ h^last`.
+
+use embsr_tensor::{Rng, Tensor};
+
+use crate::linear::Linear;
+use crate::module::Module;
+
+/// The highway blend layer.
+pub struct Highway {
+    gate: Linear,
+}
+
+impl Highway {
+    /// Creates a highway layer for `d`-dimensional embeddings.
+    pub fn new(dim: usize, rng: &mut Rng) -> Self {
+        Highway {
+            gate: Linear::new_no_bias(2 * dim, dim, rng),
+        }
+    }
+
+    /// Blends `before` and `after`, both `[c, d]`.
+    pub fn forward(&self, before: &Tensor, after: &Tensor) -> Tensor {
+        assert_eq!(before.shape(), after.shape(), "highway shape mismatch");
+        let g = self.gate.forward(&before.concat_cols(after)).sigmoid();
+        g.mul(before).add(&g.one_minus().mul(after))
+    }
+}
+
+impl Module for Highway {
+    fn parameters(&self) -> Vec<Tensor> {
+        self.gate.parameters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embsr_tensor::testing::assert_close;
+
+    #[test]
+    fn equal_inputs_pass_through() {
+        let h = Highway::new(3, &mut Rng::seed_from_u64(0));
+        let x = Tensor::from_vec(vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6], &[2, 3]);
+        assert_close(&h.forward(&x, &x).to_vec(), &x.to_vec(), 1e-6);
+    }
+
+    #[test]
+    fn output_between_inputs() {
+        let h = Highway::new(2, &mut Rng::seed_from_u64(1));
+        let a = Tensor::zeros(&[1, 2]);
+        let b = Tensor::ones(&[1, 2]);
+        let out = h.forward(&a, &b).to_vec();
+        assert!(out.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn gradient_reaches_gate() {
+        let h = Highway::new(2, &mut Rng::seed_from_u64(2));
+        let a = Tensor::from_vec(vec![0.5, -0.5], &[1, 2]);
+        let b = Tensor::from_vec(vec![1.5, 0.5], &[1, 2]);
+        h.forward(&a, &b).sum().backward();
+        assert!(h.gate.weight.grad().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn mismatched_shapes_rejected() {
+        let h = Highway::new(2, &mut Rng::seed_from_u64(3));
+        let _ = h.forward(&Tensor::zeros(&[1, 2]), &Tensor::zeros(&[2, 2]));
+    }
+}

@@ -1,0 +1,118 @@
+//! Affine projection `y = x·W + b`.
+
+use embsr_tensor::{uniform_init, zeros_init, Rng, Tensor};
+
+use crate::module::Module;
+
+/// A dense layer mapping `[n, in] -> [n, out]`.
+///
+/// The weight is stored `[in, out]` so a row-major input multiplies directly.
+pub struct Linear {
+    pub weight: Tensor,
+    pub bias: Option<Tensor>,
+}
+
+impl Linear {
+    /// New layer with uniform `[-1/√in, 1/√in]` init and a zero bias.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut Rng) -> Self {
+        Linear {
+            weight: uniform_init(&[in_dim, out_dim], rng),
+            bias: Some(zeros_init(&[out_dim])),
+        }
+    }
+
+    /// New layer without a bias term (used by the pure projections `W_Q`,
+    /// `W_{q1}`, `W_{k1}`, … of the attention and star equations).
+    pub fn new_no_bias(in_dim: usize, out_dim: usize, rng: &mut Rng) -> Self {
+        Linear {
+            weight: uniform_init(&[in_dim, out_dim], rng),
+            bias: None,
+        }
+    }
+
+    /// Applies the layer to `[n, in]` (or a single `[in]` row).
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let x2 = if x.shape().rank() == 1 {
+            x.reshape(&[1, x.len()])
+        } else {
+            x.clone()
+        };
+        let y = x2.matmul(&self.weight);
+        let y = match &self.bias {
+            Some(b) => y.add(b),
+            None => y,
+        };
+        if x.shape().rank() == 1 {
+            y.reshape(&[y.len()])
+        } else {
+            y
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.weight.cols()
+    }
+}
+
+impl Module for Linear {
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = vec![self.weight.clone()];
+        if let Some(b) = &self.bias {
+            p.push(b.clone());
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embsr_tensor::testing::assert_close;
+
+    #[test]
+    fn identity_weight_passthrough() {
+        let l = Linear::new(2, 2, &mut Rng::seed_from_u64(0));
+        l.weight.set_data(&[1.0, 0.0, 0.0, 1.0]);
+        let x = Tensor::from_vec(vec![3.0, -4.0], &[1, 2]);
+        assert_close(&l.forward(&x).to_vec(), &[3.0, -4.0], 1e-6);
+    }
+
+    #[test]
+    fn bias_added_per_row() {
+        let l = Linear::new(1, 2, &mut Rng::seed_from_u64(0));
+        l.weight.set_data(&[1.0, 1.0]);
+        l.bias.as_ref().unwrap().set_data(&[10.0, 20.0]);
+        let x = Tensor::from_vec(vec![1.0, 2.0], &[2, 1]);
+        assert_close(&l.forward(&x).to_vec(), &[11.0, 21.0, 12.0, 22.0], 1e-6);
+    }
+
+    #[test]
+    fn rank1_input_gives_rank1_output() {
+        let l = Linear::new(3, 4, &mut Rng::seed_from_u64(1));
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let y = l.forward(&x);
+        assert_eq!(y.shape().dims(), &[4]);
+    }
+
+    #[test]
+    fn gradients_reach_weight_and_bias() {
+        let l = Linear::new(2, 2, &mut Rng::seed_from_u64(2));
+        let x = Tensor::from_vec(vec![1.0, -1.0], &[1, 2]);
+        l.forward(&x).sum().backward();
+        assert!(l.weight.grad().is_some());
+        assert!(l.bias.as_ref().unwrap().grad().is_some());
+    }
+
+    #[test]
+    fn parameters_counts_bias_presence() {
+        let mut rng = Rng::seed_from_u64(3);
+        assert_eq!(Linear::new(2, 3, &mut rng).parameters().len(), 2);
+        assert_eq!(Linear::new_no_bias(2, 3, &mut rng).parameters().len(), 1);
+    }
+}

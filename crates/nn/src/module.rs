@@ -1,0 +1,56 @@
+//! The [`Module`] trait: anything holding trainable parameters.
+
+use embsr_tensor::Tensor;
+
+/// A component with trainable parameters.
+///
+/// `parameters` returns handles (not copies); optimizers deduplicate by
+/// tensor id, so modules may freely share parameters.
+pub trait Module {
+    /// All trainable tensors of this module (and its children).
+    fn parameters(&self) -> Vec<Tensor>;
+
+    /// Total scalar parameter count, for reporting.
+    fn num_parameters(&self) -> usize {
+        self.parameters().iter().map(Tensor::len).sum()
+    }
+}
+
+/// Collects parameters from a list of modules.
+pub fn collect_params(modules: &[&dyn Module]) -> Vec<Tensor> {
+    modules.iter().flat_map(|m| m.parameters()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Two(Tensor, Tensor);
+    impl Module for Two {
+        fn parameters(&self) -> Vec<Tensor> {
+            vec![self.0.clone(), self.1.clone()]
+        }
+    }
+
+    #[test]
+    fn num_parameters_sums_lengths() {
+        let m = Two(
+            Tensor::zeros(&[2, 3]).requires_grad(),
+            Tensor::zeros(&[4]).requires_grad(),
+        );
+        assert_eq!(m.num_parameters(), 10);
+    }
+
+    #[test]
+    fn collect_params_flattens() {
+        let a = Two(
+            Tensor::zeros(&[1]).requires_grad(),
+            Tensor::zeros(&[1]).requires_grad(),
+        );
+        let b = Two(
+            Tensor::zeros(&[1]).requires_grad(),
+            Tensor::zeros(&[1]).requires_grad(),
+        );
+        assert_eq!(collect_params(&[&a, &b]).len(), 4);
+    }
+}

@@ -1,0 +1,79 @@
+//! Normalized scoring layer (paper eq. 19).
+//!
+//! Following NISER, both the session representation and the item embeddings
+//! are L2-normalized and the cosine scores are scaled by `w_k` (the paper
+//! sets `w_k = 12`) before the softmax cross-entropy. This keeps training
+//! stable and counteracts popularity bias.
+
+use embsr_tensor::Tensor;
+
+/// Computes scaled-cosine logits over the full item vocabulary.
+#[derive(Clone, Copy, Debug)]
+pub struct NormalizedScorer {
+    /// The normalization weight `w_k` (12 in the paper).
+    pub w_k: f32,
+}
+
+impl NormalizedScorer {
+    /// Creates a scorer with scale `w_k`.
+    pub fn new(w_k: f32) -> Self {
+        assert!(w_k > 0.0, "w_k must be positive");
+        NormalizedScorer { w_k }
+    }
+
+    /// Logits for session representation `m` (`[d]`) against the item table
+    /// `items` (`[|V|, d]`): `ŷ = w_k · L2(m) · L2(items)ᵀ`, shape `[|V|]`.
+    pub fn logits(&self, m: &Tensor, items: &Tensor) -> Tensor {
+        let d = m.len();
+        assert_eq!(items.cols(), d, "item table dim mismatch");
+        let m_hat = m
+            .reshape(&[1, d])
+            .l2_normalize_rows(1e-12)
+            .mul_scalar(self.w_k); // [1, d]
+        let v_hat = items.l2_normalize_rows(1e-12); // [|V|, d]
+        m_hat.matmul(&v_hat.transpose()).reshape(&[items.rows()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embsr_tensor::testing::assert_close;
+
+    #[test]
+    fn logits_are_scaled_cosines() {
+        let s = NormalizedScorer::new(12.0);
+        let m = Tensor::from_vec(vec![2.0, 0.0], &[2]);
+        let items = Tensor::from_vec(vec![5.0, 0.0, 0.0, 3.0, -1.0, 0.0], &[3, 2]);
+        let y = s.logits(&m, &items).to_vec();
+        assert_close(&y, &[12.0, 0.0, -12.0], 1e-4);
+    }
+
+    #[test]
+    fn bounded_by_wk() {
+        let s = NormalizedScorer::new(12.0);
+        let m = Tensor::from_vec(vec![0.3, -0.7, 0.2], &[3]);
+        let items = Tensor::from_vec(
+            (0..30).map(|i| (i as f32 * 0.37).sin()).collect(),
+            &[10, 3],
+        );
+        let y = s.logits(&m, &items).to_vec();
+        assert!(y.iter().all(|&v| v.abs() <= 12.0 + 1e-4));
+    }
+
+    #[test]
+    fn gradient_flows_to_items_and_session() {
+        let s = NormalizedScorer::new(12.0);
+        let m = Tensor::from_vec(vec![0.5, 0.5], &[2]).requires_grad();
+        let items = Tensor::from_vec(vec![0.2, 0.8, 0.9, 0.1], &[2, 2]).requires_grad();
+        s.logits(&m, &items).cross_entropy_single(0).backward();
+        assert!(m.grad().is_some());
+        assert!(items.grad().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "w_k must be positive")]
+    fn zero_scale_rejected() {
+        let _ = NormalizedScorer::new(0.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Star-node propagation (paper eq. 9–10, after SGNN-HN).
+//!
+//! [`StarGate`] lets every satellite blend in the previous star embedding;
+//! [`StarAttention`] rebuilds the star embedding as an attention-weighted
+//! mixture of the updated satellites.
+
+use embsr_tensor::{Rng, Tensor};
+
+use crate::linear::Linear;
+use crate::module::Module;
+
+/// Eq. 9: per-satellite scalar gate
+/// `α_i = (W_q1 ê_i)ᵀ (W_k1 e_s) / √d`, then
+/// `e_i = (1 − α) ê_i + α e_s`.
+///
+/// The raw dot-product gate of the paper is unbounded, so it is squashed
+/// through a sigmoid for numerical stability (matching the released EMBSR
+/// implementation).
+pub struct StarGate {
+    q: Linear,
+    k: Linear,
+    dim: usize,
+}
+
+impl StarGate {
+    /// Creates the gate for `d`-dimensional embeddings.
+    pub fn new(dim: usize, rng: &mut Rng) -> Self {
+        StarGate {
+            q: Linear::new_no_bias(dim, dim, rng),
+            k: Linear::new_no_bias(dim, dim, rng),
+            dim,
+        }
+    }
+
+    /// Applies the gate. `satellites` is `[c, d]`, `star` is `[d]`.
+    pub fn forward(&self, satellites: &Tensor, star: &Tensor) -> Tensor {
+        assert_eq!(satellites.cols(), self.dim);
+        assert_eq!(star.len(), self.dim);
+        let c = satellites.rows();
+        let qs = self.q.forward(satellites); // [c, d]
+        let ks = self.k.forward(&star.reshape(&[1, self.dim])); // [1, d]
+        // α = qs · ksᵀ / √d → [c, 1]
+        let alpha = qs
+            .matmul(&ks.transpose())
+            .mul_scalar(1.0 / (self.dim as f32).sqrt())
+            .sigmoid(); // [c, 1]
+        // broadcast α across columns
+        let alpha_full = alpha.matmul(&Tensor::ones(&[1, self.dim])); // [c, d]
+        let star_rows = Tensor::ones(&[c, 1]).matmul(&star.reshape(&[1, self.dim]));
+        alpha_full
+            .one_minus()
+            .mul(satellites)
+            .add(&alpha_full.mul(&star_rows))
+    }
+}
+
+impl Module for StarGate {
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = self.q.parameters();
+        p.extend(self.k.parameters());
+        p
+    }
+}
+
+/// Eq. 10: star update by attention over satellites,
+/// `β = softmax((W_k2 e_i)ᵀ (W_q2 e_s) / √d)`, `e_s' = Σ β_i e_i`.
+pub struct StarAttention {
+    q: Linear,
+    k: Linear,
+    dim: usize,
+}
+
+impl StarAttention {
+    /// Creates the attention for `d`-dimensional embeddings.
+    pub fn new(dim: usize, rng: &mut Rng) -> Self {
+        StarAttention {
+            q: Linear::new_no_bias(dim, dim, rng),
+            k: Linear::new_no_bias(dim, dim, rng),
+            dim,
+        }
+    }
+
+    /// Returns the new star embedding `[d]`.
+    pub fn forward(&self, satellites: &Tensor, star: &Tensor) -> Tensor {
+        assert_eq!(satellites.cols(), self.dim);
+        let ks = self.k.forward(satellites); // [c, d]
+        let q = self.q.forward(&star.reshape(&[1, self.dim])); // [1, d]
+        let scores = q
+            .matmul(&ks.transpose())
+            .mul_scalar(1.0 / (self.dim as f32).sqrt()); // [1, c]
+        let beta = scores.softmax_rows(); // [1, c]
+        beta.matmul(satellites).reshape(&[self.dim])
+    }
+}
+
+impl Module for StarAttention {
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = self.q.parameters();
+        p.extend(self.k.parameters());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embsr_tensor::testing::assert_close;
+
+    #[test]
+    fn star_gate_output_shape() {
+        let g = StarGate::new(4, &mut Rng::seed_from_u64(0));
+        let sats = Tensor::ones(&[3, 4]);
+        let star = Tensor::ones(&[4]);
+        assert_eq!(g.forward(&sats, &star).shape().dims(), &[3, 4]);
+    }
+
+    #[test]
+    fn star_gate_is_convex_combination() {
+        // With satellites == star, the output must equal them regardless of α.
+        let g = StarGate::new(3, &mut Rng::seed_from_u64(1));
+        let sats = Tensor::full(&[2, 3], 0.7);
+        let star = Tensor::full(&[3], 0.7);
+        assert_close(&g.forward(&sats, &star).to_vec(), &[0.7; 6], 1e-5);
+    }
+
+    #[test]
+    fn star_attention_returns_mixture_of_satellites() {
+        let a = StarAttention::new(2, &mut Rng::seed_from_u64(2));
+        let sats = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        let star = Tensor::from_vec(vec![0.5, 0.5], &[2]);
+        let out = a.forward(&sats, &star).to_vec();
+        // convex mixture of rows: components sum to 1 and lie in [0,1]
+        assert_close(&[out[0] + out[1]], &[1.0], 1e-5);
+        assert!(out.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn star_attention_single_satellite_returns_it() {
+        let a = StarAttention::new(3, &mut Rng::seed_from_u64(3));
+        let sats = Tensor::from_vec(vec![0.1, 0.2, 0.3], &[1, 3]);
+        let star = Tensor::zeros(&[3]);
+        assert_close(&a.forward(&sats, &star).to_vec(), &[0.1, 0.2, 0.3], 1e-5);
+    }
+
+    #[test]
+    fn gradients_reach_projections() {
+        let g = StarGate::new(2, &mut Rng::seed_from_u64(4));
+        let a = StarAttention::new(2, &mut Rng::seed_from_u64(5));
+        let sats = Tensor::from_vec(vec![0.3, -0.3, 0.6, 0.1], &[2, 2]);
+        let star = Tensor::from_vec(vec![0.2, 0.4], &[2]);
+        let gated = g.forward(&sats, &star);
+        let new_star = a.forward(&gated, &star);
+        new_star.sum().backward();
+        for p in g.parameters().iter().chain(a.parameters().iter()) {
+            assert!(p.grad().is_some());
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Finite-difference gradient checks through whole layers.
+//!
+//! The unit tests inside each module verify shapes and qualitative behavior;
+//! these tests verify the *calculus*: the analytic gradient of a scalar loss
+//! through each composite layer matches central differences.
+
+use embsr_nn::{
+    Ffn, FusionGate, FusionMode, GgnnCell, Gru, Highway, NormalizedScorer,
+    OpAwareSelfAttention, StarAttention, StarGate,
+};
+use embsr_tensor::testing::check_gradient;
+use embsr_tensor::{Rng, Tensor};
+
+fn input(vals: &[f32], dims: &[usize]) -> Tensor {
+    Tensor::from_vec(vals.to_vec(), dims).requires_grad()
+}
+
+#[test]
+fn gru_full_sequence_gradcheck() {
+    let gru = Gru::new(3, 3, &mut Rng::seed_from_u64(0));
+    let x = input(&[0.1, -0.2, 0.3, 0.4, 0.0, -0.5], &[2, 3]);
+    check_gradient(&x, |t| gru.forward_last(t).square().sum(), 1e-3, 5e-2);
+}
+
+#[test]
+fn ggnn_cell_gradcheck_wrt_aggregate() {
+    let cell = GgnnCell::new(2, &mut Rng::seed_from_u64(1));
+    let agg = input(&[0.3, -0.1, 0.2, 0.4], &[1, 4]);
+    let prev = Tensor::from_vec(vec![0.5, -0.5], &[1, 2]);
+    check_gradient(&agg, |a| cell.update(a, &prev).square().sum(), 1e-3, 5e-2);
+}
+
+#[test]
+fn star_layers_gradcheck() {
+    let mut rng = Rng::seed_from_u64(2);
+    let gate = StarGate::new(2, &mut rng);
+    let attn = StarAttention::new(2, &mut rng);
+    let sats = input(&[0.2, 0.6, -0.4, 0.1], &[2, 2]);
+    let star = Tensor::from_vec(vec![0.3, -0.2], &[2]);
+    check_gradient(
+        &sats,
+        |s| {
+            let gated = gate.forward(s, &star);
+            attn.forward(&gated, &star).square().sum()
+        },
+        1e-3,
+        5e-2,
+    );
+}
+
+#[test]
+fn highway_gradcheck() {
+    let hw = Highway::new(3, &mut Rng::seed_from_u64(3));
+    let before = input(&[0.1, 0.5, -0.3], &[1, 3]);
+    let after = Tensor::from_vec(vec![-0.2, 0.4, 0.7], &[1, 3]);
+    check_gradient(&before, |b| hw.forward(b, &after).square().sum(), 1e-3, 5e-2);
+}
+
+#[test]
+fn op_aware_attention_gradcheck() {
+    let att = OpAwareSelfAttention::new(3, 2, 4, true, &mut Rng::seed_from_u64(4));
+    let x = input(&[0.1, -0.2, 0.3, 0.0, 0.4, -0.1], &[2, 3]);
+    check_gradient(&x, |t| att.forward(t, &[0, 1]).square().sum(), 1e-3, 8e-2);
+}
+
+#[test]
+fn ffn_gradcheck() {
+    let ffn = Ffn::new(4, 0.0, &mut Rng::seed_from_u64(5));
+    let x = input(&[0.2, -0.6, 0.9, 0.1], &[1, 4]);
+    let mut rng = Rng::seed_from_u64(6);
+    check_gradient(
+        &x,
+        |t| {
+            let w = Tensor::from_vec(vec![1.0, 0.5, -0.5, 2.0], &[1, 4]);
+            ffn.forward(t, false, &mut Rng::seed_from_u64(0))
+                .mul(&w)
+                .sum()
+        },
+        1e-3,
+        8e-2,
+    );
+    let _ = &mut rng;
+}
+
+#[test]
+fn fusion_gate_gradcheck() {
+    let fg = FusionGate::new(3, FusionMode::Gated, &mut Rng::seed_from_u64(7));
+    let z = input(&[0.3, -0.4, 0.2], &[3]);
+    let x_t = Tensor::from_vec(vec![0.1, 0.6, -0.2], &[3]);
+    check_gradient(&z, |t| fg.forward(t, &x_t).square().sum(), 1e-3, 5e-2);
+}
+
+#[test]
+fn normalized_scorer_gradcheck() {
+    let scorer = NormalizedScorer::new(12.0);
+    let items = Tensor::from_vec(
+        vec![0.5, 0.1, -0.3, 0.8, 0.2, -0.6, 0.4, 0.9, -0.1],
+        &[3, 3],
+    );
+    let m = input(&[0.7, -0.2, 0.4], &[3]);
+    check_gradient(&m, |t| scorer.logits(t, &items).cross_entropy_single(1), 1e-3, 5e-2);
+}

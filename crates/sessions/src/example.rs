@@ -1,0 +1,119 @@
+//! Supervised instances.
+//!
+//! Following the paper's protocol (Sec. II-B and V-A-1): the prediction
+//! target is the **next macro-item** `v^{n+1}`, never the next micro-behavior
+//! (the last macro item usually has several micro-behaviors, so predicting at
+//! the micro level would leak the answer). An [`Example`] is a session prefix
+//! whose trailing macro step has been removed, plus that step's item as the
+//! ground truth.
+
+use crate::merge::merge_micro_behaviors;
+use crate::types::{ItemId, Session};
+
+/// One supervised next-item instance.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Example {
+    /// The observed prefix (all micro-behaviors before the target macro item).
+    pub session: Session,
+    /// The ground-truth next macro-item.
+    pub target: ItemId,
+}
+
+impl Example {
+    /// Builds the evaluation example from a full session: strip the last
+    /// macro step, predict its item.
+    ///
+    /// Returns `None` for sessions with fewer than two macro items (excluded
+    /// from training and testing per the paper).
+    pub fn from_session(session: &Session) -> Option<Example> {
+        let steps = merge_micro_behaviors(&session.events);
+        if steps.len() < 2 {
+            return None;
+        }
+        let target = steps.last().expect("len >= 2").item;
+        let prefix_len: usize = steps[..steps.len() - 1].iter().map(|s| s.ops.len()).sum();
+        Some(Example {
+            session: Session {
+                id: session.id,
+                events: session.events[..prefix_len].to_vec(),
+            },
+            target,
+        })
+    }
+
+    /// Builds *augmented* training examples: one per macro-step boundary
+    /// (predict `v^2` from `v^1`, `v^3` from `v^1 v^2`, …), the standard
+    /// sequence-splitting augmentation of GRU4Rec+/SR-GNN.
+    pub fn augmented_from_session(session: &Session) -> Vec<Example> {
+        let steps = merge_micro_behaviors(&session.events);
+        let mut out = Vec::new();
+        let mut prefix_len = 0usize;
+        for k in 0..steps.len().saturating_sub(1) {
+            prefix_len += steps[k].ops.len();
+            out.push(Example {
+                session: Session {
+                    id: session.id,
+                    events: session.events[..prefix_len].to_vec(),
+                },
+                target: steps[k + 1].item,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::MicroBehavior;
+
+    fn session(pairs: &[(u32, u16)]) -> Session {
+        Session {
+            id: 0,
+            events: pairs
+                .iter()
+                .map(|&(i, o)| MicroBehavior { item: i, op: o })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn strips_entire_last_macro_step() {
+        // last macro item 3 has two micro-behaviors; both must be stripped.
+        let s = session(&[(1, 0), (2, 0), (3, 0), (3, 1)]);
+        let ex = Example::from_session(&s).unwrap();
+        assert_eq!(ex.target, 3);
+        assert_eq!(ex.session.items().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn rejects_single_macro_item_sessions() {
+        let s = session(&[(1, 0), (1, 1), (1, 2)]);
+        assert!(Example::from_session(&s).is_none());
+    }
+
+    #[test]
+    fn target_differs_from_last_prefix_item() {
+        // merging guarantees adjacent macro items differ, so no leakage
+        let s = session(&[(1, 0), (2, 0), (1, 0)]);
+        let ex = Example::from_session(&s).unwrap();
+        assert_eq!(ex.target, 1);
+        assert_eq!(*ex.session.items().collect::<Vec<_>>().last().unwrap(), 2);
+    }
+
+    #[test]
+    fn augmentation_produces_one_example_per_transition() {
+        let s = session(&[(1, 0), (2, 0), (2, 1), (3, 0)]);
+        let exs = Example::augmented_from_session(&s);
+        assert_eq!(exs.len(), 2);
+        assert_eq!(exs[0].target, 2);
+        assert_eq!(exs[0].session.len(), 1);
+        assert_eq!(exs[1].target, 3);
+        assert_eq!(exs[1].session.len(), 3); // includes both v2 micro-behaviors
+    }
+
+    #[test]
+    fn augmentation_of_short_session_is_empty() {
+        assert!(Example::augmented_from_session(&session(&[(1, 0)])).is_empty());
+    }
+}

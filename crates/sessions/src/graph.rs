@@ -1,0 +1,236 @@
+//! The session multigraph (paper Sec. IV-B-1, Fig. 3).
+//!
+//! Nodes are the *distinct* items of the macro sequence; each transition
+//! `v^i → v^{i+1}` contributes its own directed edge, and edges keep the
+//! macro position of their endpoints so message passing can use the
+//! occurrence-specific micro-operation encoding `h̃` of each endpoint.
+//!
+//! The star node of SGNN-HN is not materialized as a graph node here — its
+//! bidirectional connection to every satellite is implicit and handled by the
+//! model's star update equations (eq. 9–10) — but the graph exposes the
+//! satellite bookkeeping those equations need.
+
+use std::collections::HashMap;
+
+use crate::merge::MacroStep;
+use crate::types::{ItemId, Session};
+
+/// One side of an edge as seen from a node: the neighbor node and the macro
+/// position (step index) of the occurrence whose operation encoding feeds the
+/// message (paper eq. 5).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EdgeEndpoint {
+    /// Index of the neighboring node in [`SessionGraph::nodes`].
+    pub node: usize,
+    /// Macro-step index of the neighbor occurrence for this edge.
+    pub step: usize,
+}
+
+/// Directed multigraph of a session's macro-item sequence with ordered edges.
+#[derive(Clone, Debug)]
+pub struct SessionGraph {
+    /// Distinct items in order of first appearance (`S^u` in the paper).
+    pub nodes: Vec<ItemId>,
+    /// The merged macro sequence (`S^v` + `S^o`).
+    pub steps: Vec<MacroStep>,
+    /// For each macro step, the index of its node.
+    pub step_node: Vec<usize>,
+    /// Incoming edges per node: for node `u_i`, entries `(u_j, step)` for
+    /// each transition `u_j → u_i`, where `step` is the macro position of the
+    /// **source** occurrence.
+    pub in_edges: Vec<Vec<EdgeEndpoint>>,
+    /// Outgoing edges per node: for node `u_i`, entries `(u_j, step)` for
+    /// each transition `u_i → u_j`, where `step` is the macro position of the
+    /// **target** occurrence.
+    pub out_edges: Vec<Vec<EdgeEndpoint>>,
+}
+
+impl SessionGraph {
+    /// Builds the multigraph from merged macro steps.
+    pub fn from_steps(steps: Vec<MacroStep>) -> Self {
+        let mut node_of: HashMap<ItemId, usize> = HashMap::new();
+        let mut nodes: Vec<ItemId> = Vec::new();
+        let mut step_node = Vec::with_capacity(steps.len());
+        for s in &steps {
+            let idx = *node_of.entry(s.item).or_insert_with(|| {
+                nodes.push(s.item);
+                nodes.len() - 1
+            });
+            step_node.push(idx);
+        }
+        let mut in_edges = vec![Vec::new(); nodes.len()];
+        let mut out_edges = vec![Vec::new(); nodes.len()];
+        for k in 0..steps.len().saturating_sub(1) {
+            let src = step_node[k];
+            let dst = step_node[k + 1];
+            // Edge (v^k -> v^{k+1}); position k on the source side, k+1 on
+            // the target side.
+            in_edges[dst].push(EdgeEndpoint { node: src, step: k });
+            out_edges[src].push(EdgeEndpoint {
+                node: dst,
+                step: k + 1,
+            });
+        }
+        SessionGraph {
+            nodes,
+            steps,
+            step_node,
+            in_edges,
+            out_edges,
+        }
+    }
+
+    /// Builds the multigraph directly from a session.
+    pub fn from_session(session: &Session) -> Self {
+        Self::from_steps(session.macro_steps())
+    }
+
+    /// Number of distinct items (`c` in the paper).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of macro steps (`n` in the paper).
+    pub fn num_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Total number of directed edges (excluding the implicit star edges).
+    pub fn num_edges(&self) -> usize {
+        self.steps.len().saturating_sub(1)
+    }
+
+    /// True when two macro positions map to the same node — i.e. the graph
+    /// genuinely needs multigraph semantics.
+    pub fn has_revisits(&self) -> bool {
+        self.num_steps() > self.num_nodes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::MicroBehavior;
+
+    fn session(pairs: &[(u32, u16)]) -> Session {
+        Session {
+            id: 0,
+            events: pairs
+                .iter()
+                .map(|&(i, o)| MicroBehavior { item: i, op: o })
+                .collect(),
+        }
+    }
+
+    /// The running example of Fig. 3: S^v = v1 v2 v3 v2 v3 v4.
+    fn fig3_graph() -> SessionGraph {
+        let s = session(&[
+            (1, 1),
+            (2, 1),
+            (3, 1),
+            (2, 1),
+            (2, 2),
+            (3, 1),
+            (3, 2),
+            (3, 3),
+            (4, 1),
+        ]);
+        SessionGraph::from_session(&s)
+    }
+
+    #[test]
+    fn fig3_nodes_are_distinct_items_in_first_appearance_order() {
+        let g = fig3_graph();
+        assert_eq!(g.nodes, vec![1, 2, 3, 4]);
+        assert_eq!(g.num_steps(), 6);
+        assert!(g.has_revisits());
+    }
+
+    #[test]
+    fn fig3_multigraph_keeps_parallel_edges() {
+        let g = fig3_graph();
+        // v2 -> v3 occurs twice (positions 1->2 and 3->4): node 2 (item 3)
+        // must have two incoming edges from node 1 (item 2).
+        let v3 = 2usize;
+        let from_v2: Vec<_> = g.in_edges[v3].iter().filter(|e| e.node == 1).collect();
+        assert_eq!(from_v2.len(), 2);
+        // ...with different source positions, so different op encodings flow.
+        assert_ne!(from_v2[0].step, from_v2[1].step);
+        assert_eq!(from_v2[0].step, 1);
+        assert_eq!(from_v2[1].step, 3);
+    }
+
+    #[test]
+    fn fig3_out_edges_use_target_positions() {
+        let g = fig3_graph();
+        // node for item 2 (index 1) has outgoing edges to item 3 at target
+        // positions 2 and 4.
+        let outs: Vec<_> = g.out_edges[1].iter().filter(|e| e.node == 2).collect();
+        assert_eq!(outs.len(), 2);
+        assert_eq!(outs[0].step, 2);
+        assert_eq!(outs[1].step, 4);
+    }
+
+    #[test]
+    fn edge_count_is_transitions() {
+        let g = fig3_graph();
+        assert_eq!(g.num_edges(), 5);
+        let total_in: usize = g.in_edges.iter().map(Vec::len).sum();
+        let total_out: usize = g.out_edges.iter().map(Vec::len).sum();
+        assert_eq!(total_in, 5);
+        assert_eq!(total_out, 5);
+    }
+
+    #[test]
+    fn single_step_graph_has_no_edges() {
+        let g = SessionGraph::from_session(&session(&[(7, 0), (7, 1)]));
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.num_edges(), 0);
+        assert!(!g.has_revisits());
+    }
+
+    #[test]
+    fn self_loop_free_by_merging() {
+        // merging prevents v->v edges
+        let g = SessionGraph::from_session(&session(&[(1, 0), (1, 1), (2, 0)]));
+        for (i, edges) in g.out_edges.iter().enumerate() {
+            for e in edges {
+                assert_ne!(e.node, i, "self loop at node {i}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::types::MicroBehavior;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn step_node_is_consistent(pairs in proptest::collection::vec((0u32..8, 0u16..3), 1..40)) {
+            let s = Session {
+                id: 0,
+                events: pairs.iter().map(|&(i, o)| MicroBehavior { item: i, op: o }).collect(),
+            };
+            let g = SessionGraph::from_session(&s);
+            // every step's node holds the step's item
+            for (k, step) in g.steps.iter().enumerate() {
+                prop_assert_eq!(g.nodes[g.step_node[k]], step.item);
+            }
+            // edge conservation: in-degree total == out-degree total == n-1
+            let tin: usize = g.in_edges.iter().map(Vec::len).sum();
+            let tout: usize = g.out_edges.iter().map(Vec::len).sum();
+            prop_assert_eq!(tin, g.num_edges());
+            prop_assert_eq!(tout, g.num_edges());
+            // all endpoints in range
+            for edges in g.in_edges.iter().chain(g.out_edges.iter()) {
+                for e in edges {
+                    prop_assert!(e.node < g.num_nodes());
+                    prop_assert!(e.step < g.num_steps());
+                }
+            }
+        }
+    }
+}

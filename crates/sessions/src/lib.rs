@@ -1,0 +1,26 @@
+//! # embsr-sessions
+//!
+//! The session data model shared by every crate in the EMBSR reproduction:
+//!
+//! * [`MicroBehavior`] — one `(item, operation)` tuple, the paper's `s_i`;
+//! * [`Session`] — a chronological list of micro-behaviors;
+//! * [`MacroStep`] / [`merge_micro_behaviors`] — merging successive
+//!   micro-behaviors on the same item into the macro-item sequence `S^v` with
+//!   per-item operation sub-sequences `S^o` (paper Sec. II-B);
+//! * [`Example`] — a supervised instance: a session prefix plus the
+//!   next-macro-item ground truth;
+//! * [`SessionGraph`] — the directed **multigraph with ordered edges** of
+//!   paper Sec. IV-B-1 / Fig. 3, including star-node bookkeeping;
+//! * [`CorpusStats`] — the dataset statistics of paper Table II.
+
+mod example;
+mod graph;
+mod merge;
+mod stats;
+mod types;
+
+pub use example::Example;
+pub use graph::{EdgeEndpoint, SessionGraph};
+pub use merge::{merge_micro_behaviors, MacroStep};
+pub use stats::CorpusStats;
+pub use types::{ItemId, MicroBehavior, OpId, Session};

@@ -1,0 +1,148 @@
+//! Macro-item merging (paper Sec. II-B).
+//!
+//! Successive micro-behaviors on the *same* item are merged into one
+//! [`MacroStep`] holding the item and its operation sub-sequence. E.g. the
+//! session of paper Fig. 3,
+//! `(v1,o1) (v2,o1) (v3,o1) (v2,o1) (v2,o2) (v3,o1) (v3,o2) (v3,o3) (v4,o1)`,
+//! merges to macro sequence `v1 v2 v3 v2 v3 v4` with operation lists
+//! `(o1) (o1) (o1) (o1,o2) (o1,o2,o3) (o1)`.
+
+use crate::types::{ItemId, MicroBehavior, OpId, Session};
+
+/// One macro-item `v^i` with its micro-operation sequence
+/// `o^i = {o^i_1, …, o^i_k}`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MacroStep {
+    pub item: ItemId,
+    pub ops: Vec<OpId>,
+}
+
+/// Merges successive same-item micro-behaviors into the macro-item sequence.
+///
+/// A *non-adjacent* revisit of an item starts a new macro step, which is what
+/// makes the session graph a multigraph.
+pub fn merge_micro_behaviors(events: &[MicroBehavior]) -> Vec<MacroStep> {
+    let mut steps: Vec<MacroStep> = Vec::new();
+    for e in events {
+        match steps.last_mut() {
+            Some(last) if last.item == e.item => last.ops.push(e.op),
+            _ => steps.push(MacroStep {
+                item: e.item,
+                ops: vec![e.op],
+            }),
+        }
+    }
+    steps
+}
+
+impl Session {
+    /// The macro-item sequence `S^v` with per-item operation sub-sequences.
+    pub fn macro_steps(&self) -> Vec<MacroStep> {
+        merge_micro_behaviors(&self.events)
+    }
+
+    /// Just the macro-item ids `S^v = {v^1, …, v^n}`.
+    pub fn macro_items(&self) -> Vec<ItemId> {
+        self.macro_steps().into_iter().map(|s| s.item).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mb(item: ItemId, op: OpId) -> MicroBehavior {
+        MicroBehavior { item, op }
+    }
+
+    #[test]
+    fn paper_fig3_example() {
+        // S = (v1,o1)(v2,o1)(v3,o1)(v2,o1)(v2,o2)(v3,o1)(v3,o2)(v3,o3)(v4,o1)
+        let events = vec![
+            mb(1, 1),
+            mb(2, 1),
+            mb(3, 1),
+            mb(2, 1),
+            mb(2, 2),
+            mb(3, 1),
+            mb(3, 2),
+            mb(3, 3),
+            mb(4, 1),
+        ];
+        let steps = merge_micro_behaviors(&events);
+        let items: Vec<ItemId> = steps.iter().map(|s| s.item).collect();
+        assert_eq!(items, vec![1, 2, 3, 2, 3, 4]);
+        let ops: Vec<Vec<OpId>> = steps.iter().map(|s| s.ops.clone()).collect();
+        assert_eq!(
+            ops,
+            vec![
+                vec![1],
+                vec![1],
+                vec![1],
+                vec![1, 2],
+                vec![1, 2, 3],
+                vec![1]
+            ]
+        );
+    }
+
+    #[test]
+    fn single_event_single_step() {
+        let steps = merge_micro_behaviors(&[mb(9, 4)]);
+        assert_eq!(steps.len(), 1);
+        assert_eq!(steps[0].item, 9);
+        assert_eq!(steps[0].ops, vec![4]);
+    }
+
+    #[test]
+    fn empty_session_no_steps() {
+        assert!(merge_micro_behaviors(&[]).is_empty());
+    }
+
+    #[test]
+    fn all_same_item_one_step() {
+        let steps = merge_micro_behaviors(&[mb(5, 0), mb(5, 1), mb(5, 2)]);
+        assert_eq!(steps.len(), 1);
+        assert_eq!(steps[0].ops, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn alternating_items_no_merging() {
+        let steps = merge_micro_behaviors(&[mb(1, 0), mb(2, 0), mb(1, 0), mb(2, 0)]);
+        assert_eq!(steps.len(), 4);
+        assert!(steps.iter().all(|s| s.ops.len() == 1));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Concatenating the merged ops in order reproduces the original
+        /// operation sequence, and the total op count is preserved.
+        #[test]
+        fn merging_is_lossless(pairs in proptest::collection::vec((0u32..20, 0u16..5), 0..60)) {
+            let events: Vec<MicroBehavior> =
+                pairs.iter().map(|&(i, o)| MicroBehavior { item: i, op: o }).collect();
+            let steps = merge_micro_behaviors(&events);
+            let rebuilt: Vec<MicroBehavior> = steps
+                .iter()
+                .flat_map(|s| s.ops.iter().map(move |&o| MicroBehavior { item: s.item, op: o }))
+                .collect();
+            prop_assert_eq!(rebuilt, events);
+        }
+
+        /// No two adjacent macro steps share an item.
+        #[test]
+        fn adjacent_steps_differ(pairs in proptest::collection::vec((0u32..5, 0u16..3), 0..60)) {
+            let events: Vec<MicroBehavior> =
+                pairs.iter().map(|&(i, o)| MicroBehavior { item: i, op: o }).collect();
+            let steps = merge_micro_behaviors(&events);
+            for w in steps.windows(2) {
+                prop_assert_ne!(w[0].item, w[1].item);
+            }
+        }
+    }
+}

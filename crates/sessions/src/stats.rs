@@ -1,0 +1,132 @@
+//! Corpus statistics — the numbers reported in paper Table II.
+
+use std::collections::HashSet;
+
+use crate::types::Session;
+
+/// Summary statistics of a session corpus.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CorpusStats {
+    /// Number of sessions.
+    pub sessions: usize,
+    /// Number of distinct items.
+    pub items: usize,
+    /// Number of distinct operations.
+    pub ops: usize,
+    /// Total micro-behaviors across sessions (`# micro-behavior` in Table II).
+    pub micro_behaviors: usize,
+    /// Mean micro-behaviors per session.
+    pub mean_session_len: f64,
+    /// Mean macro items per session.
+    pub mean_macro_len: f64,
+    /// Fraction of sessions whose ground-truth (last macro item) also occurs
+    /// earlier in the same session. The paper uses this property to explain
+    /// S-POP's failure on Trivago.
+    pub target_repeat_ratio: f64,
+}
+
+impl CorpusStats {
+    /// Computes statistics over a corpus.
+    pub fn compute(sessions: &[Session]) -> CorpusStats {
+        let mut items: HashSet<u32> = HashSet::new();
+        let mut ops: HashSet<u16> = HashSet::new();
+        let mut micro = 0usize;
+        let mut macro_total = 0usize;
+        let mut repeats = 0usize;
+        let mut judged = 0usize;
+        for s in sessions {
+            micro += s.len();
+            for e in &s.events {
+                items.insert(e.item);
+                ops.insert(e.op);
+            }
+            let macro_items = s.macro_items();
+            macro_total += macro_items.len();
+            if macro_items.len() >= 2 {
+                judged += 1;
+                let target = *macro_items.last().expect("len >= 2");
+                if macro_items[..macro_items.len() - 1].contains(&target) {
+                    repeats += 1;
+                }
+            }
+        }
+        let n = sessions.len().max(1) as f64;
+        CorpusStats {
+            sessions: sessions.len(),
+            items: items.len(),
+            ops: ops.len(),
+            micro_behaviors: micro,
+            mean_session_len: micro as f64 / n,
+            mean_macro_len: macro_total as f64 / n,
+            target_repeat_ratio: repeats as f64 / judged.max(1) as f64,
+        }
+    }
+}
+
+impl std::fmt::Display for CorpusStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "# sessions        {}", self.sessions)?;
+        writeln!(f, "# items           {}", self.items)?;
+        writeln!(f, "# operations      {}", self.ops)?;
+        writeln!(f, "# micro-behavior  {}", self.micro_behaviors)?;
+        writeln!(f, "mean |S_t|        {:.2}", self.mean_session_len)?;
+        writeln!(f, "mean |S^v|        {:.2}", self.mean_macro_len)?;
+        write!(f, "target-repeat     {:.3}", self.target_repeat_ratio)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::MicroBehavior;
+
+    fn session(id: u64, pairs: &[(u32, u16)]) -> Session {
+        Session {
+            id,
+            events: pairs
+                .iter()
+                .map(|&(i, o)| MicroBehavior { item: i, op: o })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn counts_distinct_items_and_ops() {
+        let corpus = vec![
+            session(1, &[(1, 0), (2, 1)]),
+            session(2, &[(2, 0), (3, 2), (3, 2)]),
+        ];
+        let st = CorpusStats::compute(&corpus);
+        assert_eq!(st.sessions, 2);
+        assert_eq!(st.items, 3);
+        assert_eq!(st.ops, 3);
+        assert_eq!(st.micro_behaviors, 5);
+    }
+
+    #[test]
+    fn repeat_ratio_detects_in_session_targets() {
+        // session 1: target 1 seen before => repeat; session 2: target 3 not.
+        let corpus = vec![
+            session(1, &[(1, 0), (2, 0), (1, 0)]),
+            session(2, &[(1, 0), (2, 0), (3, 0)]),
+        ];
+        let st = CorpusStats::compute(&corpus);
+        assert!((st.target_repeat_ratio - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_corpus_is_safe() {
+        let st = CorpusStats::compute(&[]);
+        assert_eq!(st.sessions, 0);
+        assert_eq!(st.items, 0);
+        assert_eq!(st.target_repeat_ratio, 0.0);
+    }
+
+    #[test]
+    fn mean_macro_len_accounts_for_merging() {
+        let corpus = vec![session(1, &[(1, 0), (1, 1), (2, 0)])];
+        let st = CorpusStats::compute(&corpus);
+        assert!((st.mean_session_len - 3.0).abs() < 1e-9);
+        assert!((st.mean_macro_len - 2.0).abs() < 1e-9);
+    }
+}

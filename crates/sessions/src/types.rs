@@ -1,0 +1,118 @@
+//! Base types: items, operations, micro-behaviors and sessions.
+
+use serde::{Deserialize, Serialize};
+
+/// Dense item identifier, an index into the item vocabulary `V`.
+pub type ItemId = u32;
+
+/// Dense operation identifier, an index into the operation vocabulary `O`
+/// (e.g. `SearchList2Product`, `Detail_comments`, `Order` on the JD data;
+/// `clickout item`, `interaction item image`, … on Trivago).
+pub type OpId = u16;
+
+/// One micro-behavior `s_i = (v_i, o_i)`: the user performed operation `op`
+/// on item `item`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct MicroBehavior {
+    pub item: ItemId,
+    pub op: OpId,
+}
+
+impl MicroBehavior {
+    /// Convenience constructor.
+    pub fn new(item: ItemId, op: OpId) -> Self {
+        MicroBehavior { item, op }
+    }
+}
+
+/// A user session: the chronological sequence of micro-behaviors
+/// `S_t = {s_1, …, s_t}`.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct Session {
+    /// Stable identifier, useful when tracing sessions through splits.
+    pub id: u64,
+    /// Micro-behaviors in time order.
+    pub events: Vec<MicroBehavior>,
+}
+
+impl Session {
+    /// Creates a session from `(item, op)` pairs.
+    pub fn from_pairs(id: u64, pairs: &[(ItemId, OpId)]) -> Self {
+        Session {
+            id,
+            events: pairs
+                .iter()
+                .map(|&(item, op)| MicroBehavior { item, op })
+                .collect(),
+        }
+    }
+
+    /// Number of micro-behaviors (the paper's `t`).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the session has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates over the raw item sequence (with repetitions).
+    pub fn items(&self) -> impl Iterator<Item = ItemId> + '_ {
+        self.events.iter().map(|e| e.item)
+    }
+
+    /// Iterates over the raw operation sequence.
+    pub fn ops(&self) -> impl Iterator<Item = OpId> + '_ {
+        self.events.iter().map(|e| e.op)
+    }
+
+    /// Largest item id appearing in the session plus one (0 when empty).
+    pub fn max_item_exclusive(&self) -> ItemId {
+        self.events.iter().map(|e| e.item + 1).max().unwrap_or(0)
+    }
+
+    /// Keeps only events whose operation satisfies `keep`, preserving order.
+    ///
+    /// Used for the supplemental "single operation type" experiment, where
+    /// macro-behavior baselines see only click-type events.
+    pub fn filter_ops(&self, keep: impl Fn(OpId) -> bool) -> Session {
+        Session {
+            id: self.id,
+            events: self
+                .events
+                .iter()
+                .copied()
+                .filter(|e| keep(e.op))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pairs_preserves_order() {
+        let s = Session::from_pairs(1, &[(5, 0), (3, 1), (5, 2)]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.items().collect::<Vec<_>>(), vec![5, 3, 5]);
+        assert_eq!(s.ops().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn filter_ops_keeps_subsequence() {
+        let s = Session::from_pairs(1, &[(1, 0), (2, 1), (3, 0), (4, 2)]);
+        let clicks = s.filter_ops(|o| o == 0);
+        assert_eq!(clicks.items().collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(clicks.id, 1);
+    }
+
+    #[test]
+    fn max_item_exclusive_handles_empty() {
+        assert_eq!(Session::default().max_item_exclusive(), 0);
+        let s = Session::from_pairs(1, &[(7, 0)]);
+        assert_eq!(s.max_item_exclusive(), 8);
+    }
+}

@@ -1,0 +1,139 @@
+//! Reverse-mode sweep: topological ordering and gradient propagation.
+
+use std::collections::HashSet;
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Runs reverse-mode automatic differentiation from this (scalar) tensor.
+    ///
+    /// Seeds the output gradient with `1.0` and propagates gradients to every
+    /// reachable node with `requires_grad`. Gradients *accumulate*: call
+    /// [`crate::Optimizer::zero_grad`] (or [`Tensor::zero_grad`]) between
+    /// steps.
+    ///
+    /// # Panics
+    /// Panics when called on a non-scalar tensor.
+    pub fn backward(&self) {
+        assert_eq!(
+            self.len(),
+            1,
+            "backward() must start from a scalar loss; got shape {}",
+            self.shape()
+        );
+        self.backward_with_grad(&[1.0]);
+    }
+
+    /// Like [`Tensor::backward`] but with an explicit seed gradient, useful
+    /// when a sub-graph output feeds an externally computed gradient.
+    pub fn backward_with_grad(&self, seed: &[f32]) {
+        assert_eq!(seed.len(), self.len(), "seed gradient length mismatch");
+        if !self.inner.requires_grad {
+            return;
+        }
+        let order = topo_order(self);
+        self.accumulate_grad(seed);
+        // Reverse topological order: every node sees its full gradient before
+        // propagating to parents.
+        for node in order.iter().rev() {
+            let grad = node.inner.grad.borrow().clone();
+            let Some(grad) = grad else { continue };
+            if let Some(backward) = &node.inner.backward {
+                backward(&grad);
+            }
+        }
+        // Free intermediate gradients so repeated forward passes over shared
+        // leaves don't see stale values. Leaves (no backward fn) keep theirs.
+        for node in &order {
+            if node.inner.backward.is_some() {
+                *node.inner.grad.borrow_mut() = None;
+            }
+        }
+    }
+}
+
+/// Iterative DFS post-order over the graph rooted at `root`, restricted to
+/// nodes that require gradients.
+fn topo_order(root: &Tensor) -> Vec<Tensor> {
+    let mut order = Vec::new();
+    let mut visited: HashSet<u64> = HashSet::new();
+    // Stack of (node, next-parent-index) frames for an explicit DFS.
+    let mut stack: Vec<(Tensor, usize)> = vec![(root.clone(), 0)];
+    visited.insert(root.inner.id);
+    while let Some((node, idx)) = stack.pop() {
+        if idx < node.inner.parents.len() {
+            let parent = node.inner.parents[idx].clone();
+            stack.push((node, idx + 1));
+            if parent.inner.requires_grad && visited.insert(parent.inner.id) {
+                stack.push((parent, 0));
+            }
+        } else {
+            order.push(node);
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::testing::assert_close;
+    use crate::Tensor;
+
+    #[test]
+    fn chain_rule_through_two_ops() {
+        // loss = sum((a + a) * a) = sum(2 a^2); d/da = 4a
+        let a = Tensor::from_vec(vec![1.0, -2.0, 3.0], &[3]).requires_grad();
+        let loss = a.add(&a).mul(&a).sum();
+        loss.backward();
+        assert_close(&a.grad().unwrap(), &[4.0, -8.0, 12.0], 1e-5);
+    }
+
+    #[test]
+    fn diamond_graph_accumulates_both_paths() {
+        // b = 2a ; c = 3a ; loss = sum(b + c) => d/da = 5
+        let a = Tensor::from_vec(vec![1.0, 1.0], &[2]).requires_grad();
+        let b = a.mul_scalar(2.0);
+        let c = a.mul_scalar(3.0);
+        let loss = b.add(&c).sum();
+        loss.backward();
+        assert_close(&a.grad().unwrap(), &[5.0, 5.0], 1e-6);
+    }
+
+    #[test]
+    fn gradients_accumulate_across_backward_calls() {
+        let a = Tensor::from_vec(vec![2.0], &[1]).requires_grad();
+        let loss1 = a.mul_scalar(1.0).sum();
+        loss1.backward();
+        let loss2 = a.mul_scalar(1.0).sum();
+        loss2.backward();
+        assert_close(&a.grad().unwrap(), &[2.0], 1e-6);
+        a.zero_grad();
+        assert!(a.grad().is_none());
+    }
+
+    #[test]
+    fn backward_on_constant_graph_is_a_noop() {
+        let a = Tensor::ones(&[1]);
+        let loss = a.mul_scalar(2.0).sum();
+        loss.backward(); // must not panic
+        assert!(a.grad().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar")]
+    fn backward_rejects_non_scalar() {
+        let a = Tensor::ones(&[2]).requires_grad();
+        a.add(&a).backward();
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        let a = Tensor::from_vec(vec![1.0], &[1]).requires_grad();
+        let mut x = a.clone();
+        for _ in 0..20_000 {
+            x = x.add_scalar(0.0);
+        }
+        x.sum().backward();
+        assert_close(&a.grad().unwrap(), &[1.0], 1e-6);
+    }
+}

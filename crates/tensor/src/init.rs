@@ -1,0 +1,82 @@
+//! Parameter initialization.
+//!
+//! The paper initializes parameters "the same with [12]" (MKM-SR), i.e.
+//! uniform in `[-1/√d, 1/√d]`; Xavier and Kaiming initializers are provided
+//! for the baselines that specify them.
+
+use crate::rng::Rng;
+use crate::tensor::Tensor;
+
+/// Uniform init in `[-bound, bound]` with `bound = 1/√fan_in` — the scheme
+/// used by SR-GNN/MKM-SR/EMBSR.
+pub fn uniform_init(dims: &[usize], rng: &mut Rng) -> Tensor {
+    let fan_in = *dims.last().expect("non-empty dims") as f32;
+    let bound = 1.0 / fan_in.sqrt();
+    let n: usize = dims.iter().product();
+    let data: Vec<f32> = (0..n).map(|_| rng.uniform_range(-bound, bound)).collect();
+    Tensor::from_vec(data, dims).requires_grad()
+}
+
+/// Xavier/Glorot uniform: `bound = √(6 / (fan_in + fan_out))` for `[out, in]`
+/// or `[rows, cols]` matrices.
+pub fn xavier_uniform(dims: &[usize], rng: &mut Rng) -> Tensor {
+    let (fan_out, fan_in) = match dims {
+        [n] => (1, *n),
+        [r, c] => (*r, *c),
+        _ => panic!("xavier_uniform supports rank 1 and 2"),
+    };
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    let n: usize = dims.iter().product();
+    let data: Vec<f32> = (0..n).map(|_| rng.uniform_range(-bound, bound)).collect();
+    Tensor::from_vec(data, dims).requires_grad()
+}
+
+/// Kaiming/He uniform for ReLU fan-in: `bound = √(6 / fan_in)`.
+pub fn kaiming_uniform(dims: &[usize], rng: &mut Rng) -> Tensor {
+    let fan_in = *dims.last().expect("non-empty dims") as f32;
+    let bound = (6.0 / fan_in).sqrt();
+    let n: usize = dims.iter().product();
+    let data: Vec<f32> = (0..n).map(|_| rng.uniform_range(-bound, bound)).collect();
+    Tensor::from_vec(data, dims).requires_grad()
+}
+
+/// A zero-initialized trainable tensor (bias vectors).
+pub fn zeros_init(dims: &[usize]) -> Tensor {
+    Tensor::zeros(dims).requires_grad()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_init_bound_respected() {
+        let mut rng = Rng::seed_from_u64(1);
+        let t = uniform_init(&[64, 16], &mut rng);
+        let bound = 1.0 / (16.0f32).sqrt();
+        assert!(t.to_vec().iter().all(|&x| x.abs() <= bound));
+        assert!(t.is_grad());
+    }
+
+    #[test]
+    fn xavier_bound_respected() {
+        let mut rng = Rng::seed_from_u64(2);
+        let t = xavier_uniform(&[8, 32], &mut rng);
+        let bound = (6.0f32 / 40.0).sqrt();
+        assert!(t.to_vec().iter().all(|&x| x.abs() <= bound));
+    }
+
+    #[test]
+    fn init_is_deterministic() {
+        let a = uniform_init(&[4, 4], &mut Rng::seed_from_u64(9)).to_vec();
+        let b = uniform_init(&[4, 4], &mut Rng::seed_from_u64(9)).to_vec();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zeros_init_is_trainable_zeros() {
+        let t = zeros_init(&[5]);
+        assert_eq!(t.to_vec(), vec![0.0; 5]);
+        assert!(t.is_grad());
+    }
+}

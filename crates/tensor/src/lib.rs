@@ -1,0 +1,112 @@
+//! # embsr-tensor
+//!
+//! A small, dependency-light tensor library with reverse-mode automatic
+//! differentiation, written as the training substrate for the EMBSR
+//! reproduction (ICDE 2022, "Micro-Behavior Encoding for Session-based
+//! Recommendation").
+//!
+//! The paper trains its models with PyTorch on GPUs; this crate replaces that
+//! substrate with a pure-Rust CPU implementation of exactly the operations the
+//! paper's models need:
+//!
+//! * elementwise arithmetic with row/scalar broadcasting,
+//! * dense matrix multiplication,
+//! * row gathering / scattering (embedding lookups and their sparse grads),
+//! * softmax, layer normalization, L2 row normalization,
+//! * the activations used by GRU/GGNN cells (sigmoid, tanh, relu),
+//! * cross-entropy over logits, and
+//! * the Adam optimizer with global-norm gradient clipping.
+//!
+//! ## Design
+//!
+//! A [`Tensor`] is an immutable handle (`Rc`) to a node in a dynamically built
+//! computation graph. Every operation produces a new node that records its
+//! parents and a backward closure. Calling [`Tensor::backward`] runs a
+//! topological sweep and accumulates gradients into every reachable node with
+//! `requires_grad`. Graph construction is skipped entirely when no input
+//! requires gradients, so inference pays no tape overhead.
+//!
+//! ```
+//! use embsr_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).requires_grad();
+//! let b = Tensor::from_vec(vec![0.5, 0.5, 0.5, 0.5], &[2, 2]).requires_grad();
+//! let loss = a.matmul(&b).sum();
+//! loss.backward();
+//! assert_eq!(a.grad().unwrap().len(), 4);
+//! ```
+
+mod autograd;
+mod init;
+mod ops;
+mod optim;
+mod rng;
+mod shape;
+mod tensor;
+
+pub use init::{kaiming_uniform, uniform_init, xavier_uniform, zeros_init};
+pub use ops::softmax_slice;
+pub use optim::{clip_grad_norm, Adam, AdamConfig, Optimizer, Sgd};
+pub use rng::Rng;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Numerical tolerance helpers shared by the test-suites of downstream crates.
+pub mod testing {
+    use crate::Tensor;
+
+    /// Asserts that two slices are elementwise close.
+    ///
+    /// # Panics
+    /// Panics with a descriptive message when any element differs by more
+    /// than `tol`.
+    pub fn assert_close(actual: &[f32], expected: &[f32], tol: f32) {
+        assert_eq!(
+            actual.len(),
+            expected.len(),
+            "length mismatch: {} vs {}",
+            actual.len(),
+            expected.len()
+        );
+        for (i, (a, e)) in actual.iter().zip(expected.iter()).enumerate() {
+            assert!(
+                (a - e).abs() <= tol,
+                "element {i}: actual {a} vs expected {e} (tol {tol})"
+            );
+        }
+    }
+
+    /// Checks the analytic gradient of `f` at `input` against central finite
+    /// differences.
+    ///
+    /// `f` must be a scalar-valued function of a single tensor. The check
+    /// perturbs every element of `input` by `eps` in both directions.
+    pub fn check_gradient<F>(input: &Tensor, f: F, eps: f32, tol: f32)
+    where
+        F: Fn(&Tensor) -> Tensor,
+    {
+        let out = f(input);
+        assert_eq!(out.len(), 1, "check_gradient requires a scalar output");
+        out.backward();
+        let analytic = input
+            .grad()
+            .expect("input did not receive a gradient; did you call requires_grad()?");
+
+        let base = input.to_vec();
+        for i in 0..base.len() {
+            let mut plus = base.clone();
+            plus[i] += eps;
+            let mut minus = base.clone();
+            minus[i] -= eps;
+            let fp = f(&Tensor::from_vec(plus, input.shape().dims())).to_vec()[0];
+            let fm = f(&Tensor::from_vec(minus, input.shape().dims())).to_vec()[0];
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (analytic[i] - numeric).abs() <= tol * (1.0 + numeric.abs()),
+                "gradient mismatch at {i}: analytic {} vs numeric {}",
+                analytic[i],
+                numeric
+            );
+        }
+    }
+}

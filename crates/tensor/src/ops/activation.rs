@@ -1,0 +1,157 @@
+//! Pointwise nonlinearities used by the GRU/GGNN cells, the feed-forward
+//! block, and the scorer.
+
+use crate::tensor::Tensor;
+
+/// Builds a unary pointwise op whose backward uses the *output* values
+/// (convenient for sigmoid/tanh, whose derivatives are cheapest in terms of
+/// the output).
+fn unary_from_output(
+    input: &Tensor,
+    fwd: impl Fn(f32) -> f32,
+    dydx_from_y: fn(f32) -> f32,
+) -> Tensor {
+    let out: Vec<f32> = input.data().iter().map(|&x| fwd(x)).collect();
+    let saved = out.clone();
+    let parent = input.clone();
+    Tensor::from_op(
+        out,
+        input.shape().clone(),
+        vec![input.clone()],
+        Box::new(move |grad| {
+            if parent.is_grad() {
+                let g: Vec<f32> = grad
+                    .iter()
+                    .zip(saved.iter())
+                    .map(|(&g, &y)| g * dydx_from_y(y))
+                    .collect();
+                parent.accumulate_grad(&g);
+            }
+        }),
+    )
+}
+
+impl Tensor {
+    /// Logistic sigmoid `σ(x) = 1 / (1 + e^{-x})`.
+    pub fn sigmoid(&self) -> Tensor {
+        unary_from_output(self, |x| 1.0 / (1.0 + (-x).exp()), |y| y * (1.0 - y))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self) -> Tensor {
+        unary_from_output(self, f32::tanh, |y| 1.0 - y * y)
+    }
+
+    /// Rectified linear unit `max(0, x)` (paper eq. 17).
+    pub fn relu(&self) -> Tensor {
+        unary_from_output(self, |x| x.max(0.0), |y| if y > 0.0 { 1.0 } else { 0.0 })
+    }
+
+    /// Natural exponential.
+    pub fn exp(&self) -> Tensor {
+        unary_from_output(self, f32::exp, |y| y)
+    }
+
+    /// Natural logarithm. Inputs must be positive.
+    pub fn log(&self) -> Tensor {
+        let parent = self.clone();
+        let saved = self.to_vec();
+        let out: Vec<f32> = saved.iter().map(|&x| x.ln()).collect();
+        Tensor::from_op(
+            out,
+            self.shape().clone(),
+            vec![self.clone()],
+            Box::new(move |grad| {
+                if parent.is_grad() {
+                    let g: Vec<f32> = grad
+                        .iter()
+                        .zip(saved.iter())
+                        .map(|(&g, &x)| g / x)
+                        .collect();
+                    parent.accumulate_grad(&g);
+                }
+            }),
+        )
+    }
+
+    /// Elementwise square root. Inputs must be non-negative.
+    pub fn sqrt(&self) -> Tensor {
+        unary_from_output(self, f32::sqrt, |y| 0.5 / y)
+    }
+
+    /// Elementwise square, a fused `x.mul(x)`.
+    pub fn square(&self) -> Tensor {
+        let parent = self.clone();
+        let saved = self.to_vec();
+        let out: Vec<f32> = saved.iter().map(|&x| x * x).collect();
+        Tensor::from_op(
+            out,
+            self.shape().clone(),
+            vec![self.clone()],
+            Box::new(move |grad| {
+                if parent.is_grad() {
+                    let g: Vec<f32> = grad
+                        .iter()
+                        .zip(saved.iter())
+                        .map(|(&g, &x)| 2.0 * g * x)
+                        .collect();
+                    parent.accumulate_grad(&g);
+                }
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::testing::{assert_close, check_gradient};
+    use crate::Tensor;
+
+    #[test]
+    fn sigmoid_values() {
+        let a = Tensor::from_vec(vec![0.0, 100.0, -100.0], &[3]);
+        let y = a.sigmoid().to_vec();
+        assert_close(&y, &[0.5, 1.0, 0.0], 1e-5);
+    }
+
+    #[test]
+    fn sigmoid_gradcheck() {
+        let a = Tensor::from_vec(vec![-1.0, 0.0, 0.5, 2.0], &[4]).requires_grad();
+        check_gradient(&a, |x| x.sigmoid().sum(), 1e-3, 1e-2);
+    }
+
+    #[test]
+    fn tanh_gradcheck() {
+        let a = Tensor::from_vec(vec![-0.9, 0.1, 1.2], &[3]).requires_grad();
+        check_gradient(&a, |x| x.tanh().sum(), 1e-3, 1e-2);
+    }
+
+    #[test]
+    fn relu_zeroes_negatives_and_their_grads() {
+        let a = Tensor::from_vec(vec![-1.0, 2.0], &[2]).requires_grad();
+        let y = a.relu();
+        assert_eq!(y.to_vec(), vec![0.0, 2.0]);
+        y.sum().backward();
+        assert_close(&a.grad().unwrap(), &[0.0, 1.0], 1e-6);
+    }
+
+    #[test]
+    fn exp_log_inverse() {
+        let a = Tensor::from_vec(vec![0.5, 1.0, 2.0], &[3]);
+        assert_close(&a.exp().log().to_vec(), &a.to_vec(), 1e-5);
+    }
+
+    #[test]
+    fn log_gradcheck() {
+        let a = Tensor::from_vec(vec![0.5, 1.5, 3.0], &[3]).requires_grad();
+        check_gradient(&a, |x| x.log().sum(), 1e-3, 1e-2);
+    }
+
+    #[test]
+    fn sqrt_and_square_gradchecks() {
+        let a = Tensor::from_vec(vec![0.7, 1.3, 2.4], &[3]).requires_grad();
+        check_gradient(&a, |x| x.sqrt().sum(), 1e-3, 1e-2);
+        let b = Tensor::from_vec(vec![-0.7, 1.3, 2.4], &[3]).requires_grad();
+        check_gradient(&b, |x| x.square().sum(), 1e-3, 1e-2);
+    }
+}

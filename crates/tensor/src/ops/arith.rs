@@ -1,0 +1,296 @@
+//! Elementwise arithmetic with the three broadcast forms the models need:
+//! same-shape, matrix-plus-row, and tensor-plus-scalar.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// How the right-hand operand broadcasts against the left.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Broadcast {
+    /// Identical shapes.
+    Same,
+    /// `lhs` is `[n, d]`, `rhs` is `[d]` (or `[1, d]`): rhs repeats per row.
+    Row,
+}
+
+fn classify(lhs: &Tensor, rhs: &Tensor) -> Broadcast {
+    if lhs.shape() == rhs.shape() {
+        return Broadcast::Same;
+    }
+    let (lr, lc) = lhs.shape().as_matrix();
+    let (rr, rc) = rhs.shape().as_matrix();
+    if lc == rc && rr == 1 && lr >= 1 {
+        return Broadcast::Row;
+    }
+    // A row vector viewed as [d] against [n, d].
+    if rhs.shape().rank() == 1 && rhs.len() == lc {
+        return Broadcast::Row;
+    }
+    panic!(
+        "incompatible shapes for elementwise op: {} vs {}",
+        lhs.shape(),
+        rhs.shape()
+    );
+}
+
+/// Reduces a full-size gradient down to a row vector by summing over rows.
+fn reduce_rows(grad: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    let mut out = vec![0.0; cols];
+    for r in 0..rows {
+        for c in 0..cols {
+            out[c] += grad[r * cols + c];
+        }
+    }
+    out
+}
+
+macro_rules! binary_elementwise {
+    ($name:ident, $fwd:expr, $dlhs:expr, $drhs:expr, $doc:literal) => {
+        #[doc = $doc]
+        ///
+        /// Supports same-shape operands and `[n, d] ∘ [d]` row broadcasting.
+        pub fn $name(&self, rhs: &Tensor) -> Tensor {
+            let bc = classify(self, rhs);
+            let (rows, cols) = self.shape().as_matrix();
+            let a = self.data();
+            let b = rhs.data();
+            let fwd: fn(f32, f32) -> f32 = $fwd;
+            let out: Vec<f32> = match bc {
+                Broadcast::Same => a.iter().zip(b.iter()).map(|(&x, &y)| fwd(x, y)).collect(),
+                Broadcast::Row => (0..rows * cols)
+                    .map(|i| fwd(a[i], b[i % cols]))
+                    .collect(),
+            };
+            drop(a);
+            drop(b);
+            let lhs_t = self.clone();
+            let rhs_t = rhs.clone();
+            let shape = self.shape().clone();
+            Tensor::from_op(
+                out,
+                shape,
+                vec![self.clone(), rhs.clone()],
+                Box::new(move |grad| {
+                    let dl: fn(f32, f32, f32) -> f32 = $dlhs;
+                    let dr: fn(f32, f32, f32) -> f32 = $drhs;
+                    let a = lhs_t.data().clone();
+                    let b = rhs_t.data().clone();
+                    if lhs_t.is_grad() {
+                        let g: Vec<f32> = match bc {
+                            Broadcast::Same => (0..grad.len())
+                                .map(|i| dl(a[i], b[i], grad[i]))
+                                .collect(),
+                            Broadcast::Row => (0..grad.len())
+                                .map(|i| dl(a[i], b[i % cols], grad[i]))
+                                .collect(),
+                        };
+                        lhs_t.accumulate_grad(&g);
+                    }
+                    if rhs_t.is_grad() {
+                        let full: Vec<f32> = match bc {
+                            Broadcast::Same => (0..grad.len())
+                                .map(|i| dr(a[i], b[i], grad[i]))
+                                .collect(),
+                            Broadcast::Row => (0..grad.len())
+                                .map(|i| dr(a[i], b[i % cols], grad[i]))
+                                .collect(),
+                        };
+                        match bc {
+                            Broadcast::Same => rhs_t.accumulate_grad(&full),
+                            Broadcast::Row => {
+                                rhs_t.accumulate_grad(&reduce_rows(&full, rows, cols))
+                            }
+                        }
+                    }
+                }),
+            )
+        }
+    };
+}
+
+impl Tensor {
+    binary_elementwise!(
+        add,
+        |x, y| x + y,
+        |_x, _y, g| g,
+        |_x, _y, g| g,
+        "Elementwise addition."
+    );
+
+    binary_elementwise!(
+        sub,
+        |x, y| x - y,
+        |_x, _y, g| g,
+        |_x, _y, g| -g,
+        "Elementwise subtraction."
+    );
+
+    binary_elementwise!(
+        mul,
+        |x, y| x * y,
+        |_x, y, g| g * y,
+        |x, _y, g| g * x,
+        "Elementwise (Hadamard) product."
+    );
+
+    binary_elementwise!(
+        div,
+        |x, y| x / y,
+        |_x, y, g| g / y,
+        |x, y, g| -g * x / (y * y),
+        "Elementwise division."
+    );
+
+    /// Adds a scalar to every element.
+    pub fn add_scalar(&self, s: f32) -> Tensor {
+        let out: Vec<f32> = self.data().iter().map(|&x| x + s).collect();
+        let parent = self.clone();
+        Tensor::from_op(
+            out,
+            self.shape().clone(),
+            vec![self.clone()],
+            Box::new(move |grad| {
+                if parent.is_grad() {
+                    parent.accumulate_grad(grad);
+                }
+            }),
+        )
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn mul_scalar(&self, s: f32) -> Tensor {
+        let out: Vec<f32> = self.data().iter().map(|&x| x * s).collect();
+        let parent = self.clone();
+        Tensor::from_op(
+            out,
+            self.shape().clone(),
+            vec![self.clone()],
+            Box::new(move |grad| {
+                if parent.is_grad() {
+                    let g: Vec<f32> = grad.iter().map(|&g| g * s).collect();
+                    parent.accumulate_grad(&g);
+                }
+            }),
+        )
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&self) -> Tensor {
+        self.mul_scalar(-1.0)
+    }
+
+    /// `1 - x`, a convenience for gate arithmetic `(1 - z) ⊙ a + z ⊙ b`.
+    pub fn one_minus(&self) -> Tensor {
+        self.mul_scalar(-1.0).add_scalar(1.0)
+    }
+
+    /// Reinterprets the tensor with a new shape of identical length.
+    ///
+    /// # Panics
+    /// Panics when the element count changes.
+    pub fn reshape(&self, dims: &[usize]) -> Tensor {
+        let shape = Shape::new(dims);
+        assert_eq!(shape.len(), self.len(), "reshape length mismatch");
+        let parent = self.clone();
+        Tensor::from_op(
+            self.to_vec(),
+            shape,
+            vec![self.clone()],
+            Box::new(move |grad| {
+                if parent.is_grad() {
+                    parent.accumulate_grad(grad);
+                }
+            }),
+        )
+    }
+
+    /// A detached copy: same values, no graph history, no gradient flow.
+    pub fn detach(&self) -> Tensor {
+        Tensor::leaf(self.to_vec(), self.shape().clone(), false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::{assert_close, check_gradient};
+
+    #[test]
+    fn add_same_shape() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![3.0, 4.0], &[2]);
+        assert_eq!(a.add(&b).to_vec(), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn add_row_broadcast() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![10.0, 20.0], &[2]);
+        assert_eq!(a.add(&b).to_vec(), vec![11.0, 22.0, 13.0, 24.0]);
+    }
+
+    #[test]
+    fn row_broadcast_gradient_sums_over_rows() {
+        let b = Tensor::from_vec(vec![1.0, 2.0], &[2]).requires_grad();
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        a.add(&b).sum().backward();
+        assert_close(&b.grad().unwrap(), &[2.0, 2.0], 1e-6);
+    }
+
+    #[test]
+    fn mul_gradcheck() {
+        let a = Tensor::from_vec(vec![0.5, -1.5, 2.0], &[3]).requires_grad();
+        check_gradient(
+            &a,
+            |x| {
+                let c = Tensor::from_vec(vec![2.0, 3.0, -1.0], &[3]);
+                x.mul(&c).mul(x).sum()
+            },
+            1e-3,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn div_gradcheck() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 4.0], &[3]).requires_grad();
+        check_gradient(
+            &a,
+            |x| {
+                let c = Tensor::from_vec(vec![2.0, 4.0, 8.0], &[3]);
+                c.div(x).sum()
+            },
+            1e-3,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn one_minus_matches_definition() {
+        let a = Tensor::from_vec(vec![0.25, 0.75], &[2]);
+        assert_close(&a.one_minus().to_vec(), &[0.75, 0.25], 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible shapes")]
+    fn incompatible_shapes_panic() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 2]);
+        let _ = a.add(&b);
+    }
+
+    #[test]
+    fn detach_blocks_gradient() {
+        let a = Tensor::from_vec(vec![1.0], &[1]).requires_grad();
+        let loss = a.detach().mul_scalar(5.0).sum();
+        loss.backward();
+        assert!(a.grad().is_none());
+    }
+
+    #[test]
+    fn reshape_roundtrip_gradient() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]).requires_grad();
+        a.reshape(&[2, 2]).sum().backward();
+        assert_close(&a.grad().unwrap(), &[1.0; 4], 1e-6);
+    }
+}

@@ -1,0 +1,145 @@
+//! Additional utility ops: clamping, extrema, and masked softmax (useful
+//! when batching variable-length sessions with padding).
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Clamps every element to `[lo, hi]`. Gradient passes through inside
+    /// the range and is blocked outside (straight-through at the bounds).
+    pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
+        assert!(lo <= hi, "clamp bounds inverted");
+        let saved = self.to_vec();
+        let out: Vec<f32> = saved.iter().map(|&x| x.clamp(lo, hi)).collect();
+        let parent = self.clone();
+        Tensor::from_op(
+            out,
+            self.shape().clone(),
+            vec![self.clone()],
+            Box::new(move |grad| {
+                if parent.is_grad() {
+                    let g: Vec<f32> = grad
+                        .iter()
+                        .zip(saved.iter())
+                        .map(|(&g, &x)| if x > lo && x < hi { g } else { 0.0 })
+                        .collect();
+                    parent.accumulate_grad(&g);
+                }
+            }),
+        )
+    }
+
+    /// Maximum element (no gradient; a read-only query).
+    pub fn max_value(&self) -> f32 {
+        self.data()
+            .iter()
+            .cloned()
+            .fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (no gradient; a read-only query).
+    pub fn min_value(&self) -> f32 {
+        self.data().iter().cloned().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Index of the largest element (first on ties; no gradient).
+    pub fn argmax(&self) -> usize {
+        let d = self.data();
+        let mut best = 0usize;
+        for (i, &v) in d.iter().enumerate() {
+            if v > d[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Row-wise softmax where positions with `mask == 0` receive zero
+    /// probability (and contribute no gradient). `mask` must match the
+    /// tensor's shape; every row must keep at least one unmasked position.
+    pub fn masked_softmax_rows(&self, mask: &[f32]) -> Tensor {
+        assert_eq!(mask.len(), self.len(), "mask length mismatch");
+        // additive -inf masking before the (stable) softmax
+        let d = self.to_vec();
+        let masked: Vec<f32> = d
+            .iter()
+            .zip(mask)
+            .map(|(&x, &m)| if m != 0.0 { x } else { f32::NEG_INFINITY })
+            .collect();
+        let (rows, cols) = self.shape().as_matrix();
+        for r in 0..rows {
+            assert!(
+                mask[r * cols..(r + 1) * cols].iter().any(|&m| m != 0.0),
+                "row {r} fully masked"
+            );
+        }
+        // Reuse softmax_rows on a detached masked copy won't carry gradient;
+        // instead shift the live tensor: x + log(mask) with log(0) = -inf is
+        // equivalent and keeps autograd intact for unmasked positions.
+        let shift: Vec<f32> = mask
+            .iter()
+            .map(|&m| if m != 0.0 { 0.0 } else { -1e30 })
+            .collect();
+        let _ = masked;
+        self.add(&Tensor::from_vec(shift, self.shape().dims()))
+            .softmax_rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::testing::{assert_close, check_gradient};
+    use crate::Tensor;
+
+    #[test]
+    fn clamp_values_and_gradient() {
+        let a = Tensor::from_vec(vec![-2.0, 0.5, 3.0], &[3]).requires_grad();
+        let y = a.clamp(-1.0, 1.0);
+        assert_eq!(y.to_vec(), vec![-1.0, 0.5, 1.0]);
+        y.sum().backward();
+        assert_close(&a.grad().unwrap(), &[0.0, 1.0, 0.0], 1e-6);
+    }
+
+    #[test]
+    fn clamp_gradcheck_interior() {
+        let a = Tensor::from_vec(vec![0.2, -0.3, 0.7], &[3]).requires_grad();
+        check_gradient(&a, |x| x.clamp(-1.0, 1.0).square().sum(), 1e-3, 1e-2);
+    }
+
+    #[test]
+    fn extrema_and_argmax() {
+        let a = Tensor::from_vec(vec![3.0, -1.0, 7.0, 7.0], &[4]);
+        assert_eq!(a.max_value(), 7.0);
+        assert_eq!(a.min_value(), -1.0);
+        assert_eq!(a.argmax(), 2, "first max wins ties");
+    }
+
+    #[test]
+    fn masked_softmax_zeroes_masked_positions() {
+        let a = Tensor::from_vec(vec![1.0, 5.0, 2.0], &[1, 3]);
+        let y = a.masked_softmax_rows(&[1.0, 0.0, 1.0]).to_vec();
+        assert!(y[1] < 1e-6, "masked position must get ~0 probability");
+        assert_close(&[y[0] + y[2]], &[1.0], 1e-5);
+    }
+
+    #[test]
+    fn masked_softmax_gradient_skips_masked() {
+        let a = Tensor::from_vec(vec![0.5, 9.0, -0.5], &[1, 3]).requires_grad();
+        let w = Tensor::from_vec(vec![1.0, 1.0, 2.0], &[1, 3]);
+        a.masked_softmax_rows(&[1.0, 0.0, 1.0]).mul(&w).sum().backward();
+        let g = a.grad().unwrap();
+        assert!(g[1].abs() < 1e-6, "masked logit must get ~0 gradient, got {}", g[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fully masked")]
+    fn fully_masked_row_rejected() {
+        let a = Tensor::zeros(&[1, 2]);
+        let _ = a.masked_softmax_rows(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds inverted")]
+    fn inverted_clamp_rejected() {
+        let _ = Tensor::zeros(&[1]).clamp(1.0, -1.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Training losses. The paper optimizes a softmax cross-entropy over all
+//! candidate items (eq. 20), on top of the normalized-and-scaled logits of
+//! eq. 19.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Cross-entropy between row-wise logits and integer targets:
+    /// `L = -(1/n) Σ_r log softmax(logits_r)[target_r]`.
+    ///
+    /// Fused log-softmax + NLL with the standard `softmax - onehot` backward,
+    /// which is both faster and more stable than composing the two ops.
+    ///
+    /// # Panics
+    /// Panics when `targets.len()` differs from the number of rows or a
+    /// target is out of range.
+    pub fn cross_entropy(&self, targets: &[usize]) -> Tensor {
+        let (rows, cols) = self.shape().as_matrix();
+        assert_eq!(targets.len(), rows, "one target per logits row");
+        let d = self.data();
+        let mut probs = vec![0.0; rows * cols];
+        let mut loss = 0.0;
+        for r in 0..rows {
+            let row = &d[r * cols..(r + 1) * cols];
+            let t = targets[r];
+            assert!(t < cols, "target {t} out of range ({cols} classes)");
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for (p, &x) in probs[r * cols..(r + 1) * cols].iter_mut().zip(row) {
+                *p = (x - max).exp();
+                sum += *p;
+            }
+            for p in &mut probs[r * cols..(r + 1) * cols] {
+                *p /= sum;
+            }
+            loss -= probs[r * cols + t].max(1e-12).ln();
+        }
+        drop(d);
+        loss /= rows as f32;
+
+        let parent = self.clone();
+        let tg: Vec<usize> = targets.to_vec();
+        Tensor::from_op(
+            vec![loss],
+            Shape::scalar(),
+            vec![self.clone()],
+            Box::new(move |grad| {
+                if parent.is_grad() {
+                    let scale = grad[0] / rows as f32;
+                    let mut g = probs.clone();
+                    for (r, &t) in tg.iter().enumerate() {
+                        g[r * cols + t] -= 1.0;
+                    }
+                    for v in &mut g {
+                        *v *= scale;
+                    }
+                    parent.accumulate_grad(&g);
+                }
+            }),
+        )
+    }
+
+    /// Convenience for the common single-session case: logits are `[1, |V|]`
+    /// or `[|V|]` and there is one target item.
+    pub fn cross_entropy_single(&self, target: usize) -> Tensor {
+        let n = self.len();
+        self.reshape(&[1, n]).cross_entropy(&[target])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::testing::{assert_close, check_gradient};
+    use crate::Tensor;
+
+    #[test]
+    fn uniform_logits_give_log_classes() {
+        let logits = Tensor::zeros(&[1, 4]);
+        let loss = logits.cross_entropy(&[2]);
+        assert_close(&[loss.item()], &[(4.0f32).ln()], 1e-5);
+    }
+
+    #[test]
+    fn perfect_prediction_loss_near_zero() {
+        let logits = Tensor::from_vec(vec![100.0, 0.0, 0.0], &[1, 3]);
+        assert!(logits.cross_entropy(&[0]).item() < 1e-3);
+    }
+
+    #[test]
+    fn batch_loss_is_mean_of_rows() {
+        let l1 = Tensor::from_vec(vec![2.0, 0.0], &[1, 2]).cross_entropy(&[0]).item();
+        let l2 = Tensor::from_vec(vec![0.0, 1.0], &[1, 2]).cross_entropy(&[1]).item();
+        let both = Tensor::from_vec(vec![2.0, 0.0, 0.0, 1.0], &[2, 2])
+            .cross_entropy(&[0, 1])
+            .item();
+        assert_close(&[both], &[(l1 + l2) / 2.0], 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradcheck() {
+        let logits =
+            Tensor::from_vec(vec![0.5, -0.3, 1.2, 0.1, 0.9, -0.7], &[2, 3]).requires_grad();
+        check_gradient(&logits, |x| x.cross_entropy(&[2, 0]), 1e-3, 2e-2);
+    }
+
+    #[test]
+    fn gradient_is_softmax_minus_onehot() {
+        let logits = Tensor::from_vec(vec![0.0, 0.0], &[1, 2]).requires_grad();
+        logits.cross_entropy(&[0]).backward();
+        assert_close(&logits.grad().unwrap(), &[-0.5, 0.5], 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn target_bounds_checked() {
+        let _ = Tensor::zeros(&[1, 3]).cross_entropy(&[3]);
+    }
+}

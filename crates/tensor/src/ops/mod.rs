@@ -1,0 +1,13 @@
+//! Tensor operations, grouped by family. Each op builds a graph node with a
+//! backward closure when any input requires gradients.
+
+mod activation;
+mod arith;
+mod extras;
+mod index;
+mod loss;
+mod matmul;
+mod norm;
+mod reduce;
+
+pub use norm::softmax_slice;

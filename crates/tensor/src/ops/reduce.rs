@@ -1,0 +1,150 @@
+//! Reductions: sums and means, whole-tensor and per-axis.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Sum of all elements as a scalar tensor.
+    pub fn sum(&self) -> Tensor {
+        let s: f32 = self.data().iter().sum();
+        let parent = self.clone();
+        let n = self.len();
+        Tensor::from_op(
+            vec![s],
+            Shape::scalar(),
+            vec![self.clone()],
+            Box::new(move |grad| {
+                if parent.is_grad() {
+                    parent.accumulate_grad(&vec![grad[0]; n]);
+                }
+            }),
+        )
+    }
+
+    /// Mean of all elements as a scalar tensor.
+    pub fn mean(&self) -> Tensor {
+        let n = self.len() as f32;
+        self.sum().mul_scalar(1.0 / n)
+    }
+
+    /// Column-wise mean of a rank-2 tensor: `[n, d] -> [d]`.
+    ///
+    /// This is the average pooling used to initialize the star node (paper
+    /// eq. 2).
+    pub fn mean_rows(&self) -> Tensor {
+        let (rows, cols) = self.shape().as_matrix();
+        assert!(rows > 0, "mean_rows on empty tensor");
+        let d = self.data();
+        let mut out = vec![0.0; cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                out[c] += d[r * cols + c];
+            }
+        }
+        let inv = 1.0 / rows as f32;
+        for v in &mut out {
+            *v *= inv;
+        }
+        drop(d);
+        let parent = self.clone();
+        Tensor::from_op(
+            out,
+            Shape::new(&[cols]),
+            vec![self.clone()],
+            Box::new(move |grad| {
+                if parent.is_grad() {
+                    let inv = 1.0 / rows as f32;
+                    let mut g = vec![0.0; rows * cols];
+                    for r in 0..rows {
+                        for c in 0..cols {
+                            g[r * cols + c] = grad[c] * inv;
+                        }
+                    }
+                    parent.accumulate_grad(&g);
+                }
+            }),
+        )
+    }
+
+    /// Row-wise sum of a rank-2 tensor: `[n, d] -> [n]`.
+    pub fn sum_cols(&self) -> Tensor {
+        let (rows, cols) = self.shape().as_matrix();
+        let d = self.data();
+        let out: Vec<f32> = (0..rows)
+            .map(|r| d[r * cols..(r + 1) * cols].iter().sum())
+            .collect();
+        drop(d);
+        let parent = self.clone();
+        Tensor::from_op(
+            out,
+            Shape::new(&[rows]),
+            vec![self.clone()],
+            Box::new(move |grad| {
+                if parent.is_grad() {
+                    let mut g = vec![0.0; rows * cols];
+                    for r in 0..rows {
+                        for c in 0..cols {
+                            g[r * cols + c] = grad[r];
+                        }
+                    }
+                    parent.accumulate_grad(&g);
+                }
+            }),
+        )
+    }
+
+    /// Column-wise sum of a rank-2 tensor: `[n, d] -> [d]`.
+    pub fn sum_rows(&self) -> Tensor {
+        let (rows, _cols) = self.shape().as_matrix();
+        self.mean_rows().mul_scalar(rows as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::testing::{assert_close, check_gradient};
+    use crate::Tensor;
+
+    #[test]
+    fn sum_and_mean() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(a.sum().item(), 10.0);
+        assert_eq!(a.mean().item(), 2.5);
+    }
+
+    #[test]
+    fn mean_rows_matches_star_node_init() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]);
+        assert_close(&a.mean_rows().to_vec(), &[3.0, 4.0], 1e-6);
+    }
+
+    #[test]
+    fn mean_rows_gradcheck() {
+        let a = Tensor::from_vec(vec![0.5, -0.5, 1.5, 2.5], &[2, 2]).requires_grad();
+        check_gradient(
+            &a,
+            |x| {
+                let w = Tensor::from_vec(vec![1.0, 3.0], &[2]);
+                x.mean_rows().mul(&w).sum()
+            },
+            1e-3,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn sum_cols_shape_and_grad() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).requires_grad();
+        let s = a.sum_cols();
+        assert_eq!(s.to_vec(), vec![3.0, 7.0]);
+        let w = Tensor::from_vec(vec![2.0, 5.0], &[2]);
+        s.mul(&w).sum().backward();
+        assert_close(&a.grad().unwrap(), &[2.0, 2.0, 5.0, 5.0], 1e-6);
+    }
+
+    #[test]
+    fn sum_rows_is_column_sum() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_close(&a.sum_rows().to_vec(), &[4.0, 6.0], 1e-6);
+    }
+}

@@ -1,0 +1,284 @@
+//! Optimizers. The paper trains every neural model with Adam; plain SGD is
+//! included for tests and ablations.
+
+use std::collections::HashMap;
+
+use crate::tensor::Tensor;
+
+/// Common optimizer interface over a fixed parameter list.
+pub trait Optimizer {
+    /// Applies one update using the gradients currently accumulated on the
+    /// parameters.
+    fn step(&mut self);
+
+    /// Clears the gradients of all parameters.
+    fn zero_grad(&self);
+}
+
+/// Configuration for [`Adam`]. Defaults follow the paper (lr tuned per
+/// dataset; β/ε at their standard values).
+#[derive(Clone, Copy, Debug)]
+pub struct AdamConfig {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    /// L2 weight decay applied to the gradient (decoupled decay is not used
+    /// by the paper's reference implementation).
+    pub weight_decay: f32,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        AdamConfig {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+        }
+    }
+}
+
+struct AdamState {
+    m: Vec<f32>,
+    v: Vec<f32>,
+}
+
+/// The Adam optimizer (Kingma & Ba, 2015) with bias correction.
+pub struct Adam {
+    params: Vec<Tensor>,
+    cfg: AdamConfig,
+    t: u64,
+    state: HashMap<u64, AdamState>,
+}
+
+impl Adam {
+    /// Creates an optimizer over `params`; duplicate handles (same id) are
+    /// deduplicated so shared parameters update once per step.
+    pub fn new(params: Vec<Tensor>, cfg: AdamConfig) -> Self {
+        let mut seen = HashMap::new();
+        let mut unique = Vec::with_capacity(params.len());
+        for p in params {
+            assert!(p.is_grad(), "Adam given a non-trainable tensor");
+            if seen.insert(p.id(), ()).is_none() {
+                unique.push(p);
+            }
+        }
+        Adam {
+            params: unique,
+            cfg,
+            t: 0,
+            state: HashMap::new(),
+        }
+    }
+
+    /// The learning rate currently in effect.
+    pub fn lr(&self) -> f32 {
+        self.cfg.lr
+    }
+
+    /// Replaces the learning rate (for decay schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.cfg.lr = lr;
+    }
+
+    /// Number of parameters tracked (after deduplication).
+    pub fn num_params(&self) -> usize {
+        self.params.len()
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self) {
+        self.t += 1;
+        let cfg = self.cfg;
+        let bc1 = 1.0 - cfg.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - cfg.beta2.powi(self.t as i32);
+        for p in &self.params {
+            let Some(grad) = p.grad() else { continue };
+            let n = grad.len();
+            let st = self.state.entry(p.id()).or_insert_with(|| AdamState {
+                m: vec![0.0; n],
+                v: vec![0.0; n],
+            });
+            let data = p.to_vec();
+            let mut delta = vec![0.0; n];
+            for i in 0..n {
+                let mut g = grad[i];
+                if cfg.weight_decay > 0.0 {
+                    g += cfg.weight_decay * data[i];
+                }
+                st.m[i] = cfg.beta1 * st.m[i] + (1.0 - cfg.beta1) * g;
+                st.v[i] = cfg.beta2 * st.v[i] + (1.0 - cfg.beta2) * g * g;
+                let m_hat = st.m[i] / bc1;
+                let v_hat = st.v[i] / bc2;
+                delta[i] = m_hat / (v_hat.sqrt() + cfg.eps);
+            }
+            p.apply_update(&delta, cfg.lr);
+        }
+    }
+
+    fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+}
+
+/// Plain stochastic gradient descent.
+pub struct Sgd {
+    params: Vec<Tensor>,
+    pub lr: f32,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer with learning rate `lr`.
+    pub fn new(params: Vec<Tensor>, lr: f32) -> Self {
+        Sgd { params, lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self) {
+        for p in &self.params {
+            if let Some(g) = p.grad() {
+                p.apply_update(&g, self.lr);
+            }
+        }
+    }
+
+    fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+}
+
+/// Scales all gradients so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+pub fn clip_grad_norm(params: &[Tensor], max_norm: f32) -> f32 {
+    let mut total = 0.0f32;
+    for p in params {
+        if let Some(g) = p.grad() {
+            total += g.iter().map(|&x| x * x).sum::<f32>();
+        }
+    }
+    let norm = total.sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for p in params {
+            if let Some(mut g) = p.grad() {
+                for x in &mut g {
+                    *x *= scale;
+                }
+                p.zero_grad();
+                // re-set the scaled gradient
+                p.accumulate_grad_public(&g);
+            }
+        }
+    }
+    norm
+}
+
+impl Tensor {
+    /// Public accumulation hook used by [`clip_grad_norm`] and tests.
+    pub fn accumulate_grad_public(&self, g: &[f32]) {
+        self.accumulate_grad(g);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::assert_close;
+    use crate::Tensor;
+
+    fn quadratic_loss(p: &Tensor) -> Tensor {
+        // loss = sum((p - 3)^2)
+        p.add_scalar(-3.0).square().sum()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let p = Tensor::from_vec(vec![0.0, 10.0], &[2]).requires_grad();
+        let mut opt = Sgd::new(vec![p.clone()], 0.1);
+        for _ in 0..100 {
+            opt.zero_grad();
+            quadratic_loss(&p).backward();
+            opt.step();
+        }
+        assert_close(&p.to_vec(), &[3.0, 3.0], 1e-3);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let p = Tensor::from_vec(vec![-5.0], &[1]).requires_grad();
+        let mut opt = Adam::new(
+            vec![p.clone()],
+            AdamConfig {
+                lr: 0.3,
+                ..Default::default()
+            },
+        );
+        for _ in 0..200 {
+            opt.zero_grad();
+            quadratic_loss(&p).backward();
+            opt.step();
+        }
+        assert_close(&p.to_vec(), &[3.0], 1e-2);
+    }
+
+    #[test]
+    fn adam_dedupes_shared_parameters() {
+        let p = Tensor::zeros(&[1]).requires_grad();
+        let opt = Adam::new(vec![p.clone(), p.clone(), p], AdamConfig::default());
+        assert_eq!(opt.num_params(), 1);
+    }
+
+    #[test]
+    fn step_skips_params_without_grad() {
+        let p = Tensor::from_vec(vec![1.0], &[1]).requires_grad();
+        let mut opt = Adam::new(vec![p.clone()], AdamConfig::default());
+        opt.step(); // no grad accumulated: must not panic or move the param
+        assert_eq!(p.to_vec(), vec![1.0]);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_down() {
+        let p = Tensor::zeros(&[2]).requires_grad();
+        p.accumulate_grad_public(&[3.0, 4.0]); // norm 5
+        let pre = clip_grad_norm(std::slice::from_ref(&p), 1.0);
+        assert_close(&[pre], &[5.0], 1e-6);
+        let g = p.grad().unwrap();
+        assert_close(&g, &[0.6, 0.8], 1e-6);
+    }
+
+    #[test]
+    fn clip_grad_norm_leaves_small_grads() {
+        let p = Tensor::zeros(&[2]).requires_grad();
+        p.accumulate_grad_public(&[0.3, 0.4]);
+        clip_grad_norm(std::slice::from_ref(&p), 1.0);
+        assert_close(&p.grad().unwrap(), &[0.3, 0.4], 1e-6);
+    }
+
+    #[test]
+    fn weight_decay_pulls_toward_zero() {
+        let p = Tensor::from_vec(vec![5.0], &[1]).requires_grad();
+        let mut opt = Adam::new(
+            vec![p.clone()],
+            AdamConfig {
+                lr: 0.1,
+                weight_decay: 1.0,
+                ..Default::default()
+            },
+        );
+        for _ in 0..300 {
+            opt.zero_grad();
+            // zero data loss: only decay acts
+            p.mul_scalar(0.0).sum().backward();
+            opt.step();
+        }
+        assert!(p.to_vec()[0].abs() < 0.5);
+    }
+}

@@ -1,0 +1,129 @@
+//! Tensor shapes.
+//!
+//! The models in this workspace only ever need rank-1 and rank-2 tensors
+//! (sessions are processed one at a time, so there is no batch dimension),
+//! but [`Shape`] stores arbitrary rank so utility code can stay generic.
+
+use std::fmt;
+
+/// The dimensions of a tensor.
+///
+/// Cheap to clone; shapes in this workspace are at most rank 2.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from explicit dimensions.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// A scalar (rank-0 is represented as `[1]` for storage simplicity).
+    pub fn scalar() -> Self {
+        Shape(vec![1])
+    }
+
+    /// The dimensions as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// True when the shape contains zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of rows of a rank-2 shape (or the length of a rank-1 shape).
+    ///
+    /// # Panics
+    /// Panics on rank > 2.
+    pub fn rows(&self) -> usize {
+        match self.0.len() {
+            1 => self.0[0],
+            2 => self.0[0],
+            r => panic!("rows() on rank-{r} shape"),
+        }
+    }
+
+    /// Number of columns of a rank-2 shape (1 for rank-1 shapes).
+    ///
+    /// # Panics
+    /// Panics on rank > 2.
+    pub fn cols(&self) -> usize {
+        match self.0.len() {
+            1 => 1,
+            2 => self.0[1],
+            r => panic!("cols() on rank-{r} shape"),
+        }
+    }
+
+    /// Returns `(rows, cols)` viewing the shape as a matrix.
+    pub fn as_matrix(&self) -> (usize, usize) {
+        (self.rows(), self.cols())
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_is_product_of_dims() {
+        assert_eq!(Shape::new(&[3, 4]).len(), 12);
+        assert_eq!(Shape::new(&[7]).len(), 7);
+        assert_eq!(Shape::scalar().len(), 1);
+    }
+
+    #[test]
+    fn matrix_view_of_vector_is_column() {
+        let s = Shape::new(&[5]);
+        assert_eq!(s.as_matrix(), (5, 1));
+    }
+
+    #[test]
+    fn matrix_view_of_matrix() {
+        let s = Shape::new(&[2, 9]);
+        assert_eq!(s.as_matrix(), (2, 9));
+        assert_eq!(s.rank(), 2);
+    }
+
+    #[test]
+    fn empty_shape_detected() {
+        assert!(Shape::new(&[0, 4]).is_empty());
+        assert!(!Shape::new(&[1]).is_empty());
+    }
+}

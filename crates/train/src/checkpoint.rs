@@ -1,0 +1,174 @@
+//! Parameter checkpointing.
+//!
+//! Saves and restores the trainable parameters of any [`SessionModel`] (or
+//! any explicit tensor list) with a small self-describing binary format, so
+//! trained models survive process restarts without pulling in a
+//! serialization framework:
+//!
+//! ```text
+//! magic "EMBSRCKP" | u32 version | u32 tensor count |
+//!   per tensor: u32 rank | u64 dims… | f32 data…
+//! ```
+//!
+//! Tensors are matched **by position**, so the loading model must be built
+//! with the same configuration as the saving one (the usual contract for
+//! weight files).
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use embsr_tensor::Tensor;
+
+use crate::recommender::SessionModel;
+
+const MAGIC: &[u8; 8] = b"EMBSRCKP";
+const VERSION: u32 = 1;
+
+/// Writes the parameters of `model` to `path`.
+pub fn save_model<M: SessionModel>(model: &M, path: &Path) -> io::Result<()> {
+    save_tensors(&model.parameters(), path)
+}
+
+/// Restores the parameters of `model` from `path`.
+///
+/// # Errors
+/// Fails when the file is malformed or the parameter shapes do not match
+/// the model's.
+pub fn load_model<M: SessionModel>(model: &M, path: &Path) -> io::Result<()> {
+    load_tensors(&model.parameters(), path)
+}
+
+/// Writes a list of tensors to `path`.
+pub fn save_tensors(tensors: &[Tensor], path: &Path) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(tensors.len() as u32).to_le_bytes())?;
+    for t in tensors {
+        let dims = t.shape().dims();
+        w.write_all(&(dims.len() as u32).to_le_bytes())?;
+        for &d in dims {
+            w.write_all(&(d as u64).to_le_bytes())?;
+        }
+        for v in t.data().iter() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+/// Reads tensors from `path` into the given (already allocated) tensors.
+pub fn load_tensors(tensors: &[Tensor], path: &Path) -> io::Result<()> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not an EMBSR checkpoint (bad magic)"));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(bad(&format!("unsupported checkpoint version {version}")));
+    }
+    let count = read_u32(&mut r)? as usize;
+    if count != tensors.len() {
+        return Err(bad(&format!(
+            "checkpoint has {count} tensors, model has {}",
+            tensors.len()
+        )));
+    }
+    for (i, t) in tensors.iter().enumerate() {
+        let rank = read_u32(&mut r)? as usize;
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(read_u64(&mut r)? as usize);
+        }
+        if dims != t.shape().dims() {
+            return Err(bad(&format!(
+                "tensor {i}: checkpoint shape {dims:?} vs model shape {:?}",
+                t.shape().dims()
+            )));
+        }
+        let n: usize = dims.iter().product();
+        let mut data = vec![0.0f32; n];
+        let mut buf = [0u8; 4];
+        for v in &mut data {
+            r.read_exact(&mut buf)?;
+            *v = f32::from_le_bytes(buf);
+        }
+        t.set_data(&data);
+    }
+    Ok(())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("embsr_ckpt_test_{name}_{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_preserves_values_and_shapes() {
+        let a = Tensor::from_vec(vec![1.5, -2.5, 3.0, 0.0], &[2, 2]).requires_grad();
+        let b = Tensor::from_vec(vec![9.0; 3], &[3]).requires_grad();
+        let path = tmp("roundtrip");
+        save_tensors(&[a.clone(), b.clone()], &path).unwrap();
+
+        let a2 = Tensor::zeros(&[2, 2]).requires_grad();
+        let b2 = Tensor::zeros(&[3]).requires_grad();
+        load_tensors(&[a2.clone(), b2.clone()], &path).unwrap();
+        assert_eq!(a2.to_vec(), a.to_vec());
+        assert_eq!(b2.to_vec(), b.to_vec());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let a = Tensor::ones(&[2, 2]);
+        let path = tmp("mismatch");
+        save_tensors(&[a], &path).unwrap();
+        let wrong = Tensor::zeros(&[4]);
+        let err = load_tensors(&[wrong], &path).unwrap_err();
+        assert!(err.to_string().contains("shape"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn count_mismatch_is_rejected() {
+        let a = Tensor::ones(&[1]);
+        let path = tmp("count");
+        save_tensors(&[a], &path).unwrap();
+        let err = load_tensors(&[Tensor::zeros(&[1]), Tensor::zeros(&[1])], &path).unwrap_err();
+        assert!(err.to_string().contains("tensors"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn garbage_file_is_rejected() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"definitely not a checkpoint").unwrap();
+        let err = load_tensors(&[Tensor::zeros(&[1])], &path).unwrap_err();
+        assert!(err.to_string().contains("magic"));
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,72 @@
+//! Training hyper-parameters.
+
+/// Hyper-parameters of the shared training loop.
+///
+/// Defaults follow the paper's setup scaled to CPU: Adam, the paper's grid
+/// midpoints for learning rate and dropout, gradient clipping, and the
+/// session-length cap used by the preprocessing.
+#[derive(Clone, Debug)]
+pub struct TrainConfig {
+    /// Maximum training epochs (paper: 50; CPU experiments use fewer).
+    pub epochs: usize,
+    /// Mini-batch size (paper: 512; CPU experiments use smaller).
+    pub batch_size: usize,
+    /// Adam learning rate (paper grid: 0.001–0.01).
+    pub lr: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+    /// Global gradient-norm clip; `None` disables clipping.
+    pub clip_norm: Option<f32>,
+    /// Sessions longer than this many micro-behaviors are truncated to their
+    /// most recent events.
+    pub max_session_len: usize,
+    /// RNG seed controlling shuffling and dropout.
+    pub seed: u64,
+    /// Stop after this many epochs without validation improvement;
+    /// `None` disables early stopping.
+    pub patience: Option<usize>,
+    /// Fraction of the validation set used for the early-stopping signal
+    /// (subsampling keeps epochs cheap); in `(0, 1]`.
+    pub val_fraction: f32,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 6,
+            batch_size: 64,
+            lr: 3e-3,
+            weight_decay: 0.0,
+            clip_norm: Some(5.0),
+            max_session_len: 40,
+            seed: 42,
+            patience: Some(2),
+            val_fraction: 1.0,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// A fast configuration for unit tests and examples.
+    pub fn fast() -> Self {
+        TrainConfig {
+            epochs: 3,
+            batch_size: 32,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sane() {
+        let c = TrainConfig::default();
+        assert!(c.epochs > 0);
+        assert!(c.batch_size > 0);
+        assert!(c.lr > 0.0);
+        assert!((0.0..=1.0).contains(&c.val_fraction));
+    }
+}

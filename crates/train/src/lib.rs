@@ -1,0 +1,23 @@
+//! # embsr-train
+//!
+//! Model-agnostic training machinery shared by EMBSR and every neural
+//! baseline:
+//!
+//! * [`Recommender`] — the uniform interface the evaluation harness scores
+//!   (non-neural methods like S-POP/SKNN implement it directly);
+//! * [`SessionModel`] — a neural next-item model: parameters + per-session
+//!   logits;
+//! * [`Trainer`] / [`TrainConfig`] — mini-batch Adam training with gradient
+//!   clipping, session truncation and validation-based early stopping,
+//!   following the paper's protocol (Adam, batch training, ≤ 50 epochs,
+//!   lr/dropout grid).
+
+mod checkpoint;
+mod config;
+mod recommender;
+mod trainer;
+
+pub use checkpoint::{load_model, load_tensors, save_model, save_tensors};
+pub use config::TrainConfig;
+pub use recommender::{NeuralRecommender, Recommender, SessionModel};
+pub use trainer::{truncate_session, EpochStats, TrainReport, Trainer};

@@ -1,0 +1,121 @@
+//! The [`Recommender`] and [`SessionModel`] interfaces.
+
+use embsr_sessions::{Example, Session};
+use embsr_tensor::{Rng, Tensor};
+
+/// Anything that can score the full item vocabulary for a session.
+///
+/// This is the single interface the evaluation harness consumes; both
+/// neural models (via [`NeuralRecommender`]) and non-neural methods
+/// (S-POP, SKNN, STAN) implement it.
+pub trait Recommender {
+    /// Human-readable model name as it appears in the paper's tables.
+    fn name(&self) -> &str;
+
+    /// Size of the item vocabulary `|V|`.
+    fn num_items(&self) -> usize;
+
+    /// Fits the model on training examples (validation examples are used
+    /// for early stopping where applicable).
+    fn fit(&mut self, train: &[Example], val: &[Example]);
+
+    /// Scores for every item given the session prefix; higher is better.
+    /// The returned vector has length `num_items()`.
+    fn scores(&self, session: &Session) -> Vec<f32>;
+}
+
+/// A differentiable next-item model trained by the shared [`crate::Trainer`].
+pub trait SessionModel {
+    /// Model name.
+    fn name(&self) -> &str;
+
+    /// Item vocabulary size.
+    fn num_items(&self) -> usize;
+
+    /// All trainable parameters.
+    fn parameters(&self) -> Vec<Tensor>;
+
+    /// Logits `[|V|]` for the next item after `session`.
+    ///
+    /// `training` toggles dropout; `rng` drives it.
+    fn logits(&self, session: &Session, training: bool, rng: &mut Rng) -> Tensor;
+}
+
+/// Adapter turning a trained [`SessionModel`] into a [`Recommender`].
+///
+/// `fit` delegates to the shared trainer with the stored config.
+pub struct NeuralRecommender<M: SessionModel> {
+    pub model: M,
+    pub config: crate::TrainConfig,
+    pub report: Option<crate::TrainReport>,
+}
+
+impl<M: SessionModel> NeuralRecommender<M> {
+    /// Wraps a model with its training configuration.
+    pub fn new(model: M, config: crate::TrainConfig) -> Self {
+        NeuralRecommender {
+            model,
+            config,
+            report: None,
+        }
+    }
+}
+
+impl<M: SessionModel> Recommender for NeuralRecommender<M> {
+    fn name(&self) -> &str {
+        self.model.name()
+    }
+
+    fn num_items(&self) -> usize {
+        self.model.num_items()
+    }
+
+    fn fit(&mut self, train: &[Example], val: &[Example]) {
+        let trainer = crate::Trainer::new(self.config.clone());
+        self.report = Some(trainer.fit(&self.model, train, val));
+    }
+
+    fn scores(&self, session: &Session) -> Vec<f32> {
+        let mut rng = Rng::seed_from_u64(0); // dropout disabled at eval
+        let truncated = crate::trainer::truncate_session(session, self.config.max_session_len);
+        self.model.logits(&truncated, false, &mut rng).to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embsr_sessions::MicroBehavior;
+
+    /// A trivial bigram-count "neural" model used to exercise the adapter.
+    struct Uniform {
+        n: usize,
+    }
+
+    impl SessionModel for Uniform {
+        fn name(&self) -> &str {
+            "Uniform"
+        }
+        fn num_items(&self) -> usize {
+            self.n
+        }
+        fn parameters(&self) -> Vec<Tensor> {
+            Vec::new()
+        }
+        fn logits(&self, _s: &Session, _t: bool, _r: &mut Rng) -> Tensor {
+            Tensor::zeros(&[self.n])
+        }
+    }
+
+    #[test]
+    fn adapter_exposes_model_metadata() {
+        let rec = NeuralRecommender::new(Uniform { n: 7 }, crate::TrainConfig::fast());
+        assert_eq!(rec.name(), "Uniform");
+        assert_eq!(rec.num_items(), 7);
+        let s = Session {
+            id: 0,
+            events: vec![MicroBehavior::new(1, 0)],
+        };
+        assert_eq!(rec.scores(&s).len(), 7);
+    }
+}

@@ -1,0 +1,278 @@
+//! The shared mini-batch training loop.
+
+use embsr_sessions::{Example, Session};
+use embsr_tensor::{clip_grad_norm, Adam, AdamConfig, Optimizer, Rng, Tensor};
+
+use crate::config::TrainConfig;
+use crate::recommender::SessionModel;
+
+/// Per-epoch statistics.
+#[derive(Clone, Debug)]
+pub struct EpochStats {
+    pub epoch: usize,
+    pub train_loss: f32,
+    pub val_loss: f32,
+}
+
+/// Outcome of a training run.
+#[derive(Clone, Debug, Default)]
+pub struct TrainReport {
+    pub epochs: Vec<EpochStats>,
+    /// Epoch index with the best validation loss.
+    pub best_epoch: usize,
+    /// True when training ended before `cfg.epochs` due to patience.
+    pub early_stopped: bool,
+}
+
+impl TrainReport {
+    /// Final training loss (NaN when no epochs ran).
+    pub fn final_train_loss(&self) -> f32 {
+        self.epochs.last().map_or(f32::NAN, |e| e.train_loss)
+    }
+}
+
+/// Keeps the most recent `max_len` micro-behaviors of a session.
+///
+/// Long sessions dominate runtime quadratically through attention; the paper
+/// caps session length in preprocessing, we cap at training time with the
+/// same effect.
+pub fn truncate_session(session: &Session, max_len: usize) -> Session {
+    if session.len() <= max_len {
+        return session.clone();
+    }
+    Session {
+        id: session.id,
+        events: session.events[session.len() - max_len..].to_vec(),
+    }
+}
+
+/// Mini-batch Adam trainer for any [`SessionModel`].
+pub struct Trainer {
+    cfg: TrainConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer with the given configuration.
+    pub fn new(cfg: TrainConfig) -> Self {
+        Trainer { cfg }
+    }
+
+    /// Trains `model` in place and returns per-epoch statistics.
+    ///
+    /// Sessions shorter than one macro item are skipped defensively (the
+    /// dataset pipeline already filters them).
+    pub fn fit<M: SessionModel>(&self, model: &M, train: &[Example], val: &[Example]) -> TrainReport {
+        let cfg = &self.cfg;
+        let params = model.parameters();
+        let mut opt = Adam::new(
+            params.clone(),
+            AdamConfig {
+                lr: cfg.lr,
+                weight_decay: cfg.weight_decay,
+                ..Default::default()
+            },
+        );
+        let mut rng = Rng::seed_from_u64(cfg.seed);
+        let mut order: Vec<usize> = (0..train.len()).collect();
+
+        // Optionally subsample validation for the early-stopping signal.
+        let val_take = ((val.len() as f32 * cfg.val_fraction).ceil() as usize).min(val.len());
+        let val_slice = &val[..val_take];
+
+        let mut report = TrainReport::default();
+        let mut best_val = f32::INFINITY;
+        let mut since_best = 0usize;
+        // Snapshot of the best-validation parameters; restored at the end so
+        // `fit` returns the checkpoint the paper's protocol would select.
+        let mut best_weights: Option<Vec<Vec<f32>>> = None;
+
+        for epoch in 0..cfg.epochs {
+            rng.shuffle(&mut order);
+            let mut epoch_loss = 0.0f64;
+            let mut seen = 0usize;
+            for chunk in order.chunks(cfg.batch_size) {
+                opt.zero_grad();
+                let mut batch_losses: Vec<Tensor> = Vec::with_capacity(chunk.len());
+                for &i in chunk {
+                    let ex = &train[i];
+                    if ex.session.is_empty() {
+                        continue;
+                    }
+                    let sess = truncate_session(&ex.session, cfg.max_session_len);
+                    let logits = model.logits(&sess, true, &mut rng);
+                    batch_losses.push(logits.cross_entropy_single(ex.target as usize));
+                }
+                if batch_losses.is_empty() {
+                    continue;
+                }
+                let n = batch_losses.len() as f32;
+                let loss = batch_losses
+                    .into_iter()
+                    .reduce(|a, b| a.add(&b))
+                    .expect("non-empty")
+                    .mul_scalar(1.0 / n);
+                epoch_loss += loss.item() as f64 * n as f64;
+                seen += n as usize;
+                loss.backward();
+                if let Some(max) = cfg.clip_norm {
+                    clip_grad_norm(&params, max);
+                }
+                opt.step();
+            }
+            let train_loss = (epoch_loss / seen.max(1) as f64) as f32;
+            let val_loss = self.eval_loss(model, val_slice, &mut rng);
+            report.epochs.push(EpochStats {
+                epoch,
+                train_loss,
+                val_loss,
+            });
+            if val_loss < best_val || val_loss.is_nan() {
+                best_val = val_loss;
+                report.best_epoch = epoch;
+                since_best = 0;
+                if !val_loss.is_nan() {
+                    best_weights = Some(params.iter().map(Tensor::to_vec).collect());
+                }
+            } else {
+                since_best += 1;
+                if let Some(p) = cfg.patience {
+                    if since_best > p {
+                        report.early_stopped = true;
+                        break;
+                    }
+                }
+            }
+        }
+        // Restore the best-validation checkpoint (when validation data was
+        // available and at least one epoch improved on it).
+        if let Some(snapshot) = best_weights {
+            for (p, w) in params.iter().zip(&snapshot) {
+                p.set_data(w);
+            }
+        }
+        report
+    }
+
+    /// Mean cross-entropy over a set of examples without building graphs.
+    pub fn eval_loss<M: SessionModel>(&self, model: &M, examples: &[Example], rng: &mut Rng) -> f32 {
+        if examples.is_empty() {
+            return f32::NAN;
+        }
+        let mut total = 0.0f64;
+        let mut n = 0usize;
+        for ex in examples {
+            if ex.session.is_empty() {
+                continue;
+            }
+            let sess = truncate_session(&ex.session, self.cfg.max_session_len);
+            let logits = model.logits(&sess, false, rng);
+            total += logits.cross_entropy_single(ex.target as usize).item() as f64;
+            n += 1;
+        }
+        (total / n.max(1) as f64) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embsr_sessions::MicroBehavior;
+    use embsr_tensor::uniform_init;
+
+    /// A minimal trainable model: per-item bias plus a bigram table row
+    /// selected by the last item. Enough structure to verify that the loop
+    /// actually reduces the loss.
+    struct Bigram {
+        table: Tensor, // [V, V]
+    }
+
+    impl Bigram {
+        fn new(v: usize, rng: &mut Rng) -> Self {
+            Bigram {
+                table: uniform_init(&[v, v], rng),
+            }
+        }
+    }
+
+    impl SessionModel for Bigram {
+        fn name(&self) -> &str {
+            "Bigram"
+        }
+        fn num_items(&self) -> usize {
+            self.table.rows()
+        }
+        fn parameters(&self) -> Vec<Tensor> {
+            vec![self.table.clone()]
+        }
+        fn logits(&self, s: &Session, _t: bool, _r: &mut Rng) -> Tensor {
+            let last = s.events.last().expect("non-empty").item as usize;
+            self.table.row(last)
+        }
+    }
+
+    fn make_examples(pairs: &[(u32, u32)]) -> Vec<Example> {
+        pairs
+            .iter()
+            .enumerate()
+            .map(|(i, &(from, to))| Example {
+                session: Session {
+                    id: i as u64,
+                    events: vec![MicroBehavior::new(from, 0)],
+                },
+                target: to,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn loss_decreases_on_learnable_data() {
+        // deterministic transitions 0->1, 1->2, 2->0
+        let exs = make_examples(&[(0, 1), (1, 2), (2, 0), (0, 1), (1, 2), (2, 0)]);
+        let model = Bigram::new(3, &mut Rng::seed_from_u64(0));
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 30,
+            batch_size: 4,
+            lr: 0.1,
+            patience: None,
+            ..Default::default()
+        });
+        let report = trainer.fit(&model, &exs, &exs);
+        let first = report.epochs.first().unwrap().train_loss;
+        let last = report.final_train_loss();
+        assert!(last < first * 0.5, "loss did not drop: {first} -> {last}");
+    }
+
+    #[test]
+    fn early_stopping_triggers_on_stagnation() {
+        // random targets can't be learned from a 1-item vocabulary signal
+        let exs = make_examples(&[(0, 1), (0, 2), (0, 3), (0, 1), (0, 2), (0, 3)]);
+        let model = Bigram::new(4, &mut Rng::seed_from_u64(1));
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 50,
+            batch_size: 2,
+            lr: 0.5,
+            patience: Some(1),
+            ..Default::default()
+        });
+        let report = trainer.fit(&model, &exs, &exs);
+        assert!(report.epochs.len() < 50, "never early-stopped");
+    }
+
+    #[test]
+    fn truncate_keeps_most_recent() {
+        let s = Session::from_pairs(0, &[(1, 0), (2, 0), (3, 0), (4, 0)]);
+        let t = truncate_session(&s, 2);
+        assert_eq!(t.items().collect::<Vec<_>>(), vec![3, 4]);
+        // below cap: untouched
+        assert_eq!(truncate_session(&s, 10).len(), 4);
+    }
+
+    #[test]
+    fn eval_loss_handles_empty_sets() {
+        let model = Bigram::new(2, &mut Rng::seed_from_u64(2));
+        let trainer = Trainer::new(TrainConfig::fast());
+        assert!(trainer
+            .eval_loss(&model, &[], &mut Rng::seed_from_u64(0))
+            .is_nan());
+    }
+}

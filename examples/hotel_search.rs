@@ -1,0 +1,69 @@
+//! Hotel-search scenario (the paper's Trivago analysis): when the ground
+//! truth almost never re-occurs inside the session, popularity methods
+//! collapse while micro-behavior models keep working — the effect behind
+//! S-POP's zero row in Table III.
+//!
+//! ```bash
+//! cargo run --release -p embsr-bench --example hotel_search
+//! ```
+
+use embsr_baselines::{Sknn, SPop};
+use embsr_core::{Embsr, EmbsrConfig};
+use embsr_datasets::{build_dataset, DatasetPreset, SyntheticConfig};
+use embsr_eval::evaluate;
+use embsr_train::{NeuralRecommender, Recommender, TrainConfig};
+
+fn main() {
+    let mut cfg = SyntheticConfig::tiny(DatasetPreset::Trivago);
+    cfg.num_sessions = 800;
+    let data = build_dataset(&cfg);
+    println!(
+        "Trivago-style corpus: {} items, target-repeat ratio {:.3} (ground truth almost \
+         never appears in the session)\n",
+        data.num_items, data.stats.target_repeat_ratio
+    );
+
+    let ks = [5usize, 10, 20];
+
+    let mut spop = SPop::new(data.num_items);
+    spop.fit(&data.train, &data.val);
+    let e_spop = evaluate(&spop, &data.test, &ks);
+
+    let mut sknn = Sknn::new(data.num_items);
+    sknn.fit(&data.train, &data.val);
+    let e_sknn = evaluate(&sknn, &data.test, &ks);
+
+    let mut embsr = NeuralRecommender::new(
+        Embsr::new(EmbsrConfig::full(data.num_items, data.num_ops, 24)),
+        TrainConfig {
+            epochs: 3,
+            ..TrainConfig::default()
+        },
+    );
+    println!("training EMBSR…");
+    embsr.fit(&data.train, &data.val);
+    let e_embsr = evaluate(&embsr, &data.test, &ks);
+
+    println!("\n{:<8}{:>10}{:>10}{:>10}", "Model", "H@5", "H@10", "H@20");
+    for e in [&e_spop, &e_sknn, &e_embsr] {
+        println!(
+            "{:<8}{:>10.2}{:>10.2}{:>10.2}",
+            e.model,
+            e.hit_at(5),
+            e.hit_at(10),
+            e.hit_at(20)
+        );
+    }
+
+    println!(
+        "\nS-POP can only re-recommend items already in the session, so with a repeat \
+         ratio of {:.1}% it hits almost nothing — the paper reports exactly 0 on Trivago. \
+         Models that generalize (SKNN via neighbors, EMBSR via learned intent) still rank \
+         the unseen target.",
+        100.0 * data.stats.target_repeat_ratio
+    );
+    assert!(
+        e_embsr.hit_at(20) > e_spop.hit_at(20),
+        "EMBSR must beat S-POP on no-repeat data"
+    );
+}

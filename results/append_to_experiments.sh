@@ -1,0 +1,22 @@
+#!/bin/bash
+# Appends the raw harness outputs to EXPERIMENTS.md (run after run_all.sh).
+set -u
+OUT=$(dirname "$0")
+MD=$OUT/../EXPERIMENTS.md
+# drop anything after the marker, then re-append
+sed -i '/^# Raw measured output/q' "$MD"
+echo "" >> "$MD"
+echo '*(`--scale small`, single CPU core; regenerate with `results/run_all.sh small`)*' >> "$MD"
+for exp in exp_table2_stats exp_table3_overall exp_table4_ablation exp_fig4_sequential exp_fig5_dyadic exp_fig6_fusion exp_fig7_case_study exp_suppl1_singleop exp_suppl2_dyadic_sgnnhn exp_suppl3_topk exp_ext_op_weighting; do
+  f=$OUT/$exp.txt
+  [ -s "$f" ] || continue
+  {
+    echo ""
+    echo "## $exp"
+    echo ""
+    echo '```text'
+    cat "$f"
+    echo '```'
+  } >> "$MD"
+done
+echo "appended"

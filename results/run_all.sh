@@ -1,0 +1,27 @@
+#!/bin/bash
+# Regenerates every table/figure of the paper at the given scale.
+set -u
+SCALE=${1:-small}
+OUT=$(dirname "$0")
+BIN=./target/release
+run() {
+  exp=$1; shift
+  echo "=== $exp (scale $SCALE) ==="
+  start=$SECONDS
+  if "$BIN/$exp" --scale "$SCALE" "$@" > "$OUT/$exp.txt" 2>&1; then
+    echo "ok in $((SECONDS-start))s"
+  else
+    echo "FAILED: $exp (see $OUT/$exp.txt)"
+  fi
+}
+run exp_table2_stats
+run exp_table4_ablation --repeats 2
+run exp_fig4_sequential --repeats 2
+run exp_fig5_dyadic --repeats 2
+run exp_fig7_case_study
+run exp_suppl2_dyadic_sgnnhn
+run exp_ext_op_weighting
+run exp_fig6_fusion
+run exp_suppl1_singleop
+run exp_table3_overall
+run exp_suppl3_topk

@@ -1,0 +1,58 @@
+//! Checkpoint integration: a trained EMBSR model saved to disk and loaded
+//! into a freshly constructed model must reproduce identical scores.
+
+use embsr_core::{Embsr, EmbsrConfig};
+use embsr_datasets::{build_dataset, DatasetPreset, SyntheticConfig};
+use embsr_sessions::Session;
+use embsr_train::{load_model, save_model, NeuralRecommender, Recommender, TrainConfig};
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("embsr_it_ckpt_{name}_{}", std::process::id()));
+    p
+}
+
+#[test]
+fn trained_model_roundtrips_through_checkpoint() {
+    let mut cfg = SyntheticConfig::tiny(DatasetPreset::JdAppliances);
+    cfg.num_sessions = 200;
+    let data = build_dataset(&cfg);
+
+    let model_cfg = EmbsrConfig::full(data.num_items, data.num_ops, 12);
+    let mut rec = NeuralRecommender::new(
+        Embsr::new(model_cfg.clone()),
+        TrainConfig {
+            epochs: 1,
+            ..TrainConfig::default()
+        },
+    );
+    rec.fit(&data.train, &data.val);
+
+    let probe = Session::from_pairs(1, &[(1, 0), (2, 1), (3, 2)]);
+    let before = rec.scores(&probe);
+
+    let path = tmp("roundtrip");
+    save_model(&rec.model, &path).expect("save");
+
+    // a fresh model with different seed => different weights…
+    let mut fresh_cfg = model_cfg;
+    fresh_cfg.seed = 12345;
+    let fresh = NeuralRecommender::new(Embsr::new(fresh_cfg), TrainConfig::default());
+    assert_ne!(fresh.scores(&probe), before, "fresh model should differ");
+
+    // …until the checkpoint is loaded.
+    load_model(&fresh.model, &path).expect("load");
+    assert_eq!(fresh.scores(&probe), before, "checkpoint must restore scores");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn checkpoint_rejects_differently_sized_model() {
+    let model = Embsr::new(EmbsrConfig::full(10, 4, 8));
+    let path = tmp("sizecheck");
+    save_model(&model, &path).expect("save");
+
+    let other = Embsr::new(EmbsrConfig::full(11, 4, 8)); // different vocab
+    assert!(load_model(&other, &path).is_err());
+    std::fs::remove_file(path).ok();
+}

@@ -1,0 +1,68 @@
+//! Reproducibility guarantees across the whole pipeline: identical seeds
+//! must give bit-identical datasets, fits, and evaluations for every model
+//! family.
+
+use embsr_baselines::{build_baseline, BaselineKind};
+use embsr_datasets::{build_dataset, DatasetPreset, SyntheticConfig};
+use embsr_eval::{evaluate, ResultsTable};
+use embsr_train::TrainConfig;
+
+fn dataset() -> embsr_datasets::Dataset {
+    let mut cfg = SyntheticConfig::tiny(DatasetPreset::JdComputers);
+    cfg.num_sessions = 200;
+    build_dataset(&cfg)
+}
+
+#[test]
+fn nonneural_baselines_are_deterministic() {
+    let data = dataset();
+    for kind in [
+        BaselineKind::SPop,
+        BaselineKind::Sknn,
+        BaselineKind::Stan,
+        BaselineKind::Markov,
+        BaselineKind::ItemKnn,
+    ] {
+        let run = || {
+            let mut rec =
+                build_baseline(kind, data.num_items, data.num_ops, 8, 1, &TrainConfig::fast());
+            rec.fit(&data.train, &data.val);
+            evaluate(rec.as_ref(), &data.test, &[10]).ranks
+        };
+        assert_eq!(run(), run(), "{} not deterministic", kind.name());
+    }
+}
+
+#[test]
+fn neural_baseline_fit_is_deterministic() {
+    let data = dataset();
+    let cfg = TrainConfig {
+        epochs: 1,
+        ..TrainConfig::default()
+    };
+    let run = || {
+        let mut rec =
+            build_baseline(BaselineKind::Fpmc, data.num_items, data.num_ops, 8, 3, &cfg);
+        rec.fit(&data.train, &data.val);
+        evaluate(rec.as_ref(), &data.test, &[10]).ranks
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn results_table_markdown_roundtrip() {
+    let data = dataset();
+    let cfg = TrainConfig::fast();
+    let mut evals = Vec::new();
+    for kind in [BaselineKind::SPop, BaselineKind::Markov] {
+        let mut rec = build_baseline(kind, data.num_items, data.num_ops, 8, 1, &cfg);
+        rec.fit(&data.train, &data.val);
+        evals.push(evaluate(rec.as_ref(), &data.test, &[5, 10]));
+    }
+    let table = ResultsTable::new("determinism-check", &[5, 10], evals);
+    let md = table.to_markdown();
+    assert!(md.contains("S-POP") && md.contains("Markov"));
+    let csv = table.to_csv();
+    // header + 4 metrics × 2 models
+    assert_eq!(csv.lines().count(), 1 + 4 * 2);
+}

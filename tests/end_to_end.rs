@@ -1,0 +1,101 @@
+//! End-to-end integration: dataset generation → preprocessing → EMBSR
+//! training → evaluation, across crate boundaries.
+
+use embsr_core::{Embsr, EmbsrConfig};
+use embsr_datasets::{build_dataset, DatasetPreset, SyntheticConfig};
+use embsr_eval::evaluate;
+use embsr_train::{NeuralRecommender, Recommender, TrainConfig};
+
+fn tiny_dataset() -> embsr_datasets::Dataset {
+    let mut cfg = SyntheticConfig::tiny(DatasetPreset::JdAppliances);
+    cfg.num_sessions = 300;
+    build_dataset(&cfg)
+}
+
+fn fast_config() -> TrainConfig {
+    TrainConfig {
+        epochs: 3,
+        batch_size: 32,
+        lr: 8e-3,
+        val_fraction: 0.3,
+        ..TrainConfig::default()
+    }
+}
+
+#[test]
+fn embsr_trains_and_evaluates_end_to_end() {
+    let data = tiny_dataset();
+    let mut rec = NeuralRecommender::new(
+        Embsr::new(EmbsrConfig::full(data.num_items, data.num_ops, 12)),
+        fast_config(),
+    );
+    rec.fit(&data.train, &data.val);
+    let report = rec.report.as_ref().expect("report present");
+    assert!(!report.epochs.is_empty());
+    assert!(report.final_train_loss().is_finite());
+
+    let eval = evaluate(&rec, &data.test, &[5, 10, 20]);
+    // metric sanity
+    for (h, m) in eval.hit.iter().zip(&eval.mrr) {
+        assert!((0.0..=100.0).contains(h));
+        assert!(*m <= *h + 1e-9);
+    }
+    // monotone in K
+    assert!(eval.hit_at(10) >= eval.hit_at(5));
+    assert!(eval.hit_at(20) >= eval.hit_at(10));
+    // learned something: beat the uniform-random baseline by a wide margin
+    let random_h20 = 100.0 * 20.0 / data.num_items as f64;
+    assert!(
+        eval.hit_at(20) > random_h20 * 1.8,
+        "H@20 {:.2} vs random {:.2}",
+        eval.hit_at(20),
+        random_h20
+    );
+}
+
+#[test]
+fn training_loss_decreases() {
+    let data = tiny_dataset();
+    let mut rec = NeuralRecommender::new(
+        Embsr::new(EmbsrConfig::full(data.num_items, data.num_ops, 12)),
+        TrainConfig {
+            epochs: 4,
+            patience: None,
+            ..fast_config()
+        },
+    );
+    rec.fit(&data.train, &data.val);
+    let epochs = &rec.report.as_ref().unwrap().epochs;
+    let first = epochs.first().unwrap().train_loss;
+    let last = epochs.last().unwrap().train_loss;
+    assert!(last < first, "loss did not decrease: {first} -> {last}");
+}
+
+#[test]
+fn identical_seeds_reproduce_identical_metrics() {
+    let data = tiny_dataset();
+    let run = || {
+        let mut rec = NeuralRecommender::new(
+            Embsr::new(EmbsrConfig::full(data.num_items, data.num_ops, 12)),
+            fast_config(),
+        );
+        rec.fit(&data.train, &data.val);
+        evaluate(&rec, &data.test, &[10])
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.ranks, b.ranks, "training must be bit-reproducible");
+}
+
+#[test]
+fn different_seeds_give_different_models() {
+    let data = tiny_dataset();
+    let run = |seed: u64| {
+        let mut cfg = EmbsrConfig::full(data.num_items, data.num_ops, 12);
+        cfg.seed = seed;
+        let mut rec = NeuralRecommender::new(Embsr::new(cfg), fast_config());
+        rec.fit(&data.train, &data.val);
+        evaluate(&rec, &data.test, &[10]).ranks
+    };
+    assert_ne!(run(1), run(2));
+}

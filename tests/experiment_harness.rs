@@ -1,0 +1,89 @@
+//! Integration tests for the experiment harness: the machinery behind every
+//! table/figure binary works end to end at smoke scale.
+
+use embsr_baselines::BaselineKind;
+use embsr_bench::{run_cell, run_table, EmbsrVariant, HarnessArgs, ModelSpec, Scale};
+use embsr_datasets::{single_op_view, DatasetPreset};
+use embsr_eval::{wilcoxon_signed_rank, ResultsTable};
+
+fn args() -> HarnessArgs {
+    HarnessArgs {
+        scale: Scale::Tiny,
+        threads: 4,
+        dim: 8,
+        epochs: 1,
+        seed: 9,
+        repeats: 1,
+        lr_override: None,
+    }
+}
+
+#[test]
+fn run_table_fills_all_cells_in_parallel() {
+    let a = args();
+    let data = a.dataset(DatasetPreset::JdAppliances);
+    let specs = [
+        ModelSpec::Baseline(BaselineKind::SPop),
+        ModelSpec::Baseline(BaselineKind::Sknn),
+        ModelSpec::Embsr(EmbsrVariant::NoGnn),
+    ];
+    let table = run_table(&data, &specs, &[5, 10], &a);
+    assert_eq!(table.evaluations.len(), 3);
+    assert_eq!(table.rows().len(), 4); // H@5 H@10 M@5 M@10
+    let rendered = table.render();
+    assert!(rendered.contains("S-POP"));
+    assert!(rendered.contains("EMBSR-NG"));
+}
+
+#[test]
+fn improvement_column_matches_definition() {
+    let imp = ResultsTable::improvement(&[10.0, 30.0, 33.0]);
+    assert!((imp - 10.0).abs() < 1e-9);
+}
+
+#[test]
+fn wilcoxon_pairs_per_session_ranks() {
+    let a = args();
+    let data = a.dataset(DatasetPreset::JdAppliances);
+    let e1 = run_cell(ModelSpec::Baseline(BaselineKind::Sknn), &data, &[20], &a);
+    let e2 = run_cell(ModelSpec::Baseline(BaselineKind::SPop), &data, &[20], &a);
+    assert_eq!(e1.ranks.len(), e2.ranks.len(), "same test sessions");
+    let w = wilcoxon_signed_rank(&e1.reciprocal_ranks_at(20), &e2.reciprocal_ranks_at(20));
+    assert!(w.p_two_sided >= 0.0 && w.p_two_sided <= 1.0);
+}
+
+#[test]
+fn single_op_view_keeps_targets_aligned_with_full_view() {
+    let a = args();
+    let data = a.dataset(DatasetPreset::JdComputers);
+    let view = single_op_view(&data);
+    assert!(!view.test.is_empty());
+    assert!(view.test.len() <= data.test.len());
+    // every surviving example's target exists in the full view
+    let ids: std::collections::HashMap<u64, u32> =
+        data.test.iter().map(|e| (e.session.id, e.target)).collect();
+    for ex in &view.test {
+        assert_eq!(ids[&ex.session.id], ex.target);
+    }
+}
+
+#[test]
+fn every_embsr_variant_runs_one_cell() {
+    let a = args();
+    let data = a.dataset(DatasetPreset::Trivago);
+    for v in [
+        EmbsrVariant::Full,
+        EmbsrVariant::NoSelfAttention,
+        EmbsrVariant::NoGnn,
+        EmbsrVariant::NoFusion,
+        EmbsrVariant::SgnnSelf,
+        EmbsrVariant::SgnnSeqSelf,
+        EmbsrVariant::RnnSelf,
+        EmbsrVariant::SgnnAbsSelf,
+        EmbsrVariant::SgnnDyadic,
+        EmbsrVariant::FixedBeta(0.6),
+    ] {
+        let e = run_cell(ModelSpec::Embsr(v), &data, &[10], &a);
+        assert!(e.hit_at(10).is_finite(), "{v:?}");
+    }
+}
