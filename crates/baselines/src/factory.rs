@@ -113,6 +113,10 @@ pub fn build_baseline(
     seed: u64,
     cfg: &TrainConfig,
 ) -> Box<dyn Recommender> {
+    embsr_obs::debug!(
+        target: "embsr_baselines",
+        "building baseline {kind:?}: |V|={num_items} |O|={num_ops} dim={dim} seed={seed}"
+    );
     match kind {
         BaselineKind::SPop => Box::new(SPop::new(num_items)),
         BaselineKind::Sknn => Box::new(Sknn::new(num_items)),

@@ -4,35 +4,34 @@
 //! attention (eq. 14–16) versus standard self-attention, across sequence
 //! lengths.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use embsr_nn::OpAwareSelfAttention;
+use embsr_obs::bench::{black_box, Bench};
 use embsr_tensor::{Rng, Tensor};
-use std::hint::black_box;
 
-fn bench_attention(c: &mut Criterion) {
+fn main() {
     let dim = 32;
     let num_ops = 10;
-    let mut group = c.benchmark_group("attention_forward");
-    for &t in &[8usize, 24, 48] {
-        let mut rng = Rng::seed_from_u64(1);
-        let xs = Tensor::from_vec(
-            (0..t * dim).map(|_| rng.uniform_range(-0.5, 0.5)).collect(),
-            &[t, dim],
-        );
-        let ops: Vec<usize> = (0..t).map(|i| i % num_ops).collect();
+    let mut bench = Bench::from_env();
+    {
+        let mut group = bench.group("attention_forward");
+        for &t in &[8usize, 24, 48] {
+            let mut rng = Rng::seed_from_u64(1);
+            let xs = Tensor::from_vec(
+                (0..t * dim).map(|_| rng.uniform_range(-0.5, 0.5)).collect(),
+                &[t, dim],
+            );
+            let ops: Vec<usize> = (0..t).map(|i| i % num_ops).collect();
 
-        let dyadic = OpAwareSelfAttention::new(dim, num_ops, 64, true, &mut rng);
-        group.bench_with_input(BenchmarkId::new("dyadic", t), &t, |b, _| {
-            b.iter(|| black_box(dyadic.forward(black_box(&xs), black_box(&ops))))
-        });
+            let dyadic = OpAwareSelfAttention::new(dim, num_ops, 64, true, &mut rng);
+            group.bench_function(format!("dyadic/{t}"), |b| {
+                b.iter(|| black_box(dyadic.forward(black_box(&xs), black_box(&ops))))
+            });
 
-        let standard = OpAwareSelfAttention::new(dim, num_ops, 64, false, &mut rng);
-        group.bench_with_input(BenchmarkId::new("standard", t), &t, |b, _| {
-            b.iter(|| black_box(standard.forward(black_box(&xs), black_box(&ops))))
-        });
+            let standard = OpAwareSelfAttention::new(dim, num_ops, 64, false, &mut rng);
+            group.bench_function(format!("standard/{t}"), |b| {
+                b.iter(|| black_box(standard.forward(black_box(&xs), black_box(&ops))))
+            });
+        }
     }
-    group.finish();
+    bench.finish();
 }
-
-criterion_group!(benches, bench_attention);
-criterion_main!(benches);

@@ -4,11 +4,10 @@
 //! digraph — the ablation behind DESIGN.md's "multigraph vs simple graph"
 //! design choice — across session lengths.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use embsr_baselines::SessionDigraph;
+use embsr_obs::bench::{black_box, Bench};
 use embsr_sessions::{Session, SessionGraph};
 use embsr_tensor::Rng;
-use std::hint::black_box;
 
 fn make_session(len: usize, num_items: u32, seed: u64) -> Session {
     let mut rng = Rng::seed_from_u64(seed);
@@ -18,23 +17,19 @@ fn make_session(len: usize, num_items: u32, seed: u64) -> Session {
     Session::from_pairs(0, &pairs)
 }
 
-fn bench_graphs(c: &mut Criterion) {
-    let mut group = c.benchmark_group("graph_construction");
-    for &len in &[10usize, 40, 160] {
-        let session = make_session(len, 50, 42);
-        group.bench_with_input(
-            BenchmarkId::new("embsr_multigraph", len),
-            &session,
-            |b, s| b.iter(|| black_box(SessionGraph::from_session(black_box(s)))),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("srgnn_digraph", len),
-            &session,
-            |b, s| b.iter(|| black_box(SessionDigraph::from_session(black_box(s)))),
-        );
+fn main() {
+    let mut bench = Bench::from_env();
+    {
+        let mut group = bench.group("graph_construction");
+        for &len in &[10usize, 40, 160] {
+            let session = make_session(len, 50, 42);
+            group.bench_function(format!("embsr_multigraph/{len}"), |b| {
+                b.iter(|| black_box(SessionGraph::from_session(black_box(&session))))
+            });
+            group.bench_function(format!("srgnn_digraph/{len}"), |b| {
+                b.iter(|| black_box(SessionDigraph::from_session(black_box(&session))))
+            });
+        }
     }
-    group.finish();
+    bench.finish();
 }
-
-criterion_group!(benches, bench_graphs);
-criterion_main!(benches);

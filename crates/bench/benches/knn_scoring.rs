@@ -1,34 +1,32 @@
 //! Micro-bench: non-neural scoring throughput (SKNN vs STAN vs S-POP) on a
 //! realistic training index.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use embsr_baselines::{Sknn, SPop, Stan};
+use embsr_baselines::{SPop, Sknn, Stan};
 use embsr_datasets::{build_dataset, DatasetPreset, SyntheticConfig};
+use embsr_obs::bench::{black_box, Bench};
 use embsr_train::Recommender;
-use std::hint::black_box;
 
-fn bench_knn(c: &mut Criterion) {
+fn main() {
     let mut cfg = SyntheticConfig::tiny(DatasetPreset::JdAppliances);
     cfg.num_sessions = 1000;
     let data = build_dataset(&cfg);
     let query = &data.test[0].session;
 
-    let mut group = c.benchmark_group("knn_scoring");
+    let mut bench = Bench::from_env();
+    {
+        let mut group = bench.group("knn_scoring");
 
-    let mut sknn = Sknn::new(data.num_items);
-    sknn.fit(&data.train, &data.val);
-    group.bench_function("sknn", |b| b.iter(|| black_box(sknn.scores(black_box(query)))));
+        let mut sknn = Sknn::new(data.num_items);
+        sknn.fit(&data.train, &data.val);
+        group.bench_function("sknn", |b| b.iter(|| black_box(sknn.scores(black_box(query)))));
 
-    let mut stan = Stan::new(data.num_items);
-    stan.fit(&data.train, &data.val);
-    group.bench_function("stan", |b| b.iter(|| black_box(stan.scores(black_box(query)))));
+        let mut stan = Stan::new(data.num_items);
+        stan.fit(&data.train, &data.val);
+        group.bench_function("stan", |b| b.iter(|| black_box(stan.scores(black_box(query)))));
 
-    let mut spop = SPop::new(data.num_items);
-    spop.fit(&data.train, &data.val);
-    group.bench_function("spop", |b| b.iter(|| black_box(spop.scores(black_box(query)))));
-
-    group.finish();
+        let mut spop = SPop::new(data.num_items);
+        spop.fit(&data.train, &data.val);
+        group.bench_function("spop", |b| b.iter(|| black_box(spop.scores(black_box(query)))));
+    }
+    bench.finish();
 }
-
-criterion_group!(benches, bench_knn);
-criterion_main!(benches);

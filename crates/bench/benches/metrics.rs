@@ -1,29 +1,28 @@
 //! Micro-bench: metric computation throughput — ranking a target among the
 //! full vocabulary and the Wilcoxon test over per-session reciprocal ranks.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use embsr_eval::{rank_of_target, wilcoxon_signed_rank};
+use embsr_obs::bench::{black_box, Bench};
 use embsr_tensor::Rng;
-use std::hint::black_box;
 
-fn bench_metrics(c: &mut Criterion) {
-    let mut group = c.benchmark_group("metrics");
-    for &v in &[1_000usize, 10_000, 100_000] {
-        let mut rng = Rng::seed_from_u64(7);
-        let scores: Vec<f32> = (0..v).map(|_| rng.uniform()).collect();
-        group.bench_with_input(BenchmarkId::new("rank_of_target", v), &scores, |b, s| {
-            b.iter(|| black_box(rank_of_target(black_box(s), v / 2)))
+fn main() {
+    let mut bench = Bench::from_env();
+    {
+        let mut group = bench.group("metrics");
+        for &v in &[1_000usize, 10_000, 100_000] {
+            let mut rng = Rng::seed_from_u64(7);
+            let scores: Vec<f32> = (0..v).map(|_| rng.uniform()).collect();
+            group.bench_function(format!("rank_of_target/{v}"), |b| {
+                b.iter(|| black_box(rank_of_target(black_box(&scores), v / 2)))
+            });
+        }
+
+        let mut rng = Rng::seed_from_u64(8);
+        let a: Vec<f64> = (0..5_000).map(|_| rng.uniform() as f64).collect();
+        let b2: Vec<f64> = a.iter().map(|x| x * 0.9 + 0.01).collect();
+        group.bench_function("wilcoxon_5000_pairs", |b| {
+            b.iter(|| black_box(wilcoxon_signed_rank(black_box(&a), black_box(&b2))))
         });
     }
-
-    let mut rng = Rng::seed_from_u64(8);
-    let a: Vec<f64> = (0..5_000).map(|_| rng.uniform() as f64).collect();
-    let b2: Vec<f64> = a.iter().map(|x| x * 0.9 + 0.01).collect();
-    group.bench_function("wilcoxon_5000_pairs", |b| {
-        b.iter(|| black_box(wilcoxon_signed_rank(black_box(&a), black_box(&b2))))
-    });
-    group.finish();
+    bench.finish();
 }
-
-criterion_group!(benches, bench_metrics);
-criterion_main!(benches);

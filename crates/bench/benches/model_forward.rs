@@ -2,12 +2,11 @@
 //! logits) for EMBSR and its main variants — quantifies the cost of each
 //! architectural component.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use embsr_core::{Embsr, EmbsrConfig};
+use embsr_obs::bench::{black_box, Bench};
 use embsr_sessions::Session;
 use embsr_tensor::Rng;
 use embsr_train::SessionModel;
-use std::hint::black_box;
 
 fn make_session(len: usize, num_items: u32, num_ops: u16) -> Session {
     let mut rng = Rng::seed_from_u64(3);
@@ -22,7 +21,7 @@ fn make_session(len: usize, num_items: u32, num_ops: u16) -> Session {
     Session::from_pairs(0, &pairs)
 }
 
-fn bench_models(c: &mut Criterion) {
+fn main() {
     let (v, o, d) = (500usize, 10usize, 32usize);
     let session = make_session(20, v as u32, o as u16);
     let variants: Vec<(&str, EmbsrConfig)> = vec![
@@ -32,16 +31,16 @@ fn bench_models(c: &mut Criterion) {
         ("SGNN-Self", EmbsrConfig::sgnn_self(v, o, d)),
         ("RNN-Self", EmbsrConfig::rnn_self(v, o, d)),
     ];
-    let mut group = c.benchmark_group("model_forward");
-    for (name, cfg) in variants {
-        let model = Embsr::new(cfg);
-        group.bench_with_input(BenchmarkId::new("logits", name), &session, |b, s| {
-            let mut rng = Rng::seed_from_u64(0);
-            b.iter(|| black_box(model.logits(black_box(s), false, &mut rng)))
-        });
+    let mut bench = Bench::from_env();
+    {
+        let mut group = bench.group("model_forward");
+        for (name, cfg) in variants {
+            let model = Embsr::new(cfg);
+            group.bench_function(format!("logits/{name}"), |b| {
+                let mut rng = Rng::seed_from_u64(0);
+                b.iter(|| black_box(model.logits(black_box(&session), false, &mut rng)))
+            });
+        }
     }
-    group.finish();
+    bench.finish();
 }
-
-criterion_group!(benches, bench_models);
-criterion_main!(benches);

@@ -1,13 +1,12 @@
 //! Micro-bench: one training step (forward + backward + Adam) for EMBSR and
 //! the strongest baseline, SGNN-HN.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use embsr_baselines::SgnnHn;
 use embsr_core::{Embsr, EmbsrConfig};
+use embsr_obs::bench::{black_box, Bench};
 use embsr_sessions::Session;
 use embsr_tensor::{Adam, AdamConfig, Optimizer, Rng};
 use embsr_train::SessionModel;
-use std::hint::black_box;
 
 fn make_session(len: usize, num_items: u32, num_ops: u16) -> Session {
     let mut rng = Rng::seed_from_u64(5);
@@ -29,27 +28,26 @@ fn step<M: SessionModel>(model: &M, opt: &mut Adam, session: &Session, rng: &mut
     opt.step();
 }
 
-fn bench_training(c: &mut Criterion) {
+fn main() {
     let (v, o, d) = (500usize, 10usize, 32usize);
     let session = make_session(16, v as u32, o as u16);
-    let mut group = c.benchmark_group("training_step");
+    let mut bench = Bench::from_env();
+    {
+        let mut group = bench.group("training_step");
 
-    let embsr = Embsr::new(EmbsrConfig::full(v, o, d));
-    let mut opt1 = Adam::new(embsr.parameters(), AdamConfig::default());
-    group.bench_function("embsr", |b| {
-        let mut rng = Rng::seed_from_u64(0);
-        b.iter(|| step(black_box(&embsr), &mut opt1, &session, &mut rng))
-    });
+        let embsr = Embsr::new(EmbsrConfig::full(v, o, d));
+        let mut opt1 = Adam::new(embsr.parameters(), AdamConfig::default());
+        group.bench_function("embsr", |b| {
+            let mut rng = Rng::seed_from_u64(0);
+            b.iter(|| step(black_box(&embsr), &mut opt1, &session, &mut rng))
+        });
 
-    let sgnn = SgnnHn::new(v, d, 1);
-    let mut opt2 = Adam::new(sgnn.parameters(), AdamConfig::default());
-    group.bench_function("sgnn_hn", |b| {
-        let mut rng = Rng::seed_from_u64(0);
-        b.iter(|| step(black_box(&sgnn), &mut opt2, &session, &mut rng))
-    });
-
-    group.finish();
+        let sgnn = SgnnHn::new(v, d, 1);
+        let mut opt2 = Adam::new(sgnn.parameters(), AdamConfig::default());
+        group.bench_function("sgnn_hn", |b| {
+            let mut rng = Rng::seed_from_u64(0);
+            b.iter(|| step(black_box(&sgnn), &mut opt2, &session, &mut rng))
+        });
+    }
+    bench.finish();
 }
-
-criterion_group!(benches, bench_training);
-criterion_main!(benches);

@@ -88,6 +88,7 @@ fn parse_session(spec: &str) -> Session {
 }
 
 fn main() {
+    embsr_obs::init_from_env("EMBSR_LOG", "info");
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let cmd = argv.first().cloned().unwrap_or_else(|| "help".into());
     let args = Args(argv);
@@ -117,7 +118,8 @@ fn main() {
                 ..TrainConfig::default()
             };
             let mut rec = NeuralRecommender::new(Embsr::new(model_config(&args, &data)), cfg);
-            eprintln!(
+            embsr_obs::info!(
+                target: "embsr_cli",
                 "training EMBSR on {} ({} examples)…",
                 data.name,
                 data.train.len()
@@ -125,7 +127,8 @@ fn main() {
             rec.fit(&data.train, &data.val);
             if let Some(report) = &rec.report {
                 for e in &report.epochs {
-                    eprintln!(
+                    embsr_obs::info!(
+                        target: "embsr_cli",
                         "epoch {}: train {:.3}, val {:.3}",
                         e.epoch, e.train_loss, e.val_loss
                     );

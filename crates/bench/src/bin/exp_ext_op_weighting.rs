@@ -20,11 +20,12 @@ fn main() {
     ];
     for preset in DatasetPreset::all() {
         let dataset = args.dataset(preset);
-        eprintln!("[ext-opw] {} — 2 models…", dataset.name);
+        embsr_obs::info!(target: "exp::ext_opw", "{} — 2 models…", dataset.name);
         let table = run_table(&dataset, &specs, &ks, &args);
         println!("{}", table.render());
 
         // retrain once to inspect the learned weights
+        embsr_obs::info!(target: "exp::ext_opw", "{} — retraining EMBSR+OpW to read weights…", dataset.name);
         let mut cfg = EmbsrConfig::full_op_weighted(dataset.num_items, dataset.num_ops, args.dim);
         cfg.seed = args.seed;
         let mut rec = NeuralRecommender::new(Embsr::new(cfg), args.train_config());

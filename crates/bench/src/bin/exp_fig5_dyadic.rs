@@ -20,7 +20,7 @@ fn main() {
     ];
     for preset in [DatasetPreset::JdAppliances, DatasetPreset::JdComputers] {
         let dataset = args.dataset(preset);
-        eprintln!("[fig5] {} — 5 variants…", dataset.name);
+        embsr_obs::info!(target: "exp::fig5", "{} — 5 variants…", dataset.name);
         let table = run_table(&dataset, &specs, &ks, &args);
         println!("{}", table.render());
     }

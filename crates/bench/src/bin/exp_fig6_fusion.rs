@@ -18,7 +18,7 @@ fn main() {
 
     for preset in [DatasetPreset::JdAppliances, DatasetPreset::JdComputers] {
         let dataset = args.dataset(preset);
-        eprintln!("[fig6] {} — β sweep ({} settings)…", dataset.name, specs.len());
+        embsr_obs::info!(target: "exp::fig6", "{} — β sweep ({} settings)…", dataset.name, specs.len());
         let table = run_table(&dataset, &specs, &ks, &args);
         println!("{}", table.render());
         // also print the series row-wise for plotting

@@ -52,7 +52,7 @@ fn main() {
     ];
     for spec in specs {
         let mut rec = build_recommender(spec, &dataset, &args);
-        eprintln!("[fig7] training {}…", rec.name());
+        embsr_obs::info!(target: "exp::fig7", "training {}…", rec.name());
         rec.fit(&dataset.train, &dataset.val);
         let scores = rec.scores(&case.session);
         let top = top_k(&scores, 5);

@@ -16,8 +16,9 @@ fn main() {
     for preset in DatasetPreset::all() {
         let dataset = args.dataset(preset);
         let clicks_only = single_op_view(&dataset);
-        eprintln!(
-            "[suppl1] {}: single-op view keeps {}/{} test examples",
+        embsr_obs::info!(
+            target: "exp::suppl1",
+            "{}: single-op view keeps {}/{} test examples",
             dataset.name,
             clicks_only.test.len(),
             dataset.test.len()

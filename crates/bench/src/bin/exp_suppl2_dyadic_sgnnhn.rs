@@ -19,7 +19,7 @@ fn main() {
     ];
     for preset in [DatasetPreset::JdAppliances, DatasetPreset::JdComputers] {
         let dataset = args.dataset(preset);
-        eprintln!("[suppl2] {} — 3 models…", dataset.name);
+        embsr_obs::info!(target: "exp::suppl2", "{} — 3 models…", dataset.name);
         let table = run_table(&dataset, &specs, &ks, &args);
         println!("{}", table.render());
     }

@@ -10,7 +10,7 @@ fn main() {
     let specs = ModelSpec::table3();
     for preset in DatasetPreset::all() {
         let dataset = args.dataset(preset);
-        eprintln!("[suppl3] {} — {} models at K=1,3,5…", dataset.name, specs.len());
+        embsr_obs::info!(target: "exp::suppl3", "{} — {} models at K=1,3,5…", dataset.name, specs.len());
         let table = run_table(&dataset, &specs, &ks, &args);
         println!("{}", table.render());
         // H@1 must equal M@1 by definition — assert it as a harness check.

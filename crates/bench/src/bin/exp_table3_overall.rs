@@ -14,8 +14,9 @@ fn main() {
 
     for preset in DatasetPreset::all() {
         let dataset = args.dataset(preset);
-        eprintln!(
-            "[table3] {}: {} train / {} test examples, {} items — training {} models…",
+        embsr_obs::info!(
+            target: "exp::table3",
+            "{}: {} train / {} test examples, {} items — training {} models…",
             dataset.name,
             dataset.train.len(),
             dataset.test.len(),

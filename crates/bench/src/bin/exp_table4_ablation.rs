@@ -17,7 +17,7 @@ fn main() {
     ];
     for preset in DatasetPreset::all() {
         let dataset = args.dataset(preset);
-        eprintln!("[table4] {} — running 4 ablations…", dataset.name);
+        embsr_obs::info!(target: "exp::table4", "{} — running 4 ablations…", dataset.name);
         let table = run_table(&dataset, &specs, &ks, &args);
         println!("{}", table.render());
     }

@@ -38,6 +38,7 @@ fn main() {
             args.lr_override = Some(lr);
             let mut rec = build_recommender(spec, &dataset, &args);
             name = rec.name().to_string();
+            embsr_obs::debug!(target: "exp::tune", "fitting {name} at lr={lr}");
             rec.fit(&dataset.train, &dataset.val);
             let e = evaluate(rec.as_ref(), &dataset.val, &[20]);
             row.push_str(&format!("{:>10.2}", e.mrr_at(20)));

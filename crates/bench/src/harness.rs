@@ -1,9 +1,13 @@
 //! Shared machinery for the experiment binaries.
 
+use std::path::PathBuf;
+use std::time::Instant;
+
 use embsr_baselines::{build_baseline, BaselineKind};
 use embsr_core::{Embsr, EmbsrConfig};
 use embsr_datasets::{build_dataset, Dataset, DatasetPreset, SyntheticConfig};
 use embsr_eval::{evaluate, run_parallel, Evaluation, ResultsTable};
+use embsr_obs::manifest::{append_bench_entry, EpochRecord, MetricRecord, RunManifest};
 use embsr_train::{NeuralRecommender, Recommender, TrainConfig};
 
 /// Experiment size: controls corpus, embedding dim and epochs.
@@ -18,6 +22,15 @@ pub enum Scale {
 }
 
 impl Scale {
+    /// Lower-case name, used in CLI flags and run manifests.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Full => "full",
+        }
+    }
+
     fn dataset_factor(&self) -> f32 {
         match self {
             Scale::Tiny => 0.08,
@@ -55,6 +68,37 @@ pub struct HarnessArgs {
     pub repeats: usize,
     /// When set, overrides the per-model learning rate (`--lr`).
     pub lr_override: Option<f32>,
+    /// `--quiet`: suppress progress logging (console sink drops below warn).
+    pub quiet: bool,
+    /// `--json`: write a `run_<name>.json` manifest per cell plus the
+    /// aggregate bench table, and enable the metrics registry.
+    pub json: bool,
+    /// Directory for per-run manifests (`--out-dir`, default `results`).
+    pub out_dir: PathBuf,
+    /// Path of the aggregate bench table (`--bench-json`, default
+    /// `BENCH_table3.json`).
+    pub bench_json: PathBuf,
+}
+
+impl Default for HarnessArgs {
+    /// Small-scale defaults matching `parse_args` with no flags, except
+    /// `threads`, which defaults to 2 instead of the machine's core count
+    /// (tests construct args via `..Default::default()`).
+    fn default() -> Self {
+        HarnessArgs {
+            scale: Scale::Small,
+            threads: 2,
+            dim: Scale::Small.default_dim(),
+            epochs: Scale::Small.default_epochs(),
+            seed: 17,
+            repeats: 1,
+            lr_override: None,
+            quiet: false,
+            json: false,
+            out_dir: PathBuf::from("results"),
+            bench_json: PathBuf::from("BENCH_table3.json"),
+        }
+    }
 }
 
 /// Parses `std::env::args`-style flags (see crate docs for the list).
@@ -78,7 +122,8 @@ pub fn parse_args() -> HarnessArgs {
                 .map(|n| n.get())
                 .unwrap_or(4)
         });
-    HarnessArgs {
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    let parsed = HarnessArgs {
         scale,
         threads,
         dim: get("--dim")
@@ -94,10 +139,31 @@ pub fn parse_args() -> HarnessArgs {
             .map(|s| s.parse().expect("--repeats takes a number"))
             .unwrap_or(1),
         lr_override: get("--lr").map(|s| s.parse().expect("--lr takes a number")),
-    }
+        quiet: has("--quiet"),
+        json: has("--json"),
+        out_dir: get("--out-dir").map_or_else(|| PathBuf::from("results"), PathBuf::from),
+        bench_json: get("--bench-json")
+            .map_or_else(|| PathBuf::from("BENCH_table3.json"), PathBuf::from),
+    };
+    parsed.init_telemetry();
+    parsed
 }
 
 impl HarnessArgs {
+    /// Wires up telemetry from the parsed flags: `EMBSR_LOG` configures the
+    /// console sink (done lazily by the dispatcher), `--quiet` raises the
+    /// console threshold to warn, and `--json` turns the metrics registry on
+    /// so manifests can snapshot op counters.
+    pub fn init_telemetry(&self) {
+        embsr_obs::init_from_env("EMBSR_LOG", "info");
+        if self.quiet {
+            embsr_obs::set_console_filter("warn".parse().expect("static filter"));
+        }
+        if self.json {
+            embsr_obs::metrics::set_enabled(true);
+        }
+    }
+
     /// Dataset for a preset at this scale.
     pub fn dataset(&self, preset: DatasetPreset) -> Dataset {
         let cfg = SyntheticConfig::preset(preset).scaled(self.scale.dataset_factor());
@@ -205,23 +271,63 @@ pub fn build_recommender(spec: ModelSpec, dataset: &Dataset, args: &HarnessArgs)
     }
 }
 
+/// Serializes concurrent read-modify-write cycles on the aggregate bench
+/// table when `run_table` fills cells from worker threads.
+static BENCH_TABLE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 /// Trains and evaluates one (model, dataset) cell. When `args.repeats > 1`
 /// the cell is retrained with derived seeds and the H@K / M@K metrics are
 /// averaged (per-session ranks are kept from the first run so significance
 /// tests stay paired).
+///
+/// With `args.json` the cell additionally writes a run manifest to
+/// `args.out_dir` and upserts itself into the `args.bench_json` table;
+/// timing and per-epoch statistics come from the first repeat.
 pub fn run_cell(spec: ModelSpec, dataset: &Dataset, ks: &[usize], args: &HarnessArgs) -> Evaluation {
+    let cell_span = embsr_obs::span("embsr_bench", "run_cell");
     let repeats = args.repeats.max(1);
     let mut first: Option<Evaluation> = None;
     let mut hit_acc = vec![0.0f64; ks.len()];
     let mut mrr_acc = vec![0.0f64; ks.len()];
+    let mut model_name = String::new();
+    let mut fit_seconds = 0.0f64;
+    let mut eval_seconds = 0.0f64;
+    let mut epochs: Vec<EpochRecord> = Vec::new();
+    let mut best_epoch = 0usize;
+    let mut early_stopped = false;
     for r in 0..repeats {
         let run_args = HarnessArgs {
             seed: args.seed + 1000 * r as u64,
             ..args.clone()
         };
         let mut rec = build_recommender(spec, dataset, &run_args);
+        let fit_start = Instant::now();
         rec.fit(&dataset.train, &dataset.val);
+        let fit_s = fit_start.elapsed().as_secs_f64();
+        let eval_start = Instant::now();
         let e = evaluate(rec.as_ref(), &dataset.test, ks);
+        let eval_s = eval_start.elapsed().as_secs_f64();
+        if r == 0 {
+            model_name = rec.name().to_string();
+            fit_seconds = fit_s;
+            eval_seconds = eval_s;
+            if let Some(report) = rec.train_report() {
+                epochs = report
+                    .epochs
+                    .iter()
+                    .map(|s| EpochRecord {
+                        epoch: s.epoch,
+                        train_loss: s.train_loss as f64,
+                        val_loss: s.val_loss as f64,
+                        duration_s: s.duration_s,
+                        grad_norm: s.grad_norm as f64,
+                        lr: s.lr as f64,
+                    })
+                    .collect();
+                best_epoch = report.best_epoch;
+                early_stopped = report.early_stopped;
+            }
+        }
         for (a, v) in hit_acc.iter_mut().zip(&e.hit) {
             *a += v;
         }
@@ -233,6 +339,71 @@ pub fn run_cell(spec: ModelSpec, dataset: &Dataset, ks: &[usize], args: &Harness
     let mut out = first.expect("repeats >= 1");
     out.hit = hit_acc.iter().map(|v| v / repeats as f64).collect();
     out.mrr = mrr_acc.iter().map(|v| v / repeats as f64).collect();
+    embsr_obs::info!(
+        target: "embsr_bench",
+        "cell {} × {}: H@20={:.2} fit={:.2}s eval={:.2}s",
+        dataset.name,
+        model_name,
+        out.hit.last().copied().unwrap_or(f64::NAN),
+        fit_seconds,
+        eval_seconds
+    );
+    if args.json {
+        // Examples seen per second of training: one pass for the non-neural
+        // methods, one per completed epoch otherwise.
+        let passes = epochs.len().max(1) as f64;
+        let manifest = RunManifest {
+            run: embsr_obs::manifest::sanitize(&format!("{}_{}", dataset.name, model_name)),
+            dataset: dataset.name.clone(),
+            model: model_name,
+            scale: args.scale.name().to_string(),
+            dim: args.dim,
+            epochs_requested: args.epochs,
+            seed: args.seed,
+            repeats,
+            train_examples: dataset.train.len(),
+            val_examples: dataset.val.len(),
+            test_examples: dataset.test.len(),
+            num_items: dataset.num_items,
+            num_ops: dataset.num_ops,
+            epochs,
+            best_epoch,
+            early_stopped,
+            fit_seconds,
+            eval_seconds,
+            throughput_examples_per_sec: dataset.train.len() as f64 * passes
+                / fit_seconds.max(1e-9),
+            metrics: ks
+                .iter()
+                .enumerate()
+                .flat_map(|(i, &k)| {
+                    [
+                        MetricRecord {
+                            name: format!("H@{k}"),
+                            value: out.hit[i],
+                        },
+                        MetricRecord {
+                            name: format!("M@{k}"),
+                            value: out.mrr[i],
+                        },
+                    ]
+                })
+                .collect(),
+        };
+        let _guard = BENCH_TABLE_LOCK.lock().expect("bench table lock");
+        match manifest.write(&args.out_dir) {
+            Ok(path) => embsr_obs::debug!(
+                target: "embsr_bench",
+                "wrote manifest {}",
+                path.display()
+            ),
+            Err(e) => embsr_obs::warn!(target: "embsr_bench", "manifest write failed: {e}"),
+        }
+        if let Err(e) = append_bench_entry(&args.bench_json, &manifest) {
+            embsr_obs::warn!(target: "embsr_bench", "bench table update failed: {e}");
+        }
+    }
+    drop(cell_span);
     out
 }
 
@@ -243,6 +414,14 @@ pub fn run_table(
     ks: &[usize],
     args: &HarnessArgs,
 ) -> ResultsTable {
+    let _span = embsr_obs::span("embsr_bench", "run_table");
+    embsr_obs::info!(
+        target: "embsr_bench",
+        "table {}: {} models on {} threads",
+        dataset.name,
+        specs.len(),
+        args.threads
+    );
     let jobs: Vec<_> = specs
         .iter()
         .map(|&spec| {
@@ -267,6 +446,10 @@ mod tests {
             seed: 3,
             repeats: 1,
             lr_override: None,
+            quiet: true,
+            json: false,
+            out_dir: PathBuf::from("results"),
+            bench_json: PathBuf::from("BENCH_table3.json"),
         }
     }
 

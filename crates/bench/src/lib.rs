@@ -1,7 +1,8 @@
 //! # embsr-bench
 //!
 //! The experiment harness: one binary per table/figure of the paper (see
-//! `src/bin/`), plus Criterion micro-benchmarks (see `benches/`).
+//! `src/bin/`), plus micro-benchmarks on the `embsr-obs` bench harness
+//! (see `benches/`).
 //!
 //! Every binary accepts the same flags:
 //!
@@ -11,7 +12,16 @@
 //! --dim N                   embedding size override
 //! --epochs N                training epochs override
 //! --seed N                  RNG seed override
+//! --repeats N               training runs averaged per cell (default: 1)
+//! --lr X                    learning-rate override
+//! --quiet                   progress logging off (console sink at warn)
+//! --json                    write run manifests + aggregate bench table
+//! --out-dir DIR             manifest directory (default: results)
+//! --bench-json PATH         aggregate table (default: BENCH_table3.json)
 //! ```
+//!
+//! Console verbosity is controlled by `EMBSR_LOG` (e.g.
+//! `EMBSR_LOG=debug,embsr_train=trace`); see the `embsr-obs` crate docs.
 //!
 //! Absolute numbers differ from the paper (synthetic data, CPU scale); the
 //! harness reproduces the *shape* of every result: orderings, relative

@@ -53,6 +53,15 @@ impl Embsr {
         let mut rng = Rng::seed_from_u64(cfg.seed);
         let d = cfg.dim;
         let ops_v = cfg.ops_with_virtual();
+        embsr_obs::debug!(
+            target: "embsr_core",
+            "building EMBSR: |V|={} |O|={} dim={} dyadic={} seed={}",
+            cfg.num_items,
+            cfg.num_ops,
+            d,
+            cfg.use_dyadic,
+            cfg.seed
+        );
         Embsr {
             items: Embedding::new(cfg.num_items, d, &mut rng),
             ops: Embedding::new(ops_v, d, &mut rng),

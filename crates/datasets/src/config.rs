@@ -1,9 +1,7 @@
 //! Generator configuration and the three dataset presets.
 
-use serde::{Deserialize, Serialize};
-
 /// Which of the paper's datasets a config is modeled on.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum DatasetPreset {
     JdAppliances,
     JdComputers,
@@ -36,7 +34,7 @@ impl DatasetPreset {
 /// sessions → thousands) so the full 13-model × 3-dataset grid trains on a
 /// CPU; the *structural* knobs (operation vocabulary, repeat ratio,
 /// engagement dynamics) mirror each dataset.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SyntheticConfig {
     pub preset: DatasetPreset,
     /// Item catalog size before frequency filtering.

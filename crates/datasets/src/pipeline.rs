@@ -124,9 +124,17 @@ fn filter_and_remap(sessions: Vec<Session>, min_occurrences: usize) -> (Vec<Sess
 
 /// Builds the complete dataset for a configuration.
 pub fn build_dataset(cfg: &SyntheticConfig) -> Dataset {
+    let _span = embsr_obs::span("embsr_datasets", "build_dataset");
     let raw = generate_sessions(cfg);
     let (mut sessions, num_items) = filter_and_remap(raw, cfg.min_item_occurrences);
     let stats = CorpusStats::compute(&sessions);
+    embsr_obs::info!(
+        target: "embsr_datasets",
+        "built {}: {} sessions, {} items after min-occurrence filter",
+        cfg.preset.name(),
+        sessions.len(),
+        num_items
+    );
 
     // Shuffle deterministically before splitting so splits are iid.
     let mut rng = Rng::seed_from_u64(cfg.seed ^ 0x9E37_79B9_7F4A_7C15);

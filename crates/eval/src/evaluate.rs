@@ -50,24 +50,41 @@ impl Evaluation {
 /// Sessions whose prefix is empty are skipped (they carry no evidence).
 pub fn evaluate(rec: &dyn Recommender, test: &[Example], ks: &[usize]) -> Evaluation {
     assert!(!ks.is_empty(), "no cutoffs requested");
+    let span = embsr_obs::span("embsr_eval", "evaluate");
     let mut ranks = Vec::with_capacity(test.len());
     for ex in test {
         if ex.session.is_empty() {
             continue;
         }
+        let _score_span =
+            embsr_obs::span("embsr_eval", "score_session").with_close_level(embsr_obs::Level::Trace);
         let scores = rec.scores(&ex.session);
         debug_assert_eq!(scores.len(), rec.num_items());
         ranks.push(rank_of_target(&scores, ex.target as usize));
     }
     let n = ranks.len().max(1) as f64;
-    let hit = ks
+    let hit: Vec<f64> = ks
         .iter()
         .map(|&k| 100.0 * ranks.iter().map(|&r| hit_at_k(r, k)).sum::<f64>() / n)
         .collect();
-    let mrr = ks
+    let mrr: Vec<f64> = ks
         .iter()
         .map(|&k| 100.0 * ranks.iter().map(|&r| reciprocal_rank_at_k(r, k)).sum::<f64>() / n)
         .collect();
+    if embsr_obs::metrics::enabled() {
+        for (i, &k) in ks.iter().enumerate() {
+            embsr_obs::metrics::gauge_owned(format!("eval.hit_at_{k}")).set(hit[i]);
+            embsr_obs::metrics::gauge_owned(format!("eval.mrr_at_{k}")).set(mrr[i]);
+        }
+        embsr_obs::metrics::counter("eval.sessions_scored").add(ranks.len() as u64);
+    }
+    embsr_obs::debug!(
+        target: "embsr_eval",
+        "evaluated {}: {} sessions in {:.3}s",
+        rec.name(),
+        ranks.len(),
+        span.elapsed().as_secs_f64()
+    );
     Evaluation {
         model: rec.name().to_string(),
         ks: ks.to_vec(),

@@ -108,27 +108,42 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
     use super::*;
-    use proptest::prelude::*;
 
-    proptest! {
-        /// Rank is always within [1, n] and H@n == 1.
-        #[test]
-        fn rank_bounds(scores in proptest::collection::vec(-10.0f32..10.0, 1..50), idx in 0usize..49) {
-            let target = idx % scores.len();
+    /// SplitMix64, enough randomness for invariant tests.
+    fn mix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Rank is always within [1, n] and H@n == 1.
+    #[test]
+    fn rank_bounds() {
+        let mut s = 0x4d45_5452;
+        for _ in 0..512 {
+            let n = 1 + (mix(&mut s) % 49) as usize;
+            let scores: Vec<f32> = (0..n)
+                .map(|_| (mix(&mut s) % 2_000) as f32 / 100.0 - 10.0)
+                .collect();
+            let target = (mix(&mut s) % n as u64) as usize;
             let r = rank_of_target(&scores, target);
-            prop_assert!(r >= 1 && r <= scores.len());
-            prop_assert_eq!(hit_at_k(r, scores.len()), 1.0);
+            assert!(r >= 1 && r <= scores.len(), "rank {r} of {n}");
+            assert_eq!(hit_at_k(r, scores.len()), 1.0);
         }
+    }
 
-        /// MRR@K is monotone non-decreasing in K.
-        #[test]
-        fn mrr_monotone_in_k(rank in 1usize..100) {
+    /// MRR@K is monotone non-decreasing in K.
+    #[test]
+    fn mrr_monotone_in_k() {
+        for rank in 1..100usize {
             let mut prev = 0.0;
             for k in 1..100 {
                 let m = reciprocal_rank_at_k(rank, k);
-                prop_assert!(m >= prev);
+                assert!(m >= prev, "rank {rank} k {k}");
                 prev = m;
             }
         }

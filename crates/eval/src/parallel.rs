@@ -6,7 +6,7 @@
 //! only plain data. This is how the harness fills a 13-model × 3-dataset
 //! table on a multicore machine.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Runs `jobs` on up to `threads` worker threads, returning results in the
 /// original job order.
@@ -24,24 +24,24 @@ where
     let queue: Mutex<Vec<(usize, F)>> = Mutex::new(jobs.into_iter().enumerate().rev().collect());
     let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads.min(n) {
-            scope.spawn(|_| loop {
-                let job = queue.lock().pop();
+            scope.spawn(|| loop {
+                let job = queue.lock().expect("queue poisoned").pop();
                 match job {
                     Some((idx, f)) => {
                         let out = f();
-                        results.lock()[idx] = Some(out);
+                        results.lock().expect("results poisoned")[idx] = Some(out);
                     }
                     None => break,
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     results
         .into_inner()
+        .expect("results poisoned")
         .into_iter()
         .map(|r| r.expect("job completed"))
         .collect()

@@ -77,6 +77,10 @@ impl OpAwareSelfAttention {
     pub fn forward(&self, xs: &Tensor, ops: &[usize]) -> Tensor {
         let t = xs.rows();
         assert_eq!(ops.len(), t, "one op per row");
+        if embsr_obs::metrics::enabled() {
+            embsr_obs::metrics::counter("nn.attention_forwards").inc();
+            embsr_obs::metrics::histogram("nn.attention_seq_len").record(t as u64);
+        }
         assert!(t <= self.max_len(), "sequence {} > max_len {}", t, self.max_len());
         assert_eq!(xs.cols(), self.dim);
 

@@ -1,0 +1,253 @@
+//! Minimal micro-benchmark harness for `harness = false` bench targets.
+//!
+//! A self-contained stand-in for criterion with the same shape of call
+//! site:
+//!
+//! ```no_run
+//! use embsr_obs::bench::{black_box, Bench};
+//!
+//! fn main() {
+//!     let mut bench = Bench::from_env();
+//!     {
+//!         let mut g = bench.group("matmul");
+//!         g.bench_function("64x64", |b| b.iter(|| black_box(2 + 2)));
+//!     }
+//!     bench.finish();
+//! }
+//! ```
+//!
+//! Each benchmark is warmed up, then sampled in calibrated batches until a
+//! wall-clock budget is spent; the report line gives mean/p50/p95 time per
+//! iteration. Environment knobs:
+//!
+//! * `EMBSR_BENCH_TIME_MS` — sampling budget per benchmark (default 500).
+//! * `EMBSR_BENCH_QUICK=1` — 50 ms budget, minimal warmup (used in CI and
+//!   tests to prove the bins run).
+//!
+//! `cargo bench <filter>` passes the filter through: only benchmark ids
+//! containing the substring run. The `--bench` flag cargo appends is
+//! ignored.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness state: CLI filter, time budget, run counter.
+pub struct Bench {
+    filter: Option<String>,
+    budget: Duration,
+    warmup: Duration,
+    ran: usize,
+    skipped: usize,
+}
+
+impl Bench {
+    /// Builds a harness from `std::env::args` and `EMBSR_BENCH_*` vars.
+    pub fn from_env() -> Bench {
+        // cargo invokes bench bins as `<bin> --bench [filter]`; anything
+        // that is not a flag is a substring filter on benchmark ids.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        let quick = std::env::var("EMBSR_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+        let default_ms = if quick { 50 } else { 500 };
+        let budget_ms = std::env::var("EMBSR_BENCH_TIME_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(default_ms);
+        Bench {
+            filter,
+            budget: Duration::from_millis(budget_ms.max(1)),
+            warmup: Duration::from_millis(if quick { 5 } else { budget_ms.max(1) / 5 }),
+            ran: 0,
+            skipped: 0,
+        }
+    }
+
+    /// Opens a named group; benchmark ids are reported as `group/id`.
+    pub fn group(&mut self, name: impl Into<String>) -> Group<'_> {
+        Group {
+            bench: self,
+            name: name.into(),
+        }
+    }
+
+    /// Prints the closing summary line.
+    pub fn finish(&self) {
+        if self.skipped > 0 {
+            println!(
+                "bench: {} benchmark(s) run, {} filtered out",
+                self.ran, self.skipped
+            );
+        } else {
+            println!("bench: {} benchmark(s) run", self.ran);
+        }
+    }
+
+    fn run_one(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                self.skipped += 1;
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            budget: self.budget,
+            warmup: self.warmup,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        self.ran += 1;
+        bencher.report(id);
+    }
+}
+
+/// A named group of benchmarks; mirrors criterion's `benchmark_group`.
+pub struct Group<'a> {
+    bench: &'a mut Bench,
+    name: String,
+}
+
+impl Group<'_> {
+    /// Runs one benchmark. `id` may be any displayable value (criterion's
+    /// `BenchmarkId` call sites pass formatted strings here).
+    pub fn bench_function(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.bench.run_one(&full, &mut f);
+        self
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    budget: Duration,
+    warmup: Duration,
+    /// Seconds per iteration, one entry per sampled batch.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `f`: warmup, then calibrated batches until the budget is
+    /// spent. The closure's return value is black-boxed so the work is not
+    /// optimized away.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warmup (also calibrates the batch size).
+        let warmup_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warmup_start.elapsed() < self.warmup || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Aim for ~1 ms per batch so timer overhead stays negligible.
+        let batch = ((0.001 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let start = Instant::now();
+        while start.elapsed() < self.budget || self.samples.len() < 3 {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples
+                .push(t0.elapsed().as_secs_f64() / batch as f64);
+            if self.samples.len() >= 10_000 {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("bench {id}: no samples (closure never called iter?)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        let pct = |q: f64| sorted[(((sorted.len() as f64) * q) as usize).min(sorted.len() - 1)];
+        println!(
+            "bench {id}: mean {}  p50 {}  p95 {}  ({} samples)",
+            fmt_secs(mean),
+            fmt_secs(pct(0.50)),
+            fmt_secs(pct(0.95)),
+            sorted.len()
+        );
+    }
+}
+
+/// Human-readable duration with an auto-selected unit.
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_bench(filter: Option<&str>) -> Bench {
+        Bench {
+            filter: filter.map(String::from),
+            budget: Duration::from_millis(5),
+            warmup: Duration::from_millis(1),
+            ran: 0,
+            skipped: 0,
+        }
+    }
+
+    #[test]
+    fn runs_and_counts_benchmarks() {
+        let mut bench = quick_bench(None);
+        {
+            let mut g = bench.group("g");
+            g.bench_function("a", |b| b.iter(|| black_box(1u64.wrapping_mul(3))));
+            g.bench_function("b", |b| b.iter(|| black_box(2u64)));
+        }
+        assert_eq!(bench.ran, 2);
+        assert_eq!(bench.skipped, 0);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_ids() {
+        let mut bench = quick_bench(Some("match_me"));
+        {
+            let mut g = bench.group("g");
+            g.bench_function("match_me_1", |b| b.iter(|| black_box(0u8)));
+            g.bench_function("other", |b| b.iter(|| black_box(0u8)));
+        }
+        assert_eq!(bench.ran, 1);
+        assert_eq!(bench.skipped, 1);
+    }
+
+    #[test]
+    fn sampling_produces_sane_stats() {
+        let mut bencher = Bencher {
+            budget: Duration::from_millis(5),
+            warmup: Duration::from_millis(1),
+            samples: Vec::new(),
+        };
+        bencher.iter(|| black_box(7u64).wrapping_mul(13));
+        assert!(bencher.samples.len() >= 3);
+        assert!(bencher.samples.iter().all(|&s| s > 0.0 && s < 1.0));
+    }
+
+    #[test]
+    fn fmt_secs_picks_units() {
+        assert!(fmt_secs(2.0).ends_with(" s"));
+        assert!(fmt_secs(2e-3).ends_with(" ms"));
+        assert!(fmt_secs(2e-6).ends_with(" µs"));
+        assert!(fmt_secs(2e-9).ends_with(" ns"));
+    }
+}

@@ -1,0 +1,187 @@
+//! `EMBSR_LOG`-style target/level filtering.
+//!
+//! Syntax (comma-separated directives, later directives win ties):
+//!
+//! ```text
+//! EMBSR_LOG="info"                              # global threshold
+//! EMBSR_LOG="warn,embsr_train=debug"            # per-target override
+//! EMBSR_LOG="info,embsr_tensor=off,exp=trace"   # silence one target
+//! ```
+//!
+//! A directive's target matches an event target equal to it or nested under
+//! it with `::` (module-path semantics): `embsr_train` matches
+//! `embsr_train::trainer`. The most specific (longest) matching directive
+//! decides the threshold.
+
+use std::str::FromStr;
+
+use crate::level::Level;
+
+/// One parsed `target=level` directive (`target == ""` is the global one).
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Directive {
+    target: String,
+    /// `None` means `off`.
+    level: Option<Level>,
+}
+
+/// A parsed filter: a global default plus per-target overrides.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EnvFilter {
+    directives: Vec<Directive>,
+}
+
+impl EnvFilter {
+    /// A filter passing events at `level` or more severe, for every target.
+    pub fn level(level: Level) -> Self {
+        EnvFilter {
+            directives: vec![Directive {
+                target: String::new(),
+                level: Some(level),
+            }],
+        }
+    }
+
+    /// A filter that rejects everything.
+    pub fn off() -> Self {
+        EnvFilter {
+            directives: vec![Directive {
+                target: String::new(),
+                level: None,
+            }],
+        }
+    }
+
+    /// Whether an event with `target` at `level` passes the filter.
+    pub fn enabled(&self, target: &str, level: Level) -> bool {
+        let mut best_len: Option<usize> = None;
+        let mut best_level: Option<Level> = None;
+        for d in &self.directives {
+            if !target_matches(&d.target, target) {
+                continue;
+            }
+            // `>=` so later directives win among equal specificity.
+            if best_len.is_none_or(|l| d.target.len() >= l) {
+                best_len = Some(d.target.len());
+                best_level = d.level;
+            }
+        }
+        match best_level {
+            Some(max) => level <= max,
+            None => false,
+        }
+    }
+
+    /// The most verbose level any target could pass (used as a cheap global
+    /// early-out before consulting per-target directives).
+    pub fn max_level(&self) -> Option<Level> {
+        self.directives.iter().filter_map(|d| d.level).max()
+    }
+}
+
+/// Does directive target `dir` cover event target `target`?
+fn target_matches(dir: &str, target: &str) -> bool {
+    if dir.is_empty() {
+        return true;
+    }
+    match target.strip_prefix(dir) {
+        Some(rest) => rest.is_empty() || rest.starts_with("::"),
+        None => false,
+    }
+}
+
+impl Default for EnvFilter {
+    fn default() -> Self {
+        EnvFilter::level(Level::Info)
+    }
+}
+
+impl FromStr for EnvFilter {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut directives = Vec::new();
+        for part in s.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (target, level_str) = match part.split_once('=') {
+                Some((t, l)) => (t.trim().to_string(), l.trim()),
+                None => (String::new(), part),
+            };
+            let level = if level_str.eq_ignore_ascii_case("off") {
+                None
+            } else {
+                Some(level_str.parse::<Level>()?)
+            };
+            directives.push(Directive { target, level });
+        }
+        if directives.is_empty() {
+            return Err("empty filter spec".into());
+        }
+        Ok(EnvFilter { directives })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_level_applies_globally() {
+        let f: EnvFilter = "debug".parse().unwrap();
+        assert!(f.enabled("anything", Level::Debug));
+        assert!(f.enabled("anything::nested", Level::Error));
+        assert!(!f.enabled("anything", Level::Trace));
+    }
+
+    #[test]
+    fn per_target_overrides_global() {
+        let f: EnvFilter = "warn,embsr_train=debug".parse().unwrap();
+        assert!(!f.enabled("embsr_eval", Level::Info));
+        assert!(f.enabled("embsr_eval", Level::Warn));
+        assert!(f.enabled("embsr_train", Level::Debug));
+        assert!(f.enabled("embsr_train::trainer", Level::Debug));
+        // prefix must respect module-path boundaries
+        assert!(!f.enabled("embsr_trainer_x", Level::Debug));
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let f: EnvFilter = "info,a=off,a::b=trace".parse().unwrap();
+        assert!(!f.enabled("a", Level::Error));
+        assert!(!f.enabled("a::c", Level::Error));
+        assert!(f.enabled("a::b", Level::Trace));
+        assert!(f.enabled("a::b::c", Level::Trace));
+        assert!(f.enabled("unrelated", Level::Info));
+    }
+
+    #[test]
+    fn off_silences() {
+        let f: EnvFilter = "off".parse().unwrap();
+        assert!(!f.enabled("x", Level::Error));
+        assert_eq!(f.max_level(), None);
+        assert_eq!(EnvFilter::off(), f);
+    }
+
+    #[test]
+    fn max_level_is_most_verbose_directive() {
+        let f: EnvFilter = "warn,exp=trace,embsr_tensor=off".parse().unwrap();
+        assert_eq!(f.max_level(), Some(Level::Trace));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!("".parse::<EnvFilter>().is_err());
+        assert!("loudest".parse::<EnvFilter>().is_err());
+        assert!("a=shout".parse::<EnvFilter>().is_err());
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let f: EnvFilter = " info , embsr_train = debug ".parse().unwrap();
+        assert!(f.enabled("embsr_train", Level::Debug));
+        assert!(f.enabled("other", Level::Info));
+    }
+}

@@ -1,0 +1,94 @@
+//! Log severity levels.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Severity of a log event, ordered from most to least severe.
+///
+/// `Level::Error < Level::Trace` in the derived ordering, so "`lvl` passes a
+/// threshold `max`" is written `lvl <= max`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+pub enum Level {
+    Error,
+    Warn,
+    Info,
+    Debug,
+    Trace,
+}
+
+impl Level {
+    /// All levels, most severe first.
+    pub const ALL: [Level; 5] = [
+        Level::Error,
+        Level::Warn,
+        Level::Info,
+        Level::Debug,
+        Level::Trace,
+    ];
+
+    /// Lower-case name (`"info"`), as used by the filter syntax.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Five-character upper-case tag for aligned console output.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN ",
+            Level::Info => "INFO ",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Ok(Level::Error),
+            "warn" | "warning" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            "trace" => Ok(Level::Trace),
+            other => Err(format!("unknown log level '{other}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_severity_first() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Debug < Level::Trace);
+        // threshold check idiom
+        assert!(Level::Info <= Level::Debug);
+        assert!(Level::Trace > Level::Info);
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for l in Level::ALL {
+            assert_eq!(l.as_str().parse::<Level>().unwrap(), l);
+        }
+        assert_eq!("WARNING".parse::<Level>().unwrap(), Level::Warn);
+        assert!("loud".parse::<Level>().is_err());
+    }
+}

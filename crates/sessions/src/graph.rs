@@ -82,6 +82,9 @@ impl SessionGraph {
 
     /// Builds the multigraph directly from a session.
     pub fn from_session(session: &Session) -> Self {
+        if embsr_obs::metrics::enabled() {
+            embsr_obs::metrics::counter("sessions.graphs_built").inc();
+        }
         Self::from_steps(session.macro_steps())
     }
 
@@ -202,33 +205,40 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
     use super::*;
+    use crate::testrand::TestRand;
     use crate::types::MicroBehavior;
-    use proptest::prelude::*;
 
-    proptest! {
-        #[test]
-        fn step_node_is_consistent(pairs in proptest::collection::vec((0u32..8, 0u16..3), 1..40)) {
+    #[test]
+    fn step_node_is_consistent() {
+        let mut r = TestRand::new(0x4752_4150);
+        for _ in 0..256 {
+            let len = 1 + r.below(39);
             let s = Session {
                 id: 0,
-                events: pairs.iter().map(|&(i, o)| MicroBehavior { item: i, op: o }).collect(),
+                events: (0..len)
+                    .map(|_| MicroBehavior {
+                        item: r.below(8) as u32,
+                        op: r.below(3) as u16,
+                    })
+                    .collect(),
             };
             let g = SessionGraph::from_session(&s);
             // every step's node holds the step's item
             for (k, step) in g.steps.iter().enumerate() {
-                prop_assert_eq!(g.nodes[g.step_node[k]], step.item);
+                assert_eq!(g.nodes[g.step_node[k]], step.item);
             }
             // edge conservation: in-degree total == out-degree total == n-1
             let tin: usize = g.in_edges.iter().map(Vec::len).sum();
             let tout: usize = g.out_edges.iter().map(Vec::len).sum();
-            prop_assert_eq!(tin, g.num_edges());
-            prop_assert_eq!(tout, g.num_edges());
+            assert_eq!(tin, g.num_edges());
+            assert_eq!(tout, g.num_edges());
             // all endpoints in range
             for edges in g.in_edges.iter().chain(g.out_edges.iter()) {
                 for e in edges {
-                    prop_assert!(e.node < g.num_nodes());
-                    prop_assert!(e.step < g.num_steps());
+                    assert!(e.node < g.num_nodes());
+                    assert!(e.step < g.num_steps());
                 }
             }
         }

@@ -17,6 +17,8 @@ mod example;
 mod graph;
 mod merge;
 mod stats;
+#[cfg(test)]
+pub(crate) mod testrand;
 mod types;
 
 pub use example::Example;

@@ -115,33 +115,45 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
     use super::*;
-    use proptest::prelude::*;
+    use crate::testrand::TestRand;
 
-    proptest! {
-        /// Concatenating the merged ops in order reproduces the original
-        /// operation sequence, and the total op count is preserved.
-        #[test]
-        fn merging_is_lossless(pairs in proptest::collection::vec((0u32..20, 0u16..5), 0..60)) {
-            let events: Vec<MicroBehavior> =
-                pairs.iter().map(|&(i, o)| MicroBehavior { item: i, op: o }).collect();
+    fn random_events(r: &mut TestRand, max_item: u64, max_op: u64, max_len: u64) -> Vec<MicroBehavior> {
+        let len = r.below(max_len);
+        (0..len)
+            .map(|_| MicroBehavior {
+                item: r.below(max_item) as ItemId,
+                op: r.below(max_op) as OpId,
+            })
+            .collect()
+    }
+
+    /// Concatenating the merged ops in order reproduces the original
+    /// operation sequence, and the total op count is preserved.
+    #[test]
+    fn merging_is_lossless() {
+        let mut r = TestRand::new(0x4d45_5247);
+        for _ in 0..256 {
+            let events = random_events(&mut r, 20, 5, 60);
             let steps = merge_micro_behaviors(&events);
             let rebuilt: Vec<MicroBehavior> = steps
                 .iter()
                 .flat_map(|s| s.ops.iter().map(move |&o| MicroBehavior { item: s.item, op: o }))
                 .collect();
-            prop_assert_eq!(rebuilt, events);
+            assert_eq!(rebuilt, events);
         }
+    }
 
-        /// No two adjacent macro steps share an item.
-        #[test]
-        fn adjacent_steps_differ(pairs in proptest::collection::vec((0u32..5, 0u16..3), 0..60)) {
-            let events: Vec<MicroBehavior> =
-                pairs.iter().map(|&(i, o)| MicroBehavior { item: i, op: o }).collect();
+    /// No two adjacent macro steps share an item.
+    #[test]
+    fn adjacent_steps_differ() {
+        let mut r = TestRand::new(0x414a_4143);
+        for _ in 0..256 {
+            let events = random_events(&mut r, 5, 3, 60);
             let steps = merge_micro_behaviors(&events);
             for w in steps.windows(2) {
-                prop_assert_ne!(w[0].item, w[1].item);
+                assert_ne!(w[0].item, w[1].item, "events {events:?}");
             }
         }
     }

@@ -1,0 +1,27 @@
+//! A tiny seeded generator for randomized tests (SplitMix64). This crate
+//! sits below `embsr-tensor`, so it cannot borrow the main [`Rng`]; the
+//! randomized invariant tests here only need `below(n)`.
+//!
+//! [`Rng`]: https://docs.rs/embsr-tensor
+
+pub struct TestRand(u64);
+
+impl TestRand {
+    pub fn new(seed: u64) -> Self {
+        TestRand(seed)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish integer in `[0, n)`; modulo bias is irrelevant for the
+    /// tiny ranges used in tests.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}

@@ -1,7 +1,5 @@
 //! Base types: items, operations, micro-behaviors and sessions.
 
-use serde::{Deserialize, Serialize};
-
 /// Dense item identifier, an index into the item vocabulary `V`.
 pub type ItemId = u32;
 
@@ -12,7 +10,7 @@ pub type OpId = u16;
 
 /// One micro-behavior `s_i = (v_i, o_i)`: the user performed operation `op`
 /// on item `item`.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct MicroBehavior {
     pub item: ItemId,
     pub op: OpId,
@@ -27,7 +25,7 @@ impl MicroBehavior {
 
 /// A user session: the chronological sequence of micro-behaviors
 /// `S_t = {s_1, …, s_t}`.
-#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct Session {
     /// Stable identifier, useful when tracing sessions through splits.
     pub id: u64,

@@ -75,6 +75,9 @@ impl Tensor {
         let (k2, n) = rhs.shape().as_matrix();
         assert_eq!(k, k2, "matmul inner dims: {} vs {}", k, k2);
 
+        if embsr_obs::metrics::enabled() {
+            embsr_obs::metrics::counter("tensor.matmul_flops").add((2 * m * k * n) as u64);
+        }
         let mut out = vec![0.0; m * n];
         matmul_acc(&self.data(), &rhs.data(), &mut out, m, k, n);
 

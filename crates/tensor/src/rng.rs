@@ -4,13 +4,55 @@
 //! draw from an explicitly seeded [`Rng`] so every experiment in the paper
 //! harness is reproducible bit-for-bit.
 
-use rand::{Rng as _, SeedableRng};
+/// xoshiro256++ core: fast, tiny state, and excellent statistical quality
+/// for non-cryptographic use. Implemented in-tree so the workspace stays
+/// dependency-free.
+struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Expands a 64-bit seed into the 256-bit state with SplitMix64, per
+    /// the generator authors' recommendation (avoids the all-zero state).
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Xoshiro256 {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
 
 /// A seeded pseudo-random generator with the handful of distributions this
-/// workspace needs. Wraps `rand::rngs::StdRng` and adds a Box–Muller normal
-/// sampler so we do not need the `rand_distr` crate.
+/// workspace needs. Wraps an in-tree xoshiro256++ and adds a Box–Muller
+/// normal sampler.
 pub struct Rng {
-    inner: rand::rngs::StdRng,
+    inner: Xoshiro256,
     /// Cached second output of the Box–Muller transform.
     spare_normal: Option<f32>,
 }
@@ -19,7 +61,7 @@ impl Rng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
         Rng {
-            inner: rand::rngs::StdRng::seed_from_u64(seed),
+            inner: Xoshiro256::seed_from_u64(seed),
             spare_normal: None,
         }
     }

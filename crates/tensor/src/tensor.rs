@@ -103,6 +103,11 @@ impl Tensor {
     }
 
     pub(crate) fn leaf(data: Vec<f32>, shape: Shape, requires_grad: bool) -> Self {
+        if embsr_obs::metrics::enabled() {
+            embsr_obs::metrics::counter("tensor.leaf_allocs").inc();
+            embsr_obs::metrics::counter("tensor.alloc_bytes")
+                .add((data.len() * std::mem::size_of::<f32>()) as u64);
+        }
         Tensor {
             inner: Rc::new(Inner {
                 id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
@@ -126,6 +131,16 @@ impl Tensor {
     ) -> Self {
         debug_assert_eq!(data.len(), shape.len());
         let requires_grad = parents.iter().any(|p| p.inner.requires_grad);
+        // Single central dispatch point for op telemetry: one relaxed-atomic
+        // load when telemetry is off, so the hot path stays effectively free.
+        if embsr_obs::metrics::enabled() {
+            embsr_obs::metrics::counter("tensor.ops_dispatched").inc();
+            embsr_obs::metrics::counter("tensor.alloc_bytes")
+                .add((data.len() * std::mem::size_of::<f32>()) as u64);
+            if requires_grad {
+                embsr_obs::metrics::counter("tensor.graph_nodes_retained").inc();
+            }
+        }
         Tensor {
             inner: Rc::new(Inner {
                 id: NEXT_ID.fetch_add(1, Ordering::Relaxed),

@@ -1,70 +1,93 @@
-//! Property-based tests over the tensor algebra and autograd engine.
+//! Randomized invariant tests over the tensor algebra and autograd engine.
+//!
+//! Each test draws many cases from a seeded [`Rng`], so failures are
+//! reproducible bit-for-bit (re-run with the same seed and iteration count).
 
 use embsr_tensor::{Rng, Tensor};
-use proptest::prelude::*;
 
-/// Strategy: a small matrix with bounded values.
-fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Vec<f32>> {
-    proptest::collection::vec(-3.0f32..3.0, rows * cols)
+const CASES: usize = 64;
+
+/// A `rows × cols` matrix with entries uniform in `[-3, 3)`.
+fn matrix(r: &mut Rng, rows: usize, cols: usize) -> Vec<f32> {
+    (0..rows * cols).map(|_| r.uniform_range(-3.0, 3.0)).collect()
 }
 
 fn close(a: &[f32], b: &[f32], tol: f32) -> bool {
     a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= tol)
 }
 
-proptest! {
-    /// (A·B)·C == A·(B·C) within float tolerance.
-    #[test]
-    fn matmul_is_associative(a in matrix(3, 4), b in matrix(4, 2), c in matrix(2, 5)) {
-        let a = Tensor::from_vec(a, &[3, 4]);
-        let b = Tensor::from_vec(b, &[4, 2]);
-        let c = Tensor::from_vec(c, &[2, 5]);
+/// (A·B)·C == A·(B·C) within float tolerance.
+#[test]
+fn matmul_is_associative() {
+    let mut r = Rng::seed_from_u64(101);
+    for _ in 0..CASES {
+        let a = Tensor::from_vec(matrix(&mut r, 3, 4), &[3, 4]);
+        let b = Tensor::from_vec(matrix(&mut r, 4, 2), &[4, 2]);
+        let c = Tensor::from_vec(matrix(&mut r, 2, 5), &[2, 5]);
         let left = a.matmul(&b).matmul(&c).to_vec();
         let right = a.matmul(&b.matmul(&c)).to_vec();
-        prop_assert!(close(&left, &right, 1e-3), "{left:?} vs {right:?}");
+        assert!(close(&left, &right, 1e-3), "{left:?} vs {right:?}");
     }
+}
 
-    /// (A·B)ᵀ == Bᵀ·Aᵀ.
-    #[test]
-    fn matmul_transpose_identity(a in matrix(3, 4), b in matrix(4, 2)) {
-        let a = Tensor::from_vec(a, &[3, 4]);
-        let b = Tensor::from_vec(b, &[4, 2]);
+/// (A·B)ᵀ == Bᵀ·Aᵀ.
+#[test]
+fn matmul_transpose_identity() {
+    let mut r = Rng::seed_from_u64(102);
+    for _ in 0..CASES {
+        let a = Tensor::from_vec(matrix(&mut r, 3, 4), &[3, 4]);
+        let b = Tensor::from_vec(matrix(&mut r, 4, 2), &[4, 2]);
         let left = a.matmul(&b).transpose().to_vec();
         let right = b.transpose().matmul(&a.transpose()).to_vec();
-        prop_assert!(close(&left, &right, 1e-4));
+        assert!(close(&left, &right, 1e-4));
     }
+}
 
-    /// Softmax rows sum to 1 and are shift-invariant.
-    #[test]
-    fn softmax_is_normalized_and_shift_invariant(x in matrix(4, 6), shift in -50.0f32..50.0) {
-        let t = Tensor::from_vec(x, &[4, 6]);
+/// Softmax rows sum to 1 and are shift-invariant.
+#[test]
+fn softmax_is_normalized_and_shift_invariant() {
+    let mut r = Rng::seed_from_u64(103);
+    for _ in 0..CASES {
+        let t = Tensor::from_vec(matrix(&mut r, 4, 6), &[4, 6]);
+        let shift = r.uniform_range(-50.0, 50.0);
         let s1 = t.softmax_rows().to_vec();
-        for r in 0..4 {
-            let sum: f32 = s1[r * 6..(r + 1) * 6].iter().sum();
-            prop_assert!((sum - 1.0).abs() < 1e-5);
+        for row in 0..4 {
+            let sum: f32 = s1[row * 6..(row + 1) * 6].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
         }
         let s2 = t.add_scalar(shift).softmax_rows().to_vec();
-        prop_assert!(close(&s1, &s2, 1e-4));
+        assert!(close(&s1, &s2, 1e-4));
     }
+}
 
-    /// L2-normalized rows have unit norm (for non-degenerate inputs) and the
-    /// op is idempotent.
-    #[test]
-    fn l2_normalize_is_idempotent(x in matrix(3, 5)) {
-        let t = Tensor::from_vec(x, &[3, 5]);
-        // skip rows that are numerically zero
+/// L2-normalized rows have unit norm (for non-degenerate inputs) and the
+/// op is idempotent.
+#[test]
+fn l2_normalize_is_idempotent() {
+    let mut r = Rng::seed_from_u64(104);
+    for _ in 0..CASES {
+        let t = Tensor::from_vec(matrix(&mut r, 3, 5), &[3, 5]);
+        // skip draws with a numerically-zero row
         let norms: Vec<f32> = (0..3)
-            .map(|r| (0..5).map(|c| t.at(r, c).powi(2)).sum::<f32>().sqrt())
+            .map(|row| (0..5).map(|c| t.at(row, c).powi(2)).sum::<f32>().sqrt())
             .collect();
-        prop_assume!(norms.iter().all(|&n| n > 1e-3));
+        if !norms.iter().all(|&n| n > 1e-3) {
+            continue;
+        }
         let once = t.l2_normalize_rows(1e-12);
         let twice = once.l2_normalize_rows(1e-12);
-        prop_assert!(close(&once.to_vec(), &twice.to_vec(), 1e-5));
+        assert!(close(&once.to_vec(), &twice.to_vec(), 1e-5));
     }
+}
 
-    /// Autograd linearity: grad of (αf + βg) = α grad f + β grad g.
-    #[test]
-    fn gradients_are_linear(x in matrix(2, 3), alpha in -2.0f32..2.0, beta in -2.0f32..2.0) {
+/// Autograd linearity: grad of (αf + βg) = α grad f + β grad g.
+#[test]
+fn gradients_are_linear() {
+    let mut r = Rng::seed_from_u64(105);
+    for _ in 0..CASES {
+        let x = matrix(&mut r, 2, 3);
+        let alpha = r.uniform_range(-2.0, 2.0);
+        let beta = r.uniform_range(-2.0, 2.0);
         let f = |t: &Tensor| t.square().sum();
         let g = |t: &Tensor| t.mul_scalar(3.0).sum();
 
@@ -80,44 +103,54 @@ proptest! {
         let gg = t3.grad().unwrap();
 
         let expect: Vec<f32> = gf.iter().zip(&gg).map(|(a, b)| alpha * a + beta * b).collect();
-        prop_assert!(close(&combined, &expect, 1e-3));
+        assert!(close(&combined, &expect, 1e-3));
     }
+}
 
-    /// gather_rows then sum equals selecting and summing by hand.
-    #[test]
-    fn gather_rows_matches_manual(
-        x in matrix(5, 3),
-        idx in proptest::collection::vec(0usize..5, 1..10),
-    ) {
+/// gather_rows then sum equals selecting and summing by hand.
+#[test]
+fn gather_rows_matches_manual() {
+    let mut r = Rng::seed_from_u64(106);
+    for _ in 0..CASES {
+        let x = matrix(&mut r, 5, 3);
+        let idx: Vec<usize> = (0..1 + r.below(9)).map(|_| r.below(5)).collect();
         let t = Tensor::from_vec(x.clone(), &[5, 3]);
         let gathered = t.gather_rows(&idx).to_vec();
         let manual: Vec<f32> = idx
             .iter()
             .flat_map(|&i| x[i * 3..(i + 1) * 3].to_vec())
             .collect();
-        prop_assert_eq!(gathered, manual);
+        assert_eq!(gathered, manual);
     }
+}
 
-    /// Cross-entropy is minimized at the target and its gradient sums to 0.
-    #[test]
-    fn cross_entropy_gradient_sums_to_zero(x in matrix(1, 6), target in 0usize..6) {
-        let t = Tensor::from_vec(x, &[1, 6]).requires_grad();
+/// Cross-entropy is minimized at the target and its gradient sums to 0.
+#[test]
+fn cross_entropy_gradient_sums_to_zero() {
+    let mut r = Rng::seed_from_u64(107);
+    for _ in 0..CASES {
+        let target = r.below(6);
+        let t = Tensor::from_vec(matrix(&mut r, 1, 6), &[1, 6]).requires_grad();
         t.cross_entropy(&[target]).backward();
         let g = t.grad().unwrap();
         let sum: f32 = g.iter().sum();
-        prop_assert!(sum.abs() < 1e-5, "grad sum {sum}");
-        prop_assert!(g[target] <= 0.0, "target grad must be non-positive");
+        assert!(sum.abs() < 1e-5, "grad sum {sum}");
+        assert!(g[target] <= 0.0, "target grad must be non-positive");
     }
+}
 
-    /// Adam with lr 0 never moves parameters.
-    #[test]
-    fn zero_lr_is_a_fixed_point(x in matrix(2, 2)) {
-        use embsr_tensor::{Adam, AdamConfig, Optimizer};
+/// Adam with lr 0 never moves parameters.
+#[test]
+fn zero_lr_is_a_fixed_point() {
+    use embsr_tensor::{Adam, AdamConfig, Optimizer};
+    let mut r = Rng::seed_from_u64(108);
+    for _ in 0..CASES {
+        let x = matrix(&mut r, 2, 2);
         let p = Tensor::from_vec(x.clone(), &[2, 2]).requires_grad();
         let mut opt = Adam::new(vec![p.clone()], AdamConfig { lr: 0.0, ..Default::default() });
         p.square().sum().backward();
         opt.step();
-        prop_assert_eq!(p.to_vec(), x);
+        assert_eq!(p.to_vec(), x);
     }
 }
 

@@ -22,6 +22,13 @@ pub trait Recommender {
     /// Scores for every item given the session prefix; higher is better.
     /// The returned vector has length `num_items()`.
     fn scores(&self, session: &Session) -> Vec<f32>;
+
+    /// The training report of the most recent [`Recommender::fit`], when the
+    /// model trains with the shared [`crate::Trainer`]. Non-neural methods
+    /// keep the default `None`.
+    fn train_report(&self) -> Option<&crate::TrainReport> {
+        None
+    }
 }
 
 /// A differentiable next-item model trained by the shared [`crate::Trainer`].
@@ -79,6 +86,10 @@ impl<M: SessionModel> Recommender for NeuralRecommender<M> {
         let mut rng = Rng::seed_from_u64(0); // dropout disabled at eval
         let truncated = crate::trainer::truncate_session(session, self.config.max_session_len);
         self.model.logits(&truncated, false, &mut rng).to_vec()
+    }
+
+    fn train_report(&self) -> Option<&crate::TrainReport> {
+        self.report.as_ref()
     }
 }
 

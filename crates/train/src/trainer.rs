@@ -12,6 +12,13 @@ pub struct EpochStats {
     pub epoch: usize,
     pub train_loss: f32,
     pub val_loss: f32,
+    /// Wall-clock seconds the epoch took (batches + validation pass).
+    pub duration_s: f64,
+    /// Pre-clip global gradient norm of the epoch's last batch; NaN when
+    /// gradient clipping is disabled (the norm is a by-product of clipping).
+    pub grad_norm: f32,
+    /// Learning rate the epoch ran at.
+    pub lr: f32,
 }
 
 /// Outcome of a training run.
@@ -63,6 +70,16 @@ impl Trainer {
     /// dataset pipeline already filters them).
     pub fn fit<M: SessionModel>(&self, model: &M, train: &[Example], val: &[Example]) -> TrainReport {
         let cfg = &self.cfg;
+        let _fit_span = embsr_obs::span("embsr_train", "fit");
+        embsr_obs::info!(
+            target: "embsr_train",
+            "fit start: model={} train={} val={} epochs={} lr={}",
+            model.name(),
+            train.len(),
+            val.len(),
+            cfg.epochs,
+            cfg.lr
+        );
         let params = model.parameters();
         let mut opt = Adam::new(
             params.clone(),
@@ -87,10 +104,14 @@ impl Trainer {
         let mut best_weights: Option<Vec<Vec<f32>>> = None;
 
         for epoch in 0..cfg.epochs {
+            let epoch_span = embsr_obs::span("embsr_train", "epoch");
             rng.shuffle(&mut order);
             let mut epoch_loss = 0.0f64;
             let mut seen = 0usize;
+            let mut last_grad_norm = f32::NAN;
             for chunk in order.chunks(cfg.batch_size) {
+                let _batch_span =
+                    embsr_obs::span("embsr_train", "batch").with_close_level(embsr_obs::Level::Trace);
                 opt.zero_grad();
                 let mut batch_losses: Vec<Tensor> = Vec::with_capacity(chunk.len());
                 for &i in chunk {
@@ -115,16 +136,30 @@ impl Trainer {
                 seen += n as usize;
                 loss.backward();
                 if let Some(max) = cfg.clip_norm {
-                    clip_grad_norm(&params, max);
+                    last_grad_norm = clip_grad_norm(&params, max);
                 }
                 opt.step();
+                if embsr_obs::metrics::enabled() {
+                    embsr_obs::metrics::counter("train.batches").inc();
+                    embsr_obs::metrics::counter("train.examples_seen").add(n as u64);
+                }
             }
             let train_loss = (epoch_loss / seen.max(1) as f64) as f32;
             let val_loss = self.eval_loss(model, val_slice, &mut rng);
+            let duration_s = epoch_span.elapsed().as_secs_f64();
+            drop(epoch_span);
+            embsr_obs::debug!(
+                target: "embsr_train",
+                "epoch {epoch}: train_loss={train_loss:.4} val_loss={val_loss:.4} \
+                 grad_norm={last_grad_norm:.3} duration_s={duration_s:.3}"
+            );
             report.epochs.push(EpochStats {
                 epoch,
                 train_loss,
                 val_loss,
+                duration_s,
+                grad_norm: last_grad_norm,
+                lr: cfg.lr,
             });
             if val_loss < best_val || val_loss.is_nan() {
                 best_val = val_loss;
@@ -138,6 +173,12 @@ impl Trainer {
                 if let Some(p) = cfg.patience {
                     if since_best > p {
                         report.early_stopped = true;
+                        embsr_obs::info!(
+                            target: "embsr_train",
+                            "early stop at epoch {epoch}: no val improvement for {since_best} epochs \
+                             (best epoch {})",
+                            report.best_epoch
+                        );
                         break;
                     }
                 }

@@ -13,8 +13,7 @@ fn args() -> HarnessArgs {
         dim: 8,
         epochs: 1,
         seed: 9,
-        repeats: 1,
-        lr_override: None,
+        ..HarnessArgs::default()
     }
 }
 
