@@ -1,7 +1,6 @@
 //! Shared machinery for the experiment binaries.
 
 use std::path::PathBuf;
-use std::time::Instant;
 
 use embsr_baselines::{build_baseline, BaselineKind};
 use embsr_core::{Embsr, EmbsrConfig};
@@ -301,12 +300,14 @@ pub fn run_cell(spec: ModelSpec, dataset: &Dataset, ks: &[usize], args: &Harness
             ..args.clone()
         };
         let mut rec = build_recommender(spec, dataset, &run_args);
-        let fit_start = Instant::now();
+        let fit_span = embsr_obs::span("embsr_bench", "fit");
         rec.fit(&dataset.train, &dataset.val);
-        let fit_s = fit_start.elapsed().as_secs_f64();
-        let eval_start = Instant::now();
+        let fit_s = fit_span.elapsed().as_secs_f64();
+        drop(fit_span);
+        let eval_span = embsr_obs::span("embsr_bench", "evaluate");
         let e = evaluate(rec.as_ref(), &dataset.test, ks);
-        let eval_s = eval_start.elapsed().as_secs_f64();
+        let eval_s = eval_span.elapsed().as_secs_f64();
+        drop(eval_span);
         if r == 0 {
             model_name = rec.name().to_string();
             fit_seconds = fit_s;

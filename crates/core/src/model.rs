@@ -258,23 +258,44 @@ impl SessionModel for Embsr {
     }
 
     fn parameters(&self) -> Vec<Tensor> {
-        let modules: [&dyn Module; 11] = [
-            &self.items,
-            &self.ops,
-            &self.op_gru,
-            &self.msg_in,
-            &self.msg_out,
-            &self.ggnn,
-            &self.star_gate,
-            &self.star_attn,
-            &self.highway,
-            &self.attention,
-            &self.ffn,
-        ];
+        // Only the modules the configured forward pass can reach are handed
+        // to the optimizer; anything else would be a detached parameter that
+        // silently never trains (and that the graph validator flags). The
+        // conditions below mirror `logits` exactly: checkpoints stay
+        // positionally consistent because save and load share the config.
+        let star = self.cfg.backbone == Backbone::StarGnn;
+        let op_gru_active = star && self.cfg.use_op_gru;
+        let abs_op_active = self.cfg.use_abs_op && self.cfg.backbone != Backbone::Rnn;
+        let ops_active = self.cfg.backbone == Backbone::Rnn
+            || op_gru_active
+            || abs_op_active
+            || (self.cfg.use_attention && self.cfg.use_abs_op);
+
+        let mut modules: Vec<&dyn Module> = vec![&self.items];
+        if ops_active {
+            modules.push(&self.ops);
+        }
+        if op_gru_active {
+            modules.push(&self.op_gru);
+        }
+        if star {
+            modules.push(&self.msg_in);
+            modules.push(&self.msg_out);
+            modules.push(&self.ggnn);
+            modules.push(&self.star_gate);
+            modules.push(&self.star_attn);
+            modules.push(&self.highway);
+        }
+        if self.cfg.use_attention {
+            modules.push(&self.attention);
+            modules.push(&self.ffn);
+        }
         let mut p: Vec<Tensor> = modules.iter().flat_map(|m| m.parameters()).collect();
         p.extend(self.fusion.parameters());
-        p.extend(self.rnn.parameters());
-        if self.cfg.use_op_weighting {
+        if self.cfg.backbone == Backbone::Rnn {
+            p.extend(self.rnn.parameters());
+        }
+        if self.cfg.use_op_weighting && (op_gru_active || abs_op_active) {
             p.push(self.op_importance.clone());
         }
         p
@@ -519,5 +540,41 @@ mod tests {
         let model = Embsr::new(EmbsrConfig::full(100, 10, 16));
         let n: usize = model.parameters().iter().map(Tensor::len).sum();
         assert!(n > 100 * 16, "suspiciously few parameters: {n}");
+    }
+
+    #[test]
+    fn every_variant_has_zero_detached_parameters() {
+        // parameters() must hand the optimizer exactly the tensors the
+        // configured forward pass can reach; the graph validator verifies
+        // this against the real loss graph for every paper variant.
+        let s = session(&[(1, 0), (1, 1), (2, 0), (3, 2), (2, 1)]);
+        let mut models = all_variants(6, 4, 8);
+        models.push(Embsr::new(EmbsrConfig::full_op_weighted(6, 4, 8)));
+        for model in models {
+            let mut rng = Rng::seed_from_u64(10);
+            let loss = model.logits(&s, true, &mut rng).cross_entropy_single(4);
+            let report = embsr_tensor::verify::validate_training_graph(
+                &loss,
+                &model.parameters(),
+                &[],
+            );
+            let detached = report.with_rule("detached-param");
+            assert!(
+                detached.is_empty(),
+                "{}: {} detached parameter(s): {:?}",
+                model.name(),
+                detached.len(),
+                detached
+            );
+        }
+    }
+
+    #[test]
+    fn variant_parameter_lists_shrink_with_ablations() {
+        let full = Embsr::new(EmbsrConfig::full(6, 4, 8)).parameters().len();
+        let ns = Embsr::new(EmbsrConfig::ablation_ns(6, 4, 8)).parameters().len();
+        let rnn = Embsr::new(EmbsrConfig::rnn_self(6, 4, 8)).parameters().len();
+        assert!(ns < full, "no-attention variant must expose fewer tensors");
+        assert!(rnn < full, "RNN backbone must not expose the GNN stack");
     }
 }

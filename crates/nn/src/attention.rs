@@ -113,7 +113,14 @@ impl OpAwareSelfAttention {
 
 impl Module for OpAwareSelfAttention {
     fn parameters(&self) -> Vec<Tensor> {
-        let mut p = self.relations.parameters();
+        // The relation table is only part of the trainable graph when the
+        // dyadic encoding is on; exposing it otherwise hands the optimizer a
+        // parameter the loss can never reach (flagged by the graph
+        // validator as `detached-param`).
+        let mut p = Vec::new();
+        if self.use_dyadic {
+            p.extend(self.relations.parameters());
+        }
         p.extend(self.positions.parameters());
         p.extend(self.query.parameters());
         p

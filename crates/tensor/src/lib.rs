@@ -43,6 +43,9 @@ mod optim;
 mod rng;
 mod shape;
 mod tensor;
+/// Graph validation (shape inference, detached-parameter detection,
+/// numerical-hazard patterns) and the universal gradcheck registry.
+pub mod verify;
 
 pub use init::{kaiming_uniform, uniform_init, xavier_uniform, zeros_init};
 pub use ops::softmax_slice;
@@ -81,32 +84,18 @@ pub mod testing {
     ///
     /// `f` must be a scalar-valued function of a single tensor. The check
     /// perturbs every element of `input` by `eps` in both directions.
+    /// Assertion-style wrapper around [`crate::verify::gradcheck`] for use
+    /// inside `#[test]` bodies.
+    ///
+    /// # Panics
+    /// Panics with the gradcheck failure description when any element's
+    /// normalized error exceeds `tol`.
     pub fn check_gradient<F>(input: &Tensor, f: F, eps: f32, tol: f32)
     where
         F: Fn(&Tensor) -> Tensor,
     {
-        let out = f(input);
-        assert_eq!(out.len(), 1, "check_gradient requires a scalar output");
-        out.backward();
-        let analytic = input
-            .grad()
-            .expect("input did not receive a gradient; did you call requires_grad()?");
-
-        let base = input.to_vec();
-        for i in 0..base.len() {
-            let mut plus = base.clone();
-            plus[i] += eps;
-            let mut minus = base.clone();
-            minus[i] -= eps;
-            let fp = f(&Tensor::from_vec(plus, input.shape().dims())).to_vec()[0];
-            let fm = f(&Tensor::from_vec(minus, input.shape().dims())).to_vec()[0];
-            let numeric = (fp - fm) / (2.0 * eps);
-            assert!(
-                (analytic[i] - numeric).abs() <= tol * (1.0 + numeric.abs()),
-                "gradient mismatch at {i}: analytic {} vs numeric {}",
-                analytic[i],
-                numeric
-            );
+        if let Err(e) = crate::verify::gradcheck(input, f, eps, tol) {
+            panic!("{e}");
         }
     }
 }

@@ -8,6 +8,7 @@ use crate::tensor::Tensor;
 /// the output).
 fn unary_from_output(
     input: &Tensor,
+    op: &'static str,
     fwd: impl Fn(f32) -> f32,
     dydx_from_y: fn(f32) -> f32,
 ) -> Tensor {
@@ -18,6 +19,7 @@ fn unary_from_output(
         out,
         input.shape().clone(),
         vec![input.clone()],
+        op,
         Box::new(move |grad| {
             if parent.is_grad() {
                 let g: Vec<f32> = grad
@@ -34,22 +36,22 @@ fn unary_from_output(
 impl Tensor {
     /// Logistic sigmoid `σ(x) = 1 / (1 + e^{-x})`.
     pub fn sigmoid(&self) -> Tensor {
-        unary_from_output(self, |x| 1.0 / (1.0 + (-x).exp()), |y| y * (1.0 - y))
+        unary_from_output(self, "sigmoid", |x| 1.0 / (1.0 + (-x).exp()), |y| y * (1.0 - y))
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&self) -> Tensor {
-        unary_from_output(self, f32::tanh, |y| 1.0 - y * y)
+        unary_from_output(self, "tanh", f32::tanh, |y| 1.0 - y * y)
     }
 
     /// Rectified linear unit `max(0, x)` (paper eq. 17).
     pub fn relu(&self) -> Tensor {
-        unary_from_output(self, |x| x.max(0.0), |y| if y > 0.0 { 1.0 } else { 0.0 })
+        unary_from_output(self, "relu", |x| x.max(0.0), |y| if y > 0.0 { 1.0 } else { 0.0 })
     }
 
     /// Natural exponential.
     pub fn exp(&self) -> Tensor {
-        unary_from_output(self, f32::exp, |y| y)
+        unary_from_output(self, "exp", f32::exp, |y| y)
     }
 
     /// Natural logarithm. Inputs must be positive.
@@ -61,6 +63,7 @@ impl Tensor {
             out,
             self.shape().clone(),
             vec![self.clone()],
+            "log",
             Box::new(move |grad| {
                 if parent.is_grad() {
                     let g: Vec<f32> = grad
@@ -76,7 +79,7 @@ impl Tensor {
 
     /// Elementwise square root. Inputs must be non-negative.
     pub fn sqrt(&self) -> Tensor {
-        unary_from_output(self, f32::sqrt, |y| 0.5 / y)
+        unary_from_output(self, "sqrt", f32::sqrt, |y| 0.5 / y)
     }
 
     /// Elementwise square, a fused `x.mul(x)`.
@@ -88,6 +91,7 @@ impl Tensor {
             out,
             self.shape().clone(),
             vec![self.clone()],
+            "square",
             Box::new(move |grad| {
                 if parent.is_grad() {
                     let g: Vec<f32> = grad

@@ -70,6 +70,7 @@ macro_rules! binary_elementwise {
                 out,
                 shape,
                 vec![self.clone(), rhs.clone()],
+                stringify!($name),
                 Box::new(move |grad| {
                     let dl: fn(f32, f32, f32) -> f32 = $dlhs;
                     let dr: fn(f32, f32, f32) -> f32 = $drhs;
@@ -149,6 +150,7 @@ impl Tensor {
             out,
             self.shape().clone(),
             vec![self.clone()],
+            "add_scalar",
             Box::new(move |grad| {
                 if parent.is_grad() {
                     parent.accumulate_grad(grad);
@@ -165,6 +167,7 @@ impl Tensor {
             out,
             self.shape().clone(),
             vec![self.clone()],
+            "mul_scalar",
             Box::new(move |grad| {
                 if parent.is_grad() {
                     let g: Vec<f32> = grad.iter().map(|&g| g * s).collect();
@@ -196,6 +199,7 @@ impl Tensor {
             self.to_vec(),
             shape,
             vec![self.clone()],
+            "reshape",
             Box::new(move |grad| {
                 if parent.is_grad() {
                     parent.accumulate_grad(grad);

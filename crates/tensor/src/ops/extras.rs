@@ -15,6 +15,7 @@ impl Tensor {
             out,
             self.shape().clone(),
             vec![self.clone()],
+            "clamp",
             Box::new(move |grad| {
                 if parent.is_grad() {
                     let g: Vec<f32> = grad

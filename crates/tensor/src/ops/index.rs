@@ -29,6 +29,7 @@ impl Tensor {
             out,
             Shape::new(&[indices.len(), cols]),
             vec![self.clone()],
+            "gather_rows",
             Box::new(move |grad| {
                 if parent.is_grad() {
                     let mut g = vec![0.0; rows * cols];
@@ -78,6 +79,7 @@ impl Tensor {
             out,
             Shape::new(&[total_rows, cols]),
             owned.clone(),
+            "concat_rows",
             Box::new(move |grad| {
                 let mut offset = 0;
                 for (p, &r) in owned.iter().zip(row_counts.iter()) {
@@ -125,6 +127,7 @@ impl Tensor {
             out,
             shape,
             vec![self.clone(), rhs.clone()],
+            "concat_cols",
             Box::new(move |grad| {
                 if lt.is_grad() {
                     let mut g = vec![0.0; n1 * a];

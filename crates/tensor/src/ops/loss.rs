@@ -45,6 +45,7 @@ impl Tensor {
             vec![loss],
             Shape::scalar(),
             vec![self.clone()],
+            "cross_entropy",
             Box::new(move |grad| {
                 if parent.is_grad() {
                     let scale = grad[0] / rows as f32;

@@ -87,6 +87,7 @@ impl Tensor {
             out,
             Shape::new(&[m, n]),
             vec![self.clone(), rhs.clone()],
+            "matmul",
             Box::new(move |grad| {
                 // dA = dC · B^T ; dB = A^T · dC
                 if lhs_t.is_grad() {
@@ -120,6 +121,7 @@ impl Tensor {
             out,
             Shape::new(&[n, m]),
             vec![self.clone()],
+            "transpose",
             Box::new(move |grad| {
                 if parent.is_grad() {
                     let mut g = vec![0.0; m * n];

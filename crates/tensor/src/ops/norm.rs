@@ -29,6 +29,7 @@ impl Tensor {
             out,
             self.shape().clone(),
             vec![self.clone()],
+            "softmax_rows",
             Box::new(move |grad| {
                 if parent.is_grad() {
                     // dx_i = y_i * (g_i - sum_j g_j y_j), per row.
@@ -68,6 +69,7 @@ impl Tensor {
             out,
             self.shape().clone(),
             vec![self.clone()],
+            "log_softmax_rows",
             Box::new(move |grad| {
                 if parent.is_grad() {
                     // dx = g - softmax(x) * sum(g), per row.
@@ -110,6 +112,7 @@ impl Tensor {
             out,
             self.shape().clone(),
             vec![self.clone()],
+            "layer_norm_rows",
             Box::new(move |grad| {
                 if parent.is_grad() {
                     // dx = inv_std / N * (N*g - sum(g) - y * sum(g*y))
@@ -153,6 +156,7 @@ impl Tensor {
             out,
             self.shape().clone(),
             vec![self.clone()],
+            "l2_normalize_rows",
             Box::new(move |grad| {
                 if parent.is_grad() {
                     // dx = (g - y * (g·y)) / ‖x‖

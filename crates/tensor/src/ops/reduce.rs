@@ -13,6 +13,7 @@ impl Tensor {
             vec![s],
             Shape::scalar(),
             vec![self.clone()],
+            "sum",
             Box::new(move |grad| {
                 if parent.is_grad() {
                     parent.accumulate_grad(&vec![grad[0]; n]);
@@ -51,6 +52,7 @@ impl Tensor {
             out,
             Shape::new(&[cols]),
             vec![self.clone()],
+            "mean_rows",
             Box::new(move |grad| {
                 if parent.is_grad() {
                     let inv = 1.0 / rows as f32;
@@ -79,6 +81,7 @@ impl Tensor {
             out,
             Shape::new(&[rows]),
             vec![self.clone()],
+            "sum_cols",
             Box::new(move |grad| {
                 if parent.is_grad() {
                     let mut g = vec![0.0; rows * cols];

@@ -18,6 +18,9 @@ pub(crate) type BackwardFn = Box<dyn Fn(&[f32])>;
 pub(crate) struct Inner {
     pub(crate) id: u64,
     pub(crate) shape: Shape,
+    /// Name of the op that produced this node (`"leaf"` for leaves); consumed
+    /// by the [`crate::verify`] graph validator for symbolic shape inference.
+    pub(crate) op: &'static str,
     pub(crate) data: RefCell<Vec<f32>>,
     pub(crate) grad: RefCell<Option<Vec<f32>>>,
     /// True for leaf parameters and for any node with a grad-requiring parent.
@@ -93,6 +96,7 @@ impl Tensor {
             inner: Rc::new(Inner {
                 id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
                 shape: self.inner.shape.clone(),
+                op: "leaf",
                 data: RefCell::new(self.inner.data.borrow().clone()),
                 grad: RefCell::new(None),
                 requires_grad: true,
@@ -112,6 +116,7 @@ impl Tensor {
             inner: Rc::new(Inner {
                 id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
                 shape,
+                op: "leaf",
                 data: RefCell::new(data),
                 grad: RefCell::new(None),
                 requires_grad,
@@ -127,6 +132,7 @@ impl Tensor {
         data: Vec<f32>,
         shape: Shape,
         parents: Vec<Tensor>,
+        op: &'static str,
         backward: BackwardFn,
     ) -> Self {
         debug_assert_eq!(data.len(), shape.len());
@@ -145,6 +151,7 @@ impl Tensor {
             inner: Rc::new(Inner {
                 id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
                 shape,
+                op,
                 data: RefCell::new(data),
                 grad: RefCell::new(None),
                 requires_grad,
@@ -249,6 +256,25 @@ impl Tensor {
     /// A stable identifier for deduplicating parameters.
     pub fn id(&self) -> u64 {
         self.inner.id
+    }
+
+    /// Name of the op that produced this node (`"leaf"` for leaves and for
+    /// nodes whose graph history was dropped because no input required
+    /// gradients).
+    pub fn op(&self) -> &'static str {
+        self.inner.op
+    }
+
+    /// Handles to this node's recorded parents. Empty for leaves and for
+    /// nodes built without gradient tracking (the tape only retains parents
+    /// when some input requires gradients).
+    pub fn parents(&self) -> Vec<Tensor> {
+        self.inner.parents.clone()
+    }
+
+    /// True for nodes produced by an op with a recorded backward closure.
+    pub fn is_op_node(&self) -> bool {
+        self.inner.backward.is_some()
     }
 
     /// Accumulates `g` into this node's gradient buffer.

@@ -1,0 +1,50 @@
+//! Universal gradcheck: every differentiable op in `embsr-tensor` is
+//! mechanically verified against central finite differences via the
+//! registry in `embsr_tensor::verify`, over multiple random seeds.
+//!
+//! The workspace lint (`cargo run -p xtask -- lint`) enforces that every
+//! file under `crates/tensor/src/ops/` keeps at least one registry entry,
+//! so an op added without a gradcheck fails CI.
+
+use embsr_tensor::verify::{gradcheck_specs, run_gradcheck};
+
+const SEEDS: &[u64] = &[11, 42, 1337];
+
+#[test]
+fn every_registered_op_passes_gradcheck() {
+    let specs = gradcheck_specs();
+    assert!(specs.len() >= 40, "registry unexpectedly small: {}", specs.len());
+    let mut failures = Vec::new();
+    for spec in &specs {
+        match run_gradcheck(spec, SEEDS) {
+            Ok(worst) => {
+                assert!(
+                    worst <= spec.tol,
+                    "{}: worst error {worst:.2e} above tolerance {:.2e}",
+                    spec.name,
+                    spec.tol
+                );
+            }
+            Err(e) => failures.push(e),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} op(s) failed gradcheck:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn registry_names_are_unique_and_well_formed() {
+    let specs = gradcheck_specs();
+    let mut seen = std::collections::HashSet::new();
+    for s in &specs {
+        assert!(seen.insert(s.name), "duplicate gradcheck name {}", s.name);
+        let (file, case) = s.name.split_once("::").unwrap_or(("", ""));
+        assert_eq!(file, s.file, "{}: name prefix must match file stem", s.name);
+        assert!(!case.is_empty(), "{}: empty case name", s.name);
+        assert!(s.eps > 0.0 && s.tol > 0.0 && s.lo < s.hi, "{}: bad spec", s.name);
+    }
+}

@@ -1,0 +1,66 @@
+//! Integration coverage for the autograd graph validator through the public
+//! API only (the in-crate unit tests additionally cover hand-assembled
+//! corrupt tape nodes that cannot be built from outside).
+
+use embsr_tensor::verify::{validate_graph, validate_training_graph, Severity};
+use embsr_tensor::Tensor;
+
+#[test]
+fn detached_parameter_is_reported_once() {
+    let w_used = Tensor::from_vec(vec![0.1, 0.2, 0.3, 0.4], &[2, 2]).requires_grad();
+    let w_unused = Tensor::from_vec(vec![1.0; 4], &[2, 2]).requires_grad();
+    let x = Tensor::from_vec(vec![1.0, -1.0], &[1, 2]);
+    let loss = x.matmul(&w_used).cross_entropy(&[1]);
+
+    let report = validate_training_graph(
+        &loss,
+        &[w_used.clone(), w_unused.clone()],
+        &[],
+    );
+    let hits = report.with_rule("detached-param");
+    assert_eq!(hits.len(), 1, "{:?}", report.diagnostics);
+    assert_eq!(hits[0].node, w_unused.id());
+    assert_eq!(hits[0].severity, Severity::Error);
+    assert!(!report.is_clean());
+    // Display form names the rule so log lines are greppable.
+    assert!(hits[0].to_string().contains("detached-param"));
+}
+
+#[test]
+fn dead_gradient_subgraph_is_reported_once() {
+    let x = Tensor::from_vec(vec![0.3, -0.6], &[2]).requires_grad();
+    let dead_branch = x.tanh().sum(); // computed, then dropped from the loss
+    let loss = x.square().sum();
+
+    let report = validate_training_graph(&loss, std::slice::from_ref(&x), std::slice::from_ref(&dead_branch));
+    let hits = report.with_rule("dead-gradient");
+    assert_eq!(hits.len(), 1, "{:?}", report.diagnostics);
+    assert_eq!(hits[0].severity, Severity::Warning);
+    assert!(report.is_clean(), "dead gradients warn but do not fail");
+}
+
+#[test]
+fn healthy_training_graph_is_clean() {
+    let emb = Tensor::from_vec((0..12).map(|i| i as f32 * 0.1).collect(), &[4, 3])
+        .requires_grad();
+    let w = Tensor::from_vec(vec![0.2; 9], &[3, 3]).requires_grad();
+    let loss = emb
+        .gather_rows(&[0, 2, 3])
+        .matmul(&w)
+        .layer_norm_rows(1e-5)
+        .cross_entropy(&[1, 0, 2]);
+    let report = validate_training_graph(&loss, &[emb, w], &[]);
+    assert!(report.is_clean(), "{:?}", report.diagnostics);
+    assert_eq!(report.error_count(), 0);
+    assert!(report.nodes_visited >= 5);
+}
+
+#[test]
+fn hazard_warnings_surface_through_plain_validate() {
+    let x = Tensor::from_vec(vec![0.5, 1.5], &[2]).requires_grad();
+    let loss = x.square().log().sum(); // log of an unguarded square
+    let report = validate_graph(&loss);
+    assert_eq!(report.with_rule("hazard-log").len(), 1);
+    assert_eq!(report.warning_count(), 1);
+    assert_eq!(report.error_count(), 0);
+}

@@ -28,6 +28,11 @@ pub struct TrainConfig {
     /// Fraction of the validation set used for the early-stopping signal
     /// (subsampling keeps epochs cheap); in `(0, 1]`.
     pub val_fraction: f32,
+    /// Run the autograd graph validator on the first batch's loss graph and
+    /// record its findings in [`crate::TrainReport::graph_diagnostics`]
+    /// (detached parameters, shape inconsistencies, numerical hazards).
+    /// Costs one graph traversal per `fit`; on by default.
+    pub validate_graph: bool,
 }
 
 impl Default for TrainConfig {
@@ -42,6 +47,7 @@ impl Default for TrainConfig {
             seed: 42,
             patience: Some(2),
             val_fraction: 1.0,
+            validate_graph: true,
         }
     }
 }

@@ -29,6 +29,11 @@ pub struct TrainReport {
     pub best_epoch: usize,
     /// True when training ended before `cfg.epochs` due to patience.
     pub early_stopped: bool,
+    /// Findings of the autograd graph validator on the first batch's loss
+    /// graph (empty when the graph is clean or validation is disabled via
+    /// [`TrainConfig::validate_graph`]). Each entry is the rendered form of
+    /// an [`embsr_tensor::verify::Diagnostic`].
+    pub graph_diagnostics: Vec<String>,
 }
 
 impl TrainReport {
@@ -123,15 +128,14 @@ impl Trainer {
                     let logits = model.logits(&sess, true, &mut rng);
                     batch_losses.push(logits.cross_entropy_single(ex.target as usize));
                 }
-                if batch_losses.is_empty() {
-                    continue;
-                }
                 let n = batch_losses.len() as f32;
-                let loss = batch_losses
-                    .into_iter()
-                    .reduce(|a, b| a.add(&b))
-                    .expect("non-empty")
-                    .mul_scalar(1.0 / n);
+                let Some(batch_sum) = batch_losses.into_iter().reduce(|a, b| a.add(&b)) else {
+                    continue; // every session in the chunk was empty
+                };
+                let loss = batch_sum.mul_scalar(1.0 / n);
+                if cfg.validate_graph && epoch == 0 && seen == 0 {
+                    report.graph_diagnostics = self.validate_first_batch(&loss, &params);
+                }
                 epoch_loss += loss.item() as f64 * n as f64;
                 seen += n as usize;
                 loss.backward();
@@ -192,6 +196,27 @@ impl Trainer {
             }
         }
         report
+    }
+
+    /// Runs the graph validator on the first batch's loss graph and renders
+    /// its findings. Errors (detached parameters, shape inconsistencies) are
+    /// logged at warn level so a misconfigured model is loud even when the
+    /// caller never inspects the report.
+    fn validate_first_batch(&self, loss: &Tensor, params: &[Tensor]) -> Vec<String> {
+        let report = embsr_tensor::verify::validate_training_graph(loss, params, &[]);
+        embsr_obs::debug!(
+            target: "embsr_train",
+            "graph validation: {} nodes, {} error(s), {} warning(s)",
+            report.nodes_visited,
+            report.error_count(),
+            report.warning_count()
+        );
+        for d in &report.diagnostics {
+            if d.severity == embsr_tensor::verify::Severity::Error {
+                embsr_obs::warn!(target: "embsr_train", "graph validation: {d}");
+            }
+        }
+        report.diagnostics.iter().map(|d| d.to_string()).collect()
     }
 
     /// Mean cross-entropy over a set of examples without building graphs.
@@ -306,6 +331,82 @@ mod tests {
         assert_eq!(t.items().collect::<Vec<_>>(), vec![3, 4]);
         // below cap: untouched
         assert_eq!(truncate_session(&s, 10).len(), 4);
+    }
+
+    /// A Bigram with an extra parameter its forward pass never touches —
+    /// the misconfiguration the graph validator exists to catch.
+    struct DetachedBigram {
+        inner: Bigram,
+        orphan: Tensor,
+    }
+
+    impl SessionModel for DetachedBigram {
+        fn name(&self) -> &str {
+            "DetachedBigram"
+        }
+        fn num_items(&self) -> usize {
+            self.inner.num_items()
+        }
+        fn parameters(&self) -> Vec<Tensor> {
+            let mut p = self.inner.parameters();
+            p.push(self.orphan.clone());
+            p
+        }
+        fn logits(&self, s: &Session, t: bool, r: &mut Rng) -> Tensor {
+            self.inner.logits(s, t, r)
+        }
+    }
+
+    #[test]
+    fn fit_flags_detached_parameter_in_report() {
+        let exs = make_examples(&[(0, 1), (1, 2), (2, 0)]);
+        let model = DetachedBigram {
+            inner: Bigram::new(3, &mut Rng::seed_from_u64(3)),
+            orphan: Tensor::zeros(&[4, 4]).requires_grad(),
+        };
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 1,
+            ..TrainConfig::fast()
+        });
+        let report = trainer.fit(&model, &exs, &exs);
+        let detached: Vec<&String> = report
+            .graph_diagnostics
+            .iter()
+            .filter(|d| d.contains("detached-param"))
+            .collect();
+        assert_eq!(detached.len(), 1, "{:?}", report.graph_diagnostics);
+    }
+
+    #[test]
+    fn fit_reports_clean_graph_for_healthy_model() {
+        let exs = make_examples(&[(0, 1), (1, 2), (2, 0)]);
+        let model = Bigram::new(3, &mut Rng::seed_from_u64(4));
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 1,
+            ..TrainConfig::fast()
+        });
+        let report = trainer.fit(&model, &exs, &exs);
+        assert!(
+            report.graph_diagnostics.is_empty(),
+            "{:?}",
+            report.graph_diagnostics
+        );
+    }
+
+    #[test]
+    fn graph_validation_can_be_disabled() {
+        let exs = make_examples(&[(0, 1)]);
+        let model = DetachedBigram {
+            inner: Bigram::new(2, &mut Rng::seed_from_u64(5)),
+            orphan: Tensor::zeros(&[2]).requires_grad(),
+        };
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 1,
+            validate_graph: false,
+            ..TrainConfig::fast()
+        });
+        let report = trainer.fit(&model, &exs, &exs);
+        assert!(report.graph_diagnostics.is_empty());
     }
 
     #[test]

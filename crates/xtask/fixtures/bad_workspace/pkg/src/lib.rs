@@ -1,0 +1,21 @@
+// Seeded lint-violation fixture (never compiled by the real workspace):
+// line 6 trips no-timing-outside-obs, line 7 trips no-panic-ratchet.
+use std::time::Instant;
+
+pub fn risky(v: Option<u32>) -> u32 {
+    let _t = Instant::now();
+    v.unwrap()
+}
+
+// These must NOT be flagged: literals and comments are stripped before
+// matching, and test regions are exempt. (.unwrap() in this comment.)
+pub const DECOY: &str = "x.unwrap(); panic!(boom); Instant::now()";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+    }
+}

@@ -1,0 +1,167 @@
+//! embsr-check layer 2: the in-tree workspace lint.
+//!
+//! ```text
+//! cargo run -p xtask -- lint                     # run all rules, exit 1 on violation
+//! cargo run -p xtask -- lint --update-baseline   # rewrite the panic-ratchet baseline
+//! cargo run -p xtask -- lint --root <dir>        # lint another workspace (tests/fixtures)
+//! ```
+//!
+//! Rules (all dependency-free, token-level — no `syn`):
+//!
+//! * `no-panic-ratchet` — no `.unwrap()`/`.expect()`/`panic!`/`todo!`/
+//!   `unimplemented!` in production code, ratcheted per file via a
+//!   checked-in baseline that may only go down;
+//! * `no-external-deps` — every manifest dependency is an in-tree path;
+//! * `no-timing-outside-obs` — wall-clock reads only in `crates/obs`;
+//! * `gradcheck-coverage` — every `crates/tensor/src/ops/*.rs` has a
+//!   finite-difference entry in the gradcheck registry;
+//! * `doc-public-items` — public items in `tensor`/`nn` carry doc comments.
+
+mod baseline;
+mod rules;
+mod scanner;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use rules::{Finding, SourceFile};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("xtask: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Entry point; returns `Ok(true)` when the lint passes.
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        return Err("usage: cargo run -p xtask -- lint [--update-baseline] [--root <dir>]".into());
+    };
+    if cmd != "lint" {
+        return Err(format!("unknown command `{cmd}`; the only command is `lint`"));
+    }
+    let mut update_baseline = false;
+    let mut root_override: Option<PathBuf> = None;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--update-baseline" => update_baseline = true,
+            "--root" => {
+                let dir = it.next().ok_or("--root takes a directory")?;
+                root_override = Some(PathBuf::from(dir));
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let root = match root_override {
+        Some(r) => r,
+        None => find_workspace_root()?,
+    };
+    lint(&root, update_baseline)
+}
+
+/// Walks up from the current directory to the manifest containing
+/// `[workspace]`.
+fn find_workspace_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| e.to_string())?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let content = std::fs::read_to_string(&manifest).map_err(|e| e.to_string())?;
+            if content.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err("no workspace root (Cargo.toml with [workspace]) above cwd".into());
+        }
+    }
+}
+
+/// Runs every rule over the workspace at `root`; prints findings and
+/// returns `Ok(true)` when no errors were found.
+fn lint(root: &Path, update_baseline: bool) -> Result<bool, String> {
+    let mut rs_files = Vec::new();
+    let mut manifests = vec!["Cargo.toml".to_string()];
+    collect(root, Path::new(""), &mut rs_files, &mut manifests)?;
+    rs_files.sort();
+    manifests.sort();
+
+    let mut sources = Vec::with_capacity(rs_files.len());
+    for rel in &rs_files {
+        sources.push(SourceFile::load(root, rel)?);
+    }
+
+    if update_baseline {
+        let counts = rules::panic_counts(&sources);
+        baseline::save(root, &counts)?;
+        println!(
+            "xtask: baseline rewritten: {} file(s), {} panic construct(s) total",
+            counts.len(),
+            counts.values().sum::<usize>()
+        );
+    }
+    let base = baseline::load(root)?;
+
+    let mut findings: Vec<Finding> = Vec::new();
+    findings.extend(rules::rule_no_panic_ratchet(&sources, &base));
+    findings.extend(rules::rule_no_external_deps(root, &manifests));
+    findings.extend(rules::rule_no_timing_outside_obs(&sources));
+    findings.extend(rules::rule_gradcheck_coverage(root));
+    findings.extend(rules::rule_doc_public_items(&sources));
+
+    let errors = findings.iter().filter(|f| f.is_error).count();
+    for f in &findings {
+        if f.is_error {
+            println!("{f}");
+        } else {
+            eprintln!("{f}");
+        }
+    }
+    println!(
+        "xtask lint: {} file(s), {} manifest(s), {} error(s), {} note(s)",
+        sources.len(),
+        manifests.len(),
+        errors,
+        findings.len() - errors
+    );
+    Ok(errors == 0)
+}
+
+/// Recursively collects `.rs` files and `Cargo.toml` manifests, skipping
+/// build output, VCS metadata, and lint fixtures.
+fn collect(
+    root: &Path,
+    rel: &Path,
+    rs_files: &mut Vec<String>,
+    manifests: &mut Vec<String>,
+) -> Result<(), String> {
+    let dir = root.join(rel);
+    let entries = std::fs::read_dir(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let sub = if rel.as_os_str().is_empty() {
+            PathBuf::from(&name)
+        } else {
+            rel.join(&name)
+        };
+        let path = root.join(&sub);
+        if path.is_dir() {
+            if matches!(name.as_str(), "target" | ".git" | "fixtures" | "results" | "node_modules") {
+                continue;
+            }
+            collect(root, &sub, rs_files, manifests)?;
+        } else if name.ends_with(".rs") {
+            rs_files.push(sub.to_string_lossy().replace('\\', "/"));
+        } else if name == "Cargo.toml" && !rel.as_os_str().is_empty() {
+            manifests.push(sub.to_string_lossy().replace('\\', "/"));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,398 @@
+//! The lint rules. Every rule returns [`Finding`]s; the driver fails the
+//! run when any finding is an error.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::scanner::{line_of, strip_comments_and_strings, test_region_mask};
+
+/// One rule violation (or advisory note).
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Stable rule name, e.g. `no-panic-ratchet`.
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line of the first offending token (0 for file-level findings).
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Errors fail the lint; notes do not.
+    pub is_error: bool,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = if self.is_error { "error" } else { "note" };
+        write!(
+            f,
+            "{kind}[{}]: {}:{}: {}",
+            self.rule, self.path, self.line, self.message
+        )
+    }
+}
+
+/// A workspace source file loaded for linting.
+pub struct SourceFile {
+    /// Path relative to the workspace root (`/`-separated).
+    pub rel: String,
+    /// Raw content.
+    pub raw: String,
+    /// Content with comments/strings blanked.
+    pub stripped: String,
+    /// Per-char test-region mask over `stripped`.
+    pub test_mask: Vec<bool>,
+    /// True when the whole file is test/example/bench scaffolding.
+    pub all_test: bool,
+}
+
+impl SourceFile {
+    /// Loads and pre-scans one file. `rel` must use `/` separators.
+    pub fn load(root: &Path, rel: &str) -> Result<SourceFile, String> {
+        let raw = std::fs::read_to_string(root.join(rel))
+            .map_err(|e| format!("{rel}: {e}"))?;
+        let stripped = strip_comments_and_strings(&raw);
+        let test_mask = test_region_mask(&stripped);
+        let all_test = rel.split('/').any(|part| {
+            part == "tests" || part == "examples" || part == "benches" || part == "fixtures"
+        }) || rel.ends_with("build.rs");
+        Ok(SourceFile {
+            rel: rel.to_string(),
+            raw,
+            stripped,
+            test_mask,
+            all_test,
+        })
+    }
+
+    /// Char offsets of `pat` in the stripped source, excluding test regions
+    /// (and everything, when the whole file is test scaffolding).
+    fn production_hits(&self, pat: &str) -> Vec<usize> {
+        if self.all_test {
+            return Vec::new();
+        }
+        let mut hits = Vec::new();
+        let mut from = 0usize;
+        while let Some(pos) = self.stripped[from..].find(pat) {
+            let byte_pos = from + pos;
+            let char_pos = self.stripped[..byte_pos].chars().count();
+            if !self.test_mask.get(char_pos).copied().unwrap_or(false) {
+                hits.push(char_pos);
+            }
+            from = byte_pos + pat.len();
+        }
+        hits
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: no-panic-ratchet
+// ---------------------------------------------------------------------------
+
+/// Panicking constructs forbidden in production code. Each entry is split so
+/// this file's own source never contains the contiguous pattern.
+fn panic_patterns() -> [(&'static str, String); 5] {
+    [
+        ("unwrap", [".unwr", "ap()"].concat()),
+        ("expect", [".expe", "ct("].concat()),
+        ("panic!", ["pani", "c!("].concat()),
+        ("todo!", ["tod", "o!("].concat()),
+        ("unimplemented!", ["unimplemen", "ted!("].concat()),
+    ]
+}
+
+/// Counts panicking constructs per file in production (non-test) code.
+pub fn panic_counts(files: &[SourceFile]) -> BTreeMap<String, usize> {
+    let pats = panic_patterns();
+    let mut counts = BTreeMap::new();
+    for f in files {
+        let total: usize = pats.iter().map(|(_, p)| f.production_hits(p).len()).sum();
+        if total > 0 {
+            counts.insert(f.rel.clone(), total);
+        }
+    }
+    counts
+}
+
+/// The panic ratchet: per-file counts may only go down relative to the
+/// checked-in baseline. New files start at an allowance of zero.
+pub fn rule_no_panic_ratchet(
+    files: &[SourceFile],
+    baseline: &BTreeMap<String, usize>,
+) -> Vec<Finding> {
+    let pats = panic_patterns();
+    let mut findings = Vec::new();
+    for f in files {
+        let mut count = 0usize;
+        let mut first_line = 0usize;
+        for (_, p) in &pats {
+            for pos in f.production_hits(p) {
+                count += 1;
+                let line = line_of(&f.stripped, pos);
+                if first_line == 0 || line < first_line {
+                    first_line = line;
+                }
+            }
+        }
+        let allowed = baseline.get(&f.rel).copied().unwrap_or(0);
+        if count > allowed {
+            findings.push(Finding {
+                rule: "no-panic-ratchet",
+                path: f.rel.clone(),
+                line: first_line,
+                message: format!(
+                    "{count} panicking construct(s) in production code, baseline allows {allowed} \
+                     (convert to Result, or run `cargo run -p xtask -- lint --update-baseline` \
+                     if this regression is intentional)"
+                ),
+                is_error: true,
+            });
+        } else if count < allowed {
+            findings.push(Finding {
+                rule: "no-panic-ratchet",
+                path: f.rel.clone(),
+                line: 0,
+                message: format!(
+                    "improved: {count} panicking construct(s), baseline allows {allowed}; \
+                     run `cargo run -p xtask -- lint --update-baseline` to ratchet down"
+                ),
+                is_error: false,
+            });
+        }
+    }
+    // Stale baseline entries for deleted files are advisory only.
+    for rel in baseline.keys() {
+        if !files.iter().any(|f| &f.rel == rel) {
+            findings.push(Finding {
+                rule: "no-panic-ratchet",
+                path: rel.clone(),
+                line: 0,
+                message: "baseline entry for a file that no longer exists; \
+                          run --update-baseline to drop it"
+                    .to_string(),
+                is_error: false,
+            });
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: no-external-deps
+// ---------------------------------------------------------------------------
+
+/// Every dependency in every manifest must be an in-tree path (directly or
+/// via `workspace = true` resolving to `[workspace.dependencies]` paths).
+pub fn rule_no_external_deps(root: &Path, manifests: &[String]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for rel in manifests {
+        let content = match std::fs::read_to_string(root.join(rel)) {
+            Ok(c) => c,
+            Err(e) => {
+                findings.push(Finding {
+                    rule: "no-external-deps",
+                    path: rel.clone(),
+                    line: 0,
+                    message: format!("unreadable manifest: {e}"),
+                    is_error: true,
+                });
+                continue;
+            }
+        };
+        let mut in_dep_section = false;
+        for (idx, raw_line) in content.lines().enumerate() {
+            let line = raw_line.trim();
+            if line.starts_with('[') {
+                in_dep_section = line == "[dependencies]"
+                    || line == "[dev-dependencies]"
+                    || line == "[build-dependencies]"
+                    || line == "[workspace.dependencies]";
+                continue;
+            }
+            if !in_dep_section || line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((name, spec)) = line.split_once('=') else {
+                continue;
+            };
+            let name = name.trim();
+            let spec = spec.trim();
+            let hermetic = spec.contains("path =")
+                || spec.contains("path=")
+                || spec.contains("workspace = true")
+                || spec.contains("workspace=true")
+                || name.ends_with(".workspace");
+            if !hermetic {
+                findings.push(Finding {
+                    rule: "no-external-deps",
+                    path: rel.clone(),
+                    line: idx + 1,
+                    message: format!(
+                        "dependency `{name}` is not an in-tree path; the workspace is \
+                         deliberately dependency-free (see the root Cargo.toml)"
+                    ),
+                    is_error: true,
+                });
+            }
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: no-timing-outside-obs
+// ---------------------------------------------------------------------------
+
+/// Wall-clock reads are confined to `crates/obs` so every timing goes
+/// through the span/metrics layer (and stays mockable and greppable).
+pub fn rule_no_timing_outside_obs(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for f in files {
+        if f.rel.starts_with("crates/obs/") {
+            continue;
+        }
+        for pat in ["Instant::now", "SystemTime::now"] {
+            for pos in f.production_hits(pat) {
+                findings.push(Finding {
+                    rule: "no-timing-outside-obs",
+                    path: f.rel.clone(),
+                    line: line_of(&f.stripped, pos),
+                    message: format!(
+                        "`{pat}` outside crates/obs; use `embsr_obs::span(...)` and \
+                         `SpanGuard::elapsed()` instead"
+                    ),
+                    is_error: true,
+                });
+            }
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: gradcheck-coverage
+// ---------------------------------------------------------------------------
+
+/// Every op file under `crates/tensor/src/ops/` must have at least one
+/// entry in the gradcheck registry (`verify.rs`, `file: "<stem>"`).
+pub fn rule_gradcheck_coverage(root: &Path) -> Vec<Finding> {
+    let ops_dir = root.join("crates/tensor/src/ops");
+    let registry_rel = "crates/tensor/src/verify.rs";
+    let registry = std::fs::read_to_string(root.join(registry_rel)).unwrap_or_default();
+    let mut findings = Vec::new();
+    if registry.is_empty() {
+        findings.push(Finding {
+            rule: "gradcheck-coverage",
+            path: registry_rel.to_string(),
+            line: 0,
+            message: "gradcheck registry missing or unreadable".to_string(),
+            is_error: true,
+        });
+        return findings;
+    }
+    let entries = match std::fs::read_dir(&ops_dir) {
+        Ok(e) => e,
+        Err(e) => {
+            findings.push(Finding {
+                rule: "gradcheck-coverage",
+                path: "crates/tensor/src/ops".to_string(),
+                line: 0,
+                message: format!("cannot list ops directory: {e}"),
+                is_error: true,
+            });
+            return findings;
+        }
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let Some(stem) = name.strip_suffix(".rs") else {
+            continue;
+        };
+        if stem == "mod" {
+            continue;
+        }
+        let marker = format!("file: \"{stem}\"");
+        if !registry.contains(&marker) {
+            findings.push(Finding {
+                rule: "gradcheck-coverage",
+                path: format!("crates/tensor/src/ops/{name}"),
+                line: 0,
+                message: format!(
+                    "no gradcheck registry entry with `{marker}` in {registry_rel}; \
+                     every op file needs finite-difference coverage"
+                ),
+                is_error: true,
+            });
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Rule 5: doc-public-items
+// ---------------------------------------------------------------------------
+
+/// Item keywords that, following `pub `, introduce an API item we require
+/// docs on.
+const DOC_KEYWORDS: [&str; 9] = [
+    "fn", "struct", "enum", "trait", "mod", "const", "static", "type", "unsafe",
+];
+
+/// Public items in `crates/tensor` and `crates/nn` must carry a doc comment
+/// (`pub use` re-exports and `pub(crate)`/`pub(super)` items are exempt).
+pub fn rule_doc_public_items(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for f in files {
+        let in_scope = f.rel.starts_with("crates/tensor/src/") || f.rel.starts_with("crates/nn/src/");
+        if !in_scope || f.all_test {
+            continue;
+        }
+        let stripped_lines: Vec<&str> = f.stripped.lines().collect();
+        let raw_lines: Vec<&str> = f.raw.lines().collect();
+        let mut char_offset = 0usize;
+        for (i, line) in stripped_lines.iter().enumerate() {
+            let line_start = char_offset;
+            char_offset += line.chars().count() + 1;
+            let trimmed = line.trim_start();
+            if !trimmed.starts_with("pub ") {
+                continue;
+            }
+            let rest = &trimmed[4..];
+            let is_item = DOC_KEYWORDS
+                .iter()
+                .any(|k| rest.starts_with(k) && rest[k.len()..].starts_with([' ', '<']));
+            if !is_item {
+                continue; // pub use, pub(crate), struct fields, etc.
+            }
+            if f.test_mask.get(line_start).copied().unwrap_or(false) {
+                continue;
+            }
+            // Walk upward in the RAW source (doc comments are blanked in the
+            // stripped copy): attributes may sit between the docs and the item.
+            let mut j = i;
+            let mut documented = false;
+            while j > 0 {
+                j -= 1;
+                let above = raw_lines.get(j).map_or("", |l| l.trim_start());
+                if above.starts_with("#[") || above.starts_with("#![") {
+                    continue;
+                }
+                documented = above.starts_with("///") || above.starts_with("/**");
+                break;
+            }
+            if !documented {
+                findings.push(Finding {
+                    rule: "doc-public-items",
+                    path: f.rel.clone(),
+                    line: i + 1,
+                    message: format!(
+                        "undocumented public item `{}`",
+                        trimmed.chars().take(60).collect::<String>().trim_end()
+                    ),
+                    is_error: true,
+                });
+            }
+        }
+    }
+    findings
+}

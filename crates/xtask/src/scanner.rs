@@ -1,0 +1,290 @@
+//! A token-level Rust source scanner, deliberately built without `syn` (the
+//! workspace is dependency-free). It does two things the lint rules need:
+//!
+//! * [`strip_comments_and_strings`] — a length-preserving copy of the source
+//!   with every comment and string/char literal blanked to spaces, so
+//!   substring rules cannot match inside literals or docs;
+//! * [`test_region_mask`] — a per-byte mask marking `#[cfg(test)]` /
+//!   `#[test]` items (found by brace matching on the stripped source), so
+//!   rules can exempt test code.
+
+/// Length-preserving copy of `src` with comments, string literals (plain,
+/// raw, byte) and char literals replaced by spaces. Newlines are kept so
+/// byte offsets and line numbers survive the transformation.
+pub fn strip_comments_and_strings(src: &str) -> String {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut out: Vec<char> = Vec::with_capacity(n);
+    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
+    let mut i = 0;
+    while i < n {
+        let c = b[i];
+        // line comment (also covers doc comments)
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            while i < n && b[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        // block comment, nested
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 1usize;
+            out.push(' ');
+            out.push(' ');
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // raw (and raw byte) strings: r"..", r#".."#, br#".."#
+        let prev_is_ident = i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_');
+        if !prev_is_ident && (c == 'r' || (c == 'b' && i + 1 < n && b[i + 1] == 'r')) {
+            let mut j = i + if c == 'b' { 2 } else { 1 };
+            let mut hashes = 0usize;
+            while j < n && b[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < n && b[j] == '"' {
+                // emit blanks for the prefix and opening quote
+                out.extend(std::iter::repeat_n(' ', j - i + 1));
+                i = j + 1;
+                // scan to closing `"` followed by `hashes` hash marks
+                'raw: while i < n {
+                    if b[i] == '"' {
+                        let mut k = 0usize;
+                        while k < hashes && i + 1 + k < n && b[i + 1 + k] == '#' {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            out.extend(std::iter::repeat_n(' ', hashes + 1));
+                            i += 1 + hashes;
+                            break 'raw;
+                        }
+                    }
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        // plain and byte strings
+        if c == '"' || (c == 'b' && !prev_is_ident && i + 1 < n && b[i + 1] == '"') {
+            if c == 'b' {
+                out.push(' ');
+                i += 1;
+            }
+            out.push(' '); // opening quote
+            i += 1;
+            while i < n {
+                if b[i] == '\\' && i + 1 < n {
+                    // keep escaped newlines (string continuations) so line
+                    // numbers survive
+                    out.push(' ');
+                    out.push(blank(b[i + 1]));
+                    i += 2;
+                    continue;
+                }
+                if b[i] == '"' {
+                    out.push(' ');
+                    i += 1;
+                    break;
+                }
+                out.push(blank(b[i]));
+                i += 1;
+            }
+            continue;
+        }
+        // char literal vs lifetime: 'x' or '\n' is a literal, 'static is not
+        if c == '\'' && i + 1 < n {
+            let is_escape = b[i + 1] == '\\';
+            let closes = i + 2 < n && b[i + 2] == '\'';
+            if is_escape || closes {
+                out.push(' ');
+                i += 1;
+                while i < n {
+                    if b[i] == '\\' && i + 1 < n {
+                        out.push(' ');
+                        out.push(blank(b[i + 1]));
+                        i += 2;
+                        continue;
+                    }
+                    if b[i] == '\'' {
+                        out.push(' ');
+                        i += 1;
+                        break;
+                    }
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    out.into_iter().collect()
+}
+
+/// Per-character mask over `stripped` (the output of
+/// [`strip_comments_and_strings`]): `true` marks characters belonging to a
+/// test region — an item annotated `#[test]`, or a `#[cfg(test)]` item
+/// (typically `mod tests { ... }`).
+pub fn test_region_mask(stripped: &str) -> Vec<bool> {
+    let b: Vec<char> = stripped.chars().collect();
+    let n = b.len();
+    let mut mask = vec![false; n];
+    for start in find_test_attrs(&b) {
+        // From the end of the attribute, skip whitespace and further
+        // attributes, then mask through the item's balanced `{ ... }` block
+        // (or to the terminating `;` for block-less items).
+        let mut i = skip_attr(&b, start);
+        loop {
+            while i < n && b[i].is_whitespace() {
+                i += 1;
+            }
+            if i < n && b[i] == '#' {
+                i = skip_attr(&b, i);
+                continue;
+            }
+            break;
+        }
+        let mut end = i;
+        while end < n && b[end] != '{' && b[end] != ';' {
+            end += 1;
+        }
+        if end < n && b[end] == '{' {
+            let mut depth = 0usize;
+            while end < n {
+                if b[end] == '{' {
+                    depth += 1;
+                } else if b[end] == '}' {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                end += 1;
+            }
+        }
+        for m in mask.iter_mut().take((end + 1).min(n)).skip(start) {
+            *m = true;
+        }
+    }
+    mask
+}
+
+/// Start offsets of `#[test]`, `#[cfg(test)]` and `#[should_panic` attributes.
+fn find_test_attrs(b: &[char]) -> Vec<usize> {
+    let hay: String = b.iter().collect();
+    let mut found = Vec::new();
+    for pat in ["#[test]", "#[cfg(test)]", "#[should_panic"] {
+        let mut from = 0usize;
+        while let Some(pos) = hay[from..].find(pat) {
+            // byte offset == char offset: the stripped source is ASCII-blank
+            // in literals, but identifiers/paths can still be multi-byte, so
+            // convert defensively.
+            let byte_pos = from + pos;
+            found.push(hay[..byte_pos].chars().count());
+            from = byte_pos + pat.len();
+        }
+    }
+    found.sort_unstable();
+    found.dedup();
+    found
+}
+
+/// Returns the offset just past an attribute starting at `i` (`#[ ... ]`
+/// with balanced brackets).
+fn skip_attr(b: &[char], i: usize) -> usize {
+    let n = b.len();
+    let mut j = i;
+    while j < n && b[j] != '[' {
+        j += 1;
+    }
+    let mut depth = 0usize;
+    while j < n {
+        if b[j] == '[' {
+            depth += 1;
+        } else if b[j] == ']' {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    n
+}
+
+/// 1-based line number of character offset `pos` in `text`.
+pub fn line_of(text: &str, pos: usize) -> usize {
+    text.chars().take(pos).filter(|&c| c == '\n').count() + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let src = "let x = \"panic!(\"; // panic!()\nlet y = 1; /* .unwrap() */";
+        let s = strip_comments_and_strings(src);
+        assert!(!s.contains("panic!"));
+        assert!(!s.contains("unwrap"));
+        assert!(s.contains("let y = 1;"));
+        assert_eq!(s.chars().filter(|&c| c == '\n').count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_blanked_but_lifetimes_survive() {
+        let src = "let p = r#\"x.unwrap()\"#; let c = '\\n'; fn f<'a>(x: &'a str) {}";
+        let s = strip_comments_and_strings(src);
+        assert!(!s.contains("unwrap"));
+        assert!(s.contains("fn f<'a>(x: &'a str) {}"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ fn live() {}";
+        let s = strip_comments_and_strings(src);
+        assert!(!s.contains("outer") && !s.contains("inner") && !s.contains("still"));
+        assert!(s.contains("fn live() {}"));
+    }
+
+    #[test]
+    fn test_mod_is_masked_but_production_code_is_not() {
+        let src = "fn prod() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { y.unwrap(); }\n}\n";
+        let stripped = strip_comments_and_strings(src);
+        let mask = test_region_mask(&stripped);
+        let chars: Vec<char> = stripped.chars().collect();
+        let prod_pos = stripped.find("x.unwrap").unwrap();
+        let test_pos = stripped.find("y.unwrap").unwrap();
+        assert!(!mask[prod_pos], "production code must stay unmasked");
+        assert!(mask[test_pos], "test body must be masked");
+        assert_eq!(chars.len(), mask.len());
+    }
+
+    #[test]
+    fn line_numbers_are_one_based() {
+        let text = "a\nb\nc";
+        assert_eq!(line_of(text, 0), 1);
+        assert_eq!(line_of(text, 2), 2);
+        assert_eq!(line_of(text, 4), 3);
+    }
+}

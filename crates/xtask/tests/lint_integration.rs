@@ -1,0 +1,69 @@
+//! End-to-end tests for `cargo run -p xtask -- lint`: the real workspace
+//! must pass clean, and the seeded violation fixture must fail with named
+//! rules and file:line locations.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn xtask() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_xtask"))
+}
+
+fn manifest_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn lint_passes_on_the_real_workspace() {
+    let root = manifest_dir().join("../..");
+    let out = xtask()
+        .args(["lint", "--root"])
+        .arg(&root)
+        .output()
+        .expect("xtask binary must run");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "lint must pass on the workspace:\n{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("0 error(s)"), "{stdout}");
+}
+
+#[test]
+fn lint_fails_on_seeded_violations_with_rule_and_location() {
+    let fixture = manifest_dir().join("fixtures/bad_workspace");
+    let out = xtask()
+        .args(["lint", "--root"])
+        .arg(&fixture)
+        .output()
+        .expect("xtask binary must run");
+    assert!(
+        !out.status.success(),
+        "lint must fail on the violation fixture"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+
+    // Each violation is reported with its rule name and file:line.
+    assert!(
+        stdout.contains("error[no-panic-ratchet]: pkg/src/lib.rs:7"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("error[no-timing-outside-obs]: pkg/src/lib.rs:6"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("error[no-external-deps]: pkg/Cargo.toml:8"),
+        "{stdout}"
+    );
+    // Decoys (string literal, comment, #[cfg(test)] body) must not add
+    // extra panic findings: exactly one panic construct is counted.
+    assert!(stdout.contains("1 panicking construct(s)"), "{stdout}");
+}
+
+#[test]
+fn unknown_command_is_a_usage_error() {
+    let out = xtask().arg("frobnicate").output().expect("must run");
+    assert_eq!(out.status.code(), Some(2));
+}
