@@ -1,0 +1,143 @@
+//! Experiment P1 — data-parallel training throughput.
+//!
+//! Trains full EMBSR on JD-Computers with the [`embsr_train::ParallelTrainer`]
+//! at every power-of-two thread count up to `--train-threads`, verifying on
+//! the way that the final parameters are bitwise identical at every count
+//! (the determinism contract), and records per-count throughput to
+//! `results/parallel_t<T>.json` plus an aggregate `BENCH_parallel.json`.
+//!
+//! Speedups are only observable when the container actually has cores to
+//! spare — the `cores_available` field in every row records what the run
+//! had, so numbers from single-core CI are not mistaken for a scaling
+//! regression.
+
+use embsr_bench::parse_args;
+use embsr_core::{Embsr, EmbsrConfig};
+use embsr_datasets::DatasetPreset;
+use embsr_obs::JsonValue;
+use embsr_tensor::export_params;
+use embsr_train::{ParallelTrainer, SessionModel, TrainConfig};
+
+fn main() {
+    let args = parse_args();
+    let dataset = args.dataset(DatasetPreset::JdComputers);
+    let cores_available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut counts = vec![1usize];
+    while counts.last().copied().unwrap_or(1) * 2 <= args.train_threads.max(1) {
+        counts.push(counts.last().copied().unwrap_or(1) * 2);
+    }
+
+    let mcfg = {
+        let mut mc = EmbsrConfig::full(dataset.num_items, dataset.num_ops, args.dim);
+        mc.seed = args.seed;
+        mc
+    };
+    let passes = args.epochs.max(1) as f64;
+    println!(
+        "parallel scaling: {} · dim={} · epochs={} · threads {:?} · {} core(s) available",
+        dataset.name, args.dim, args.epochs, counts, cores_available
+    );
+
+    let mut baseline_bits: Option<Vec<u32>> = None;
+    let mut t1_seconds = f64::NAN;
+    let mut rows: Vec<JsonValue> = Vec::new();
+    for &threads in &counts {
+        let tcfg = TrainConfig {
+            epochs: args.epochs,
+            batch_size: 64,
+            lr: args.lr_override.unwrap_or(8e-3),
+            seed: args.seed,
+            val_fraction: 0.5,
+            patience: None,
+            train_threads: threads,
+            ..TrainConfig::default()
+        };
+        let model = Embsr::new(mcfg.clone());
+        let fit_span = embsr_obs::span("embsr_bench", "parallel_fit");
+        let report = ParallelTrainer::new(tcfg).fit(
+            &model,
+            || Embsr::new(mcfg.clone()),
+            &dataset.train,
+            &dataset.val,
+        );
+        let fit_seconds = fit_span.elapsed().as_secs_f64();
+        drop(fit_span);
+
+        let bits: Vec<u32> = export_params(&model.parameters())
+            .iter()
+            .map(|x| x.to_bits())
+            .collect();
+        match &baseline_bits {
+            None => {
+                baseline_bits = Some(bits);
+                t1_seconds = fit_seconds;
+            }
+            Some(base) => assert_eq!(
+                base, &bits,
+                "thread-invariance violated at {threads} threads"
+            ),
+        }
+
+        let examples_per_sec =
+            dataset.train.len() as f64 * passes / fit_seconds.max(1e-9);
+        let speedup = t1_seconds / fit_seconds.max(1e-9);
+        println!(
+            "  T={threads}: fit={fit_seconds:.2}s · {examples_per_sec:.0} ex/s · \
+             speedup vs T=1: {speedup:.2}× · final_train_loss={:.4}",
+            report.final_train_loss()
+        );
+        let row = JsonValue::object(vec![
+            ("experiment", JsonValue::String("parallel_scaling".into())),
+            ("dataset", JsonValue::String(dataset.name.clone())),
+            ("model", JsonValue::String("EMBSR".into())),
+            ("threads", JsonValue::Number(threads as f64)),
+            ("grad_shards", JsonValue::Number(8.0)),
+            ("epochs", JsonValue::Number(args.epochs as f64)),
+            ("dim", JsonValue::Number(args.dim as f64)),
+            ("seed", JsonValue::Number(args.seed as f64)),
+            ("train_examples", JsonValue::Number(dataset.train.len() as f64)),
+            ("fit_seconds", JsonValue::Number(fit_seconds)),
+            ("examples_per_sec", JsonValue::Number(examples_per_sec)),
+            ("speedup_vs_t1", JsonValue::Number(speedup)),
+            ("cores_available", JsonValue::Number(cores_available as f64)),
+            (
+                "final_train_loss",
+                JsonValue::Number(report.final_train_loss() as f64),
+            ),
+            (
+                "params_bitwise_equal_t1",
+                JsonValue::Bool(true), // asserted above; recorded for readers
+            ),
+        ]);
+        if args.json {
+            if let Err(e) = std::fs::create_dir_all(&args.out_dir) {
+                embsr_obs::warn!(target: "exp::parallel", "out dir: {e}");
+            }
+            let path = args.out_dir.join(format!("parallel_t{threads}.json"));
+            if let Err(e) = std::fs::write(&path, row.to_json() + "\n") {
+                embsr_obs::warn!(target: "exp::parallel", "row write failed: {e}");
+            }
+        }
+        rows.push(row);
+    }
+
+    if args.json {
+        let table = JsonValue::object(vec![
+            ("bench", JsonValue::String("parallel_scaling".into())),
+            ("cores_available", JsonValue::Number(cores_available as f64)),
+            ("rows", JsonValue::Array(rows)),
+        ]);
+        let path = std::path::Path::new("BENCH_parallel.json");
+        match std::fs::write(path, table.to_json() + "\n") {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => embsr_obs::warn!(target: "exp::parallel", "bench table: {e}"),
+        }
+    }
+    println!(
+        "Shape to verify: identical final losses/params at every T (asserted); \
+         examples_per_sec grows with T up to the available cores."
+    );
+}

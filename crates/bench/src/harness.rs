@@ -60,6 +60,9 @@ impl Scale {
 pub struct HarnessArgs {
     pub scale: Scale,
     pub threads: usize,
+    /// Worker threads for the data-parallel trainer (`--train-threads`);
+    /// results are bitwise identical for any value, only throughput changes.
+    pub train_threads: usize,
     pub dim: usize,
     pub epochs: usize,
     pub seed: u64,
@@ -87,6 +90,7 @@ impl Default for HarnessArgs {
         HarnessArgs {
             scale: Scale::Small,
             threads: 2,
+            train_threads: 4,
             dim: Scale::Small.default_dim(),
             epochs: Scale::Small.default_epochs(),
             seed: 17,
@@ -125,6 +129,9 @@ pub fn parse_args() -> HarnessArgs {
     let parsed = HarnessArgs {
         scale,
         threads,
+        train_threads: get("--train-threads")
+            .map(|s| s.parse().expect("--train-threads takes a number"))
+            .unwrap_or(4),
         dim: get("--dim")
             .map(|s| s.parse().expect("--dim takes a number"))
             .unwrap_or_else(|| scale.default_dim()),
@@ -442,6 +449,7 @@ mod tests {
         HarnessArgs {
             scale: Scale::Tiny,
             threads: 2,
+            train_threads: 2,
             dim: 8,
             epochs: 1,
             seed: 3,

@@ -9,6 +9,7 @@
 //! ```text
 //! --scale tiny|small|full   experiment size (default: small)
 //! --threads N               parallel jobs (default: available cores)
+//! --train-threads N         data-parallel trainer workers (default: 4)
 //! --dim N                   embedding size override
 //! --epochs N                training epochs override
 //! --seed N                  RNG seed override

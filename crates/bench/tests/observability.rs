@@ -18,6 +18,7 @@ fn json_args(dir: &std::path::Path) -> HarnessArgs {
     HarnessArgs {
         scale: Scale::Tiny,
         threads: 1,
+        train_threads: 2,
         dim: 8,
         epochs: 2,
         seed: 3,

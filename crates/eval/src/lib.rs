@@ -10,18 +10,18 @@
 //!   to report p ≪ 0.01;
 //! * [`ResultsTable`] — paper-style result tables with best/second-best
 //!   highlighting and the `Imp.%` column;
-//! * [`run_parallel`] — a scoped-thread job pool for the 13-model × 3-dataset
-//!   experiment grid (each job owns its model; models never cross threads).
+//! * [`run_parallel`] — the shared scoped-thread job pool (re-exported from
+//!   `embsr-pool`) filling the 13-model × 3-dataset experiment grid (each
+//!   job owns its model; models never cross threads).
 
 mod evaluate;
 mod metrics;
-mod parallel;
 mod report;
 mod table;
 mod wilcoxon;
 
+pub use embsr_pool::run_parallel;
 pub use evaluate::{evaluate, Evaluation};
 pub use metrics::{hit_at_k, rank_of_target, reciprocal_rank_at_k, top_k};
-pub use parallel::run_parallel;
 pub use table::ResultsTable;
 pub use wilcoxon::{wilcoxon_signed_rank, WilcoxonResult};

@@ -1,0 +1,338 @@
+//! # embsr-pool
+//!
+//! The workspace's shared thread pool, promoted out of `embsr-eval` so the
+//! experiment grid and the data-parallel trainer run on one worker
+//! primitive.
+//!
+//! Models in this workspace are intentionally single-threaded (`Rc`-based
+//! autograd), so parallelism lives at the *job* level: each job constructs,
+//! trains and evaluates its own model (or model replica) entirely inside one
+//! thread, returning only plain data. Two entry points cover both users:
+//!
+//! * [`run_parallel`] — a one-shot job list (the 13-model × 3-dataset
+//!   experiment grid): results come back in original job order.
+//! * [`run_with_workers`] — `N` long-lived workers plus a master closure on
+//!   the calling thread (the data-parallel trainer's batch loop): the
+//!   caller brings its own channel protocol, the pool brings lifecycle and
+//!   panic handling.
+//!
+//! ## Panic semantics
+//!
+//! A panicking job (or worker) never poisons shared state or surfaces as a
+//! confusing failure in an unrelated worker. The *first* panic payload is
+//! captured, the remaining queue is drained (pending jobs are dropped
+//! unexecuted), every worker is joined, and the original panic is re-raised
+//! on the calling thread with its message intact. Masters can poll the
+//! [`AbortSignal`] to notice a dead worker instead of blocking forever on a
+//! channel that will never be written again.
+
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// A captured panic payload, exactly as `catch_unwind` returns it.
+type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// Locks ignoring poisoning: panics are captured and re-propagated by the
+/// pool itself, so a poisoned mutex carries no extra information here.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Cooperative abort flag shared between the pool and a master closure.
+///
+/// The pool sets it when any worker panics; a master blocked on results can
+/// poll it (e.g. between `recv_timeout` attempts) and bail out instead of
+/// waiting for a message that will never arrive.
+pub struct AbortSignal {
+    aborted: AtomicBool,
+}
+
+impl AbortSignal {
+    fn new() -> Self {
+        AbortSignal {
+            aborted: AtomicBool::new(false),
+        }
+    }
+
+    fn trigger(&self) {
+        self.aborted.store(true, Ordering::SeqCst);
+    }
+
+    /// True once any worker has panicked.
+    pub fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::SeqCst)
+    }
+}
+
+/// Runs `threads` scoped worker threads alongside a master closure.
+///
+/// Every worker runs `worker(worker_id)` with ids `0..threads`; the master
+/// runs on the calling thread, concurrently with the workers, and receives
+/// the shared [`AbortSignal`]. The call returns when the master has returned
+/// *and* every worker has exited (callers signal workers to stop by closing
+/// their channels from the master closure).
+///
+/// # Panics
+/// Re-raises the first worker panic (preferred — a master failure is
+/// usually a downstream symptom of a dead worker), else a master panic.
+pub fn run_with_workers<W, M, R>(threads: usize, worker: W, master: M) -> R
+where
+    W: Fn(usize) + Sync,
+    M: FnOnce(&AbortSignal) -> R,
+{
+    let signal = AbortSignal::new();
+    let first_panic: Mutex<Option<PanicPayload>> = Mutex::new(None);
+    let mut master_out: Option<Result<R, PanicPayload>> = None;
+    std::thread::scope(|scope| {
+        for w in 0..threads.max(1) {
+            let worker = &worker;
+            let first_panic = &first_panic;
+            let signal = &signal;
+            scope.spawn(move || {
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| worker(w))) {
+                    signal.trigger();
+                    embsr_obs::warn!(target: "embsr_pool", "worker {w} panicked");
+                    let mut slot = lock(first_panic);
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                }
+            });
+        }
+        master_out = Some(catch_unwind(AssertUnwindSafe(|| master(&signal))));
+    });
+    if let Some(payload) = lock(&first_panic).take() {
+        resume_unwind(payload);
+    }
+    match master_out {
+        Some(Ok(r)) => r,
+        Some(Err(payload)) => resume_unwind(payload),
+        // The scope body always runs the master before the scope joins.
+        None => unreachable!("master closure did not run"),
+    }
+}
+
+/// Runs `jobs` on up to `threads` worker threads, returning results in the
+/// original job order.
+///
+/// Each job is a `FnOnce` producing a `Send` result; jobs themselves must be
+/// `Send` (capture only `Send` data — build non-`Send` models *inside* the
+/// closure).
+///
+/// # Panics
+/// If a job panics, the remaining queue is drained (pending jobs never
+/// run), in-flight jobs on other workers finish, and the panicking job's
+/// own payload is re-raised here.
+pub fn run_parallel<T, F>(jobs: Vec<F>, threads: usize) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    let queue: Mutex<Vec<(usize, F)>> = Mutex::new(jobs.into_iter().enumerate().rev().collect());
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+
+    run_with_workers(
+        threads.max(1).min(n.max(1)),
+        |_worker_id| loop {
+            let job = lock(&queue).pop();
+            let Some((idx, f)) = job else { break };
+            match catch_unwind(AssertUnwindSafe(f)) {
+                Ok(out) => lock(&results)[idx] = Some(out),
+                Err(payload) => {
+                    // Drain: jobs queued behind the failure never start, so
+                    // the caller sees the original panic, not a cascade of
+                    // "job completed" failures from unrelated workers.
+                    lock(&queue).clear();
+                    resume_unwind(payload);
+                }
+            }
+        },
+        |_signal| (),
+    );
+
+    let collected = match results.into_inner() {
+        Ok(v) => v,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    collected
+        .into_iter()
+        .map(|r| match r {
+            Some(v) => v,
+            // A missing result implies a panicked job, which re-raised above.
+            None => unreachable!("job completed without a result"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::mpsc::channel;
+
+    #[test]
+    fn results_preserve_order() {
+        let jobs: Vec<_> = (0..20).map(|i| move || i * i).collect();
+        let out = run_parallel(jobs, 4);
+        assert_eq!(out, (0..20).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let jobs: Vec<_> = (0..5).map(|i| move || i + 1).collect();
+        assert_eq!(run_parallel(jobs, 1), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn more_threads_than_jobs_is_fine() {
+        let jobs: Vec<_> = (0..2).map(|i| move || i).collect();
+        assert_eq!(run_parallel(jobs, 16), vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let jobs: Vec<fn() -> usize> = Vec::new();
+        assert!(run_parallel(jobs, 4).is_empty());
+    }
+
+    #[test]
+    fn heavy_jobs_actually_parallelize() {
+        // smoke test: no deadlock with contention
+        let jobs: Vec<_> = (0..8)
+            .map(|i| {
+                move || {
+                    let mut acc = 0u64;
+                    for x in 0..200_000u64 {
+                        acc = acc.wrapping_add(x ^ i);
+                    }
+                    acc
+                }
+            })
+            .collect();
+        let out = run_parallel(jobs, 4);
+        assert_eq!(out.len(), 8);
+    }
+
+    /// Renders a captured panic payload the way the runtime would.
+    fn payload_message(payload: &PanicPayload) -> String {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "<non-string payload>".to_string()
+        }
+    }
+
+    #[test]
+    fn panicking_job_reports_its_own_message() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("boom-42: the real failure")),
+            Box::new(|| 3),
+        ];
+        let err = catch_unwind(AssertUnwindSafe(|| run_parallel(jobs, 2)))
+            .expect_err("must propagate the panic");
+        let msg = payload_message(&err);
+        assert!(msg.contains("boom-42"), "wrong panic surfaced: {msg}");
+    }
+
+    #[test]
+    fn panic_drains_remaining_jobs() {
+        static RAN_AFTER: AtomicUsize = AtomicUsize::new(0);
+        // Single worker: deterministic order — the panic must prevent the
+        // job queued behind it from ever starting.
+        let jobs: Vec<Box<dyn FnOnce() + Send>> = vec![
+            Box::new(|| panic!("first job fails")),
+            Box::new(|| {
+                RAN_AFTER.fetch_add(1, Ordering::SeqCst);
+            }),
+        ];
+        let err = catch_unwind(AssertUnwindSafe(|| run_parallel(jobs, 1)))
+            .expect_err("must propagate the panic");
+        assert!(payload_message(&err).contains("first job fails"));
+        assert_eq!(RAN_AFTER.load(Ordering::SeqCst), 0, "queue was not drained");
+    }
+
+    #[test]
+    fn first_of_two_panics_wins() {
+        // One worker again for determinism: the first panic drains the queue,
+        // so the second panicking job never runs and cannot race the slot.
+        let jobs: Vec<Box<dyn FnOnce() + Send>> = vec![
+            Box::new(|| panic!("original")),
+            Box::new(|| panic!("should never run")),
+        ];
+        let err = catch_unwind(AssertUnwindSafe(|| run_parallel(jobs, 1)))
+            .expect_err("must propagate the panic");
+        assert!(payload_message(&err).contains("original"));
+    }
+
+    #[test]
+    fn workers_and_master_exchange_messages() {
+        let (task_tx, task_rx) = channel::<u64>();
+        let (result_tx, result_rx) = channel::<u64>();
+        let task_rx = Mutex::new(Some(task_rx));
+        let out = run_with_workers(
+            1,
+            |_w| {
+                let rx = lock(&task_rx).take();
+                let Some(rx) = rx else { return };
+                while let Ok(x) = rx.recv() {
+                    if result_tx.send(x * 2).is_err() {
+                        return;
+                    }
+                }
+            },
+            |_signal| {
+                let mut total = 0;
+                for i in 1..=5u64 {
+                    if task_tx.send(i).is_err() {
+                        break;
+                    }
+                    total += result_rx.recv().unwrap_or(0);
+                }
+                drop(task_tx); // workers see a closed channel and exit
+                total
+            },
+        );
+        assert_eq!(out, 2 * (1 + 2 + 3 + 4 + 5));
+    }
+
+    #[test]
+    fn worker_panic_sets_abort_signal_and_propagates() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            run_with_workers(
+                2,
+                |w| {
+                    if w == 0 {
+                        panic!("worker zero died");
+                    }
+                },
+                |signal| {
+                    // Workers race the master; just spin until the abort
+                    // signal shows up (bounded by the test harness timeout).
+                    while !signal.is_aborted() {
+                        std::thread::yield_now();
+                    }
+                },
+            )
+        }))
+        .expect_err("worker panic must propagate");
+        assert!(payload_message(&err).contains("worker zero died"));
+    }
+
+    #[test]
+    fn master_panic_propagates_when_workers_are_healthy() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            run_with_workers(2, |_w| {}, |_signal| panic!("master failed"))
+        }))
+        .expect_err("master panic must propagate");
+        assert!(payload_message(&err).contains("master failed"));
+    }
+}

@@ -1,0 +1,257 @@
+//! Flat parameter/gradient buffers and the deterministic tree reduction.
+//!
+//! The data-parallel trainer never shares tensors across threads (the
+//! autograd graph is `Rc`-based and deliberately single-threaded). Instead,
+//! worker replicas exchange **plain `Vec<f32>` buffers** with the master:
+//! parameters flow worker-ward as one flat snapshot, gradients flow back as
+//! one flat buffer per shard, and the master combines shard gradients with
+//! [`tree_reduce`] — a *fixed-order* pairwise reduction over shard indices.
+//!
+//! Because the reduction order depends only on the shard index (never on
+//! which worker produced a buffer or when it arrived), the combined gradient
+//! is bitwise identical for any thread count; see `DESIGN.md` §10 for the
+//! full determinism argument.
+//!
+//! All functions treat the parameter list as an ordered sequence and
+//! concatenate in list order. Callers must pass a deduplicated list (as
+//! returned by `SessionModel::parameters` for a well-formed model); a
+//! duplicated handle would double-count its gradient slice on import.
+
+use crate::tensor::Tensor;
+
+/// Total number of elements across a parameter list — the length of every
+/// flat buffer the other functions in this module produce or consume.
+pub fn flat_len(params: &[Tensor]) -> usize {
+    params.iter().map(Tensor::len).sum()
+}
+
+/// Concatenates every parameter's data into one flat buffer, in list order.
+pub fn export_params(params: &[Tensor]) -> Vec<f32> {
+    let mut flat = Vec::with_capacity(flat_len(params));
+    for p in params {
+        flat.extend_from_slice(&p.data());
+    }
+    flat
+}
+
+/// Writes a flat buffer produced by [`export_params`] back into the
+/// parameter tensors, in list order.
+///
+/// # Panics
+/// Panics when `flat.len()` differs from [`flat_len`] of `params`.
+pub fn import_params(params: &[Tensor], flat: &[f32]) {
+    assert_eq!(
+        flat.len(),
+        flat_len(params),
+        "import_params: flat buffer length mismatch"
+    );
+    let mut offset = 0usize;
+    for p in params {
+        let n = p.len();
+        p.set_data(&flat[offset..offset + n]);
+        offset += n;
+    }
+}
+
+/// Concatenates the accumulated gradients of every parameter, in list order.
+/// Parameters with no accumulated gradient contribute zeros, so the result
+/// always has length [`flat_len`].
+pub fn export_grads(params: &[Tensor]) -> Vec<f32> {
+    let mut flat = Vec::with_capacity(flat_len(params));
+    for p in params {
+        match p.grad() {
+            Some(g) => flat.extend_from_slice(&g),
+            None => flat.extend(std::iter::repeat_n(0.0, p.len())),
+        }
+    }
+    flat
+}
+
+/// Overwrites each parameter's gradient from a flat buffer produced by
+/// [`export_grads`] (or a reduction of several such buffers).
+///
+/// # Panics
+/// Panics when `flat.len()` differs from [`flat_len`] of `params`.
+pub fn import_grads(params: &[Tensor], flat: &[f32]) {
+    assert_eq!(
+        flat.len(),
+        flat_len(params),
+        "import_grads: flat buffer length mismatch"
+    );
+    let mut offset = 0usize;
+    for p in params {
+        let n = p.len();
+        p.zero_grad();
+        p.accumulate_grad_public(&flat[offset..offset + n]);
+        offset += n;
+    }
+}
+
+/// Sums equally sized buffers with a fixed-order pairwise tree reduction.
+///
+/// Level by level, buffer `2k` absorbs buffer `2k+1` until one remains. The
+/// float additions performed — and therefore the rounding — depend only on
+/// the *index order* of the input, never on which thread produced a buffer
+/// or in which order buffers were finished, which is what makes the
+/// data-parallel gradient bitwise reproducible across thread counts.
+///
+/// # Panics
+/// Panics when `buffers` is empty or the buffer lengths disagree.
+pub fn tree_reduce(buffers: Vec<Vec<f32>>) -> Vec<f32> {
+    assert!(!buffers.is_empty(), "tree_reduce over zero buffers");
+    let len = buffers[0].len();
+    assert!(
+        buffers.iter().all(|b| b.len() == len),
+        "tree_reduce: buffer lengths disagree"
+    );
+    let mut level = buffers;
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        let mut it = level.into_iter();
+        while let Some(mut a) = it.next() {
+            if let Some(b) = it.next() {
+                for (x, y) in a.iter_mut().zip(&b) {
+                    *x += y;
+                }
+            }
+            next.push(a);
+        }
+        level = next;
+    }
+    match level.into_iter().next() {
+        Some(out) => out,
+        // `level` shrinks from a non-empty input toward exactly one element.
+        None => unreachable!("tree_reduce lost its last buffer"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    fn random_params(rng: &mut Rng) -> Vec<Tensor> {
+        let shapes: [&[usize]; 3] = [&[3, 4], &[5], &[2, 2, 2]];
+        shapes
+            .iter()
+            .map(|dims| {
+                let n: usize = dims.iter().product();
+                let data: Vec<f32> = (0..n).map(|_| rng.uniform_range(-2.0, 2.0)).collect();
+                Tensor::from_vec(data, dims).requires_grad()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn param_roundtrip_is_bitwise_exact() {
+        // seeded-loop property: export → import into zeroed clones → identical bits
+        for seed in 0..20u64 {
+            let mut rng = Rng::seed_from_u64(seed);
+            let params = random_params(&mut rng);
+            let flat = export_params(&params);
+            assert_eq!(flat.len(), flat_len(&params));
+            let fresh: Vec<Tensor> = params
+                .iter()
+                .map(|p| Tensor::zeros(p.shape().dims()).requires_grad())
+                .collect();
+            import_params(&fresh, &flat);
+            for (a, b) in params.iter().zip(&fresh) {
+                let (av, bv) = (a.to_vec(), b.to_vec());
+                assert_eq!(
+                    av.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    bv.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grad_roundtrip_is_bitwise_exact() {
+        for seed in 0..20u64 {
+            let mut rng = Rng::seed_from_u64(1000 + seed);
+            let params = random_params(&mut rng);
+            // accumulate a random gradient on all but the last parameter
+            for p in &params[..params.len() - 1] {
+                let g: Vec<f32> = (0..p.len()).map(|_| rng.uniform_range(-1.0, 1.0)).collect();
+                p.accumulate_grad_public(&g);
+            }
+            let flat = export_grads(&params);
+            // the grad-less tail exports zeros
+            let tail = params[params.len() - 1].len();
+            assert!(flat[flat.len() - tail..].iter().all(|&x| x == 0.0));
+            let fresh: Vec<Tensor> = params
+                .iter()
+                .map(|p| Tensor::zeros(p.shape().dims()).requires_grad())
+                .collect();
+            import_grads(&fresh, &flat);
+            let flat2 = export_grads(&fresh);
+            assert_eq!(
+                flat.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                flat2.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn import_grads_overwrites_stale_gradients() {
+        let p = Tensor::zeros(&[3]).requires_grad();
+        p.accumulate_grad_public(&[9.0, 9.0, 9.0]);
+        import_grads(std::slice::from_ref(&p), &[1.0, 2.0, 3.0]);
+        assert_eq!(p.grad(), Some(vec![1.0, 2.0, 3.0]));
+    }
+
+    #[test]
+    fn tree_reduce_matches_sequential_sum_for_small_inputs() {
+        let reduced = tree_reduce(vec![vec![1.0, 2.0], vec![10.0, 20.0], vec![100.0, 200.0]]);
+        assert_eq!(reduced, vec![111.0, 222.0]);
+    }
+
+    #[test]
+    fn tree_reduce_single_buffer_is_identity() {
+        let reduced = tree_reduce(vec![vec![1.5, -2.5]]);
+        assert_eq!(reduced, vec![1.5, -2.5]);
+    }
+
+    #[test]
+    fn tree_reduce_is_invariant_to_completion_order() {
+        // seeded-loop property: workers finish shards in arbitrary order, but
+        // the master slots results by shard index before reducing — so any
+        // arrival permutation must produce bitwise identical sums.
+        for seed in 0..30u64 {
+            let mut rng = Rng::seed_from_u64(2000 + seed);
+            let shards = 1 + rng.below(9);
+            let len = 1 + rng.below(40);
+            let grads: Vec<Vec<f32>> = (0..shards)
+                .map(|_| (0..len).map(|_| rng.uniform_range(-3.0, 3.0)).collect())
+                .collect();
+            let baseline = tree_reduce(grads.clone());
+            // simulate out-of-order arrival: shuffle, then slot by index
+            let mut arrival: Vec<usize> = (0..shards).collect();
+            rng.shuffle(&mut arrival);
+            let mut slots: Vec<Option<Vec<f32>>> = vec![None; shards];
+            for &idx in &arrival {
+                slots[idx] = Some(grads[idx].clone());
+            }
+            let slotted: Vec<Vec<f32>> = slots.into_iter().flatten().collect();
+            let reduced = tree_reduce(slotted);
+            assert_eq!(
+                baseline.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                reduced.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "seed {seed}: arrival order changed the reduction"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn import_params_rejects_wrong_length() {
+        let p = Tensor::zeros(&[2]).requires_grad();
+        import_params(std::slice::from_ref(&p), &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths disagree")]
+    fn tree_reduce_rejects_ragged_buffers() {
+        let _ = tree_reduce(vec![vec![1.0], vec![1.0, 2.0]]);
+    }
+}

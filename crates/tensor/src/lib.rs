@@ -37,6 +37,7 @@
 //! ```
 
 mod autograd;
+mod flat;
 mod init;
 mod ops;
 mod optim;
@@ -47,9 +48,10 @@ mod tensor;
 /// numerical-hazard patterns) and the universal gradcheck registry.
 pub mod verify;
 
+pub use flat::{export_grads, export_params, flat_len, import_grads, import_params, tree_reduce};
 pub use init::{kaiming_uniform, uniform_init, xavier_uniform, zeros_init};
 pub use ops::softmax_slice;
-pub use optim::{clip_grad_norm, Adam, AdamConfig, Optimizer, Sgd};
+pub use optim::{clip_grad_norm, Adam, AdamConfig, AdamParamState, Optimizer, Sgd};
 pub use rng::Rng;
 pub use shape::Shape;
 pub use tensor::Tensor;

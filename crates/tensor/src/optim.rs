@@ -87,6 +87,72 @@ impl Adam {
     pub fn num_params(&self) -> usize {
         self.params.len()
     }
+
+    /// Exports the optimizer state for checkpointing: the step counter and
+    /// per-parameter first/second moments in tracked-parameter order.
+    /// Parameters that have not yet received a gradient export zero moments
+    /// (exactly the state a fresh optimizer would hold for them).
+    pub fn export_state(&self) -> (u64, Vec<AdamParamState>) {
+        let moments = self
+            .params
+            .iter()
+            .map(|p| match self.state.get(&p.id()) {
+                Some(st) => AdamParamState {
+                    m: st.m.clone(),
+                    v: st.v.clone(),
+                },
+                None => AdamParamState {
+                    m: vec![0.0; p.len()],
+                    v: vec![0.0; p.len()],
+                },
+            })
+            .collect();
+        (self.t, moments)
+    }
+
+    /// Restores state produced by [`Adam::export_state`] onto this
+    /// optimizer's tracked parameters (matched by position).
+    ///
+    /// # Errors
+    /// Fails when the entry count or any moment length does not match the
+    /// tracked parameters.
+    pub fn import_state(&mut self, t: u64, moments: Vec<AdamParamState>) -> Result<(), String> {
+        if moments.len() != self.params.len() {
+            return Err(format!(
+                "Adam state has {} entries, optimizer tracks {} parameters",
+                moments.len(),
+                self.params.len()
+            ));
+        }
+        for (p, st) in self.params.iter().zip(&moments) {
+            if st.m.len() != p.len() || st.v.len() != p.len() {
+                return Err(format!(
+                    "Adam state moment length {}/{} vs parameter length {}",
+                    st.m.len(),
+                    st.v.len(),
+                    p.len()
+                ));
+            }
+        }
+        self.t = t;
+        self.state = self
+            .params
+            .iter()
+            .zip(moments)
+            .map(|(p, st)| (p.id(), AdamState { m: st.m, v: st.v }))
+            .collect();
+        Ok(())
+    }
+}
+
+/// One parameter's Adam moments, as exported by [`Adam::export_state`] for
+/// mid-training checkpoints.
+#[derive(Clone, Debug)]
+pub struct AdamParamState {
+    /// First-moment (mean) accumulator.
+    pub m: Vec<f32>,
+    /// Second-moment (uncentered variance) accumulator.
+    pub v: Vec<f32>,
 }
 
 impl Optimizer for Adam {

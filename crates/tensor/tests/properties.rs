@@ -168,3 +168,61 @@ fn rng_streams_are_reproducible_across_forks() {
     };
     assert_eq!(fa, fb);
 }
+
+/// Gradients computed shard-by-shard and tree-reduced equal the whole-batch
+/// gradient within float tolerance: splitting a mini-batch across workers
+/// (the data-parallel trainer's decomposition) only reorders additions.
+#[test]
+fn shard_summed_gradients_match_whole_batch() {
+    use embsr_tensor::{export_grads, tree_reduce};
+    let mut r = Rng::seed_from_u64(109);
+    let dim = 6;
+    for case in 0..CASES {
+        let n = 2 + r.below(14);
+        let w = Tensor::from_vec(matrix(&mut r, 1, dim), &[dim]).requires_grad();
+        let xs: Vec<Tensor> =
+            (0..n).map(|_| Tensor::from_vec(matrix(&mut r, 1, dim), &[dim])).collect();
+        let ys: Vec<f32> = (0..n).map(|_| r.uniform_range(-2.0, 2.0)).collect();
+        let example_loss = |i: usize| {
+            // (wᵀx_i − y_i)²: touches every weight, so shards must agree everywhere
+            w.mul(&xs[i]).sum().add_scalar(-ys[i]).square()
+        };
+        let params = [w.clone()];
+
+        // whole-batch gradient: one graph over all examples
+        w.zero_grad();
+        (0..n)
+            .map(example_loss)
+            .reduce(|a, b| a.add(&b))
+            .expect("n >= 2")
+            .backward();
+        let whole = export_grads(&params);
+
+        // random contiguous split into 1..=n shards, each backward separately
+        let shards = 1 + r.below(n);
+        let mut bounds: Vec<usize> = (0..shards - 1).map(|_| r.below(n + 1)).collect();
+        bounds.push(0);
+        bounds.push(n);
+        bounds.sort_unstable();
+        let mut shard_grads = Vec::new();
+        for pair in bounds.windows(2) {
+            let (lo, hi) = (pair[0], pair[1]);
+            w.zero_grad();
+            match (lo..hi).map(example_loss).reduce(|a, b| a.add(&b)) {
+                Some(loss) => {
+                    loss.backward();
+                    shard_grads.push(export_grads(&params));
+                }
+                None => shard_grads.push(vec![0.0; dim]), // empty shard
+            }
+        }
+        let reduced = tree_reduce(shard_grads);
+        // 1e-6 relative tolerance: only the addition order differs
+        for (i, (a, b)) in whole.iter().zip(&reduced).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-6 * (1.0 + a.abs()) * n as f32,
+                "case {case}, element {i}: whole {a} vs sharded {b}"
+            );
+        }
+    }
+}

@@ -18,12 +18,17 @@ use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-use embsr_tensor::Tensor;
+use embsr_tensor::{AdamParamState, Tensor};
 
+use crate::parallel::TrainState;
 use crate::recommender::SessionModel;
+use crate::trainer::EpochStats;
 
 const MAGIC: &[u8; 8] = b"EMBSRCKP";
 const VERSION: u32 = 1;
+
+const STATE_MAGIC: &[u8; 8] = b"EMBSRTRS";
+const STATE_VERSION: u32 = 1;
 
 /// Writes the parameters of `model` to `path`.
 pub fn save_model<M: SessionModel>(model: &M, path: &Path) -> io::Result<()> {
@@ -101,6 +106,170 @@ pub fn load_tensors(tensors: &[Tensor], path: &Path) -> io::Result<()> {
     Ok(())
 }
 
+/// Writes a resumable [`TrainState`] to `path`:
+///
+/// ```text
+/// magic "EMBSRTRS" | u32 version | u64 next_epoch | u64 adam_t |
+/// f32 best_val | u64 since_best | u64 best_epoch | u8 early_stopped |
+/// params: u32 count, per vec (u64 len, f32 data…) |
+/// adam m: same framing | adam v: same framing |
+/// u8 has_best_weights, best weights: same framing |
+/// epochs: u64 count, per epoch (u64 epoch, f32 train_loss, f32 val_loss,
+///   f64 duration_s, f32 grad_norm, f32 lr)
+/// ```
+pub fn save_train_state(state: &TrainState, path: &Path) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(STATE_MAGIC)?;
+    w.write_all(&STATE_VERSION.to_le_bytes())?;
+    w.write_all(&(state.next_epoch as u64).to_le_bytes())?;
+    w.write_all(&state.adam_t.to_le_bytes())?;
+    w.write_all(&state.best_val.to_le_bytes())?;
+    w.write_all(&(state.since_best as u64).to_le_bytes())?;
+    w.write_all(&(state.best_epoch as u64).to_le_bytes())?;
+    w.write_all(&[u8::from(state.early_stopped)])?;
+    write_vecs(&mut w, &state.params)?;
+    let (ms, vs): (Vec<&Vec<f32>>, Vec<&Vec<f32>>) =
+        state.adam_moments.iter().map(|st| (&st.m, &st.v)).unzip();
+    write_vec_refs(&mut w, &ms)?;
+    write_vec_refs(&mut w, &vs)?;
+    match &state.best_weights {
+        Some(best) => {
+            w.write_all(&[1u8])?;
+            write_vecs(&mut w, best)?;
+        }
+        None => w.write_all(&[0u8])?,
+    }
+    w.write_all(&(state.epochs.len() as u64).to_le_bytes())?;
+    for e in &state.epochs {
+        w.write_all(&(e.epoch as u64).to_le_bytes())?;
+        w.write_all(&e.train_loss.to_le_bytes())?;
+        w.write_all(&e.val_loss.to_le_bytes())?;
+        w.write_all(&e.duration_s.to_le_bytes())?;
+        w.write_all(&e.grad_norm.to_le_bytes())?;
+        w.write_all(&e.lr.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Reads a [`TrainState`] written by [`save_train_state`].
+///
+/// # Errors
+/// Fails when the file is malformed, truncated, or internally inconsistent
+/// (Adam moment counts must match the parameter count).
+pub fn load_train_state(path: &Path) -> io::Result<TrainState> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != STATE_MAGIC {
+        return Err(bad("not an EMBSR train state (bad magic)"));
+    }
+    let version = read_u32(&mut r)?;
+    if version != STATE_VERSION {
+        return Err(bad(&format!("unsupported train-state version {version}")));
+    }
+    let next_epoch = read_u64(&mut r)? as usize;
+    let adam_t = read_u64(&mut r)?;
+    let best_val = read_f32(&mut r)?;
+    let since_best = read_u64(&mut r)? as usize;
+    let best_epoch = read_u64(&mut r)? as usize;
+    let mut flag = [0u8; 1];
+    r.read_exact(&mut flag)?;
+    let early_stopped = flag[0] != 0;
+    let params = read_vecs(&mut r)?;
+    let ms = read_vecs(&mut r)?;
+    let vs = read_vecs(&mut r)?;
+    if ms.len() != params.len() || vs.len() != params.len() {
+        return Err(bad(&format!(
+            "Adam moment counts {}/{} vs {} parameters",
+            ms.len(),
+            vs.len(),
+            params.len()
+        )));
+    }
+    let adam_moments = ms
+        .into_iter()
+        .zip(vs)
+        .map(|(m, v)| AdamParamState { m, v })
+        .collect();
+    r.read_exact(&mut flag)?;
+    let best_weights = if flag[0] != 0 {
+        Some(read_vecs(&mut r)?)
+    } else {
+        None
+    };
+    let n_epochs = read_u64(&mut r)? as usize;
+    let mut epochs = Vec::with_capacity(n_epochs.min(1 << 20));
+    for _ in 0..n_epochs {
+        epochs.push(EpochStats {
+            epoch: read_u64(&mut r)? as usize,
+            train_loss: read_f32(&mut r)?,
+            val_loss: read_f32(&mut r)?,
+            duration_s: read_f64(&mut r)?,
+            grad_norm: read_f32(&mut r)?,
+            lr: read_f32(&mut r)?,
+        });
+    }
+    Ok(TrainState {
+        next_epoch,
+        params,
+        adam_t,
+        adam_moments,
+        best_val,
+        since_best,
+        best_epoch,
+        early_stopped,
+        best_weights,
+        epochs,
+    })
+}
+
+fn write_vecs(w: &mut impl Write, vecs: &[Vec<f32>]) -> io::Result<()> {
+    let refs: Vec<&Vec<f32>> = vecs.iter().collect();
+    write_vec_refs(w, &refs)
+}
+
+fn write_vec_refs(w: &mut impl Write, vecs: &[&Vec<f32>]) -> io::Result<()> {
+    w.write_all(&(vecs.len() as u32).to_le_bytes())?;
+    for v in vecs {
+        w.write_all(&(v.len() as u64).to_le_bytes())?;
+        for x in v.iter() {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+fn read_vecs(r: &mut impl Read) -> io::Result<Vec<Vec<f32>>> {
+    let count = read_u32(r)? as usize;
+    let mut out = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        let len = read_u64(r)? as usize;
+        let mut v = vec![0.0f32; len.min(1 << 28)];
+        if len > (1 << 28) {
+            return Err(bad("train-state vector length is implausibly large"));
+        }
+        let mut buf = [0u8; 4];
+        for x in &mut v {
+            r.read_exact(&mut buf)?;
+            *x = f32::from_le_bytes(buf);
+        }
+        out.push(v);
+    }
+    Ok(out)
+}
+
+fn read_f32(r: &mut impl Read) -> io::Result<f32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(f32::from_le_bytes(b))
+}
+
+fn read_f64(r: &mut impl Read) -> io::Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
 fn read_u32(r: &mut impl Read) -> io::Result<u32> {
     let mut b = [0u8; 4];
     r.read_exact(&mut b)?;
@@ -169,6 +338,103 @@ mod tests {
         std::fs::write(&path, b"definitely not a checkpoint").unwrap();
         let err = load_tensors(&[Tensor::zeros(&[1])], &path).unwrap_err();
         assert!(err.to_string().contains("magic"));
+        std::fs::remove_file(path).ok();
+    }
+
+    fn sample_state() -> TrainState {
+        TrainState {
+            next_epoch: 3,
+            params: vec![vec![1.0, -2.5, f32::MIN_POSITIVE], vec![0.0; 2]],
+            adam_t: 17,
+            adam_moments: vec![
+                AdamParamState {
+                    m: vec![0.1, 0.2, 0.3],
+                    v: vec![0.4, 0.5, 0.6],
+                },
+                AdamParamState {
+                    m: vec![0.7, 0.8],
+                    v: vec![0.9, 1.0],
+                },
+            ],
+            best_val: 0.75,
+            since_best: 1,
+            best_epoch: 2,
+            early_stopped: false,
+            best_weights: Some(vec![vec![9.0, 9.5, -9.0], vec![1.5, 2.5]]),
+            epochs: vec![EpochStats {
+                epoch: 0,
+                train_loss: 1.25,
+                val_loss: 1.5,
+                duration_s: 0.125,
+                grad_norm: f32::NAN,
+                lr: 3e-3,
+            }],
+        }
+    }
+
+    #[test]
+    fn train_state_roundtrip_is_bitwise_exact() {
+        let state = sample_state();
+        let path = tmp("train_state");
+        save_train_state(&state, &path).unwrap();
+        let loaded = load_train_state(&path).unwrap();
+        assert_eq!(loaded.next_epoch, state.next_epoch);
+        assert_eq!(loaded.adam_t, state.adam_t);
+        assert_eq!(loaded.best_val.to_bits(), state.best_val.to_bits());
+        assert_eq!(loaded.since_best, state.since_best);
+        assert_eq!(loaded.best_epoch, state.best_epoch);
+        assert_eq!(loaded.early_stopped, state.early_stopped);
+        assert_eq!(loaded.params, state.params);
+        assert_eq!(loaded.best_weights, state.best_weights);
+        assert_eq!(loaded.adam_moments.len(), 2);
+        for (a, b) in loaded.adam_moments.iter().zip(&state.adam_moments) {
+            assert_eq!(a.m, b.m);
+            assert_eq!(a.v, b.v);
+        }
+        assert_eq!(loaded.epochs.len(), 1);
+        let (le, se) = (&loaded.epochs[0], &state.epochs[0]);
+        assert_eq!(le.epoch, se.epoch);
+        assert_eq!(le.train_loss.to_bits(), se.train_loss.to_bits());
+        assert_eq!(le.val_loss.to_bits(), se.val_loss.to_bits());
+        assert_eq!(le.duration_s.to_bits(), se.duration_s.to_bits());
+        // NaN grad norm (clipping disabled) must survive the roundtrip
+        assert!(le.grad_norm.is_nan());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn train_state_without_best_weights_roundtrips() {
+        let state = TrainState {
+            best_weights: None,
+            epochs: Vec::new(),
+            ..sample_state()
+        };
+        let path = tmp("train_state_nobest");
+        save_train_state(&state, &path).unwrap();
+        let loaded = load_train_state(&path).unwrap();
+        assert_eq!(loaded.best_weights, None);
+        assert!(loaded.epochs.is_empty());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn train_state_rejects_model_checkpoints() {
+        let path = tmp("train_state_wrong_magic");
+        save_tensors(&[Tensor::ones(&[1])], &path).unwrap();
+        let err = load_train_state(&path).unwrap_err();
+        assert!(err.to_string().contains("magic"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn train_state_rejects_inconsistent_moments() {
+        // hand-corrupt: write a state whose m-count disagrees with params
+        let mut state = sample_state();
+        state.adam_moments.pop();
+        let path = tmp("train_state_moments");
+        save_train_state(&state, &path).unwrap();
+        let err = load_train_state(&path).unwrap_err();
+        assert!(err.to_string().contains("moment"), "{err}");
         std::fs::remove_file(path).ok();
     }
 }

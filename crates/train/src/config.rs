@@ -33,6 +33,17 @@ pub struct TrainConfig {
     /// (detached parameters, shape inconsistencies, numerical hazards).
     /// Costs one graph traversal per `fit`; on by default.
     pub validate_graph: bool,
+    /// Worker threads used by [`crate::ParallelTrainer`]; the sequential
+    /// [`crate::Trainer`] ignores it. Any value produces bitwise identical
+    /// results at the same seed — threads only change *who* computes each
+    /// gradient shard, never *what* is computed (see `DESIGN.md` §10).
+    pub train_threads: usize,
+    /// Gradient shards per mini-batch in [`crate::ParallelTrainer`]. This is
+    /// the unit of work distribution *and* the fixed shape of the
+    /// deterministic reduction, so it is deliberately independent of
+    /// `train_threads`; throughput scales with
+    /// `min(train_threads, grad_shards)`.
+    pub grad_shards: usize,
 }
 
 impl Default for TrainConfig {
@@ -48,6 +59,8 @@ impl Default for TrainConfig {
             patience: Some(2),
             val_fraction: 1.0,
             validate_graph: true,
+            train_threads: 1,
+            grad_shards: 8,
         }
     }
 }
@@ -74,5 +87,7 @@ mod tests {
         assert!(c.batch_size > 0);
         assert!(c.lr > 0.0);
         assert!((0.0..=1.0).contains(&c.val_fraction));
+        assert!(c.train_threads >= 1);
+        assert!(c.grad_shards >= 1);
     }
 }

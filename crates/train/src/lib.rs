@@ -10,14 +10,21 @@
 //! * [`Trainer`] / [`TrainConfig`] — mini-batch Adam training with gradient
 //!   clipping, session truncation and validation-based early stopping,
 //!   following the paper's protocol (Adam, batch training, ≤ 50 epochs,
-//!   lr/dropout grid).
+//!   lr/dropout grid);
+//! * [`ParallelTrainer`] — the data-parallel variant: per-batch gradient
+//!   shards computed on thread-local model replicas and combined with a
+//!   fixed-order tree reduction, bitwise invariant to the thread count.
 
 mod checkpoint;
 mod config;
+mod parallel;
 mod recommender;
 mod trainer;
 
-pub use checkpoint::{load_model, load_tensors, save_model, save_tensors};
+pub use checkpoint::{
+    load_model, load_tensors, load_train_state, save_model, save_tensors, save_train_state,
+};
 pub use config::TrainConfig;
+pub use parallel::{ParallelTrainer, TrainState};
 pub use recommender::{NeuralRecommender, Recommender, SessionModel};
 pub use trainer::{truncate_session, EpochStats, TrainReport, Trainer};

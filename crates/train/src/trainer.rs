@@ -134,7 +134,7 @@ impl Trainer {
                 };
                 let loss = batch_sum.mul_scalar(1.0 / n);
                 if cfg.validate_graph && epoch == 0 && seen == 0 {
-                    report.graph_diagnostics = self.validate_first_batch(&loss, &params);
+                    report.graph_diagnostics = validate_loss_graph(&loss, &params);
                 }
                 epoch_loss += loss.item() as f64 * n as f64;
                 seen += n as usize;
@@ -198,27 +198,6 @@ impl Trainer {
         report
     }
 
-    /// Runs the graph validator on the first batch's loss graph and renders
-    /// its findings. Errors (detached parameters, shape inconsistencies) are
-    /// logged at warn level so a misconfigured model is loud even when the
-    /// caller never inspects the report.
-    fn validate_first_batch(&self, loss: &Tensor, params: &[Tensor]) -> Vec<String> {
-        let report = embsr_tensor::verify::validate_training_graph(loss, params, &[]);
-        embsr_obs::debug!(
-            target: "embsr_train",
-            "graph validation: {} nodes, {} error(s), {} warning(s)",
-            report.nodes_visited,
-            report.error_count(),
-            report.warning_count()
-        );
-        for d in &report.diagnostics {
-            if d.severity == embsr_tensor::verify::Severity::Error {
-                embsr_obs::warn!(target: "embsr_train", "graph validation: {d}");
-            }
-        }
-        report.diagnostics.iter().map(|d| d.to_string()).collect()
-    }
-
     /// Mean cross-entropy over a set of examples without building graphs.
     pub fn eval_loss<M: SessionModel>(&self, model: &M, examples: &[Example], rng: &mut Rng) -> f32 {
         if examples.is_empty() {
@@ -237,6 +216,28 @@ impl Trainer {
         }
         (total / n.max(1) as f64) as f32
     }
+}
+
+/// Runs the graph validator on a loss graph and renders its findings.
+/// Shared by [`Trainer`] and [`crate::ParallelTrainer`] (both validate the
+/// first batch of a fresh run). Errors (detached parameters, shape
+/// inconsistencies) are logged at warn level so a misconfigured model is
+/// loud even when the caller never inspects the report.
+pub(crate) fn validate_loss_graph(loss: &Tensor, params: &[Tensor]) -> Vec<String> {
+    let report = embsr_tensor::verify::validate_training_graph(loss, params, &[]);
+    embsr_obs::debug!(
+        target: "embsr_train",
+        "graph validation: {} nodes, {} error(s), {} warning(s)",
+        report.nodes_visited,
+        report.error_count(),
+        report.warning_count()
+    );
+    for d in &report.diagnostics {
+        if d.severity == embsr_tensor::verify::Severity::Error {
+            embsr_obs::warn!(target: "embsr_train", "graph validation: {d}");
+        }
+    }
+    report.diagnostics.iter().map(|d| d.to_string()).collect()
 }
 
 #[cfg(test)]

@@ -25,3 +25,4 @@ run exp_fig6_fusion
 run exp_suppl1_singleop
 run exp_table3_overall
 run exp_suppl3_topk
+run exp_parallel_scaling --train-threads 4 --json

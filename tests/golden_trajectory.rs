@@ -1,0 +1,93 @@
+//! Golden-trajectory regression test: a fixed-seed 2-epoch EMBSR fit on the
+//! tiny synthetic dataset must reproduce the per-epoch losses recorded in
+//! `tests/fixtures/golden_trajectory.json`.
+//!
+//! The fixture pins the *numerical recipe* — model init, data generation,
+//! shuffling, dropout streams, gradient math, Adam — so an innocent-looking
+//! refactor that silently changes training dynamics fails loudly here.
+//!
+//! Tolerances are deliberately explicit and loose-ish (1e-3 absolute): the
+//! fixture should survive benign float reassociation (e.g. a changed
+//! reduction order) while still catching real regressions, which move
+//! losses by orders of magnitude more. To regenerate after an *intentional*
+//! change, run with `EMBSR_PRINT_TRAJECTORY=1` and paste the printed JSON.
+
+use embsr_core::{Embsr, EmbsrConfig};
+use embsr_datasets::{build_dataset, DatasetPreset, SyntheticConfig};
+use embsr_train::{TrainConfig, Trainer};
+
+const TOLERANCE: f32 = 1e-3;
+const FIXTURE: &str = include_str!("fixtures/golden_trajectory.json");
+
+fn scenario() -> (embsr_datasets::Dataset, EmbsrConfig, TrainConfig) {
+    let mut dcfg = SyntheticConfig::tiny(DatasetPreset::JdComputers);
+    dcfg.num_sessions = 180;
+    let data = build_dataset(&dcfg);
+    let mcfg = EmbsrConfig::full(data.num_items, data.num_ops, 8);
+    let tcfg = TrainConfig {
+        epochs: 2,
+        batch_size: 16,
+        lr: 8e-3,
+        patience: None,
+        val_fraction: 0.3,
+        ..TrainConfig::default()
+    };
+    (data, mcfg, tcfg)
+}
+
+#[test]
+fn fixed_seed_trajectory_matches_golden_fixture() {
+    let (data, mcfg, tcfg) = scenario();
+    let model = Embsr::new(mcfg);
+    let report = Trainer::new(tcfg).fit(&model, &data.train, &data.val);
+
+    if std::env::var("EMBSR_PRINT_TRAJECTORY").is_ok() {
+        let epochs: Vec<String> = report
+            .epochs
+            .iter()
+            .map(|e| {
+                format!(
+                    "    {{ \"epoch\": {}, \"train_loss\": {:.6}, \"val_loss\": {:.6} }}",
+                    e.epoch, e.train_loss, e.val_loss
+                )
+            })
+            .collect();
+        println!("{{\n  \"epochs\": [\n{}\n  ]\n}}", epochs.join(",\n"));
+    }
+
+    let fixture = embsr_obs::parse_json(FIXTURE).expect("fixture parses");
+    let golden = fixture
+        .get("epochs")
+        .and_then(|e| e.as_array())
+        .expect("fixture has an epochs array");
+    assert_eq!(
+        report.epochs.len(),
+        golden.len(),
+        "epoch count changed: expected {}, trained {}",
+        golden.len(),
+        report.epochs.len()
+    );
+    for (stats, expected) in report.epochs.iter().zip(golden) {
+        let epoch = expected
+            .get("epoch")
+            .and_then(|v| v.as_f64())
+            .expect("fixture epoch index") as usize;
+        assert_eq!(stats.epoch, epoch);
+        for (field, actual) in [
+            ("train_loss", stats.train_loss),
+            ("val_loss", stats.val_loss),
+        ] {
+            let want = expected
+                .get(field)
+                .and_then(|v| v.as_f64())
+                .unwrap_or_else(|| panic!("fixture epoch {epoch} missing {field}"))
+                as f32;
+            assert!(
+                (actual - want).abs() <= TOLERANCE,
+                "epoch {epoch} {field}: trained {actual:.6}, fixture {want:.6} \
+                 (tolerance {TOLERANCE}); regenerate with EMBSR_PRINT_TRAJECTORY=1 \
+                 if this change is intentional"
+            );
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! The parallel trainer's headline guarantee: at a fixed seed, the final
+//! parameters, per-epoch losses, and evaluation metrics of an EMBSR fit are
+//! **bitwise identical for any `train_threads`**.
+//!
+//! Thread counts come from `EMBSR_INVARIANCE_THREADS` (comma-separated,
+//! default `1,2,4`), so CI can pin specific counts without recompiling.
+
+use embsr_core::{Embsr, EmbsrConfig};
+use embsr_datasets::{build_dataset, DatasetPreset, SyntheticConfig};
+use embsr_eval::evaluate;
+use embsr_train::{
+    load_train_state, save_train_state, NeuralRecommender, ParallelTrainer, TrainConfig,
+};
+
+fn tiny_dataset() -> embsr_datasets::Dataset {
+    let mut cfg = SyntheticConfig::tiny(DatasetPreset::JdComputers);
+    cfg.num_sessions = 180;
+    build_dataset(&cfg)
+}
+
+fn train_config(threads: usize) -> TrainConfig {
+    TrainConfig {
+        epochs: 2,
+        batch_size: 16,
+        lr: 8e-3,
+        patience: None,
+        val_fraction: 0.3,
+        train_threads: threads,
+        grad_shards: 4,
+        ..TrainConfig::default()
+    }
+}
+
+fn model_config(data: &embsr_datasets::Dataset) -> EmbsrConfig {
+    EmbsrConfig::full(data.num_items, data.num_ops, 8)
+}
+
+/// Everything the invariance claim covers, flattened to exact bits.
+struct RunFingerprint {
+    param_bits: Vec<u32>,
+    loss_bits: Vec<(u32, u32)>,
+    hit20: f64,
+    mrr20: f64,
+}
+
+fn run_at(data: &embsr_datasets::Dataset, threads: usize) -> RunFingerprint {
+    let mcfg = model_config(data);
+    let model = Embsr::new(mcfg.clone());
+    let tcfg = train_config(threads);
+    let report = ParallelTrainer::new(tcfg.clone()).fit(
+        &model,
+        || Embsr::new(mcfg.clone()),
+        &data.train,
+        &data.val,
+    );
+    let param_bits = embsr_tensor::export_params(&embsr_train::SessionModel::parameters(&model))
+        .iter()
+        .map(|x| x.to_bits())
+        .collect();
+    let loss_bits = report
+        .epochs
+        .iter()
+        .map(|e| (e.train_loss.to_bits(), e.val_loss.to_bits()))
+        .collect();
+    let rec = NeuralRecommender {
+        model,
+        config: tcfg,
+        report: Some(report),
+    };
+    let eval = evaluate(&rec, &data.test, &[20]);
+    RunFingerprint {
+        param_bits,
+        loss_bits,
+        hit20: eval.hit_at(20),
+        mrr20: eval.mrr_at(20),
+    }
+}
+
+fn thread_counts() -> Vec<usize> {
+    let spec = std::env::var("EMBSR_INVARIANCE_THREADS").unwrap_or_else(|_| "1,2,4".to_string());
+    let counts: Vec<usize> = spec
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .filter(|&t| t > 0)
+        .collect();
+    assert!(
+        counts.len() >= 2,
+        "EMBSR_INVARIANCE_THREADS must name at least two thread counts, got {spec:?}"
+    );
+    counts
+}
+
+#[test]
+fn embsr_fit_is_bitwise_invariant_to_thread_count() {
+    let data = tiny_dataset();
+    let counts = thread_counts();
+    let baseline = run_at(&data, counts[0]);
+    assert!(!baseline.loss_bits.is_empty());
+    for &threads in &counts[1..] {
+        let run = run_at(&data, threads);
+        assert_eq!(
+            baseline.loss_bits, run.loss_bits,
+            "epoch losses diverged between {} and {threads} threads",
+            counts[0]
+        );
+        assert_eq!(
+            baseline.param_bits, run.param_bits,
+            "final parameters diverged between {} and {threads} threads",
+            counts[0]
+        );
+        assert_eq!(
+            baseline.hit20.to_bits(),
+            run.hit20.to_bits(),
+            "P@20 diverged between {} and {threads} threads",
+            counts[0]
+        );
+        assert_eq!(
+            baseline.mrr20.to_bits(),
+            run.mrr20.to_bits(),
+            "MRR@20 diverged between {} and {threads} threads",
+            counts[0]
+        );
+    }
+}
+
+#[test]
+fn checkpoint_resume_with_different_thread_count_matches_uninterrupted_run() {
+    let data = tiny_dataset();
+    let mcfg = model_config(&data);
+
+    // Uninterrupted 2-epoch run at 1 thread.
+    let full = Embsr::new(mcfg.clone());
+    ParallelTrainer::new(train_config(1)).fit(
+        &full,
+        || Embsr::new(mcfg.clone()),
+        &data.train,
+        &data.val,
+    );
+
+    // 1 epoch at 2 threads → checkpoint to disk → resume at 4 threads.
+    let part = Embsr::new(mcfg.clone());
+    let half_cfg = TrainConfig {
+        epochs: 1,
+        ..train_config(2)
+    };
+    let (_, state) = ParallelTrainer::new(half_cfg).fit_from(
+        &part,
+        || Embsr::new(mcfg.clone()),
+        &data.train,
+        &data.val,
+        None,
+    );
+    let mut path = std::env::temp_dir();
+    path.push(format!("embsr_invariance_resume_{}.state", std::process::id()));
+    save_train_state(&state, &path).expect("save train state");
+    let restored = load_train_state(&path).expect("load train state");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(restored.next_epoch, 1);
+
+    let (report, _) = ParallelTrainer::new(train_config(4)).fit_from(
+        &part,
+        || Embsr::new(mcfg.clone()),
+        &data.train,
+        &data.val,
+        Some(restored),
+    );
+    assert_eq!(report.epochs.len(), 2);
+
+    let bits = |m: &Embsr| -> Vec<u32> {
+        embsr_tensor::export_params(&embsr_train::SessionModel::parameters(m))
+            .iter()
+            .map(|x| x.to_bits())
+            .collect()
+    };
+    assert_eq!(
+        bits(&full),
+        bits(&part),
+        "resumed run (2→4 threads via disk) diverged from the uninterrupted 1-thread run"
+    );
+}
