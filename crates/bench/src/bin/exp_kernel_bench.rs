@@ -1,0 +1,300 @@
+//! Experiment K1 — kernel-layer micro-benchmarks.
+//!
+//! Sweeps square `d × d × d` GEMMs for `d ∈ {32, 64, 128}` across all three
+//! packed micro-kernel variants (`A·B`, `Aᵀ·B`, `A·Bᵀ`) against the scalar
+//! reference kernels they must match bitwise, plus embedding gather
+//! (forward) and gather→scatter (forward + backward) throughput. Writes one
+//! row file `results/kernels.json` and the aggregate `BENCH_kernels.json`.
+//!
+//! The CI bench-regression job runs this with
+//! `--check-baseline crates/bench/kernel_baseline.json`: the packed-vs-
+//! reference **speedup ratios** (machine-portable, unlike raw GFLOP/s) are
+//! compared against the checked-in baseline, and the run exits non-zero
+//! when any ratio regresses by more than the baseline's tolerance (15%).
+//! `--write-baseline <path>` regenerates the baseline from the current run.
+//!
+//! `EMBSR_BENCH_QUICK=1` shrinks the per-measurement work budget ~10× for
+//! smoke runs; the ratios stay meaningful because both sides of each ratio
+//! shrink together.
+
+use std::path::PathBuf;
+
+use embsr_bench::parse_args;
+use embsr_obs::JsonValue;
+use embsr_tensor::kernels::{
+    gemm_ab, gemm_abt, gemm_atb, reference_gemm_ab, reference_gemm_abt, reference_gemm_atb,
+};
+use embsr_tensor::{Rng, Tensor};
+use std::hint::black_box;
+
+/// All six kernels share this square-problem calling shape.
+type Kernel = fn(&[f32], &[f32], &mut [f32], usize, usize, usize);
+
+/// Embedding-table rows for the gather/scatter benchmarks.
+const GATHER_VOCAB: usize = 2048;
+
+/// Indices gathered per call (a large batch of lookups).
+const GATHER_ROWS: usize = 4096;
+
+/// How much an individual speedup ratio may fall below the checked-in
+/// baseline before the regression check fails.
+const REGRESSION_TOLERANCE: f64 = 0.15;
+
+fn sample(rng: &mut Rng, n: usize) -> Vec<f32> {
+    (0..n).map(|_| rng.uniform_range(-1.0, 1.0)).collect()
+}
+
+/// Seconds per call for one GEMM kernel on a `d × d × d` problem, measured
+/// over `iters` calls after a short warmup. The output is re-zeroed each
+/// call (identical cost on both sides of every ratio) so accumulators stay
+/// finite no matter how many samples the budget buys.
+fn time_gemm(kernel: Kernel, a: &[f32], b: &[f32], out: &mut [f32], d: usize, iters: usize) -> f64 {
+    for _ in 0..iters.div_ceil(10).max(2) {
+        out.fill(0.0);
+        kernel(a, b, out, d, d, d);
+    }
+    let span = embsr_obs::span("embsr_bench", "kernel_gemm");
+    for _ in 0..iters {
+        out.fill(0.0);
+        kernel(black_box(a), black_box(b), out, d, d, d);
+    }
+    let secs = span.elapsed().as_secs_f64();
+    black_box(&out[0]);
+    secs / iters as f64
+}
+
+/// Seconds per call for a closure, measured over `iters` calls after a
+/// warmup of roughly a tenth of that.
+fn time_calls(mut f: impl FnMut(), iters: usize) -> f64 {
+    for _ in 0..iters.div_ceil(10).max(2) {
+        f();
+    }
+    let span = embsr_obs::span("embsr_bench", "kernel_gather");
+    for _ in 0..iters {
+        f();
+    }
+    span.elapsed().as_secs_f64() / iters as f64
+}
+
+fn main() {
+    let args = parse_args();
+    let argv: Vec<String> = std::env::args().collect();
+    let flag_value = |flag: &str| {
+        argv.iter()
+            .position(|a| a == flag)
+            .and_then(|i| argv.get(i + 1).cloned())
+            .map(PathBuf::from)
+    };
+    let check_baseline = flag_value("--check-baseline");
+    let write_baseline = flag_value("--write-baseline");
+    let quick = std::env::var("EMBSR_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+    // Work budget per measurement: FLOPs for the GEMM timings, bytes moved
+    // for the gather timings. Quick mode divides both by 10.
+    let flop_budget = if quick { 2.0e7 } else { 2.0e8 };
+    let byte_budget = if quick { 4.0e7 } else { 4.0e8 };
+
+    println!(
+        "kernel bench: d ∈ {{32, 64, 128}} · packed vs reference · quick={quick} · seed={}",
+        args.seed
+    );
+
+    let mut rows: Vec<JsonValue> = Vec::new();
+    let mut speedups: Vec<(String, f64)> = Vec::new();
+    let variants: [(&str, Kernel, Kernel); 3] = [
+        ("gemm_ab", gemm_ab, reference_gemm_ab),
+        ("gemm_atb", gemm_atb, reference_gemm_atb),
+        ("gemm_abt", gemm_abt, reference_gemm_abt),
+    ];
+
+    for &d in &[32usize, 64, 128] {
+        let mut rng = Rng::seed_from_u64(args.seed ^ d as u64);
+        let a = sample(&mut rng, d * d);
+        let b = sample(&mut rng, d * d);
+        let mut out = vec![0.0f32; d * d];
+        let flops_per_call = 2.0 * (d * d * d) as f64;
+        let iters = ((flop_budget / flops_per_call) as usize).clamp(5, 200_000);
+
+        for (name, packed, reference) in variants {
+            let packed_secs = time_gemm(packed, &a, &b, &mut out, d, iters);
+            let reference_secs = time_gemm(reference, &a, &b, &mut out, d, iters);
+            let packed_gflops = flops_per_call / packed_secs / 1e9;
+            let reference_gflops = flops_per_call / reference_secs / 1e9;
+            let speedup = reference_secs / packed_secs;
+            println!(
+                "  {name} d={d}: packed {packed_gflops:.2} GFLOP/s · reference \
+                 {reference_gflops:.2} GFLOP/s · speedup {speedup:.2}×"
+            );
+            speedups.push((format!("{name}_d{d}"), speedup));
+            rows.push(JsonValue::object(vec![
+                ("experiment", JsonValue::String("kernel_bench".into())),
+                ("kernel", JsonValue::String(name.into())),
+                ("dim", JsonValue::Number(d as f64)),
+                ("iters", JsonValue::Number(iters as f64)),
+                ("packed_gflops", JsonValue::Number(packed_gflops)),
+                ("reference_gflops", JsonValue::Number(reference_gflops)),
+                ("speedup", JsonValue::Number(speedup)),
+            ]));
+        }
+
+        // Embedding gather/scatter: the other kernel class the training
+        // loop leans on (every batch starts and ends at the item table).
+        let table = Tensor::from_vec(sample(&mut rng, GATHER_VOCAB * d), &[GATHER_VOCAB, d]);
+        let idx: Vec<usize> = (0..GATHER_ROWS)
+            .map(|i| (i.wrapping_mul(2654435761)) % GATHER_VOCAB)
+            .collect();
+        let bytes_per_call = (GATHER_ROWS * d * std::mem::size_of::<f32>()) as f64;
+        let gather_iters = ((byte_budget / bytes_per_call) as usize).clamp(5, 200_000);
+
+        let fwd_secs = time_calls(
+            || {
+                black_box(table.gather_rows(black_box(&idx)));
+            },
+            gather_iters,
+        );
+        let train_table = table.detach().requires_grad();
+        let bwd_secs = time_calls(
+            || {
+                train_table.zero_grad();
+                train_table.gather_rows(black_box(&idx)).sum().backward();
+            },
+            gather_iters,
+        );
+        let fwd_gbps = bytes_per_call / fwd_secs / 1e9;
+        // Forward gather + backward scatter: 2× the bytes per call.
+        let bwd_gbps = 2.0 * bytes_per_call / bwd_secs / 1e9;
+        println!(
+            "  gather d={d}: forward {fwd_gbps:.2} GB/s · gather+scatter {bwd_gbps:.2} GB/s \
+             ({GATHER_ROWS} rows from {GATHER_VOCAB})"
+        );
+        for (kernel, gbps, secs) in [
+            ("embedding_gather", fwd_gbps, fwd_secs),
+            ("embedding_gather_scatter", bwd_gbps, bwd_secs),
+        ] {
+            rows.push(JsonValue::object(vec![
+                ("experiment", JsonValue::String("kernel_bench".into())),
+                ("kernel", JsonValue::String(kernel.into())),
+                ("dim", JsonValue::Number(d as f64)),
+                ("rows", JsonValue::Number(GATHER_ROWS as f64)),
+                ("vocab", JsonValue::Number(GATHER_VOCAB as f64)),
+                ("iters", JsonValue::Number(gather_iters as f64)),
+                ("gb_per_sec", JsonValue::Number(gbps)),
+                ("secs_per_call", JsonValue::Number(secs)),
+            ]));
+        }
+    }
+
+    if args.json {
+        if let Err(e) = std::fs::create_dir_all(&args.out_dir) {
+            embsr_obs::warn!(target: "exp::kernels", "out dir: {e}");
+        }
+        let row_file = JsonValue::object(vec![
+            ("experiment", JsonValue::String("kernel_bench".into())),
+            ("rows", JsonValue::Array(rows.clone())),
+        ]);
+        let path = args.out_dir.join("kernels.json");
+        if let Err(e) = std::fs::write(&path, row_file.to_json() + "\n") {
+            embsr_obs::warn!(target: "exp::kernels", "row write failed: {e}");
+        }
+        let table = JsonValue::object(vec![
+            ("bench", JsonValue::String("kernels".into())),
+            ("quick", JsonValue::Bool(quick)),
+            ("seed", JsonValue::Number(args.seed as f64)),
+            ("rows", JsonValue::Array(rows)),
+        ]);
+        let path = std::path::Path::new("BENCH_kernels.json");
+        match std::fs::write(path, table.to_json() + "\n") {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => embsr_obs::warn!(target: "exp::kernels", "bench table: {e}"),
+        }
+    }
+
+    if let Some(path) = write_baseline {
+        let base = JsonValue::object(vec![
+            ("bench", JsonValue::String("kernels".into())),
+            ("tolerance", JsonValue::Number(REGRESSION_TOLERANCE)),
+            (
+                "note",
+                JsonValue::String(
+                    "packed-vs-reference GEMM speedup ratios; ratios are compared, \
+                     not absolute GFLOP/s, so the check ports across machines"
+                        .into(),
+                ),
+            ),
+            (
+                "speedup",
+                JsonValue::Object(
+                    speedups
+                        .iter()
+                        .map(|(k, v)| (k.clone(), JsonValue::Number(*v)))
+                        .collect(),
+                ),
+            ),
+        ]);
+        match std::fs::write(&path, base.to_json() + "\n") {
+            Ok(()) => println!("wrote baseline {}", path.display()),
+            Err(e) => embsr_obs::warn!(target: "exp::kernels", "baseline write: {e}"),
+        }
+    }
+
+    if let Some(path) = check_baseline {
+        match check_against_baseline(&path, &speedups) {
+            Ok(summary) => println!("baseline check: {summary}"),
+            Err(e) => {
+                eprintln!("baseline check FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    println!(
+        "Shape to verify: packed speedup grows with d and clears 2× at d=128 \
+         (gemm_ab_d128 in BENCH_kernels.json); gather+scatter moves 2× the \
+         bytes of gather alone at similar GB/s."
+    );
+}
+
+/// Compares measured speedup ratios against the checked-in baseline.
+/// Returns a summary line, or an error naming every regressed kernel.
+fn check_against_baseline(
+    path: &std::path::Path,
+    measured: &[(String, f64)],
+) -> Result<String, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let base = embsr_obs::parse_json(&src)?;
+    let tolerance = base
+        .get("tolerance")
+        .and_then(JsonValue::as_f64)
+        .unwrap_or(REGRESSION_TOLERANCE);
+    let JsonValue::Object(expected) = base
+        .get("speedup")
+        .ok_or("baseline has no `speedup` object")?
+    else {
+        return Err("baseline `speedup` is not an object".into());
+    };
+    let mut checked = 0usize;
+    let mut failures = Vec::new();
+    for (key, want) in expected {
+        let Some(want) = want.as_f64() else {
+            return Err(format!("baseline speedup `{key}` is not a number"));
+        };
+        let Some((_, got)) = measured.iter().find(|(k, _)| k == key) else {
+            return Err(format!("baseline key `{key}` was not measured"));
+        };
+        let floor = want * (1.0 - tolerance);
+        checked += 1;
+        if *got < floor {
+            failures.push(format!(
+                "{key}: measured {got:.2}× < floor {floor:.2}× (baseline {want:.2}× − {:.0}%)",
+                tolerance * 100.0
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(format!(
+            "{checked} speedup ratio(s) within {:.0}% of baseline",
+            tolerance * 100.0
+        ))
+    } else {
+        Err(failures.join("; "))
+    }
+}

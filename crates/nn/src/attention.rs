@@ -88,26 +88,39 @@ impl OpAwareSelfAttention {
         let pos = self.positions.lookup(&pos_idx); // [t, d]
         let scale = 1.0 / (self.dim as f32).sqrt();
         let queries = self.query.forward(xs); // [t, d]
+        let d = self.dim;
 
-        let mut out_rows = Vec::with_capacity(t);
-        for i in 0..t {
-            // keys_i[j] = x_j + e_{r_ij} + e_{p_j}
-            let keys = if self.use_dyadic {
-                let rel_idx: Vec<usize> = ops
-                    .iter()
-                    .map(|&oj| self.relation_index(ops[i], oj))
-                    .collect();
-                let rels = self.relations.lookup(&rel_idx); // [t, d]
-                xs.add(&rels).add(&pos)
-            } else {
-                xs.add(&pos)
-            };
-            let q_i = queries.slice_rows(i, i + 1); // [1, d]
-            let scores = q_i.matmul(&keys.transpose()).mul_scalar(scale); // [1, t]
-            let alpha = scores.softmax_rows(); // [1, t]
-            out_rows.push(alpha.matmul(&keys)); // [1, d]
+        if !self.use_dyadic {
+            // Keys are shared by every query, so the whole layer is two
+            // plain GEMMs instead of t row-sized ones.
+            let keys = xs.add(&pos); // [t, d]
+            let scores = queries.matmul(&keys.transpose()).mul_scalar(scale); // [t, t]
+            let alpha = scores.softmax_rows(); // [t, t]
+            return alpha.matmul(&keys); // [t, d]
         }
-        Tensor::concat_rows(&out_rows)
+
+        // Dyadic path: keys depend on the query through e_{r_ij}, so build
+        // the all-pairs key matrix [t*t, d] (row i*t + j holds key_i[j] =
+        // x_j + e_{r_ij} + e_{p_j}, in the same add order as the per-query
+        // formulation) and batch the per-query products through bmm.
+        let mut rel_idx = Vec::with_capacity(t * t);
+        let mut tile = Vec::with_capacity(t * t);
+        for &oi in ops {
+            for (j, &oj) in ops.iter().enumerate() {
+                rel_idx.push(self.relation_index(oi, oj));
+                tile.push(j);
+            }
+        }
+        let rels = self.relations.lookup(&rel_idx); // [t*t, d]
+        let xs_tiled = xs.gather_rows(&tile); // [t*t, d]
+        let pos_tiled = pos.gather_rows(&tile); // [t*t, d]
+        let keys = xs_tiled.add(&rels).add(&pos_tiled); // [t*t, d]
+
+        let keys3 = keys.reshape(&[t, t, d]);
+        let queries3 = queries.reshape(&[t, 1, d]);
+        let scores = queries3.bmm_nt(&keys3).mul_scalar(scale); // [t, 1, t]
+        let alpha = scores.reshape(&[t, t]).softmax_rows(); // [t, t]
+        alpha.reshape(&[t, 1, t]).bmm(&keys3).reshape(&[t, d]) // [t, d]
     }
 }
 

@@ -58,18 +58,24 @@ impl Gru {
         } else {
             x.clone()
         };
-        let r = x
-            .matmul(&self.w_r)
-            .add(&h.matmul(&self.u_r))
-            .add(&self.b_r)
-            .sigmoid();
-        let z = x
-            .matmul(&self.w_z)
-            .add(&h.matmul(&self.u_z))
-            .add(&self.b_z)
-            .sigmoid();
-        let n = x
-            .matmul(&self.w_n)
+        self.step_projected(
+            &x.matmul(&self.w_r),
+            &x.matmul(&self.w_z),
+            &x.matmul(&self.w_n),
+            h,
+        )
+    }
+
+    /// One step given precomputed input projections `x·W_r`, `x·W_z`,
+    /// `x·W_n` (each `[1, hidden]`). [`Gru::forward_all`] hoists the three
+    /// input GEMMs out of the time loop and feeds row slices here; a GEMM
+    /// row is the same sequential dot product whether computed alone or as
+    /// part of the whole `[t, hidden]` product, so results are bitwise
+    /// unchanged.
+    fn step_projected(&self, gx_r: &Tensor, gx_z: &Tensor, gx_n: &Tensor, h: &Tensor) -> Tensor {
+        let r = gx_r.add(&h.matmul(&self.u_r)).add(&self.b_r).sigmoid();
+        let z = gx_z.add(&h.matmul(&self.u_z)).add(&self.b_z).sigmoid();
+        let n = gx_n
             .add(&r.mul(&h.matmul(&self.u_n)))
             .add(&self.b_n)
             .tanh();
@@ -81,11 +87,21 @@ impl Gru {
     pub fn forward_all(&self, xs: &Tensor) -> Tensor {
         let t = xs.rows();
         assert!(t > 0, "GRU over empty sequence");
+        // Per-gate input projections for the whole sequence in one GEMM
+        // each, instead of three [1, input]·[input, hidden] products per
+        // step.
+        let gx_r = xs.matmul(&self.w_r); // [t, hidden]
+        let gx_z = xs.matmul(&self.w_z);
+        let gx_n = xs.matmul(&self.w_n);
         let mut h = Tensor::zeros(&[1, self.hidden]);
         let mut states = Vec::with_capacity(t);
         for i in 0..t {
-            let x = xs.slice_rows(i, i + 1);
-            h = self.step(&x, &h);
+            h = self.step_projected(
+                &gx_r.slice_rows(i, i + 1),
+                &gx_z.slice_rows(i, i + 1),
+                &gx_n.slice_rows(i, i + 1),
+                &h,
+            );
             states.push(h.clone());
         }
         Tensor::concat_rows(&states)

@@ -34,20 +34,22 @@ impl Tensor {
         let order = topo_order(self);
         self.accumulate_grad(seed);
         // Reverse topological order: every node sees its full gradient before
-        // propagating to parents.
+        // propagating to parents. Op-node gradients are *taken* (not cloned):
+        // once a node has propagated, its gradient is dead weight, so the
+        // buffer goes straight back to the pool. This also clears the
+        // intermediate grads so repeated forward passes over shared leaves
+        // don't see stale values; leaves (no backward fn) keep theirs.
         for node in order.iter().rev() {
-            let grad = node.inner.grad.borrow().clone();
-            let Some(grad) = grad else { continue };
+            if node.inner.backward.is_none() {
+                continue;
+            }
+            let Some(grad) = node.inner.grad.borrow_mut().take() else {
+                continue;
+            };
             if let Some(backward) = &node.inner.backward {
                 backward(&grad);
             }
-        }
-        // Free intermediate gradients so repeated forward passes over shared
-        // leaves don't see stale values. Leaves (no backward fn) keep theirs.
-        for node in &order {
-            if node.inner.backward.is_some() {
-                *node.inner.grad.borrow_mut() = None;
-            }
+            crate::pool::give(grad);
         }
     }
 }

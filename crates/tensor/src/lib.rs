@@ -41,6 +41,7 @@ mod flat;
 mod init;
 mod ops;
 mod optim;
+mod pool;
 mod rng;
 mod shape;
 mod tensor;
@@ -50,7 +51,9 @@ pub mod verify;
 
 pub use flat::{export_grads, export_params, flat_len, import_grads, import_params, tree_reduce};
 pub use init::{kaiming_uniform, uniform_init, xavier_uniform, zeros_init};
+pub use ops::kernels;
 pub use ops::softmax_slice;
+pub use pool::{clear_pool, pool_stats, reset_pool_stats, PoolStats};
 pub use optim::{clip_grad_norm, Adam, AdamConfig, AdamParamState, Optimizer, Sgd};
 pub use rng::Rng;
 pub use shape::Shape;

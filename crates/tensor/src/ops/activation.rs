@@ -1,6 +1,7 @@
 //! Pointwise nonlinearities used by the GRU/GGNN cells, the feed-forward
 //! block, and the scorer.
 
+use crate::pool;
 use crate::tensor::Tensor;
 
 /// Builds a unary pointwise op whose backward uses the *output* values
@@ -12,8 +13,8 @@ fn unary_from_output(
     fwd: impl Fn(f32) -> f32,
     dydx_from_y: fn(f32) -> f32,
 ) -> Tensor {
-    let out: Vec<f32> = input.data().iter().map(|&x| fwd(x)).collect();
-    let saved = out.clone();
+    let out = pool::take_from_iter(input.len(), input.data().iter().map(|&x| fwd(x)));
+    let saved = pool::guard_copy(&out);
     let parent = input.clone();
     Tensor::from_op(
         out,
@@ -22,12 +23,13 @@ fn unary_from_output(
         op,
         Box::new(move |grad| {
             if parent.is_grad() {
-                let g: Vec<f32> = grad
-                    .iter()
-                    .zip(saved.iter())
-                    .map(|(&g, &y)| g * dydx_from_y(y))
-                    .collect();
-                parent.accumulate_grad(&g);
+                let g = pool::take_from_iter(
+                    grad.len(),
+                    grad.iter()
+                        .zip(saved.iter())
+                        .map(|(&g, &y)| g * dydx_from_y(y)),
+                );
+                parent.accumulate_grad_owned(g);
             }
         }),
     )
@@ -57,8 +59,8 @@ impl Tensor {
     /// Natural logarithm. Inputs must be positive.
     pub fn log(&self) -> Tensor {
         let parent = self.clone();
-        let saved = self.to_vec();
-        let out: Vec<f32> = saved.iter().map(|&x| x.ln()).collect();
+        let saved = pool::guard_copy(&self.data());
+        let out = pool::take_from_iter(saved.len(), saved.iter().map(|&x| x.ln()));
         Tensor::from_op(
             out,
             self.shape().clone(),
@@ -66,12 +68,11 @@ impl Tensor {
             "log",
             Box::new(move |grad| {
                 if parent.is_grad() {
-                    let g: Vec<f32> = grad
-                        .iter()
-                        .zip(saved.iter())
-                        .map(|(&g, &x)| g / x)
-                        .collect();
-                    parent.accumulate_grad(&g);
+                    let g = pool::take_from_iter(
+                        grad.len(),
+                        grad.iter().zip(saved.iter()).map(|(&g, &x)| g / x),
+                    );
+                    parent.accumulate_grad_owned(g);
                 }
             }),
         )
@@ -85,8 +86,8 @@ impl Tensor {
     /// Elementwise square, a fused `x.mul(x)`.
     pub fn square(&self) -> Tensor {
         let parent = self.clone();
-        let saved = self.to_vec();
-        let out: Vec<f32> = saved.iter().map(|&x| x * x).collect();
+        let saved = pool::guard_copy(&self.data());
+        let out = pool::take_from_iter(saved.len(), saved.iter().map(|&x| x * x));
         Tensor::from_op(
             out,
             self.shape().clone(),
@@ -94,12 +95,11 @@ impl Tensor {
             "square",
             Box::new(move |grad| {
                 if parent.is_grad() {
-                    let g: Vec<f32> = grad
-                        .iter()
-                        .zip(saved.iter())
-                        .map(|(&g, &x)| 2.0 * g * x)
-                        .collect();
-                    parent.accumulate_grad(&g);
+                    let g = pool::take_from_iter(
+                        grad.len(),
+                        grad.iter().zip(saved.iter()).map(|(&g, &x)| 2.0 * g * x),
+                    );
+                    parent.accumulate_grad_owned(g);
                 }
             }),
         )

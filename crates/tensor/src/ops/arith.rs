@@ -1,6 +1,7 @@
 //! Elementwise arithmetic with the three broadcast forms the models need:
 //! same-shape, matrix-plus-row, and tensor-plus-scalar.
 
+use crate::pool;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
@@ -33,9 +34,10 @@ fn classify(lhs: &Tensor, rhs: &Tensor) -> Broadcast {
     );
 }
 
-/// Reduces a full-size gradient down to a row vector by summing over rows.
+/// Reduces a full-size gradient down to a (pooled) row vector by summing
+/// over rows.
 fn reduce_rows(grad: &[f32], rows: usize, cols: usize) -> Vec<f32> {
-    let mut out = vec![0.0; cols];
+    let mut out = pool::take_zeroed(cols);
     for r in 0..rows {
         for c in 0..cols {
             out[c] += grad[r * cols + c];
@@ -55,11 +57,15 @@ macro_rules! binary_elementwise {
             let a = self.data();
             let b = rhs.data();
             let fwd: fn(f32, f32) -> f32 = $fwd;
-            let out: Vec<f32> = match bc {
-                Broadcast::Same => a.iter().zip(b.iter()).map(|(&x, &y)| fwd(x, y)).collect(),
-                Broadcast::Row => (0..rows * cols)
-                    .map(|i| fwd(a[i], b[i % cols]))
-                    .collect(),
+            let out = match bc {
+                Broadcast::Same => pool::take_from_iter(
+                    a.len(),
+                    a.iter().zip(b.iter()).map(|(&x, &y)| fwd(x, y)),
+                ),
+                Broadcast::Row => pool::take_from_iter(
+                    rows * cols,
+                    (0..rows * cols).map(|i| fwd(a[i], b[i % cols])),
+                ),
             };
             drop(a);
             drop(b);
@@ -74,32 +80,40 @@ macro_rules! binary_elementwise {
                 Box::new(move |grad| {
                     let dl: fn(f32, f32, f32) -> f32 = $dlhs;
                     let dr: fn(f32, f32, f32) -> f32 = $drhs;
-                    let a = lhs_t.data().clone();
-                    let b = rhs_t.data().clone();
+                    // Shared borrows (not clones): lhs and rhs may alias the
+                    // same node (e.g. `x.mul(&x)`), which is fine read-only.
+                    let a = lhs_t.data();
+                    let b = rhs_t.data();
                     if lhs_t.is_grad() {
-                        let g: Vec<f32> = match bc {
-                            Broadcast::Same => (0..grad.len())
-                                .map(|i| dl(a[i], b[i], grad[i]))
-                                .collect(),
-                            Broadcast::Row => (0..grad.len())
-                                .map(|i| dl(a[i], b[i % cols], grad[i]))
-                                .collect(),
+                        let g = match bc {
+                            Broadcast::Same => pool::take_from_iter(
+                                grad.len(),
+                                (0..grad.len()).map(|i| dl(a[i], b[i], grad[i])),
+                            ),
+                            Broadcast::Row => pool::take_from_iter(
+                                grad.len(),
+                                (0..grad.len()).map(|i| dl(a[i], b[i % cols], grad[i])),
+                            ),
                         };
-                        lhs_t.accumulate_grad(&g);
+                        lhs_t.accumulate_grad_owned(g);
                     }
                     if rhs_t.is_grad() {
-                        let full: Vec<f32> = match bc {
-                            Broadcast::Same => (0..grad.len())
-                                .map(|i| dr(a[i], b[i], grad[i]))
-                                .collect(),
-                            Broadcast::Row => (0..grad.len())
-                                .map(|i| dr(a[i], b[i % cols], grad[i]))
-                                .collect(),
+                        let full = match bc {
+                            Broadcast::Same => pool::take_from_iter(
+                                grad.len(),
+                                (0..grad.len()).map(|i| dr(a[i], b[i], grad[i])),
+                            ),
+                            Broadcast::Row => pool::take_from_iter(
+                                grad.len(),
+                                (0..grad.len()).map(|i| dr(a[i], b[i % cols], grad[i])),
+                            ),
                         };
                         match bc {
-                            Broadcast::Same => rhs_t.accumulate_grad(&full),
+                            Broadcast::Same => rhs_t.accumulate_grad_owned(full),
                             Broadcast::Row => {
-                                rhs_t.accumulate_grad(&reduce_rows(&full, rows, cols))
+                                let reduced = reduce_rows(&full, rows, cols);
+                                pool::give(full);
+                                rhs_t.accumulate_grad_owned(reduced);
                             }
                         }
                     }
@@ -144,7 +158,7 @@ impl Tensor {
 
     /// Adds a scalar to every element.
     pub fn add_scalar(&self, s: f32) -> Tensor {
-        let out: Vec<f32> = self.data().iter().map(|&x| x + s).collect();
+        let out = pool::take_from_iter(self.len(), self.data().iter().map(|&x| x + s));
         let parent = self.clone();
         Tensor::from_op(
             out,
@@ -161,7 +175,7 @@ impl Tensor {
 
     /// Multiplies every element by a scalar.
     pub fn mul_scalar(&self, s: f32) -> Tensor {
-        let out: Vec<f32> = self.data().iter().map(|&x| x * s).collect();
+        let out = pool::take_from_iter(self.len(), self.data().iter().map(|&x| x * s));
         let parent = self.clone();
         Tensor::from_op(
             out,
@@ -170,8 +184,8 @@ impl Tensor {
             "mul_scalar",
             Box::new(move |grad| {
                 if parent.is_grad() {
-                    let g: Vec<f32> = grad.iter().map(|&g| g * s).collect();
-                    parent.accumulate_grad(&g);
+                    let g = pool::take_from_iter(grad.len(), grad.iter().map(|&g| g * s));
+                    parent.accumulate_grad_owned(g);
                 }
             }),
         )
@@ -196,7 +210,7 @@ impl Tensor {
         assert_eq!(shape.len(), self.len(), "reshape length mismatch");
         let parent = self.clone();
         Tensor::from_op(
-            self.to_vec(),
+            pool::take_copy(&self.data()),
             shape,
             vec![self.clone()],
             "reshape",
@@ -210,7 +224,7 @@ impl Tensor {
 
     /// A detached copy: same values, no graph history, no gradient flow.
     pub fn detach(&self) -> Tensor {
-        Tensor::leaf(self.to_vec(), self.shape().clone(), false)
+        Tensor::leaf_pooled(pool::take_copy(&self.data()), self.shape().clone(), false)
     }
 }
 

@@ -1,6 +1,7 @@
 //! Additional utility ops: clamping, extrema, and masked softmax (useful
 //! when batching variable-length sessions with padding).
 
+use crate::pool;
 use crate::tensor::Tensor;
 
 impl Tensor {
@@ -8,8 +9,8 @@ impl Tensor {
     /// the range and is blocked outside (straight-through at the bounds).
     pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
         assert!(lo <= hi, "clamp bounds inverted");
-        let saved = self.to_vec();
-        let out: Vec<f32> = saved.iter().map(|&x| x.clamp(lo, hi)).collect();
+        let saved = pool::guard_copy(&self.data());
+        let out = pool::take_from_iter(saved.len(), saved.iter().map(|&x| x.clamp(lo, hi)));
         let parent = self.clone();
         Tensor::from_op(
             out,
@@ -18,12 +19,13 @@ impl Tensor {
             "clamp",
             Box::new(move |grad| {
                 if parent.is_grad() {
-                    let g: Vec<f32> = grad
-                        .iter()
-                        .zip(saved.iter())
-                        .map(|(&g, &x)| if x > lo && x < hi { g } else { 0.0 })
-                        .collect();
-                    parent.accumulate_grad(&g);
+                    let g = pool::take_from_iter(
+                        grad.len(),
+                        grad.iter()
+                            .zip(saved.iter())
+                            .map(|(&g, &x)| if x > lo && x < hi { g } else { 0.0 }),
+                    );
+                    parent.accumulate_grad_owned(g);
                 }
             }),
         )
@@ -59,13 +61,6 @@ impl Tensor {
     /// tensor's shape; every row must keep at least one unmasked position.
     pub fn masked_softmax_rows(&self, mask: &[f32]) -> Tensor {
         assert_eq!(mask.len(), self.len(), "mask length mismatch");
-        // additive -inf masking before the (stable) softmax
-        let d = self.to_vec();
-        let masked: Vec<f32> = d
-            .iter()
-            .zip(mask)
-            .map(|(&x, &m)| if m != 0.0 { x } else { f32::NEG_INFINITY })
-            .collect();
         let (rows, cols) = self.shape().as_matrix();
         for r in 0..rows {
             assert!(
@@ -73,15 +68,13 @@ impl Tensor {
                 "row {r} fully masked"
             );
         }
-        // Reuse softmax_rows on a detached masked copy won't carry gradient;
-        // instead shift the live tensor: x + log(mask) with log(0) = -inf is
-        // equivalent and keeps autograd intact for unmasked positions.
-        let shift: Vec<f32> = mask
-            .iter()
-            .map(|&m| if m != 0.0 { 0.0 } else { -1e30 })
-            .collect();
-        let _ = masked;
-        self.add(&Tensor::from_vec(shift, self.shape().dims()))
+        // Additive masking before the (stable) softmax: x + log(mask) with
+        // log(0) ≈ -inf keeps autograd intact for unmasked positions.
+        let shift = pool::take_from_iter(
+            mask.len(),
+            mask.iter().map(|&m| if m != 0.0 { 0.0 } else { -1e30 }),
+        );
+        self.add(&Tensor::leaf_pooled(shift, self.shape().clone(), false))
             .softmax_rows()
     }
 }

@@ -1,6 +1,7 @@
 //! Row gathering, scattering, slicing and concatenation — the structural ops
 //! behind embedding lookups and per-node message passing.
 
+use crate::pool;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
@@ -17,7 +18,7 @@ impl Tensor {
         let (rows, cols) = self.shape().as_matrix();
         assert_eq!(self.shape().rank(), 2, "gather_rows needs rank 2");
         let d = self.data();
-        let mut out = Vec::with_capacity(indices.len() * cols);
+        let mut out = pool::take_reserve(indices.len() * cols);
         for &i in indices {
             assert!(i < rows, "gather index {i} out of bounds ({rows} rows)");
             out.extend_from_slice(&d[i * cols..(i + 1) * cols]);
@@ -32,7 +33,7 @@ impl Tensor {
             "gather_rows",
             Box::new(move |grad| {
                 if parent.is_grad() {
-                    let mut g = vec![0.0; rows * cols];
+                    let mut g = pool::take_zeroed(rows * cols);
                     for (r, &i) in idx.iter().enumerate() {
                         let src = &grad[r * cols..(r + 1) * cols];
                         let dst = &mut g[i * cols..(i + 1) * cols];
@@ -40,7 +41,7 @@ impl Tensor {
                             *dv += sv;
                         }
                     }
-                    parent.accumulate_grad(&g);
+                    parent.accumulate_grad_owned(g);
                 }
             }),
         )
@@ -67,10 +68,12 @@ impl Tensor {
         assert!(!parts.is_empty(), "concat_rows of nothing");
         let cols = parts[0].cols();
         let mut total_rows = 0;
-        let mut out = Vec::new();
         for p in parts {
             assert_eq!(p.cols(), cols, "concat_rows column mismatch");
             total_rows += p.rows();
+        }
+        let mut out = pool::take_reserve(total_rows * cols);
+        for p in parts {
             out.extend_from_slice(&p.data());
         }
         let owned: Vec<Tensor> = parts.to_vec();
@@ -108,7 +111,7 @@ impl Tensor {
         assert_eq!(n1, n2, "concat_cols row mismatch: {n1} vs {n2}");
         let la = self.data();
         let lb = rhs.data();
-        let mut out = Vec::with_capacity(n1 * (a + b));
+        let mut out = pool::take_reserve(n1 * (a + b));
         for r in 0..n1 {
             out.extend_from_slice(&la[r * a..(r + 1) * a]);
             out.extend_from_slice(&lb[r * b..(r + 1) * b]);
@@ -130,20 +133,20 @@ impl Tensor {
             "concat_cols",
             Box::new(move |grad| {
                 if lt.is_grad() {
-                    let mut g = vec![0.0; n1 * a];
+                    let mut g = pool::take_zeroed(n1 * a);
                     for r in 0..n1 {
                         g[r * a..(r + 1) * a]
                             .copy_from_slice(&grad[r * (a + b)..r * (a + b) + a]);
                     }
-                    lt.accumulate_grad(&g);
+                    lt.accumulate_grad_owned(g);
                 }
                 if rt.is_grad() {
-                    let mut g = vec![0.0; n1 * b];
+                    let mut g = pool::take_zeroed(n1 * b);
                     for r in 0..n1 {
                         g[r * b..(r + 1) * b]
                             .copy_from_slice(&grad[r * (a + b) + a..(r + 1) * (a + b)]);
                     }
-                    rt.accumulate_grad(&g);
+                    rt.accumulate_grad_owned(g);
                 }
             }),
         )

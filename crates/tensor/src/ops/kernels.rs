@@ -1,0 +1,490 @@
+//! Packed, register-tiled GEMM micro-kernels and batched matmul.
+//!
+//! All dense matrix products in the crate funnel into one micro-kernel: an
+//! [`MR`]×[`NR`] register tile accumulated over the full reduction dimension
+//! before a single store. The three layout variants (`A·B`, `Aᵀ·B`, `A·Bᵀ`)
+//! differ only in how operands are *packed* into contiguous panels, never in
+//! how they are *accumulated*, which is what makes the layer deterministic:
+//!
+//! * The B operand is packed once per call into `[reduction][NR]` panels
+//!   (zero-padded at the right edge) so the inner loop reads one contiguous
+//!   cache line per step.
+//! * The A operand is packed per row-strip into `[reduction][MR]` strips
+//!   (transposed where needed) so all `MR` lanes load contiguously.
+//! * Each of the `MR×NR` accumulators starts at `+0.0` and adds the products
+//!   `a[i][p]·b[p][j]` for `p = 0, 1, …, R−1` **strictly in order**, then is
+//!   added into the output exactly once.
+//!
+//! Because the reduction dimension is never blocked, every output element sees
+//! the same addition chain as the scalar reference kernels below, bitwise,
+//! regardless of `MR`/`NR` or how row/column blocking changes in the future
+//! (`tests/kernel_equivalence.rs` asserts this across edge shapes). Products
+//! are written `a * b` followed by `+` — no FMA contraction — so the chain
+//! matches the reference on every target. This preserves the data-parallel
+//! trainer's bitwise thread-invariance guarantee: replica math is a pure
+//! function of the batch, independent of blocking and thread count.
+
+use crate::pool;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Register-tile height: rows of C accumulated per micro-kernel invocation.
+pub const MR: usize = 4;
+
+/// Register-tile width: columns of C accumulated per micro-kernel invocation.
+/// Eight `f32` lanes fill one 256-bit vector register.
+pub const NR: usize = 8;
+
+/// The innermost tile: `MR` rows × `NR` columns of C held in registers while
+/// the entire reduction dimension streams through. `apack` is `[k][MR]`,
+/// `bpack` is `[k][NR]`; both are fully packed so every load is contiguous.
+/// With `MR`/`NR` constant the two inner loops unroll completely and the `jj`
+/// loop vectorizes; the `p` loop stays strictly sequential per accumulator.
+#[inline(always)]
+fn microkernel(apack: &[f32], bpack: &[f32], k: usize, acc: &mut [[f32; NR]; MR]) {
+    debug_assert!(apack.len() >= k * MR);
+    debug_assert!(bpack.len() >= k * NR);
+    for p in 0..k {
+        let ab = &apack[p * MR..p * MR + MR];
+        let bb = &bpack[p * NR..p * NR + NR];
+        for ii in 0..MR {
+            let av = ab[ii];
+            let row = &mut acc[ii];
+            for jj in 0..NR {
+                row[jj] += av * bb[jj];
+            }
+        }
+    }
+}
+
+/// Shared driver for all three variants. Logical problem: `out[M,N] +=
+/// Σ_p Â[i,p]·B̂[p,j]` with reduction length `r`; the closures materialize
+/// `Â`/`B̂` panels from whatever physical layout the variant has. Row/column
+/// blocking lives here and is free to change; the reduction is never split.
+fn packed_gemm(
+    out: &mut [f32],
+    m: usize,
+    r: usize,
+    n: usize,
+    pack_b_panel: &dyn Fn(&mut [f32], usize, usize),
+    pack_a_strip: &dyn Fn(&mut [f32], usize, usize),
+) {
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 || r == 0 {
+        return;
+    }
+    let panels = n.div_ceil(NR);
+    let mut bpack = pool::take_zeroed(panels * r * NR);
+    for panel in 0..panels {
+        let j0 = panel * NR;
+        let w = NR.min(n - j0);
+        pack_b_panel(&mut bpack[panel * r * NR..(panel + 1) * r * NR], j0, w);
+    }
+    let mut apack = pool::take_zeroed(r * MR);
+    let mut i0 = 0;
+    while i0 < m {
+        let mr = MR.min(m - i0);
+        pack_a_strip(&mut apack, i0, mr);
+        for panel in 0..panels {
+            let j0 = panel * NR;
+            let w = NR.min(n - j0);
+            let bp = &bpack[panel * r * NR..(panel + 1) * r * NR];
+            let mut acc = [[0.0f32; NR]; MR];
+            microkernel(&apack, bp, r, &mut acc);
+            for ii in 0..mr {
+                let crow = &mut out[(i0 + ii) * n + j0..(i0 + ii) * n + j0 + w];
+                for (c, &v) in crow.iter_mut().zip(acc[ii].iter()) {
+                    *c += v;
+                }
+            }
+        }
+        i0 += MR;
+    }
+    pool::give(apack);
+    pool::give(bpack);
+}
+
+/// `C[m,n] += A[m,k] · B[k,n]` via the packed micro-kernel.
+pub fn gemm_ab(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    packed_gemm(
+        out,
+        m,
+        k,
+        n,
+        &|dst, j0, w| {
+            for p in 0..k {
+                dst[p * NR..p * NR + w].copy_from_slice(&b[p * n + j0..p * n + j0 + w]);
+            }
+        },
+        &|dst, i0, mr| {
+            for ii in 0..mr {
+                let row = &a[(i0 + ii) * k..(i0 + ii + 1) * k];
+                for (p, &v) in row.iter().enumerate() {
+                    dst[p * MR + ii] = v;
+                }
+            }
+            for ii in mr..MR {
+                for p in 0..k {
+                    dst[p * MR + ii] = 0.0;
+                }
+            }
+        },
+    );
+}
+
+/// `C[m,n] += Aᵀ · B[k,n]` where `a` is stored as `[k, m]`.
+pub fn gemm_atb(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize, n: usize) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    packed_gemm(
+        out,
+        m,
+        k,
+        n,
+        &|dst, j0, w| {
+            for p in 0..k {
+                dst[p * NR..p * NR + w].copy_from_slice(&b[p * n + j0..p * n + j0 + w]);
+            }
+        },
+        &|dst, i0, mr| {
+            for p in 0..k {
+                dst[p * MR..p * MR + mr].copy_from_slice(&a[p * m + i0..p * m + i0 + mr]);
+                for ii in mr..MR {
+                    dst[p * MR + ii] = 0.0;
+                }
+            }
+        },
+    );
+}
+
+/// `C[m,kb] += A[m,n] · Bᵀ` where `b` is stored as `[kb, n]`; the reduction
+/// runs over `n`. Transpose-packing B turns the old scalar dot product into
+/// the same vectorized `NR`-lane tile as the other variants.
+pub fn gemm_abt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, n: usize, kb: usize) {
+    debug_assert_eq!(a.len(), m * n);
+    debug_assert_eq!(b.len(), kb * n);
+    packed_gemm(
+        out,
+        m,
+        n,
+        kb,
+        &|dst, j0, w| {
+            for jj in 0..w {
+                let row = &b[(j0 + jj) * n..(j0 + jj + 1) * n];
+                for (p, &v) in row.iter().enumerate() {
+                    dst[p * NR + jj] = v;
+                }
+            }
+        },
+        &|dst, i0, mr| {
+            for ii in 0..mr {
+                let row = &a[(i0 + ii) * n..(i0 + ii + 1) * n];
+                for (p, &v) in row.iter().enumerate() {
+                    dst[p * MR + ii] = v;
+                }
+            }
+            for ii in mr..MR {
+                for p in 0..n {
+                    dst[p * MR + ii] = 0.0;
+                }
+            }
+        },
+    );
+}
+
+/// Straightforward scalar reference for [`gemm_ab`]: per output element, one
+/// `+0.0`-seeded accumulator over `p` in ascending order, added into `out`
+/// once. The packed kernels must match this bitwise.
+pub fn reference_gemm_ab(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a[i * k + p] * b[p * n + j];
+            }
+            out[i * n + j] += acc;
+        }
+    }
+}
+
+/// Scalar reference for [`gemm_atb`] (`a` stored `[k, m]`).
+pub fn reference_gemm_atb(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize, n: usize) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a[p * m + i] * b[p * n + j];
+            }
+            out[i * n + j] += acc;
+        }
+    }
+}
+
+/// Scalar reference for [`gemm_abt`] (`b` stored `[kb, n]`, reduction over `n`).
+pub fn reference_gemm_abt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, n: usize, kb: usize) {
+    for i in 0..m {
+        for j in 0..kb {
+            let mut acc = 0.0f32;
+            for p in 0..n {
+                acc += a[i * n + p] * b[j * n + p];
+            }
+            out[i * kb + j] += acc;
+        }
+    }
+}
+
+impl Tensor {
+    /// Batched matrix product: `[b,m,k] · [b,k,n] → [b,m,n]`, one packed
+    /// kernel call per batch entry. Collapses the per-head / per-step matmul
+    /// loops in the attention and recurrent layers into a single graph node.
+    ///
+    /// # Panics
+    /// Panics on rank ≠ 3 or mismatched batch/inner dimensions.
+    pub fn bmm(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape().rank(), 3, "bmm lhs must be rank 3");
+        assert_eq!(rhs.shape().rank(), 3, "bmm rhs must be rank 3");
+        let (b, m, k) = (self.shape().dims()[0], self.shape().dims()[1], self.shape().dims()[2]);
+        let (b2, k2, n) = (rhs.shape().dims()[0], rhs.shape().dims()[1], rhs.shape().dims()[2]);
+        assert_eq!(b, b2, "bmm batch dims: {} vs {}", b, b2);
+        assert_eq!(k, k2, "bmm inner dims: {} vs {}", k, k2);
+
+        if embsr_obs::metrics::enabled() {
+            embsr_obs::metrics::counter("tensor.matmul_flops").add((2 * b * m * k * n) as u64);
+        }
+        let mut out = pool::take_zeroed(b * m * n);
+        {
+            let lhs = self.data();
+            let rhsd = rhs.data();
+            for bi in 0..b {
+                gemm_ab(
+                    &lhs[bi * m * k..(bi + 1) * m * k],
+                    &rhsd[bi * k * n..(bi + 1) * k * n],
+                    &mut out[bi * m * n..(bi + 1) * m * n],
+                    m,
+                    k,
+                    n,
+                );
+            }
+        }
+
+        let lhs_t = self.clone();
+        let rhs_t = rhs.clone();
+        Tensor::from_op(
+            out,
+            Shape::new(&[b, m, n]),
+            vec![self.clone(), rhs.clone()],
+            "bmm",
+            Box::new(move |grad| {
+                // dA[b] = dC[b]·B[b]ᵀ ; dB[b] = A[b]ᵀ·dC[b]
+                if lhs_t.is_grad() {
+                    let mut da = pool::take_zeroed(b * m * k);
+                    let rd = rhs_t.data();
+                    for bi in 0..b {
+                        gemm_abt(
+                            &grad[bi * m * n..(bi + 1) * m * n],
+                            &rd[bi * k * n..(bi + 1) * k * n],
+                            &mut da[bi * m * k..(bi + 1) * m * k],
+                            m,
+                            n,
+                            k,
+                        );
+                    }
+                    drop(rd);
+                    lhs_t.accumulate_grad_owned(da);
+                }
+                if rhs_t.is_grad() {
+                    let mut db = pool::take_zeroed(b * k * n);
+                    let ld = lhs_t.data();
+                    for bi in 0..b {
+                        gemm_atb(
+                            &ld[bi * m * k..(bi + 1) * m * k],
+                            &grad[bi * m * n..(bi + 1) * m * n],
+                            &mut db[bi * k * n..(bi + 1) * k * n],
+                            m,
+                            k,
+                            n,
+                        );
+                    }
+                    drop(ld);
+                    rhs_t.accumulate_grad_owned(db);
+                }
+            }),
+        )
+    }
+
+    /// Batched matrix product with a transposed right operand:
+    /// `[b,m,k] · [b,n,k]ᵀ → [b,m,n]`. The attention score pass
+    /// (`Q·Kᵀ`) uses this to avoid materializing transposed key matrices.
+    ///
+    /// # Panics
+    /// Panics on rank ≠ 3 or mismatched batch/inner dimensions.
+    pub fn bmm_nt(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape().rank(), 3, "bmm_nt lhs must be rank 3");
+        assert_eq!(rhs.shape().rank(), 3, "bmm_nt rhs must be rank 3");
+        let (b, m, k) = (self.shape().dims()[0], self.shape().dims()[1], self.shape().dims()[2]);
+        let (b2, n, k2) = (rhs.shape().dims()[0], rhs.shape().dims()[1], rhs.shape().dims()[2]);
+        assert_eq!(b, b2, "bmm_nt batch dims: {} vs {}", b, b2);
+        assert_eq!(k, k2, "bmm_nt inner dims: {} vs {}", k, k2);
+
+        if embsr_obs::metrics::enabled() {
+            embsr_obs::metrics::counter("tensor.matmul_flops").add((2 * b * m * k * n) as u64);
+        }
+        let mut out = pool::take_zeroed(b * m * n);
+        {
+            let lhs = self.data();
+            let rhsd = rhs.data();
+            for bi in 0..b {
+                gemm_abt(
+                    &lhs[bi * m * k..(bi + 1) * m * k],
+                    &rhsd[bi * n * k..(bi + 1) * n * k],
+                    &mut out[bi * m * n..(bi + 1) * m * n],
+                    m,
+                    k,
+                    n,
+                );
+            }
+        }
+
+        let lhs_t = self.clone();
+        let rhs_t = rhs.clone();
+        Tensor::from_op(
+            out,
+            Shape::new(&[b, m, n]),
+            vec![self.clone(), rhs.clone()],
+            "bmm_nt",
+            Box::new(move |grad| {
+                // C[b] = A[b]·B[b]ᵀ ⇒ dA[b] = dC[b]·B[b] ; dB[b] = dC[b]ᵀ·A[b]
+                if lhs_t.is_grad() {
+                    let mut da = pool::take_zeroed(b * m * k);
+                    let rd = rhs_t.data();
+                    for bi in 0..b {
+                        gemm_ab(
+                            &grad[bi * m * n..(bi + 1) * m * n],
+                            &rd[bi * n * k..(bi + 1) * n * k],
+                            &mut da[bi * m * k..(bi + 1) * m * k],
+                            m,
+                            n,
+                            k,
+                        );
+                    }
+                    drop(rd);
+                    lhs_t.accumulate_grad_owned(da);
+                }
+                if rhs_t.is_grad() {
+                    let mut db = pool::take_zeroed(b * n * k);
+                    let ld = lhs_t.data();
+                    for bi in 0..b {
+                        gemm_atb(
+                            &grad[bi * m * n..(bi + 1) * m * n],
+                            &ld[bi * m * k..(bi + 1) * m * k],
+                            &mut db[bi * n * k..(bi + 1) * n * k],
+                            m,
+                            n,
+                            k,
+                        );
+                    }
+                    drop(ld);
+                    rhs_t.accumulate_grad_owned(db);
+                }
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::{assert_close, check_gradient};
+    use crate::Rng;
+
+    fn rand_vec(rng: &mut Rng, n: usize) -> Vec<f32> {
+        (0..n).map(|_| rng.uniform_range(-1.0, 1.0)).collect()
+    }
+
+    #[test]
+    fn gemm_ab_matches_reference_bitwise() {
+        let mut rng = Rng::seed_from_u64(42);
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (4, 8, 8), (5, 9, 11), (13, 32, 17)] {
+            let a = rand_vec(&mut rng, m * k);
+            let b = rand_vec(&mut rng, k * n);
+            let mut packed = vec![0.0; m * n];
+            let mut reference = vec![0.0; m * n];
+            gemm_ab(&a, &b, &mut packed, m, k, n);
+            reference_gemm_ab(&a, &b, &mut reference, m, k, n);
+            let pb: Vec<u32> = packed.iter().map(|x| x.to_bits()).collect();
+            let rb: Vec<u32> = reference.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(pb, rb, "gemm_ab diverged at ({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn bmm_matches_per_batch_matmul() {
+        let mut rng = Rng::seed_from_u64(7);
+        let (b, m, k, n) = (3, 4, 5, 6);
+        let a = Tensor::from_vec(rand_vec(&mut rng, b * m * k), &[b, m, k]);
+        let w = Tensor::from_vec(rand_vec(&mut rng, b * k * n), &[b, k, n]);
+        let out = a.bmm(&w);
+        assert_eq!(out.shape().dims(), &[b, m, n]);
+        let ad = a.data();
+        let wd = w.data();
+        for bi in 0..b {
+            let am = Tensor::from_vec(ad[bi * m * k..(bi + 1) * m * k].to_vec(), &[m, k]);
+            let wm = Tensor::from_vec(wd[bi * k * n..(bi + 1) * k * n].to_vec(), &[k, n]);
+            let expect = am.matmul(&wm);
+            assert_close(
+                &out.to_vec()[bi * m * n..(bi + 1) * m * n],
+                &expect.to_vec(),
+                0.0,
+            );
+        }
+    }
+
+    #[test]
+    fn bmm_nt_matches_manual_transpose() {
+        let mut rng = Rng::seed_from_u64(11);
+        let (b, m, k, n) = (2, 3, 4, 5);
+        let a = Tensor::from_vec(rand_vec(&mut rng, b * m * k), &[b, m, k]);
+        let w = Tensor::from_vec(rand_vec(&mut rng, b * n * k), &[b, n, k]);
+        let out = a.bmm_nt(&w);
+        let ad = a.data();
+        let wd = w.data();
+        for bi in 0..b {
+            let am = Tensor::from_vec(ad[bi * m * k..(bi + 1) * m * k].to_vec(), &[m, k]);
+            let wm = Tensor::from_vec(wd[bi * n * k..(bi + 1) * n * k].to_vec(), &[n, k]);
+            let expect = am.matmul(&wm.transpose());
+            assert_close(
+                &out.to_vec()[bi * m * n..(bi + 1) * m * n],
+                &expect.to_vec(),
+                1e-6,
+            );
+        }
+    }
+
+    #[test]
+    fn bmm_gradcheck_both_sides() {
+        let mut rng = Rng::seed_from_u64(1337);
+        let (b, m, k, n) = (2, 2, 3, 2);
+        let lhs = Tensor::from_vec(rand_vec(&mut rng, b * m * k), &[b, m, k]).requires_grad();
+        let fixed_r = Tensor::from_vec(rand_vec(&mut rng, b * k * n), &[b, k, n]);
+        check_gradient(&lhs, |x| x.bmm(&fixed_r).sum(), 1e-3, 1e-2);
+
+        let rhs = Tensor::from_vec(rand_vec(&mut rng, b * k * n), &[b, k, n]).requires_grad();
+        let fixed_l = Tensor::from_vec(rand_vec(&mut rng, b * m * k), &[b, m, k]);
+        check_gradient(&rhs, |x| fixed_l.bmm(x).sum(), 1e-3, 1e-2);
+    }
+
+    #[test]
+    fn bmm_nt_gradcheck_both_sides() {
+        let mut rng = Rng::seed_from_u64(1337);
+        let (b, m, k, n) = (2, 3, 2, 2);
+        let lhs = Tensor::from_vec(rand_vec(&mut rng, b * m * k), &[b, m, k]).requires_grad();
+        let fixed_r = Tensor::from_vec(rand_vec(&mut rng, b * n * k), &[b, n, k]);
+        check_gradient(&lhs, |x| x.bmm_nt(&fixed_r).sum(), 1e-3, 1e-2);
+
+        let rhs = Tensor::from_vec(rand_vec(&mut rng, b * n * k), &[b, n, k]).requires_grad();
+        let fixed_l = Tensor::from_vec(rand_vec(&mut rng, b * m * k), &[b, m, k]);
+        check_gradient(&rhs, |x| fixed_l.bmm_nt(x).sum(), 1e-3, 1e-2);
+    }
+}

@@ -2,6 +2,7 @@
 //! candidate items (eq. 20), on top of the normalized-and-scaled logits of
 //! eq. 19.
 
+use crate::pool;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
@@ -19,7 +20,7 @@ impl Tensor {
         let (rows, cols) = self.shape().as_matrix();
         assert_eq!(targets.len(), rows, "one target per logits row");
         let d = self.data();
-        let mut probs = vec![0.0; rows * cols];
+        let mut probs = pool::take_zeroed(rows * cols);
         let mut loss = 0.0;
         for r in 0..rows {
             let row = &d[r * cols..(r + 1) * cols];
@@ -40,23 +41,24 @@ impl Tensor {
         loss /= rows as f32;
 
         let parent = self.clone();
+        let probs = pool::guard(probs);
         let tg: Vec<usize> = targets.to_vec();
         Tensor::from_op(
-            vec![loss],
+            pool::take_from_iter(1, std::iter::once(loss)),
             Shape::scalar(),
             vec![self.clone()],
             "cross_entropy",
             Box::new(move |grad| {
                 if parent.is_grad() {
                     let scale = grad[0] / rows as f32;
-                    let mut g = probs.clone();
+                    let mut g = pool::take_copy(&probs);
                     for (r, &t) in tg.iter().enumerate() {
                         g[r * cols + t] -= 1.0;
                     }
                     for v in &mut g {
                         *v *= scale;
                     }
-                    parent.accumulate_grad(&g);
+                    parent.accumulate_grad_owned(g);
                 }
             }),
         )

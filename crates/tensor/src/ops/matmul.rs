@@ -1,65 +1,17 @@
 //! Dense matrix multiplication and transposition.
 //!
-//! The inner loops are written in `ikj` order over contiguous rows so the
-//! compiler can vectorize them; at the `d ≤ 128` scales used by the
-//! experiments this is comfortably fast without blocking or SIMD intrinsics.
+//! The actual arithmetic lives in [`crate::ops::kernels`]: all three product
+//! layouts (`A·B` forward, `A·Bᵀ` / `Aᵀ·B` backward) dispatch to the packed,
+//! register-tiled micro-kernels there. The old naive `ikj` loops — and their
+//! branchy `av == 0.0` skips, which defeated vectorization on dense
+//! activations — are gone; one-hot and gather-style inputs never reach dense
+//! matmul in this codebase (embedding lookups use the dedicated
+//! `gather_rows` indexed path), so no sparse fallback is kept.
 
+use super::kernels::{gemm_ab, gemm_abt, gemm_atb};
+use crate::pool;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
-
-/// `C[m,n] = A[m,k] · B[k,n]`, accumulating into `out` (which must be zeroed
-/// by the caller when accumulation is not wanted).
-pub(crate) fn matmul_acc(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(out.len(), m * n);
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        let crow = &mut out[i * n..(i + 1) * n];
-        for (p, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &b[p * n..(p + 1) * n];
-            for (c, &bv) in crow.iter_mut().zip(brow.iter()) {
-                *c += av * bv;
-            }
-        }
-    }
-}
-
-/// `C[m,n] = A^T[m,k_rows] · B` where `a` is stored as `[k, m]`.
-fn matmul_at_b(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize, n: usize) {
-    // out[i, j] = sum_p a[p, i] * b[p, j]
-    for p in 0..k {
-        let arow = &a[p * m..(p + 1) * m];
-        let brow = &b[p * n..(p + 1) * n];
-        for (i, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let crow = &mut out[i * n..(i + 1) * n];
-            for (c, &bv) in crow.iter_mut().zip(brow.iter()) {
-                *c += av * bv;
-            }
-        }
-    }
-}
-
-/// `C[m,k] = A[m,n] · B^T` where `b` is stored as `[k, n]`.
-fn matmul_a_bt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, n: usize, k: usize) {
-    for i in 0..m {
-        let arow = &a[i * n..(i + 1) * n];
-        for j in 0..k {
-            let brow = &b[j * n..(j + 1) * n];
-            let mut acc = 0.0;
-            for (&x, &y) in arow.iter().zip(brow.iter()) {
-                acc += x * y;
-            }
-            out[i * k + j] = acc;
-        }
-    }
-}
 
 impl Tensor {
     /// Matrix product. Rank-1 operands are treated as `[1, d]` rows on the
@@ -78,8 +30,8 @@ impl Tensor {
         if embsr_obs::metrics::enabled() {
             embsr_obs::metrics::counter("tensor.matmul_flops").add((2 * m * k * n) as u64);
         }
-        let mut out = vec![0.0; m * n];
-        matmul_acc(&self.data(), &rhs.data(), &mut out, m, k, n);
+        let mut out = pool::take_zeroed(m * n);
+        gemm_ab(&self.data(), &rhs.data(), &mut out, m, k, n);
 
         let lhs_t = self.clone();
         let rhs_t = rhs.clone();
@@ -91,14 +43,14 @@ impl Tensor {
             Box::new(move |grad| {
                 // dA = dC · B^T ; dB = A^T · dC
                 if lhs_t.is_grad() {
-                    let mut da = vec![0.0; m * k];
-                    matmul_a_bt(grad, &rhs_t.data(), &mut da, m, n, k);
-                    lhs_t.accumulate_grad(&da);
+                    let mut da = pool::take_zeroed(m * k);
+                    gemm_abt(grad, &rhs_t.data(), &mut da, m, n, k);
+                    lhs_t.accumulate_grad_owned(da);
                 }
                 if rhs_t.is_grad() {
-                    let mut db = vec![0.0; k * n];
-                    matmul_at_b(&lhs_t.data(), grad, &mut db, m, k, n);
-                    rhs_t.accumulate_grad(&db);
+                    let mut db = pool::take_zeroed(k * n);
+                    gemm_atb(&lhs_t.data(), grad, &mut db, m, k, n);
+                    rhs_t.accumulate_grad_owned(db);
                 }
             }),
         )
@@ -109,7 +61,7 @@ impl Tensor {
         assert_eq!(self.shape().rank(), 2, "transpose needs rank 2");
         let (m, n) = self.shape().as_matrix();
         let d = self.data();
-        let mut out = vec![0.0; m * n];
+        let mut out = pool::take_zeroed(m * n);
         for i in 0..m {
             for j in 0..n {
                 out[j * m + i] = d[i * n + j];
@@ -124,13 +76,13 @@ impl Tensor {
             "transpose",
             Box::new(move |grad| {
                 if parent.is_grad() {
-                    let mut g = vec![0.0; m * n];
+                    let mut g = pool::take_zeroed(m * n);
                     for j in 0..n {
                         for i in 0..m {
                             g[i * n + j] = grad[j * m + i];
                         }
                     }
-                    parent.accumulate_grad(&g);
+                    parent.accumulate_grad_owned(g);
                 }
             }),
         )

@@ -5,6 +5,10 @@ mod activation;
 mod arith;
 mod extras;
 mod index;
+/// Packed GEMM micro-kernels, their scalar reference implementations, and the
+/// batched matmul entry points (public so benches and property tests can call
+/// the kernels directly).
+pub mod kernels;
 mod loss;
 mod matmul;
 mod norm;

@@ -1,6 +1,7 @@
 //! Normalizations: row-wise softmax, layer normalization and L2
 //! normalization (eq. 15, 19 of the paper and the attention block's LN).
 
+use crate::pool;
 use crate::tensor::Tensor;
 
 impl Tensor {
@@ -9,7 +10,7 @@ impl Tensor {
     pub fn softmax_rows(&self) -> Tensor {
         let (rows, cols) = self.shape().as_matrix();
         let d = self.data();
-        let mut out = vec![0.0; rows * cols];
+        let mut out = pool::take_zeroed(rows * cols);
         for r in 0..rows {
             let row = &d[r * cols..(r + 1) * cols];
             let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
@@ -23,7 +24,7 @@ impl Tensor {
             }
         }
         drop(d);
-        let saved = out.clone();
+        let saved = pool::guard_copy(&out);
         let parent = self.clone();
         Tensor::from_op(
             out,
@@ -33,7 +34,7 @@ impl Tensor {
             Box::new(move |grad| {
                 if parent.is_grad() {
                     // dx_i = y_i * (g_i - sum_j g_j y_j), per row.
-                    let mut g = vec![0.0; rows * cols];
+                    let mut g = pool::take_zeroed(rows * cols);
                     for r in 0..rows {
                         let y = &saved[r * cols..(r + 1) * cols];
                         let go = &grad[r * cols..(r + 1) * cols];
@@ -42,7 +43,7 @@ impl Tensor {
                             g[r * cols + c] = y[c] * (go[c] - dot);
                         }
                     }
-                    parent.accumulate_grad(&g);
+                    parent.accumulate_grad_owned(g);
                 }
             }),
         )
@@ -53,7 +54,7 @@ impl Tensor {
     pub fn log_softmax_rows(&self) -> Tensor {
         let (rows, cols) = self.shape().as_matrix();
         let d = self.data();
-        let mut out = vec![0.0; rows * cols];
+        let mut out = pool::take_zeroed(rows * cols);
         for r in 0..rows {
             let row = &d[r * cols..(r + 1) * cols];
             let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
@@ -63,7 +64,7 @@ impl Tensor {
             }
         }
         drop(d);
-        let saved = out.clone();
+        let saved = pool::guard_copy(&out);
         let parent = self.clone();
         Tensor::from_op(
             out,
@@ -73,7 +74,7 @@ impl Tensor {
             Box::new(move |grad| {
                 if parent.is_grad() {
                     // dx = g - softmax(x) * sum(g), per row.
-                    let mut g = vec![0.0; rows * cols];
+                    let mut g = pool::take_zeroed(rows * cols);
                     for r in 0..rows {
                         let ls = &saved[r * cols..(r + 1) * cols];
                         let go = &grad[r * cols..(r + 1) * cols];
@@ -82,7 +83,7 @@ impl Tensor {
                             g[r * cols + c] = go[c] - ls[c].exp() * gsum;
                         }
                     }
-                    parent.accumulate_grad(&g);
+                    parent.accumulate_grad_owned(g);
                 }
             }),
         )
@@ -93,8 +94,8 @@ impl Tensor {
     pub fn layer_norm_rows(&self, eps: f32) -> Tensor {
         let (rows, cols) = self.shape().as_matrix();
         let d = self.data();
-        let mut out = vec![0.0; rows * cols];
-        let mut inv_stds = vec![0.0; rows];
+        let mut out = pool::take_zeroed(rows * cols);
+        let mut inv_stds = pool::take_zeroed(rows);
         for r in 0..rows {
             let row = &d[r * cols..(r + 1) * cols];
             let mean = row.iter().sum::<f32>() / cols as f32;
@@ -106,7 +107,8 @@ impl Tensor {
             }
         }
         drop(d);
-        let saved_y = out.clone();
+        let saved_y = pool::guard_copy(&out);
+        let inv_stds = pool::guard(inv_stds);
         let parent = self.clone();
         Tensor::from_op(
             out,
@@ -117,7 +119,7 @@ impl Tensor {
                 if parent.is_grad() {
                     // dx = inv_std / N * (N*g - sum(g) - y * sum(g*y))
                     let n = cols as f32;
-                    let mut g = vec![0.0; rows * cols];
+                    let mut g = pool::take_zeroed(rows * cols);
                     for r in 0..rows {
                         let y = &saved_y[r * cols..(r + 1) * cols];
                         let go = &grad[r * cols..(r + 1) * cols];
@@ -128,7 +130,7 @@ impl Tensor {
                             g[r * cols + c] = s * (n * go[c] - sum_g - y[c] * sum_gy);
                         }
                     }
-                    parent.accumulate_grad(&g);
+                    parent.accumulate_grad_owned(g);
                 }
             }),
         )
@@ -139,8 +141,8 @@ impl Tensor {
     pub fn l2_normalize_rows(&self, eps: f32) -> Tensor {
         let (rows, cols) = self.shape().as_matrix();
         let d = self.data();
-        let mut out = vec![0.0; rows * cols];
-        let mut norms = vec![0.0; rows];
+        let mut out = pool::take_zeroed(rows * cols);
+        let mut norms = pool::take_zeroed(rows);
         for r in 0..rows {
             let row = &d[r * cols..(r + 1) * cols];
             let norm = row.iter().map(|&x| x * x).sum::<f32>().sqrt().max(eps);
@@ -150,7 +152,8 @@ impl Tensor {
             }
         }
         drop(d);
-        let saved_y = out.clone();
+        let saved_y = pool::guard_copy(&out);
+        let norms = pool::guard(norms);
         let parent = self.clone();
         Tensor::from_op(
             out,
@@ -160,7 +163,7 @@ impl Tensor {
             Box::new(move |grad| {
                 if parent.is_grad() {
                     // dx = (g - y * (g·y)) / ‖x‖
-                    let mut g = vec![0.0; rows * cols];
+                    let mut g = pool::take_zeroed(rows * cols);
                     for r in 0..rows {
                         let y = &saved_y[r * cols..(r + 1) * cols];
                         let go = &grad[r * cols..(r + 1) * cols];
@@ -169,7 +172,7 @@ impl Tensor {
                             g[r * cols + c] = (go[c] - y[c] * dot) / norms[r];
                         }
                     }
-                    parent.accumulate_grad(&g);
+                    parent.accumulate_grad_owned(g);
                 }
             }),
         )

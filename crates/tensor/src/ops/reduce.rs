@@ -1,5 +1,6 @@
 //! Reductions: sums and means, whole-tensor and per-axis.
 
+use crate::pool;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
@@ -10,13 +11,15 @@ impl Tensor {
         let parent = self.clone();
         let n = self.len();
         Tensor::from_op(
-            vec![s],
+            pool::take_from_iter(1, std::iter::once(s)),
             Shape::scalar(),
             vec![self.clone()],
             "sum",
             Box::new(move |grad| {
                 if parent.is_grad() {
-                    parent.accumulate_grad(&vec![grad[0]; n]);
+                    let mut g = pool::take_reserve(n);
+                    g.resize(n, grad[0]);
+                    parent.accumulate_grad_owned(g);
                 }
             }),
         )
@@ -36,7 +39,7 @@ impl Tensor {
         let (rows, cols) = self.shape().as_matrix();
         assert!(rows > 0, "mean_rows on empty tensor");
         let d = self.data();
-        let mut out = vec![0.0; cols];
+        let mut out = pool::take_zeroed(cols);
         for r in 0..rows {
             for c in 0..cols {
                 out[c] += d[r * cols + c];
@@ -56,13 +59,13 @@ impl Tensor {
             Box::new(move |grad| {
                 if parent.is_grad() {
                     let inv = 1.0 / rows as f32;
-                    let mut g = vec![0.0; rows * cols];
+                    let mut g = pool::take_zeroed(rows * cols);
                     for r in 0..rows {
                         for c in 0..cols {
                             g[r * cols + c] = grad[c] * inv;
                         }
                     }
-                    parent.accumulate_grad(&g);
+                    parent.accumulate_grad_owned(g);
                 }
             }),
         )
@@ -72,9 +75,10 @@ impl Tensor {
     pub fn sum_cols(&self) -> Tensor {
         let (rows, cols) = self.shape().as_matrix();
         let d = self.data();
-        let out: Vec<f32> = (0..rows)
-            .map(|r| d[r * cols..(r + 1) * cols].iter().sum())
-            .collect();
+        let out = pool::take_from_iter(
+            rows,
+            (0..rows).map(|r| d[r * cols..(r + 1) * cols].iter().sum()),
+        );
         drop(d);
         let parent = self.clone();
         Tensor::from_op(
@@ -84,13 +88,13 @@ impl Tensor {
             "sum_cols",
             Box::new(move |grad| {
                 if parent.is_grad() {
-                    let mut g = vec![0.0; rows * cols];
+                    let mut g = pool::take_zeroed(rows * cols);
                     for r in 0..rows {
                         for c in 0..cols {
                             g[r * cols + c] = grad[r];
                         }
                     }
-                    parent.accumulate_grad(&g);
+                    parent.accumulate_grad_owned(g);
                 }
             }),
         )

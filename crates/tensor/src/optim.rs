@@ -162,14 +162,20 @@ impl Optimizer for Adam {
         let bc1 = 1.0 - cfg.beta1.powi(self.t as i32);
         let bc2 = 1.0 - cfg.beta2.powi(self.t as i32);
         for p in &self.params {
-            let Some(grad) = p.grad() else { continue };
+            // Borrow the gradient and mutate the data in place: the update
+            // used to clone both and build a `delta` vec every step, which
+            // dominated steady-state allocations. The arithmetic is the same
+            // expression tree, so updates are bitwise-identical.
+            let grad_slot = p.inner.grad.borrow();
+            let Some(grad) = grad_slot.as_ref() else {
+                continue;
+            };
             let n = grad.len();
             let st = self.state.entry(p.id()).or_insert_with(|| AdamState {
                 m: vec![0.0; n],
                 v: vec![0.0; n],
             });
-            let data = p.to_vec();
-            let mut delta = vec![0.0; n];
+            let mut data = p.inner.data.borrow_mut();
             for i in 0..n {
                 let mut g = grad[i];
                 if cfg.weight_decay > 0.0 {
@@ -179,9 +185,8 @@ impl Optimizer for Adam {
                 st.v[i] = cfg.beta2 * st.v[i] + (1.0 - cfg.beta2) * g * g;
                 let m_hat = st.m[i] / bc1;
                 let v_hat = st.v[i] / bc2;
-                delta[i] = m_hat / (v_hat.sqrt() + cfg.eps);
+                data[i] -= cfg.lr * (m_hat / (v_hat.sqrt() + cfg.eps));
             }
-            p.apply_update(&delta, cfg.lr);
         }
     }
 
@@ -208,8 +213,11 @@ impl Sgd {
 impl Optimizer for Sgd {
     fn step(&mut self) {
         for p in &self.params {
-            if let Some(g) = p.grad() {
-                p.apply_update(&g, self.lr);
+            // Shared borrow instead of a clone; data and grad live in
+            // separate cells so the in-place update is safe.
+            let slot = p.inner.grad.borrow();
+            if let Some(g) = slot.as_ref() {
+                p.apply_update(g, self.lr);
             }
         }
     }
@@ -226,7 +234,7 @@ impl Optimizer for Sgd {
 pub fn clip_grad_norm(params: &[Tensor], max_norm: f32) -> f32 {
     let mut total = 0.0f32;
     for p in params {
-        if let Some(g) = p.grad() {
+        if let Some(g) = p.inner.grad.borrow().as_ref() {
             total += g.iter().map(|&x| x * x).sum::<f32>();
         }
     }
@@ -234,13 +242,12 @@ pub fn clip_grad_norm(params: &[Tensor], max_norm: f32) -> f32 {
     if norm > max_norm && norm > 0.0 {
         let scale = max_norm / norm;
         for p in params {
-            if let Some(mut g) = p.grad() {
-                for x in &mut g {
+            // Scale in place: the clone + zero + re-accumulate round trip
+            // allocated two buffers per clipped parameter per step.
+            if let Some(g) = p.inner.grad.borrow_mut().as_mut() {
+                for x in g.iter_mut() {
                     *x *= scale;
                 }
-                p.zero_grad();
-                // re-set the scaled gradient
-                p.accumulate_grad_public(&g);
             }
         }
     }

@@ -1,0 +1,315 @@
+//! Thread-local buffer pool: a size-bucketed free-list of `Vec<f32>` scratch
+//! and storage buffers, recycled across autograd tapes.
+//!
+//! Every op on the tape used to allocate fresh `Vec<f32>`s for its forward
+//! output and backward gradient buffers, so each training batch churned the
+//! allocator with the *same* multiset of sizes as the batch before it. The
+//! pool closes that loop: [`take_zeroed`]/[`take_reserve`]/[`take_copy`] hand
+//! out recycled buffers, and dropping a tensor node (see the `Drop` impl on
+//! the tensor `Inner`) returns its data and gradient buffers via [`give`].
+//! After a one-batch warmup, steady-state training performs **zero** fresh
+//! kernel-buffer allocations (asserted by `tests/alloc_steady_state.rs`).
+//!
+//! The pool is thread-local, so the data-parallel trainer's worker replicas
+//! never contend on it and recycling stays lock-free. Buffers are bucketed by
+//! capacity rounded up to a power of two; each bucket retains at most
+//! [`MAX_BUCKET_BYTES`] worth of buffers (with per-bucket count clamps) and
+//! buffers above [`MAX_POOLED_LEN`] floats are never pooled, so the cache
+//! stays bounded while deep graphs — which hold many same-size per-step
+//! buffers live at once — still recycle fully.
+//!
+//! Counters (hits, misses, bytes reused, fresh allocations) are kept in plain
+//! thread-local fields — reading them costs nothing and tests can assert on
+//! them without cross-test interference — and are mirrored into the
+//! `embsr_obs` metrics registry (`tensor.pool_hits`, `tensor.pool_misses`,
+//! `tensor.pool_bytes_reused`, `tensor.alloc_count`, `tensor.alloc_bytes`)
+//! when metrics are enabled.
+
+use std::cell::RefCell;
+
+/// Byte budget per size bucket: the buffer count cap for a bucket is this
+/// budget divided by the bucket's buffer size, so a training graph can
+/// recycle thousands of small per-step buffers while only a handful of
+/// large ones are retained.
+const MAX_BUCKET_BYTES: usize = 1 << 23; // 8 MiB
+
+/// Floor and ceiling on the per-bucket buffer count derived from
+/// [`MAX_BUCKET_BYTES`].
+const MIN_PER_BUCKET: usize = 4;
+const MAX_PER_BUCKET: usize = 4096;
+
+/// Buffers longer than this (in `f32` elements, 64 MiB) bypass the pool.
+const MAX_POOLED_LEN: usize = 1 << 24;
+
+/// Number of power-of-two capacity classes (`2^0 ..= 2^24`).
+const BUCKETS: usize = 25;
+
+/// Retention cap for one bucket: byte budget over buffer size, clamped.
+fn bucket_cap(bucket: usize) -> usize {
+    let bytes_per_buf = std::mem::size_of::<f32>() << bucket;
+    (MAX_BUCKET_BYTES / bytes_per_buf).clamp(MIN_PER_BUCKET, MAX_PER_BUCKET)
+}
+
+/// Point-in-time view of the calling thread's pool counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Buffer requests served from the free-list.
+    pub hits: u64,
+    /// Buffer requests that fell through to a fresh heap allocation.
+    pub misses: u64,
+    /// Total bytes handed out from recycled buffers.
+    pub bytes_reused: u64,
+    /// Fresh heap allocations performed (== misses plus oversize requests).
+    pub alloc_count: u64,
+    /// Total bytes freshly allocated.
+    pub alloc_bytes: u64,
+}
+
+struct BufferPool {
+    buckets: [Vec<Vec<f32>>; BUCKETS],
+    stats: PoolStats,
+}
+
+impl BufferPool {
+    fn new() -> Self {
+        BufferPool {
+            buckets: [const { Vec::new() }; BUCKETS],
+            stats: PoolStats::default(),
+        }
+    }
+}
+
+thread_local! {
+    static POOL: RefCell<BufferPool> = RefCell::new(BufferPool::new());
+}
+
+/// Bucket index for a capacity: the power-of-two class that holds `len`.
+fn bucket_of(len: usize) -> usize {
+    len.max(1).next_power_of_two().trailing_zeros() as usize
+}
+
+fn record_fresh(stats: &mut PoolStats, len: usize) {
+    stats.alloc_count += 1;
+    stats.alloc_bytes += (len * std::mem::size_of::<f32>()) as u64;
+    if embsr_obs::metrics::enabled() {
+        embsr_obs::metrics::counter("tensor.alloc_count").inc();
+        embsr_obs::metrics::counter("tensor.alloc_bytes")
+            .add((len * std::mem::size_of::<f32>()) as u64);
+    }
+}
+
+/// Acquires a buffer with `len` elements and unspecified contents beyond the
+/// stated fill. Internal workhorse for the `take_*` entry points.
+fn take_raw(len: usize) -> Vec<f32> {
+    if len > MAX_POOLED_LEN {
+        return POOL
+            .try_with(|p| {
+                record_fresh(&mut p.borrow_mut().stats, len);
+                Vec::with_capacity(len)
+            })
+            .unwrap_or_else(|_| Vec::with_capacity(len)); // TLS torn down
+    }
+    let bucket = bucket_of(len);
+    POOL.try_with(|p| {
+        let mut pool = p.borrow_mut();
+        if let Some(buf) = pool.buckets[bucket].pop() {
+            pool.stats.hits += 1;
+            pool.stats.bytes_reused += (len * std::mem::size_of::<f32>()) as u64;
+            if embsr_obs::metrics::enabled() {
+                embsr_obs::metrics::counter("tensor.pool_hits").inc();
+                embsr_obs::metrics::counter("tensor.pool_bytes_reused")
+                    .add((len * std::mem::size_of::<f32>()) as u64);
+            }
+            buf
+        } else {
+            pool.stats.misses += 1;
+            if embsr_obs::metrics::enabled() {
+                embsr_obs::metrics::counter("tensor.pool_misses").inc();
+            }
+            record_fresh(&mut pool.stats, 1 << bucket);
+            Vec::with_capacity(1 << bucket)
+        }
+    })
+    .unwrap_or_else(|_| Vec::with_capacity(len))
+}
+
+/// Acquires a zero-filled buffer of exactly `len` elements.
+pub(crate) fn take_zeroed(len: usize) -> Vec<f32> {
+    let mut buf = take_raw(len);
+    buf.clear();
+    buf.resize(len, 0.0);
+    buf
+}
+
+/// Acquires an empty buffer with capacity for at least `len` elements, for
+/// `extend`-style fills that never reallocate.
+pub(crate) fn take_reserve(len: usize) -> Vec<f32> {
+    let mut buf = take_raw(len);
+    buf.clear();
+    buf
+}
+
+/// Acquires a buffer holding a copy of `src`.
+pub(crate) fn take_copy(src: &[f32]) -> Vec<f32> {
+    let mut buf = take_raw(src.len());
+    buf.clear();
+    buf.extend_from_slice(src);
+    buf
+}
+
+/// Acquires a buffer filled from an iterator that yields exactly `len`
+/// elements — the pooled replacement for `iter.collect::<Vec<f32>>()`.
+pub(crate) fn take_from_iter(len: usize, iter: impl Iterator<Item = f32>) -> Vec<f32> {
+    let mut buf = take_raw(len);
+    buf.clear();
+    buf.extend(iter);
+    debug_assert_eq!(buf.len(), len, "take_from_iter length mismatch");
+    buf
+}
+
+/// RAII wrapper for a pooled buffer owned by a backward closure (saved
+/// activations, cached statistics). A plain `Vec` captured by a closure
+/// would be freed — not recycled — when the graph node drops its closure;
+/// the guard's `Drop` returns the buffer to the pool instead.
+pub(crate) struct Guard(Vec<f32>);
+
+/// Wraps a pooled buffer so its storage returns to the pool on drop.
+pub(crate) fn guard(buf: Vec<f32>) -> Guard {
+    Guard(buf)
+}
+
+/// Acquires a guarded copy of `src` (see [`Guard`]).
+pub(crate) fn guard_copy(src: &[f32]) -> Guard {
+    Guard(take_copy(src))
+}
+
+impl std::ops::Deref for Guard {
+    type Target = [f32];
+    fn deref(&self) -> &[f32] {
+        &self.0
+    }
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        give(std::mem::take(&mut self.0));
+    }
+}
+
+/// Returns a buffer to the calling thread's pool (or frees it when the
+/// bucket is full, the buffer is oversize, or thread-local state is gone).
+pub(crate) fn give(buf: Vec<f32>) {
+    let cap = buf.capacity();
+    if cap == 0 || cap > MAX_POOLED_LEN || !cap.is_power_of_two() {
+        return; // odd capacities (from_vec inputs, shrunk vecs) are not pooled
+    }
+    let bucket = bucket_of(cap);
+    let _ = POOL.try_with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.buckets[bucket].len() < bucket_cap(bucket) {
+            pool.buckets[bucket].push(buf);
+        }
+    });
+}
+
+/// Snapshot of the calling thread's pool counters.
+pub fn pool_stats() -> PoolStats {
+    POOL.try_with(|p| p.borrow().stats).unwrap_or_default()
+}
+
+/// Zeroes the calling thread's pool counters (cached buffers are kept).
+pub fn reset_pool_stats() {
+    let _ = POOL.try_with(|p| p.borrow_mut().stats = PoolStats::default());
+}
+
+/// Frees every cached buffer on the calling thread and zeroes the counters.
+pub fn clear_pool() {
+    let _ = POOL.try_with(|p| {
+        let mut pool = p.borrow_mut();
+        for b in &mut pool.buckets {
+            b.clear();
+        }
+        pool.stats = PoolStats::default();
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_reuses_buffer() {
+        clear_pool();
+        let a = take_zeroed(100);
+        assert_eq!(a.len(), 100);
+        assert_eq!(a.capacity(), 128);
+        give(a);
+        let before = pool_stats();
+        let b = take_zeroed(70); // same power-of-two class as 100
+        assert_eq!(b.len(), 70);
+        let after = pool_stats();
+        assert_eq!(after.hits, before.hits + 1);
+        assert_eq!(after.misses, before.misses);
+        give(b);
+        clear_pool();
+    }
+
+    #[test]
+    fn zeroed_buffers_are_zero_after_reuse() {
+        clear_pool();
+        let mut a = take_zeroed(16);
+        a.iter_mut().for_each(|x| *x = 7.0);
+        give(a);
+        let b = take_zeroed(16);
+        assert!(b.iter().all(|&x| x == 0.0));
+        clear_pool();
+    }
+
+    #[test]
+    fn reserve_has_capacity_and_copy_matches() {
+        clear_pool();
+        let r = take_reserve(33);
+        assert!(r.is_empty());
+        assert!(r.capacity() >= 33);
+        let c = take_copy(&[1.0, 2.0, 3.0]);
+        assert_eq!(c, vec![1.0, 2.0, 3.0]);
+        clear_pool();
+    }
+
+    #[test]
+    fn buckets_are_bounded() {
+        clear_pool();
+        let cap = bucket_cap(bucket_of(64));
+        for _ in 0..(cap + 10) {
+            give(Vec::with_capacity(64));
+        }
+        // Draining the bucket: at most `cap` hits, then misses.
+        reset_pool_stats();
+        for _ in 0..(cap + 10) {
+            let _ = take_raw(64);
+        }
+        let s = pool_stats();
+        assert_eq!(s.hits, cap as u64);
+        assert_eq!(s.misses, 10);
+        clear_pool();
+    }
+
+    #[test]
+    fn bucket_caps_scale_inversely_with_size() {
+        // Small buffers: cap hits the count ceiling; large buffers: the
+        // byte budget dominates; largest pooled class: the count floor.
+        assert_eq!(bucket_cap(0), MAX_PER_BUCKET);
+        assert_eq!(bucket_cap(15), MAX_BUCKET_BYTES / (4 << 15));
+        assert_eq!(bucket_cap(24), MIN_PER_BUCKET);
+    }
+
+    #[test]
+    fn odd_capacity_buffers_are_not_pooled() {
+        clear_pool();
+        give(Vec::with_capacity(100)); // 100 is not a power of two
+        reset_pool_stats();
+        let _ = take_raw(100);
+        assert_eq!(pool_stats().hits, 0);
+        clear_pool();
+    }
+}

@@ -31,6 +31,49 @@ pub(crate) struct Inner {
     pub(crate) backward: Option<BackwardFn>,
 }
 
+impl Drop for Inner {
+    /// Recycles the node's data and gradient buffers into the thread-local
+    /// [`crate::pool`]. This is how the buffer pool is threaded through the
+    /// autograd tape: when a batch's graph is released, every forward
+    /// activation and remaining grad buffer returns to the free-list, so the
+    /// next batch's ops allocate nothing fresh in steady state.
+    ///
+    /// Teardown is iterative: naively dropping `parents` (and the parent
+    /// handles captured by `backward` closures) would recurse once per graph
+    /// node and overflow the stack on deep chains. Instead, uniquely-owned
+    /// ancestors have their parents and closures stolen into an explicit
+    /// worklist. Closures are drained *before* the tensor handles they
+    /// capture, so a closure drop never releases the last handle of a node
+    /// that still has a populated parent list.
+    fn drop(&mut self) {
+        crate::pool::give(std::mem::take(self.data.get_mut()));
+        if let Some(g) = self.grad.get_mut().take() {
+            crate::pool::give(g);
+        }
+        if self.parents.is_empty() && self.backward.is_none() {
+            return;
+        }
+        let mut tensors: Vec<Tensor> = std::mem::take(&mut self.parents);
+        let mut fns: Vec<BackwardFn> = Vec::new();
+        if let Some(f) = self.backward.take() {
+            fns.push(f);
+        }
+        loop {
+            if let Some(f) = fns.pop() {
+                drop(f);
+                continue;
+            }
+            let Some(mut t) = tensors.pop() else { break };
+            if let Some(inner) = Rc::get_mut(&mut t.inner) {
+                tensors.append(&mut inner.parents);
+                if let Some(f) = inner.backward.take() {
+                    fns.push(f);
+                }
+            }
+        }
+    }
+}
+
 /// A dense `f32` tensor participating in reverse-mode autodiff.
 ///
 /// `Tensor` is a cheap `Rc` handle; cloning shares the underlying node.
@@ -107,11 +150,30 @@ impl Tensor {
     }
 
     pub(crate) fn leaf(data: Vec<f32>, shape: Shape, requires_grad: bool) -> Self {
+        // Leaf buffers arrive from outside the pool (user vecs, `vec![..]`
+        // constructors), so they are fresh heap allocations; count them under
+        // the same fresh-allocation counters the pool maintains for op-buffer
+        // misses. Leaves built from pooled buffers use [`Self::leaf_pooled`].
         if embsr_obs::metrics::enabled() {
             embsr_obs::metrics::counter("tensor.leaf_allocs").inc();
+            embsr_obs::metrics::counter("tensor.alloc_count").inc();
             embsr_obs::metrics::counter("tensor.alloc_bytes")
                 .add((data.len() * std::mem::size_of::<f32>()) as u64);
         }
+        Self::leaf_raw(data, shape, requires_grad)
+    }
+
+    /// Leaf constructor for buffers obtained from the [`crate::pool`]
+    /// (`detach`, masked softmax shifts): the pool already accounted for any
+    /// fresh allocation at miss time, so only the leaf counter advances.
+    pub(crate) fn leaf_pooled(data: Vec<f32>, shape: Shape, requires_grad: bool) -> Self {
+        if embsr_obs::metrics::enabled() {
+            embsr_obs::metrics::counter("tensor.leaf_allocs").inc();
+        }
+        Self::leaf_raw(data, shape, requires_grad)
+    }
+
+    fn leaf_raw(data: Vec<f32>, shape: Shape, requires_grad: bool) -> Self {
         Tensor {
             inner: Rc::new(Inner {
                 id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
@@ -139,10 +201,11 @@ impl Tensor {
         let requires_grad = parents.iter().any(|p| p.inner.requires_grad);
         // Single central dispatch point for op telemetry: one relaxed-atomic
         // load when telemetry is off, so the hot path stays effectively free.
+        // Fresh-allocation bytes are no longer counted here: op output
+        // buffers come from the pool, which records `tensor.alloc_count` /
+        // `tensor.alloc_bytes` only when a request misses the free-list.
         if embsr_obs::metrics::enabled() {
             embsr_obs::metrics::counter("tensor.ops_dispatched").inc();
-            embsr_obs::metrics::counter("tensor.alloc_bytes")
-                .add((data.len() * std::mem::size_of::<f32>()) as u64);
             if requires_grad {
                 embsr_obs::metrics::counter("tensor.graph_nodes_retained").inc();
             }
@@ -226,9 +289,11 @@ impl Tensor {
         self.inner.grad.borrow().clone()
     }
 
-    /// Clears the accumulated gradient.
+    /// Clears the accumulated gradient, recycling its buffer.
     pub fn zero_grad(&self) {
-        *self.inner.grad.borrow_mut() = None;
+        if let Some(g) = self.inner.grad.borrow_mut().take() {
+            crate::pool::give(g);
+        }
     }
 
     /// In-place SGD-style update `data -= lr * delta` used by optimizers.
@@ -287,7 +352,26 @@ impl Tensor {
                     *b += x;
                 }
             }
-            None => *slot = Some(g.to_vec()),
+            None => *slot = Some(crate::pool::take_copy(g)),
+        }
+    }
+
+    /// Accumulates an owned gradient buffer. When the slot is empty the
+    /// buffer is installed directly (no copy); otherwise it is added
+    /// elementwise and returned to the pool. Backward closures that build
+    /// their gradient in a pooled buffer use this so the buffer is never
+    /// dropped on the floor.
+    pub(crate) fn accumulate_grad_owned(&self, g: Vec<f32>) {
+        let mut slot = self.inner.grad.borrow_mut();
+        match slot.as_mut() {
+            Some(buf) => {
+                debug_assert_eq!(buf.len(), g.len());
+                for (b, x) in buf.iter_mut().zip(&g) {
+                    *b += x;
+                }
+                crate::pool::give(g);
+            }
+            None => *slot = Some(g),
         }
     }
 }

@@ -190,6 +190,30 @@ fn infer_shape(op: &str, parents: &[Shape], out: &Shape) -> Result<Option<Shape>
             }
             Ok(Some(Shape::new(&[m, n])))
         }
+        "bmm" | "bmm_nt" => {
+            if parents.len() != 2 {
+                return Err(format!("{op} expects 2 parents, tape has {}", parents.len()));
+            }
+            let (l, r) = (&parents[0], &parents[1]);
+            if l.rank() != 3 || r.rank() != 3 {
+                return Err(format!("{op} needs rank-3 operands, got {l} · {r}"));
+            }
+            let (ld, rd) = (l.dims(), r.dims());
+            if ld[0] != rd[0] {
+                return Err(format!("{op} batch dims disagree: {l} vs {r}"));
+            }
+            // bmm:    [b, m, k] · [b, k, n] -> [b, m, n]
+            // bmm_nt: [b, m, k] · [b, n, k] -> [b, m, n]
+            let (k_l, k_r, n) = if op == "bmm" {
+                (ld[2], rd[1], rd[2])
+            } else {
+                (ld[2], rd[2], rd[1])
+            };
+            if k_l != k_r {
+                return Err(format!("{op} inner dims disagree: {l} · {r}"));
+            }
+            Ok(Some(Shape::new(&[ld[0], ld[1], n])))
+        }
         "transpose" => {
             let p = parents.first().ok_or("transpose with no parent")?;
             if p.rank() != 2 {
@@ -957,6 +981,49 @@ pub fn gradcheck_specs() -> Vec<GradSpec> {
                     .sum()
             },
         },
+        // ---- kernels --------------------------------------------------
+        GradSpec {
+            name: "kernels::bmm_lhs",
+            file: "kernels",
+            dims: &[2, 3, 4],
+            lo: -1.0,
+            hi: 1.0,
+            eps: 1e-2,
+            tol: 1e-2,
+            // weighted sums go through a rank-2 reshape: elementwise ops
+            // (and their row-broadcast analysis) are defined on matrices
+            build: |x| x.bmm(&weights(&[2, 4, 2], 19)).reshape(&[6, 2]).mul(&w(&[6, 2])).sum(),
+        },
+        GradSpec {
+            name: "kernels::bmm_rhs",
+            file: "kernels",
+            dims: &[2, 4, 2],
+            lo: -1.0,
+            hi: 1.0,
+            eps: 1e-2,
+            tol: 1e-2,
+            build: |x| weights(&[2, 3, 4], 20).bmm(x).reshape(&[6, 2]).mul(&w(&[6, 2])).sum(),
+        },
+        GradSpec {
+            name: "kernels::bmm_nt_lhs",
+            file: "kernels",
+            dims: &[2, 3, 4],
+            lo: -1.0,
+            hi: 1.0,
+            eps: 1e-2,
+            tol: 1e-2,
+            build: |x| x.bmm_nt(&weights(&[2, 2, 4], 21)).reshape(&[6, 2]).mul(&w(&[6, 2])).sum(),
+        },
+        GradSpec {
+            name: "kernels::bmm_nt_rhs",
+            file: "kernels",
+            dims: &[2, 2, 4],
+            lo: -1.0,
+            hi: 1.0,
+            eps: 1e-2,
+            tol: 1e-2,
+            build: |x| weights(&[2, 3, 4], 22).bmm_nt(x).reshape(&[6, 2]).mul(&w(&[6, 2])).sum(),
+        },
         // ---- extras ---------------------------------------------------
         GradSpec {
             name: "extras::clamp_interior",
@@ -1147,6 +1214,7 @@ mod tests {
             "arith",
             "extras",
             "index",
+            "kernels",
             "loss",
             "matmul",
             "norm",
