@@ -7,7 +7,7 @@
 //! simplification documented in DESIGN.md; the bidirectional architecture is
 //! faithful).
 
-use embsr_nn::{Embedding, Ffn, Linear, Module};
+use embsr_nn::{Embedding, Ffn, Forward, Linear, Module, ModuleCtx};
 use embsr_sessions::Session;
 use embsr_tensor::{Rng, Tensor};
 use embsr_train::SessionModel;
@@ -54,11 +54,29 @@ impl Bert4Rec {
 
     fn block(&self, x: &Tensor) -> Tensor {
         let scale = 1.0 / (self.dim as f32).sqrt();
-        let q = self.query.forward(x);
-        let k = self.key.forward(x);
-        let v = self.value.forward(x);
+        let q = self.query.apply(x);
+        let k = self.key.apply(x);
+        let v = self.value.apply(x);
         let att = q.matmul(&k.transpose()).mul_scalar(scale).softmax_rows();
         att.matmul(&v).add(x) // residual
+    }
+
+    /// Hidden state at the appended `[MASK]` position (`[d]`).
+    fn session_repr(&self, session: &Session, training: bool, rng: &mut Rng) -> Tensor {
+        let mut idx: Vec<usize> = session.macro_items().iter().map(|&i| i as usize).collect();
+        assert!(!idx.is_empty(), "empty session");
+        if idx.len() > self.max_len {
+            idx.drain(..idx.len() - self.max_len);
+        }
+        idx.push(self.mask_id());
+        let n = idx.len();
+        let pos: Vec<usize> = (0..n).collect();
+        let mut ctx = ModuleCtx::new(training, rng);
+        let mut x = self.items.lookup(&idx).add(&self.positions.lookup(&pos));
+        for _ in 0..self.blocks {
+            x = self.ffn.forward(&self.block(&x), &mut ctx);
+        }
+        x.row(n - 1)
     }
 }
 
@@ -82,22 +100,21 @@ impl SessionModel for Bert4Rec {
     }
 
     fn logits(&self, session: &Session, training: bool, rng: &mut Rng) -> Tensor {
-        let mut idx: Vec<usize> = session.macro_items().iter().map(|&i| i as usize).collect();
-        assert!(!idx.is_empty(), "empty session");
-        if idx.len() > self.max_len {
-            idx.drain(..idx.len() - self.max_len);
-        }
-        idx.push(self.mask_id());
-        let n = idx.len();
-        let pos: Vec<usize> = (0..n).collect();
-        let mut x = self.items.lookup(&idx).add(&self.positions.lookup(&pos));
-        for _ in 0..self.blocks {
-            x = self.ffn.forward(&self.block(&x), training, rng);
-        }
-        let at_mask = x.row(n - 1);
         // score only real items (drop the mask row of the table)
         let real_items = self.items.weight.slice_rows(0, self.num_items);
-        DotScorer::logits(&at_mask, &real_items)
+        DotScorer::logits(&self.session_repr(session, training, rng), &real_items)
+    }
+
+    fn logits_batch(&self, sessions: &[&Session]) -> Tensor {
+        assert!(!sessions.is_empty(), "logits_batch of an empty batch");
+        let mut rng = Rng::seed_from_u64(0); // dropout is off: never drawn from
+        let reprs: Vec<Tensor> = sessions
+            .iter()
+            .map(|s| self.session_repr(s, false, &mut rng))
+            .collect();
+        // the mask-row slice is computed once and amortized across the batch
+        let real_items = self.items.weight.slice_rows(0, self.num_items);
+        DotScorer::logits_rows(&Tensor::stack_rows(&reprs), &real_items)
     }
 }
 

@@ -4,7 +4,7 @@
 
 use std::collections::HashMap;
 
-use embsr_nn::{GgnnCell, Linear, Module};
+use embsr_nn::{Forward, GgnnCell, Linear, Module};
 use embsr_sessions::{ItemId, Session};
 use embsr_tensor::{uniform_init, Rng, Tensor};
 
@@ -97,8 +97,8 @@ impl GnnEncoder {
     /// Encodes initial node embeddings `[c, d]` into contextualized ones.
     pub fn encode(&self, graph: &SessionDigraph, mut h: Tensor) -> Tensor {
         for _ in 0..self.layers {
-            let m_in = graph.a_in.matmul(&self.proj_in.forward(&h));
-            let m_out = graph.a_out.matmul(&self.proj_out.forward(&h));
+            let m_in = graph.a_in.matmul(&self.proj_in.apply(&h));
+            let m_out = graph.a_out.matmul(&self.proj_out.apply(&h));
             let a = m_in.concat_cols(&m_out);
             h = self.cell.update(&a, &h);
         }
@@ -140,14 +140,14 @@ impl AttentionReadout {
 
     /// Computes the session representation from per-step embeddings
     /// `[n, d]` and the last step's embedding `[d]`.
-    pub fn forward(&self, steps: &Tensor, last: &Tensor) -> Tensor {
+    pub fn readout(&self, steps: &Tensor, last: &Tensor) -> Tensor {
         let n = steps.rows();
         let last_rows = Tensor::ones(&[n, 1]).matmul(&last.reshape(&[1, self.dim]));
-        let act = self.w1.forward(&last_rows).add(&self.w2.forward(steps)).sigmoid();
+        let act = self.w1.apply(&last_rows).add(&self.w2.apply(steps)).sigmoid();
         let alpha = act.matmul(&self.q); // [n, 1]
         let alpha_full = alpha.matmul(&Tensor::ones(&[1, self.dim]));
         let s_g = alpha_full.mul(steps).mean_rows().mul_scalar(n as f32); // Σ α_i v_i
-        self.w3.forward(&last.concat_cols(&s_g))
+        self.w3.apply(&last.concat_cols(&s_g))
     }
 }
 
@@ -169,9 +169,16 @@ impl DotScorer {
     /// `logits[i] = m · emb_i`, shape `[|V|]`.
     pub fn logits(m: &Tensor, items: &Tensor) -> Tensor {
         let d = m.len();
-        m.reshape(&[1, d])
-            .matmul(&items.transpose())
-            .reshape(&[items.rows()])
+        Self::logits_rows(&m.reshape(&[1, d]), items).reshape(&[items.rows()])
+    }
+
+    /// Batched form: representations `ms` (`[B, d]`) against `items`
+    /// (`[|V|, d]`) in one GEMM, shape `[B, |V|]`. The transpose is
+    /// amortized across the batch; each row is bitwise-equal to the
+    /// single-session [`Self::logits`].
+    pub fn logits_rows(ms: &Tensor, items: &Tensor) -> Tensor {
+        assert_eq!(items.cols(), ms.cols(), "item table dim mismatch");
+        ms.matmul(&items.transpose())
     }
 }
 
@@ -234,7 +241,7 @@ mod tests {
         let r = AttentionReadout::new(4, &mut rng);
         let steps = uniform_init(&[5, 4], &mut rng).detach();
         let last = steps.row(4);
-        let s = r.forward(&steps, &last);
+        let s = r.readout(&steps, &last);
         assert_eq!(s.shape().dims(), &[4]);
     }
 

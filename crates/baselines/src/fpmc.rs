@@ -31,6 +31,15 @@ impl Fpmc {
             num_items,
         }
     }
+
+    /// The "from" factor of the session's last macro item (`[d]`).
+    fn session_repr(&self, session: &Session) -> Tensor {
+        let last = *session
+            .macro_items()
+            .last()
+            .expect("non-empty session") as usize;
+        self.from.lookup_one(last)
+    }
 }
 
 impl SessionModel for Fpmc {
@@ -49,12 +58,13 @@ impl SessionModel for Fpmc {
     }
 
     fn logits(&self, session: &Session, _training: bool, _rng: &mut Rng) -> Tensor {
-        let last = *session
-            .macro_items()
-            .last()
-            .expect("non-empty session") as usize;
-        let v = self.from.lookup_one(last);
-        DotScorer::logits(&v, &self.to.weight)
+        DotScorer::logits(&self.session_repr(session), &self.to.weight)
+    }
+
+    fn logits_batch(&self, sessions: &[&Session]) -> Tensor {
+        assert!(!sessions.is_empty(), "logits_batch of an empty batch");
+        let reprs: Vec<Tensor> = sessions.iter().map(|s| self.session_repr(s)).collect();
+        DotScorer::logits_rows(&Tensor::stack_rows(&reprs), &self.to.weight)
     }
 }
 

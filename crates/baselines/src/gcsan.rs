@@ -4,7 +4,7 @@
 //! standard self-attention blocks; the final representation interpolates the
 //! last attention output with the last GNN state by a weight ω.
 
-use embsr_nn::{Embedding, Ffn, Linear, Module};
+use embsr_nn::{Embedding, Ffn, Forward, Linear, Module, ModuleCtx};
 use embsr_sessions::Session;
 use embsr_tensor::{Rng, Tensor};
 use embsr_train::SessionModel;
@@ -47,11 +47,32 @@ impl GcSan {
 
     fn self_attention(&self, x: &Tensor) -> Tensor {
         let scale = 1.0 / (self.dim as f32).sqrt();
-        let q = self.query.forward(x);
-        let k = self.key.forward(x);
-        let v = self.value.forward(x);
+        let q = self.query.apply(x);
+        let k = self.key.apply(x);
+        let v = self.value.apply(x);
         let scores = q.matmul(&k.transpose()).mul_scalar(scale);
         scores.softmax_rows().matmul(&v)
+    }
+
+    /// ω-interpolated session representation (`[d]`).
+    fn session_repr(&self, session: &Session, training: bool, rng: &mut Rng) -> Tensor {
+        assert!(!session.is_empty(), "empty session");
+        let graph = SessionDigraph::from_session(session);
+        let idx: Vec<usize> = graph.nodes.iter().map(|&i| i as usize).collect();
+        let h = self.encoder.encode(&graph, self.items.lookup(&idx));
+        let steps = h.gather_rows(&graph.step_node); // [n, d]
+        let n = steps.rows();
+
+        let mut ctx = ModuleCtx::new(training, rng);
+        let mut e = steps.clone();
+        for _ in 0..self.blocks {
+            e = self.ffn.forward(&self.self_attention(&e), &mut ctx);
+        }
+        let att_last = e.row(n - 1);
+        let gnn_last = steps.row(n - 1);
+        att_last
+            .mul_scalar(self.omega)
+            .add(&gnn_last.mul_scalar(1.0 - self.omega))
     }
 }
 
@@ -75,23 +96,17 @@ impl SessionModel for GcSan {
     }
 
     fn logits(&self, session: &Session, training: bool, rng: &mut Rng) -> Tensor {
-        assert!(!session.is_empty(), "empty session");
-        let graph = SessionDigraph::from_session(session);
-        let idx: Vec<usize> = graph.nodes.iter().map(|&i| i as usize).collect();
-        let h = self.encoder.encode(&graph, self.items.lookup(&idx));
-        let steps = h.gather_rows(&graph.step_node); // [n, d]
-        let n = steps.rows();
+        DotScorer::logits(&self.session_repr(session, training, rng), &self.items.weight)
+    }
 
-        let mut e = steps.clone();
-        for _ in 0..self.blocks {
-            e = self.ffn.forward(&self.self_attention(&e), training, rng);
-        }
-        let att_last = e.row(n - 1);
-        let gnn_last = steps.row(n - 1);
-        let s = att_last
-            .mul_scalar(self.omega)
-            .add(&gnn_last.mul_scalar(1.0 - self.omega));
-        DotScorer::logits(&s, &self.items.weight)
+    fn logits_batch(&self, sessions: &[&Session]) -> Tensor {
+        assert!(!sessions.is_empty(), "logits_batch of an empty batch");
+        let mut rng = Rng::seed_from_u64(0); // dropout is off: never drawn from
+        let reprs: Vec<Tensor> = sessions
+            .iter()
+            .map(|s| self.session_repr(s, false, &mut rng))
+            .collect();
+        DotScorer::logits_rows(&Tensor::stack_rows(&reprs), &self.items.weight)
     }
 }
 

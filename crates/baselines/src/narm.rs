@@ -3,7 +3,7 @@
 //! global (attention-pooled) and local (last hidden) vectors, projected and
 //! scored bilinearly against item embeddings.
 
-use embsr_nn::{Dropout, Embedding, Gru, Linear, Module};
+use embsr_nn::{Dropout, Embedding, Forward, Gru, Linear, Module, ModuleCtx};
 use embsr_sessions::Session;
 use embsr_tensor::{uniform_init, Rng, Tensor};
 use embsr_train::SessionModel;
@@ -39,6 +39,33 @@ impl Narm {
             dim,
         }
     }
+
+    /// Projected `[c_global ; h_last]` session representation (`[d]`).
+    fn session_repr(&self, session: &Session, training: bool, rng: &mut Rng) -> Tensor {
+        let idx: Vec<usize> = session.macro_items().iter().map(|&i| i as usize).collect();
+        assert!(!idx.is_empty(), "empty session");
+        let n = idx.len();
+        let mut ctx = ModuleCtx::new(training, rng);
+        let embs = self.dropout.forward(&self.items.lookup(&idx), &mut ctx);
+        let hidden = self.gru.apply(&embs); // [n, d]
+        let h_last = hidden.row(n - 1); // [d]
+
+        // additive attention: α_j = vᵀ σ(W₁ h_last + W₂ h_j)
+        let last_rows = Tensor::ones(&[n, 1]).matmul(&h_last.reshape(&[1, self.dim]));
+        let act = self
+            .att_last
+            .apply(&last_rows)
+            .add(&self.att_hidden.apply(&hidden))
+            .sigmoid();
+        let alpha = act.matmul(&self.v); // [n, 1]
+        let alpha_full = alpha.matmul(&Tensor::ones(&[1, self.dim]));
+        let c_global = alpha_full.mul(&hidden).sum_rows(); // [d]
+
+        self.dropout.forward(
+            &self.project.apply(&c_global.concat_cols(&h_last)),
+            &mut ctx,
+        )
+    }
 }
 
 impl SessionModel for Narm {
@@ -61,30 +88,18 @@ impl SessionModel for Narm {
     }
 
     fn logits(&self, session: &Session, training: bool, rng: &mut Rng) -> Tensor {
-        let idx: Vec<usize> = session.macro_items().iter().map(|&i| i as usize).collect();
-        assert!(!idx.is_empty(), "empty session");
-        let n = idx.len();
-        let embs = self.dropout.forward(&self.items.lookup(&idx), training, rng);
-        let hidden = self.gru.forward_all(&embs); // [n, d]
-        let h_last = hidden.row(n - 1); // [d]
-
-        // additive attention: α_j = vᵀ σ(W₁ h_last + W₂ h_j)
-        let last_rows = Tensor::ones(&[n, 1]).matmul(&h_last.reshape(&[1, self.dim]));
-        let act = self
-            .att_last
-            .forward(&last_rows)
-            .add(&self.att_hidden.forward(&hidden))
-            .sigmoid();
-        let alpha = act.matmul(&self.v); // [n, 1]
-        let alpha_full = alpha.matmul(&Tensor::ones(&[1, self.dim]));
-        let c_global = alpha_full.mul(&hidden).sum_rows(); // [d]
-
-        let c = self.dropout.forward(
-            &self.project.forward(&c_global.concat_cols(&h_last)),
-            training,
-            rng,
-        );
+        let c = self.session_repr(session, training, rng);
         DotScorer::logits(&c, &self.items.weight)
+    }
+
+    fn logits_batch(&self, sessions: &[&Session]) -> Tensor {
+        assert!(!sessions.is_empty(), "logits_batch of an empty batch");
+        let mut rng = Rng::seed_from_u64(0); // dropout is off: never drawn from
+        let reprs: Vec<Tensor> = sessions
+            .iter()
+            .map(|s| self.session_repr(s, false, &mut rng))
+            .collect();
+        DotScorer::logits_rows(&Tensor::stack_rows(&reprs), &self.items.weight)
     }
 }
 

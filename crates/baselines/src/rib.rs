@@ -1,7 +1,7 @@
 //! RIB (Zhou et al., WSDM 2018): the first micro-behavior model — a GRU over
 //! `item ⊕ operation` embeddings with an attention pooling layer.
 
-use embsr_nn::{Embedding, Gru, Linear, Module};
+use embsr_nn::{Embedding, Forward, Gru, Linear, Module};
 use embsr_sessions::Session;
 use embsr_tensor::{uniform_init, Rng, Tensor};
 use embsr_train::SessionModel;
@@ -33,6 +33,21 @@ impl Rib {
             dim,
         }
     }
+
+    /// Attention-pooled GRU state over micro-behaviors (`[d]`).
+    fn session_repr(&self, session: &Session) -> Tensor {
+        assert!(!session.is_empty(), "empty session");
+        let items: Vec<usize> = session.events.iter().map(|e| e.item as usize).collect();
+        let ops: Vec<usize> = session.events.iter().map(|e| e.op as usize).collect();
+        let ev = self.items.lookup(&items);
+        let eo = self.ops.lookup(&ops);
+        let hidden = self.gru.apply(&ev.concat_cols(&eo)); // [t, d]
+
+        // attention pooling over hidden states
+        let act = self.att.apply(&hidden).tanh();
+        let alpha = act.matmul(&self.v).transpose().softmax_rows(); // [1, t]
+        alpha.matmul(&hidden).reshape(&[self.dim])
+    }
 }
 
 impl SessionModel for Rib {
@@ -54,18 +69,13 @@ impl SessionModel for Rib {
     }
 
     fn logits(&self, session: &Session, _training: bool, _rng: &mut Rng) -> Tensor {
-        assert!(!session.is_empty(), "empty session");
-        let items: Vec<usize> = session.events.iter().map(|e| e.item as usize).collect();
-        let ops: Vec<usize> = session.events.iter().map(|e| e.op as usize).collect();
-        let ev = self.items.lookup(&items);
-        let eo = self.ops.lookup(&ops);
-        let hidden = self.gru.forward_all(&ev.concat_cols(&eo)); // [t, d]
+        DotScorer::logits(&self.session_repr(session), &self.items.weight)
+    }
 
-        // attention pooling over hidden states
-        let act = self.att.forward(&hidden).tanh();
-        let alpha = act.matmul(&self.v).transpose().softmax_rows(); // [1, t]
-        let pooled = alpha.matmul(&hidden).reshape(&[self.dim]);
-        DotScorer::logits(&pooled, &self.items.weight)
+    fn logits_batch(&self, sessions: &[&Session]) -> Tensor {
+        assert!(!sessions.is_empty(), "logits_batch of an empty batch");
+        let reprs: Vec<Tensor> = sessions.iter().map(|s| self.session_repr(s)).collect();
+        DotScorer::logits_rows(&Tensor::stack_rows(&reprs), &self.items.weight)
     }
 }
 

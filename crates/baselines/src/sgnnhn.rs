@@ -7,8 +7,8 @@
 //! with the NISER-style normalized dot product (`w_k = 12`).
 
 use embsr_nn::{
-    Dropout, Embedding, GgnnCell, Highway, Linear, Module, NormalizedScorer, StarAttention,
-    StarGate,
+    Dropout, Embedding, Forward, GgnnCell, Highway, Linear, Module, ModuleCtx, NormalizedScorer,
+    StarAttention, StarGate,
 };
 use embsr_sessions::Session;
 use embsr_tensor::{uniform_init, Rng, Tensor};
@@ -68,6 +68,49 @@ impl SgnnHn {
             max_len,
         }
     }
+
+    /// Combined star-graph session representation `m` (`[d]`).
+    fn session_repr(&self, session: &Session, training: bool, rng: &mut Rng) -> Tensor {
+        assert!(!session.is_empty(), "empty session");
+        let mut ctx = ModuleCtx::new(training, rng);
+        let graph = SessionDigraph::from_session(session);
+        let idx: Vec<usize> = graph.nodes.iter().map(|&i| i as usize).collect();
+        let h0 = self.dropout.forward(&self.items.lookup(&idx), &mut ctx); // [c, d]
+        let mut star = h0.mean_rows();
+        let mut h = h0.clone();
+        for _ in 0..self.layers {
+            let m_in = graph.a_in.matmul(&self.proj_in.apply(&h));
+            let m_out = graph.a_out.matmul(&self.proj_out.apply(&h));
+            let a = m_in.concat_cols(&m_out);
+            let updated = self.cell.update(&a, &h);
+            h = self.star_gate.propagate(&updated, &star);
+            star = self.star_attn.attend(&h, &star);
+        }
+        let h_f = self.highway.blend(&h0, &h);
+
+        // readout over steps with reversed position embeddings
+        let steps = h_f.gather_rows(&graph.step_node); // [n, d]
+        let n = steps.rows().min(self.max_len);
+        let steps = steps.slice_rows(steps.rows() - n, steps.rows());
+        let rev_pos: Vec<usize> = (0..n).rev().collect();
+        let pos = self.positions.lookup(&rev_pos);
+        // the original's position fusion: x_i = tanh(W_p [h_i ; p_i] + b)
+        let with_pos = self.pos_proj.apply(&steps.concat_cols(&pos)).tanh();
+
+        let last = with_pos.row(n - 1);
+        let last_rows = Tensor::ones(&[n, 1]).matmul(&last.reshape(&[1, self.dim]));
+        let star_rows = Tensor::ones(&[n, 1]).matmul(&star.reshape(&[1, self.dim]));
+        let act = self
+            .att_w1
+            .apply(&last_rows)
+            .add(&self.att_w2.apply(&with_pos))
+            .add(&self.att_w3.apply(&star_rows))
+            .sigmoid();
+        let alpha = act.matmul(&self.q); // [n, 1]
+        let alpha_full = alpha.matmul(&Tensor::ones(&[1, self.dim]));
+        let s_g = alpha_full.mul(&with_pos).sum_rows();
+        self.combine.apply(&s_g.concat_cols(&last))
+    }
 }
 
 impl SessionModel for SgnnHn {
@@ -102,45 +145,19 @@ impl SessionModel for SgnnHn {
     }
 
     fn logits(&self, session: &Session, training: bool, rng: &mut Rng) -> Tensor {
-        assert!(!session.is_empty(), "empty session");
-        let graph = SessionDigraph::from_session(session);
-        let idx: Vec<usize> = graph.nodes.iter().map(|&i| i as usize).collect();
-        let h0 = self.dropout.forward(&self.items.lookup(&idx), training, rng); // [c, d]
-        let mut star = h0.mean_rows();
-        let mut h = h0.clone();
-        for _ in 0..self.layers {
-            let m_in = graph.a_in.matmul(&self.proj_in.forward(&h));
-            let m_out = graph.a_out.matmul(&self.proj_out.forward(&h));
-            let a = m_in.concat_cols(&m_out);
-            let updated = self.cell.update(&a, &h);
-            h = self.star_gate.forward(&updated, &star);
-            star = self.star_attn.forward(&h, &star);
-        }
-        let h_f = self.highway.forward(&h0, &h);
+        self.scorer
+            .logits(&self.session_repr(session, training, rng), &self.items.weight)
+    }
 
-        // readout over steps with reversed position embeddings
-        let steps = h_f.gather_rows(&graph.step_node); // [n, d]
-        let n = steps.rows().min(self.max_len);
-        let steps = steps.slice_rows(steps.rows() - n, steps.rows());
-        let rev_pos: Vec<usize> = (0..n).rev().collect();
-        let pos = self.positions.lookup(&rev_pos);
-        // the original's position fusion: x_i = tanh(W_p [h_i ; p_i] + b)
-        let with_pos = self.pos_proj.forward(&steps.concat_cols(&pos)).tanh();
-
-        let last = with_pos.row(n - 1);
-        let last_rows = Tensor::ones(&[n, 1]).matmul(&last.reshape(&[1, self.dim]));
-        let star_rows = Tensor::ones(&[n, 1]).matmul(&star.reshape(&[1, self.dim]));
-        let act = self
-            .att_w1
-            .forward(&last_rows)
-            .add(&self.att_w2.forward(&with_pos))
-            .add(&self.att_w3.forward(&star_rows))
-            .sigmoid();
-        let alpha = act.matmul(&self.q); // [n, 1]
-        let alpha_full = alpha.matmul(&Tensor::ones(&[1, self.dim]));
-        let s_g = alpha_full.mul(&with_pos).sum_rows();
-        let m = self.combine.forward(&s_g.concat_cols(&last));
-        self.scorer.logits(&m, &self.items.weight)
+    fn logits_batch(&self, sessions: &[&Session]) -> Tensor {
+        assert!(!sessions.is_empty(), "logits_batch of an empty batch");
+        let mut rng = Rng::seed_from_u64(0); // dropout is off: never drawn from
+        let reprs: Vec<Tensor> = sessions
+            .iter()
+            .map(|s| self.session_repr(s, false, &mut rng))
+            .collect();
+        self.scorer
+            .logits_rows(&Tensor::stack_rows(&reprs), &self.items.weight)
     }
 }
 

@@ -36,6 +36,14 @@ impl SrGnn {
         let h = self.encoder.encode(&graph, self.items.lookup(&idx));
         h.gather_rows(&graph.step_node)
     }
+
+    /// Soft-attention readout over the encoded steps (`[d]`).
+    fn session_repr(&self, session: &Session) -> Tensor {
+        assert!(!session.is_empty(), "empty session");
+        let steps = self.encode_steps(session);
+        let last = steps.row(steps.rows() - 1);
+        self.readout.readout(&steps, &last)
+    }
 }
 
 impl SessionModel for SrGnn {
@@ -55,11 +63,13 @@ impl SessionModel for SrGnn {
     }
 
     fn logits(&self, session: &Session, _training: bool, _rng: &mut Rng) -> Tensor {
-        assert!(!session.is_empty(), "empty session");
-        let steps = self.encode_steps(session);
-        let last = steps.row(steps.rows() - 1);
-        let s = self.readout.forward(&steps, &last);
-        DotScorer::logits(&s, &self.items.weight)
+        DotScorer::logits(&self.session_repr(session), &self.items.weight)
+    }
+
+    fn logits_batch(&self, sessions: &[&Session]) -> Tensor {
+        assert!(!sessions.is_empty(), "logits_batch of an empty batch");
+        let reprs: Vec<Tensor> = sessions.iter().map(|s| self.session_repr(s)).collect();
+        DotScorer::logits_rows(&Tensor::stack_rows(&reprs), &self.items.weight)
     }
 }
 

@@ -5,7 +5,7 @@
 //! vectors whose elementwise product scores the items (the paper's trilinear
 //! composition).
 
-use embsr_nn::{Embedding, Linear, Module};
+use embsr_nn::{Embedding, Forward, Linear, Module};
 use embsr_sessions::Session;
 use embsr_tensor::{uniform_init, Rng, Tensor};
 use embsr_train::SessionModel;
@@ -41,6 +41,33 @@ impl Stamp {
             dim,
         }
     }
+
+    /// Trilinear session representation `h_s ⊙ h_t` (`[d]`).
+    fn session_repr(&self, session: &Session) -> Tensor {
+        let idx: Vec<usize> = session.macro_items().iter().map(|&i| i as usize).collect();
+        assert!(!idx.is_empty(), "empty session");
+        let n = idx.len();
+        let embs = self.items.lookup(&idx); // [n, d]
+        let x_t = embs.row(n - 1); // last click
+        let m_s = embs.mean_rows(); // session memory
+
+        // α_i = w0ᵀ σ(W1 x_i + W2 x_t + W3 m_s)
+        let xt_rows = Tensor::ones(&[n, 1]).matmul(&x_t.reshape(&[1, self.dim]));
+        let ms_rows = Tensor::ones(&[n, 1]).matmul(&m_s.reshape(&[1, self.dim]));
+        let act = self
+            .w1
+            .apply(&embs)
+            .add(&self.w2.apply(&xt_rows))
+            .add(&self.w3.apply(&ms_rows))
+            .sigmoid();
+        let alpha = act.matmul(&self.w0); // [n, 1]
+        let alpha_full = alpha.matmul(&Tensor::ones(&[1, self.dim]));
+        let m_a = alpha_full.mul(&embs).sum_rows().add(&m_s); // attended memory
+
+        let h_s = self.mlp_a.apply(&m_a).tanh();
+        let h_t = self.mlp_b.apply(&x_t).tanh();
+        h_s.mul(&h_t)
+    }
 }
 
 impl SessionModel for Stamp {
@@ -62,29 +89,13 @@ impl SessionModel for Stamp {
     }
 
     fn logits(&self, session: &Session, _training: bool, _rng: &mut Rng) -> Tensor {
-        let idx: Vec<usize> = session.macro_items().iter().map(|&i| i as usize).collect();
-        assert!(!idx.is_empty(), "empty session");
-        let n = idx.len();
-        let embs = self.items.lookup(&idx); // [n, d]
-        let x_t = embs.row(n - 1); // last click
-        let m_s = embs.mean_rows(); // session memory
+        DotScorer::logits(&self.session_repr(session), &self.items.weight)
+    }
 
-        // α_i = w0ᵀ σ(W1 x_i + W2 x_t + W3 m_s)
-        let xt_rows = Tensor::ones(&[n, 1]).matmul(&x_t.reshape(&[1, self.dim]));
-        let ms_rows = Tensor::ones(&[n, 1]).matmul(&m_s.reshape(&[1, self.dim]));
-        let act = self
-            .w1
-            .forward(&embs)
-            .add(&self.w2.forward(&xt_rows))
-            .add(&self.w3.forward(&ms_rows))
-            .sigmoid();
-        let alpha = act.matmul(&self.w0); // [n, 1]
-        let alpha_full = alpha.matmul(&Tensor::ones(&[1, self.dim]));
-        let m_a = alpha_full.mul(&embs).sum_rows().add(&m_s); // attended memory
-
-        let h_s = self.mlp_a.forward(&m_a).tanh();
-        let h_t = self.mlp_b.forward(&x_t).tanh();
-        DotScorer::logits(&h_s.mul(&h_t), &self.items.weight)
+    fn logits_batch(&self, sessions: &[&Session]) -> Tensor {
+        assert!(!sessions.is_empty(), "logits_batch of an empty batch");
+        let reprs: Vec<Tensor> = sessions.iter().map(|s| self.session_repr(s)).collect();
+        DotScorer::logits_rows(&Tensor::stack_rows(&reprs), &self.items.weight)
     }
 }
 

@@ -24,12 +24,12 @@ fn main() {
 
             let dyadic = OpAwareSelfAttention::new(dim, num_ops, 64, true, &mut rng);
             group.bench_function(format!("dyadic/{t}"), |b| {
-                b.iter(|| black_box(dyadic.forward(black_box(&xs), black_box(&ops))))
+                b.iter(|| black_box(dyadic.attend(black_box(&xs), black_box(&ops))))
             });
 
             let standard = OpAwareSelfAttention::new(dim, num_ops, 64, false, &mut rng);
             group.bench_function(format!("standard/{t}"), |b| {
-                b.iter(|| black_box(standard.forward(black_box(&xs), black_box(&ops))))
+                b.iter(|| black_box(standard.attend(black_box(&xs), black_box(&ops))))
             });
         }
     }

@@ -1,8 +1,8 @@
 //! The EMBSR model (paper Sec. IV) and its forward pass.
 
 use embsr_nn::{
-    Dropout, Embedding, Ffn, FusionGate, GgnnCell, Gru, Highway, Linear, Module,
-    NormalizedScorer, OpAwareSelfAttention, StarAttention, StarGate,
+    Dropout, Embedding, Ffn, Forward, FusionGate, GgnnCell, Gru, Highway, Linear, Module,
+    ModuleCtx, NormalizedScorer, OpAwareSelfAttention, StarAttention, StarGate,
 };
 use embsr_sessions::{Session, SessionGraph};
 use embsr_tensor::{Rng, Tensor};
@@ -130,7 +130,7 @@ impl Embsr {
         for step in &graph.steps {
             let idx: Vec<usize> = step.ops.iter().map(|&o| o as usize).collect();
             let embs = self.op_embeddings(&idx); // [k, d]
-            rows.push(self.op_gru.forward_last(&embs)); // [d]
+            rows.push(self.op_gru.last_state(&embs)); // [d]
         }
         Tensor::stack_rows(&rows)
     }
@@ -176,7 +176,7 @@ impl Embsr {
             Some(scatter) => {
                 let neigh = node_embs.gather_rows(&src_nodes); // [E, d]
                 let seqs = h_tilde.gather_rows(&src_steps); // [E, d]
-                let messages = msg.forward(&neigh.concat_cols(&seqs)); // [E, d]
+                let messages = msg.apply(&neigh.concat_cols(&seqs)); // [E, d]
                 scatter.matmul(&messages) // [c, d]
             }
         }
@@ -200,10 +200,10 @@ impl Embsr {
             let agg_out = self.aggregate_direction(&h, &h_tilde, &graph.out_edges, &self.msg_out);
             let a = agg_in.concat_cols(&agg_out); // [c, 2d] (eq. 7)
             let updated = self.ggnn.update(&a, &h); // (eq. 8)
-            h = self.star_gate.forward(&updated, &star); // (eq. 9)
-            star = self.star_attn.forward(&h, &star); // (eq. 10)
+            h = self.star_gate.propagate(&updated, &star); // (eq. 9)
+            star = self.star_attn.attend(&h, &star); // (eq. 10)
         }
-        let h_f = self.highway.forward(&h0, &h); // (eq. 11)
+        let h_f = self.highway.blend(&h0, &h); // (eq. 11)
         (h_f, star)
     }
 
@@ -244,7 +244,61 @@ impl Embsr {
         let ops: Vec<usize> = session.events.iter().map(|e| e.op as usize).collect();
         let ev = self.items.lookup(&items); // [t, d]
         let eo = self.ops.lookup(&ops); // [t, d]
-        self.rnn.forward_all(&ev.concat_cols(&eo)) // [t, d]
+        self.rnn.apply(&ev.concat_cols(&eo)) // [t, d]
+    }
+
+    /// Everything before scoring: encodes the (internally truncated) session
+    /// into the fused representation `m ∈ [d]` of eq. 18.
+    ///
+    /// [`SessionModel::logits`] scores one representation at a time;
+    /// [`SessionModel::logits_batch`] stacks many and amortizes the scorer's
+    /// item-table normalization across the batch.
+    fn session_repr(&self, session: &Session, training: bool, rng: &mut Rng) -> Tensor {
+        assert!(!session.is_empty(), "representation of an empty session");
+        let sess = embsr_train::truncate_session(session, self.cfg.max_len);
+        let d = self.cfg.dim;
+
+        // --- encode items -------------------------------------------------
+        let (xs, event_ops, global) = match self.cfg.backbone {
+            Backbone::StarGnn | Backbone::None => {
+                let graph = SessionGraph::from_session(&sess);
+                let (h_f, star) = self.encode_graph(&graph);
+                let (xs, ops) = self.attention_inputs(&sess, &graph, &h_f);
+                (xs, ops, star)
+            }
+            Backbone::Rnn => {
+                let hidden = self.encode_rnn(&sess); // [t, d]
+                let ops: Vec<usize> = sess.events.iter().map(|e| e.op as usize).collect();
+                let global = hidden.mean_rows();
+                (hidden, ops, global)
+            }
+        };
+        let t = xs.rows();
+        let x_t = xs.row(t - 1); // recent interest (eq. 18 input)
+
+        // --- relational-pattern encoder (eq. 12–17) ------------------------
+        let z_s = if self.cfg.use_attention {
+            // star token x_s = e_us + e_{o_{t+1}} (eq. 13); the next
+            // operation is unknown, so a dedicated learned id stands in.
+            let x_s = if self.cfg.use_abs_op {
+                global.add(&self.ops.lookup_one(self.cfg.virtual_next_op()))
+            } else {
+                global.clone()
+            };
+            let mut ctx = ModuleCtx::new(training, rng);
+            let full = Tensor::concat_rows(&[xs.clone(), x_s.reshape(&[1, d])]);
+            let full = self.dropout.forward(&full, &mut ctx);
+            let mut att_ops = event_ops.clone();
+            att_ops.push(self.cfg.virtual_next_op());
+            let z = self.attention.attend(&full, &att_ops); // [t+1, d]
+            let z_star = z.slice_rows(t, t + 1); // [1, d]
+            self.ffn.forward(&z_star, &mut ctx).reshape(&[d])
+        } else {
+            global
+        };
+
+        // --- fusion (eq. 18) ----------------------------------------------
+        self.fusion.fuse(&z_s, &x_t)
     }
 }
 
@@ -302,51 +356,21 @@ impl SessionModel for Embsr {
     }
 
     fn logits(&self, session: &Session, training: bool, rng: &mut Rng) -> Tensor {
-        assert!(!session.is_empty(), "logits of an empty session");
-        let sess = embsr_train::truncate_session(session, self.cfg.max_len);
-        let d = self.cfg.dim;
+        let m = self.session_repr(session, training, rng);
+        self.scorer.logits(&m, &self.items.weight) // (eq. 19)
+    }
 
-        // --- encode items -------------------------------------------------
-        let (xs, event_ops, global) = match self.cfg.backbone {
-            Backbone::StarGnn | Backbone::None => {
-                let graph = SessionGraph::from_session(&sess);
-                let (h_f, star) = self.encode_graph(&graph);
-                let (xs, ops) = self.attention_inputs(&sess, &graph, &h_f);
-                (xs, ops, star)
-            }
-            Backbone::Rnn => {
-                let hidden = self.encode_rnn(&sess); // [t, d]
-                let ops: Vec<usize> = sess.events.iter().map(|e| e.op as usize).collect();
-                let global = hidden.mean_rows();
-                (hidden, ops, global)
-            }
-        };
-        let t = xs.rows();
-        let x_t = xs.row(t - 1); // recent interest (eq. 18 input)
-
-        // --- relational-pattern encoder (eq. 12–17) ------------------------
-        let z_s = if self.cfg.use_attention {
-            // star token x_s = e_us + e_{o_{t+1}} (eq. 13); the next
-            // operation is unknown, so a dedicated learned id stands in.
-            let x_s = if self.cfg.use_abs_op {
-                global.add(&self.ops.lookup_one(self.cfg.virtual_next_op()))
-            } else {
-                global.clone()
-            };
-            let full = Tensor::concat_rows(&[xs.clone(), x_s.reshape(&[1, d])]);
-            let full = self.dropout.forward(&full, training, rng);
-            let mut att_ops = event_ops.clone();
-            att_ops.push(self.cfg.virtual_next_op());
-            let z = self.attention.forward(&full, &att_ops); // [t+1, d]
-            let z_star = z.slice_rows(t, t + 1); // [1, d]
-            self.ffn.forward(&z_star, training, rng).reshape(&[d])
-        } else {
-            global
-        };
-
-        // --- fusion and scoring (eq. 18–19) --------------------------------
-        let m = self.fusion.forward(&z_s, &x_t);
-        self.scorer.logits(&m, &self.items.weight)
+    fn logits_batch(&self, sessions: &[&Session]) -> Tensor {
+        assert!(!sessions.is_empty(), "logits_batch of an empty batch");
+        let mut rng = Rng::seed_from_u64(0); // dropout is off: never drawn from
+        let reprs: Vec<Tensor> = sessions
+            .iter()
+            .map(|s| self.session_repr(s, false, &mut rng))
+            .collect();
+        // One GEMM scores the whole batch; the item table is normalized once
+        // instead of once per session.
+        self.scorer
+            .logits_rows(&Tensor::stack_rows(&reprs), &self.items.weight)
     }
 }
 

@@ -1,6 +1,6 @@
 //! Test-set evaluation of a fitted recommender.
 
-use embsr_sessions::Example;
+use embsr_sessions::{Example, Session};
 use embsr_train::Recommender;
 
 use crate::metrics::{hit_at_k, rank_of_target, reciprocal_rank_at_k};
@@ -45,22 +45,33 @@ impl Evaluation {
     }
 }
 
+/// Sessions scored per [`Recommender::scores_batch`] call during evaluation.
+///
+/// Small enough that a batch's activations stay cache-resident, large enough
+/// to amortize the per-batch item-table normalization of the batched scorers.
+pub const EVAL_BATCH: usize = 32;
+
 /// Evaluates `rec` on `test` at the given cutoffs.
 ///
 /// Sessions whose prefix is empty are skipped (they carry no evidence).
+/// Scoring goes through [`Recommender::scores_batch`] in chunks of
+/// [`EVAL_BATCH`]; batched overrides are held to bitwise equality with the
+/// per-session path, so the reported metrics are identical either way.
 pub fn evaluate(rec: &dyn Recommender, test: &[Example], ks: &[usize]) -> Evaluation {
     assert!(!ks.is_empty(), "no cutoffs requested");
     let span = embsr_obs::span("embsr_eval", "evaluate");
-    let mut ranks = Vec::with_capacity(test.len());
-    for ex in test {
-        if ex.session.is_empty() {
-            continue;
-        }
+    let scorable: Vec<&Example> = test.iter().filter(|ex| !ex.session.is_empty()).collect();
+    let mut ranks = Vec::with_capacity(scorable.len());
+    for chunk in scorable.chunks(EVAL_BATCH) {
         let _score_span =
-            embsr_obs::span("embsr_eval", "score_session").with_close_level(embsr_obs::Level::Trace);
-        let scores = rec.scores(&ex.session);
-        debug_assert_eq!(scores.len(), rec.num_items());
-        ranks.push(rank_of_target(&scores, ex.target as usize));
+            embsr_obs::span("embsr_eval", "score_batch").with_close_level(embsr_obs::Level::Trace);
+        let sessions: Vec<Session> = chunk.iter().map(|ex| ex.session.clone()).collect();
+        let scores = rec.scores_batch(&sessions);
+        debug_assert_eq!(scores.len(), chunk.len());
+        for (ex, row) in chunk.iter().zip(&scores) {
+            debug_assert_eq!(row.len(), rec.num_items());
+            ranks.push(rank_of_target(row, ex.target as usize));
+        }
     }
     let n = ranks.len().max(1) as f64;
     let hit: Vec<f64> = ks
@@ -171,5 +182,44 @@ mod tests {
         let rec = EvenOracle { n: 4 };
         let e = evaluate(&rec, &[ex(&[], 2), ex(&[1], 2)], &[2]);
         assert_eq!(e.ranks.len(), 1);
+    }
+
+    /// Recommender whose batched override would be caught diverging: scores
+    /// depend on the session, and the test set straddles several batches.
+    struct LastItemOracle {
+        n: usize,
+    }
+
+    impl Recommender for LastItemOracle {
+        fn name(&self) -> &str {
+            "LastItemOracle"
+        }
+        fn num_items(&self) -> usize {
+            self.n
+        }
+        fn fit(&mut self, _t: &[Example], _v: &[Example]) {}
+        fn scores(&self, session: &Session) -> Vec<f32> {
+            let last = session.events.last().map(|e| e.item).unwrap_or(0) as usize;
+            (0..self.n)
+                .map(|i| if i == (last + 1) % self.n { 1.0 } else { 0.0 })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn batched_evaluation_matches_per_session_evaluation() {
+        let rec = LastItemOracle { n: 16 };
+        // more examples than EVAL_BATCH, with a ragged final chunk
+        let test: Vec<Example> = (0..(EVAL_BATCH as u32 * 2 + 7))
+            .map(|i| ex(&[i % 16], (i + 1) % 16))
+            .collect();
+        let batched = evaluate(&rec, &test, &[1, 5, 10]);
+        // ground truth: score sessions one at a time through the default path
+        let mut expect = Vec::new();
+        for e in &test {
+            expect.push(rank_of_target(&rec.scores(&e.session), e.target as usize));
+        }
+        assert_eq!(batched.ranks, expect, "batching must not change ranks");
+        assert!((batched.hit_at(1) - 100.0).abs() < 1e-9);
     }
 }

@@ -19,7 +19,7 @@ use embsr_tensor::{Rng, Tensor};
 
 use crate::embedding::Embedding;
 use crate::linear::Linear;
-use crate::module::Module;
+use crate::module::{Forward, Module};
 
 /// The operation-aware self-attention layer.
 pub struct OpAwareSelfAttention {
@@ -74,7 +74,7 @@ impl OpAwareSelfAttention {
     ///
     /// # Panics
     /// Panics when `t` exceeds `max_len` or `ops.len() != t`.
-    pub fn forward(&self, xs: &Tensor, ops: &[usize]) -> Tensor {
+    pub fn attend(&self, xs: &Tensor, ops: &[usize]) -> Tensor {
         let t = xs.rows();
         assert_eq!(ops.len(), t, "one op per row");
         if embsr_obs::metrics::enabled() {
@@ -87,7 +87,7 @@ impl OpAwareSelfAttention {
         let pos_idx: Vec<usize> = (0..t).collect();
         let pos = self.positions.lookup(&pos_idx); // [t, d]
         let scale = 1.0 / (self.dim as f32).sqrt();
-        let queries = self.query.forward(xs); // [t, d]
+        let queries = self.query.apply(xs); // [t, d]
         let d = self.dim;
 
         if !self.use_dyadic {
@@ -152,7 +152,7 @@ mod tests {
     fn output_shape_matches_input() {
         let att = layer(4, 3, 10, true, 0);
         let xs = Tensor::from_vec(vec![0.1; 20], &[5, 4]);
-        let z = att.forward(&xs, &[0, 1, 2, 0, 1]);
+        let z = att.attend(&xs, &[0, 1, 2, 0, 1]);
         assert_eq!(z.shape().dims(), &[5, 4]);
     }
 
@@ -175,8 +175,8 @@ mod tests {
         // when dyadic encoding is on.
         let att = layer(4, 3, 8, true, 2);
         let xs = Tensor::from_vec(vec![0.3; 12], &[3, 4]);
-        let z1 = att.forward(&xs, &[0, 0, 0]).to_vec();
-        let z2 = att.forward(&xs, &[0, 1, 2]).to_vec();
+        let z1 = att.attend(&xs, &[0, 0, 0]).to_vec();
+        let z2 = att.attend(&xs, &[0, 1, 2]).to_vec();
         assert_ne!(z1, z2);
     }
 
@@ -184,8 +184,8 @@ mod tests {
     fn without_dyadic_ops_are_ignored_inside_attention() {
         let att = layer(4, 3, 8, false, 3);
         let xs = Tensor::from_vec(vec![0.3; 12], &[3, 4]);
-        let z1 = att.forward(&xs, &[0, 0, 0]).to_vec();
-        let z2 = att.forward(&xs, &[0, 1, 2]).to_vec();
+        let z1 = att.attend(&xs, &[0, 0, 0]).to_vec();
+        let z2 = att.attend(&xs, &[0, 1, 2]).to_vec();
         assert_eq!(z1, z2);
     }
 
@@ -194,7 +194,7 @@ mod tests {
         // With a single row, output = x_0 + rel + pos (softmax of one = 1).
         let att = layer(3, 2, 4, true, 4);
         let xs = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
-        let z = att.forward(&xs, &[1]);
+        let z = att.attend(&xs, &[1]);
         let rel = att.relations.lookup_one(att.relation_index(1, 1)).to_vec();
         let pos = att.positions.lookup_one(0).to_vec();
         let expect: Vec<f32> = (0..3).map(|k| xs.to_vec()[k] + rel[k] + pos[k]).collect();
@@ -206,18 +206,18 @@ mod tests {
     fn over_length_rejected() {
         let att = layer(2, 2, 3, true, 5);
         let xs = Tensor::zeros(&[4, 2]);
-        let _ = att.forward(&xs, &[0, 0, 0, 0]);
+        let _ = att.attend(&xs, &[0, 0, 0, 0]);
     }
 
     #[test]
     fn gradients_reach_relation_table_only_when_dyadic() {
         let xs = Tensor::from_vec(vec![0.2; 8], &[2, 4]);
         let att = layer(4, 2, 4, true, 6);
-        att.forward(&xs, &[0, 1]).sum().backward();
+        att.attend(&xs, &[0, 1]).sum().backward();
         assert!(att.relations.weight.grad().is_some());
 
         let att2 = layer(4, 2, 4, false, 7);
-        att2.forward(&xs, &[0, 1]).sum().backward();
+        att2.attend(&xs, &[0, 1]).sum().backward();
         assert!(att2.relations.weight.grad().is_none());
     }
 }

@@ -1,6 +1,8 @@
 //! Inverted dropout.
 
-use embsr_tensor::{Rng, Tensor};
+use embsr_tensor::Tensor;
+
+use crate::module::{Forward, Module, ModuleCtx};
 
 /// Inverted dropout: at train time each element is zeroed with probability
 /// `p` and survivors are scaled by `1/(1-p)`; at eval time it is the
@@ -17,11 +19,33 @@ impl Dropout {
         Dropout { p }
     }
 
+}
+
+impl Module for Dropout {
+    fn parameters(&self) -> Vec<Tensor> {
+        Vec::new()
+    }
+}
+
+impl Forward for Dropout {
     /// Applies dropout. Gradient flows through the same mask.
-    pub fn forward(&self, x: &Tensor, training: bool, rng: &mut Rng) -> Tensor {
-        if !training || self.p == 0.0 {
+    ///
+    /// RNG draws happen **only** when `ctx.training` is set and `p > 0` —
+    /// exactly one bernoulli per element, in element order — so inference
+    /// contexts never consume randomness and training draw sequences are
+    /// stable across refactors (the golden-trajectory suite depends on
+    /// this).
+    fn forward(&self, x: &Tensor, ctx: &mut ModuleCtx<'_>) -> Tensor {
+        if !ctx.training || self.p == 0.0 {
             return x.clone();
         }
+        assert!(
+            ctx.rng.is_some(),
+            "training-mode dropout requires an RNG in the ModuleCtx"
+        );
+        let Some(rng) = ctx.rng.as_deref_mut() else {
+            return x.clone(); // unreachable: guarded by the assert above
+        };
         let scale = 1.0 / (1.0 - self.p);
         let mask: Vec<f32> = (0..x.len())
             .map(|_| if rng.bernoulli(self.p) { 0.0 } else { scale })
@@ -33,13 +57,13 @@ impl Dropout {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use embsr_tensor::Rng;
 
     #[test]
     fn eval_mode_is_identity() {
         let d = Dropout::new(0.5);
         let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
-        let mut rng = Rng::seed_from_u64(0);
-        assert_eq!(d.forward(&x, false, &mut rng).to_vec(), x.to_vec());
+        assert_eq!(d.apply(&x).to_vec(), x.to_vec());
     }
 
     #[test]
@@ -47,7 +71,7 @@ mod tests {
         let d = Dropout::new(0.3);
         let x = Tensor::ones(&[10_000]);
         let mut rng = Rng::seed_from_u64(1);
-        let y = d.forward(&x, true, &mut rng);
+        let y = d.forward(&x, &mut ModuleCtx::train(&mut rng));
         let mean: f32 = y.to_vec().iter().sum::<f32>() / 10_000.0;
         assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
     }
@@ -57,7 +81,7 @@ mod tests {
         let d = Dropout::new(0.5);
         let x = Tensor::ones(&[64]).requires_grad();
         let mut rng = Rng::seed_from_u64(2);
-        let y = d.forward(&x, true, &mut rng);
+        let y = d.forward(&x, &mut ModuleCtx::train(&mut rng));
         let zeros: Vec<usize> = y
             .to_vec()
             .iter()

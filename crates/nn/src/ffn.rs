@@ -6,7 +6,7 @@ use embsr_tensor::{zeros_init, Rng, Tensor};
 
 use crate::dropout::Dropout;
 use crate::linear::Linear;
-use crate::module::Module;
+use crate::module::{Forward, Module, ModuleCtx};
 
 /// `FFN(z) = max(0, z·W₁ + b₁)·W₂ + b₂`, then `LayerNorm(z + Dropout(FFN(z)))`
 /// with learned affine parameters.
@@ -31,10 +31,14 @@ impl Ffn {
         }
     }
 
-    /// Applies the block to `[n, d]`.
-    pub fn forward(&self, z: &Tensor, training: bool, rng: &mut Rng) -> Tensor {
-        let inner = self.w2.forward(&self.w1.forward(z).relu());
-        let inner = self.dropout.forward(&inner, training, rng);
+}
+
+impl Forward for Ffn {
+    /// Applies the block to `[n, d]`. Dropout on the inner activation draws
+    /// from `ctx.rng` only when `ctx.training` is set.
+    fn forward(&self, z: &Tensor, ctx: &mut ModuleCtx<'_>) -> Tensor {
+        let inner = self.w2.apply(&self.w1.apply(z).relu());
+        let inner = self.dropout.forward(&inner, ctx);
         z.add(&inner)
             .layer_norm_rows(1e-5)
             .mul(&self.gamma)
@@ -60,7 +64,7 @@ mod tests {
     fn output_rows_are_normalized_at_identity_affine() {
         let f = Ffn::new(8, 0.0, &mut Rng::seed_from_u64(0));
         let z = Tensor::from_vec((0..16).map(|i| i as f32 * 0.1).collect(), &[2, 8]);
-        let y = f.forward(&z, false, &mut Rng::seed_from_u64(1));
+        let y = f.apply(&z);
         for r in 0..2 {
             let row: Vec<f32> = (0..8).map(|c| y.at(r, c)).collect();
             let mean: f32 = row.iter().sum::<f32>() / 8.0;
@@ -80,9 +84,7 @@ mod tests {
     fn gradients_flow_through_residual_path() {
         let f = Ffn::new(4, 0.0, &mut Rng::seed_from_u64(3));
         let z = Tensor::from_vec(vec![0.1; 4], &[1, 4]).requires_grad();
-        f.forward(&z, false, &mut Rng::seed_from_u64(4))
-            .sum()
-            .backward();
+        f.apply(&z).sum().backward();
         assert!(z.grad().is_some());
         assert!(f.gamma.grad().is_some());
     }

@@ -10,7 +10,7 @@
 use embsr_tensor::{Rng, Tensor};
 
 use crate::linear::Linear;
-use crate::module::Module;
+use crate::module::{Forward, Module};
 
 /// How the two representations are combined.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -41,15 +41,15 @@ impl FusionGate {
     }
 
     /// Combines `z_s` and `x_t`, both `[d]`.
-    pub fn forward(&self, z_s: &Tensor, x_t: &Tensor) -> Tensor {
+    pub fn fuse(&self, z_s: &Tensor, x_t: &Tensor) -> Tensor {
         assert_eq!(z_s.len(), x_t.len(), "fusion input length mismatch");
         match self.mode {
             FusionMode::Gated => {
-                let beta = self.gate.forward(&z_s.concat_cols(x_t)).sigmoid();
+                let beta = self.gate.apply(&z_s.concat_cols(x_t)).sigmoid();
                 beta.mul(z_s).add(&beta.one_minus().mul(x_t))
             }
             FusionMode::Fixed(beta) => z_s.mul_scalar(beta).add(&x_t.mul_scalar(1.0 - beta)),
-            FusionMode::ConcatMlp => self.mlp.forward(&z_s.concat_cols(x_t)),
+            FusionMode::ConcatMlp => self.mlp.apply(&z_s.concat_cols(x_t)),
         }
     }
 }
@@ -74,7 +74,7 @@ mod tests {
         let f = FusionGate::new(3, FusionMode::Fixed(0.0), &mut Rng::seed_from_u64(0));
         let z = Tensor::from_vec(vec![1.0, 1.0, 1.0], &[3]);
         let x = Tensor::from_vec(vec![9.0, 8.0, 7.0], &[3]);
-        assert_close(&f.forward(&z, &x).to_vec(), &[9.0, 8.0, 7.0], 1e-6);
+        assert_close(&f.fuse(&z, &x).to_vec(), &[9.0, 8.0, 7.0], 1e-6);
     }
 
     #[test]
@@ -82,7 +82,7 @@ mod tests {
         let f = FusionGate::new(3, FusionMode::Fixed(1.0), &mut Rng::seed_from_u64(1));
         let z = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
         let x = Tensor::from_vec(vec![9.0, 8.0, 7.0], &[3]);
-        assert_close(&f.forward(&z, &x).to_vec(), &[1.0, 2.0, 3.0], 1e-6);
+        assert_close(&f.fuse(&z, &x).to_vec(), &[1.0, 2.0, 3.0], 1e-6);
     }
 
     #[test]
@@ -90,7 +90,7 @@ mod tests {
         let f = FusionGate::new(4, FusionMode::Gated, &mut Rng::seed_from_u64(2));
         let z = Tensor::zeros(&[4]);
         let x = Tensor::ones(&[4]);
-        let out = f.forward(&z, &x).to_vec();
+        let out = f.fuse(&z, &x).to_vec();
         assert!(out.iter().all(|&v| (0.0..=1.0).contains(&v)));
     }
 
@@ -117,7 +117,7 @@ mod tests {
         let f = FusionGate::new(2, FusionMode::ConcatMlp, &mut Rng::seed_from_u64(4));
         let z = Tensor::from_vec(vec![1.0, 0.0], &[2]);
         let x = Tensor::from_vec(vec![0.0, 1.0], &[2]);
-        f.forward(&z, &x).sum().backward();
+        f.fuse(&z, &x).sum().backward();
         assert!(f.mlp.weight.grad().is_some());
         assert!(f.gate.weight.grad().is_none());
     }

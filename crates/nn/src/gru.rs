@@ -6,7 +6,7 @@
 
 use embsr_tensor::{uniform_init, zeros_init, Rng, Tensor};
 
-use crate::module::Module;
+use crate::module::{Forward, Module, ModuleCtx};
 
 /// A single-layer GRU with PyTorch-style gate equations:
 ///
@@ -67,10 +67,10 @@ impl Gru {
     }
 
     /// One step given precomputed input projections `x·W_r`, `x·W_z`,
-    /// `x·W_n` (each `[1, hidden]`). [`Gru::forward_all`] hoists the three
-    /// input GEMMs out of the time loop and feeds row slices here; a GEMM
-    /// row is the same sequential dot product whether computed alone or as
-    /// part of the whole `[t, hidden]` product, so results are bitwise
+    /// `x·W_n` (each `[1, hidden]`). The full-sequence forward hoists the
+    /// three input GEMMs out of the time loop and feeds row slices here; a
+    /// GEMM row is the same sequential dot product whether computed alone or
+    /// as part of the whole `[t, hidden]` product, so results are bitwise
     /// unchanged.
     fn step_projected(&self, gx_r: &Tensor, gx_z: &Tensor, gx_n: &Tensor, h: &Tensor) -> Tensor {
         let r = gx_r.add(&h.matmul(&self.u_r)).add(&self.b_r).sigmoid();
@@ -82,9 +82,20 @@ impl Gru {
         z.one_minus().mul(&n).add(&z.mul(h))
     }
 
+    /// Runs the GRU over the sequence and returns only the final hidden
+    /// state `[hidden]` — `h̃^i = h̃^i_k` in the paper.
+    pub fn last_state(&self, xs: &Tensor) -> Tensor {
+        let all = self.apply(xs);
+        let t = all.rows();
+        all.slice_rows(t - 1, t).reshape(&[self.hidden])
+    }
+}
+
+impl Forward for Gru {
     /// Runs the GRU over a sequence given as rows of `[t, input]`, starting
     /// from a zero state. Returns all hidden states `[t, hidden]`.
-    pub fn forward_all(&self, xs: &Tensor) -> Tensor {
+    /// Deterministic: the context is ignored.
+    fn forward(&self, xs: &Tensor, _ctx: &mut ModuleCtx<'_>) -> Tensor {
         let t = xs.rows();
         assert!(t > 0, "GRU over empty sequence");
         // Per-gate input projections for the whole sequence in one GEMM
@@ -105,14 +116,6 @@ impl Gru {
             states.push(h.clone());
         }
         Tensor::concat_rows(&states)
-    }
-
-    /// Runs the GRU over the sequence and returns only the final hidden
-    /// state `[hidden]` — `h̃^i = h̃^i_k` in the paper.
-    pub fn forward_last(&self, xs: &Tensor) -> Tensor {
-        let all = self.forward_all(xs);
-        let t = all.rows();
-        all.slice_rows(t - 1, t).reshape(&[self.hidden])
     }
 }
 
@@ -141,7 +144,7 @@ mod tests {
     fn output_stays_bounded() {
         let g = Gru::new(3, 4, &mut Rng::seed_from_u64(0));
         let xs = Tensor::from_vec(vec![5.0; 15], &[5, 3]);
-        let h = g.forward_last(&xs);
+        let h = g.last_state(&xs);
         assert!(h.to_vec().iter().all(|&v| v.abs() <= 1.0 + 1e-5));
     }
 
@@ -150,8 +153,8 @@ mod tests {
         let g = Gru::new(2, 3, &mut Rng::seed_from_u64(1));
         let ab = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
         let ba = Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], &[2, 2]);
-        let h1 = g.forward_last(&ab).to_vec();
-        let h2 = g.forward_last(&ba).to_vec();
+        let h1 = g.last_state(&ab).to_vec();
+        let h2 = g.last_state(&ba).to_vec();
         assert_ne!(h1, h2);
     }
 
@@ -159,14 +162,14 @@ mod tests {
     fn forward_all_shape() {
         let g = Gru::new(2, 5, &mut Rng::seed_from_u64(2));
         let xs = Tensor::from_vec(vec![0.1; 8], &[4, 2]);
-        assert_eq!(g.forward_all(&xs).shape().dims(), &[4, 5]);
+        assert_eq!(g.apply(&xs).shape().dims(), &[4, 5]);
     }
 
     #[test]
     #[should_panic(expected = "empty sequence")]
     fn empty_sequence_rejected() {
         let g = Gru::new(2, 2, &mut Rng::seed_from_u64(3));
-        let _ = g.forward_all(&Tensor::zeros(&[0, 2]));
+        let _ = g.apply(&Tensor::zeros(&[0, 2]));
     }
 
     #[test]
@@ -196,8 +199,8 @@ mod tests {
             let mut total = Tensor::scalar(0.0);
             for (xs, y) in &seqs {
                 let t = Tensor::from_vec(xs.clone(), &[xs.len(), 1]);
-                let h = g.forward_last(&t);
-                let pred = readout.forward(&h);
+                let h = g.last_state(&t);
+                let pred = readout.apply(&h);
                 let err = pred.add_scalar(-y).square().sum();
                 total = total.add(&err);
             }

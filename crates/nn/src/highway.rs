@@ -6,7 +6,7 @@
 use embsr_tensor::{Rng, Tensor};
 
 use crate::linear::Linear;
-use crate::module::Module;
+use crate::module::{Forward, Module};
 
 /// The highway blend layer.
 pub struct Highway {
@@ -22,9 +22,9 @@ impl Highway {
     }
 
     /// Blends `before` and `after`, both `[c, d]`.
-    pub fn forward(&self, before: &Tensor, after: &Tensor) -> Tensor {
+    pub fn blend(&self, before: &Tensor, after: &Tensor) -> Tensor {
         assert_eq!(before.shape(), after.shape(), "highway shape mismatch");
-        let g = self.gate.forward(&before.concat_cols(after)).sigmoid();
+        let g = self.gate.apply(&before.concat_cols(after)).sigmoid();
         g.mul(before).add(&g.one_minus().mul(after))
     }
 }
@@ -44,7 +44,7 @@ mod tests {
     fn equal_inputs_pass_through() {
         let h = Highway::new(3, &mut Rng::seed_from_u64(0));
         let x = Tensor::from_vec(vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6], &[2, 3]);
-        assert_close(&h.forward(&x, &x).to_vec(), &x.to_vec(), 1e-6);
+        assert_close(&h.blend(&x, &x).to_vec(), &x.to_vec(), 1e-6);
     }
 
     #[test]
@@ -52,7 +52,7 @@ mod tests {
         let h = Highway::new(2, &mut Rng::seed_from_u64(1));
         let a = Tensor::zeros(&[1, 2]);
         let b = Tensor::ones(&[1, 2]);
-        let out = h.forward(&a, &b).to_vec();
+        let out = h.blend(&a, &b).to_vec();
         assert!(out.iter().all(|&v| (0.0..=1.0).contains(&v)));
     }
 
@@ -61,7 +61,7 @@ mod tests {
         let h = Highway::new(2, &mut Rng::seed_from_u64(2));
         let a = Tensor::from_vec(vec![0.5, -0.5], &[1, 2]);
         let b = Tensor::from_vec(vec![1.5, 0.5], &[1, 2]);
-        h.forward(&a, &b).sum().backward();
+        h.blend(&a, &b).sum().backward();
         assert!(h.gate.weight.grad().is_some());
     }
 
@@ -69,6 +69,6 @@ mod tests {
     #[should_panic(expected = "shape mismatch")]
     fn mismatched_shapes_rejected() {
         let h = Highway::new(2, &mut Rng::seed_from_u64(3));
-        let _ = h.forward(&Tensor::zeros(&[1, 2]), &Tensor::zeros(&[2, 2]));
+        let _ = h.blend(&Tensor::zeros(&[1, 2]), &Tensor::zeros(&[2, 2]));
     }
 }

@@ -17,6 +17,12 @@
 //!
 //! Layers process one session at a time (shapes `[n, d]`), which matches the
 //! variable-size graphs the model builds per session.
+//!
+//! Single-input layers implement the [`Forward`] trait (one tensor in, one
+//! tensor out, under a [`ModuleCtx`] carrying mode and RNG); multi-input
+//! blocks expose domain-named methods (`attend`, `blend`, `fuse`,
+//! `propagate`) instead. `xtask lint` rejects new ad-hoc `pub fn forward`
+//! definitions in this crate.
 
 mod attention;
 mod dropout;
@@ -40,6 +46,6 @@ pub use ggnn::GgnnCell;
 pub use gru::Gru;
 pub use highway::Highway;
 pub use linear::Linear;
-pub use module::{collect_params, Module};
+pub use module::{collect_params, Forward, Module, ModuleCtx};
 pub use scorer::NormalizedScorer;
 pub use star::{StarAttention, StarGate};

@@ -2,7 +2,7 @@
 
 use embsr_tensor::{uniform_init, zeros_init, Rng, Tensor};
 
-use crate::module::Module;
+use crate::module::{Forward, Module, ModuleCtx};
 
 /// A dense layer mapping `[n, in] -> [n, out]`.
 ///
@@ -30,25 +30,6 @@ impl Linear {
         }
     }
 
-    /// Applies the layer to `[n, in]` (or a single `[in]` row).
-    pub fn forward(&self, x: &Tensor) -> Tensor {
-        let x2 = if x.shape().rank() == 1 {
-            x.reshape(&[1, x.len()])
-        } else {
-            x.clone()
-        };
-        let y = x2.matmul(&self.weight);
-        let y = match &self.bias {
-            Some(b) => y.add(b),
-            None => y,
-        };
-        if x.shape().rank() == 1 {
-            y.reshape(&[y.len()])
-        } else {
-            y
-        }
-    }
-
     /// Input dimensionality.
     pub fn in_dim(&self) -> usize {
         self.weight.rows()
@@ -70,6 +51,28 @@ impl Module for Linear {
     }
 }
 
+impl Forward for Linear {
+    /// Applies the layer to `[n, in]` (or a single `[in]` row). Deterministic:
+    /// the context is ignored.
+    fn forward(&self, x: &Tensor, _ctx: &mut ModuleCtx<'_>) -> Tensor {
+        let x2 = if x.shape().rank() == 1 {
+            x.reshape(&[1, x.len()])
+        } else {
+            x.clone()
+        };
+        let y = x2.matmul(&self.weight);
+        let y = match &self.bias {
+            Some(b) => y.add(b),
+            None => y,
+        };
+        if x.shape().rank() == 1 {
+            y.reshape(&[y.len()])
+        } else {
+            y
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,7 +83,7 @@ mod tests {
         let l = Linear::new(2, 2, &mut Rng::seed_from_u64(0));
         l.weight.set_data(&[1.0, 0.0, 0.0, 1.0]);
         let x = Tensor::from_vec(vec![3.0, -4.0], &[1, 2]);
-        assert_close(&l.forward(&x).to_vec(), &[3.0, -4.0], 1e-6);
+        assert_close(&l.apply(&x).to_vec(), &[3.0, -4.0], 1e-6);
     }
 
     #[test]
@@ -89,14 +92,14 @@ mod tests {
         l.weight.set_data(&[1.0, 1.0]);
         l.bias.as_ref().unwrap().set_data(&[10.0, 20.0]);
         let x = Tensor::from_vec(vec![1.0, 2.0], &[2, 1]);
-        assert_close(&l.forward(&x).to_vec(), &[11.0, 21.0, 12.0, 22.0], 1e-6);
+        assert_close(&l.apply(&x).to_vec(), &[11.0, 21.0, 12.0, 22.0], 1e-6);
     }
 
     #[test]
     fn rank1_input_gives_rank1_output() {
         let l = Linear::new(3, 4, &mut Rng::seed_from_u64(1));
         let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
-        let y = l.forward(&x);
+        let y = l.apply(&x);
         assert_eq!(y.shape().dims(), &[4]);
     }
 
@@ -104,7 +107,7 @@ mod tests {
     fn gradients_reach_weight_and_bias() {
         let l = Linear::new(2, 2, &mut Rng::seed_from_u64(2));
         let x = Tensor::from_vec(vec![1.0, -1.0], &[1, 2]);
-        l.forward(&x).sum().backward();
+        l.apply(&x).sum().backward();
         assert!(l.weight.grad().is_some());
         assert!(l.bias.as_ref().unwrap().grad().is_some());
     }

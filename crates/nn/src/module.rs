@@ -1,6 +1,19 @@
-//! The [`Module`] trait: anything holding trainable parameters.
+//! The [`Module`] and [`Forward`] traits: parameter ownership and the
+//! unified single-input forward signature.
+//!
+//! Historically every layer grew its own ad-hoc `forward` method — some took
+//! `(x)`, some `(x, training, rng)`, the GRU had `forward_all`/`forward_last`
+//! — which made it impossible to write code generic over layers and forced
+//! eval-time callers to thread dummy RNGs around. [`Forward`] unifies the
+//! single-input layers under one signature: the input tensor plus a
+//! [`ModuleCtx`] carrying the train/eval mode and the (optional) RNG that
+//! only stochastic layers consume. Multi-input blocks (attention over
+//! `(xs, ops)`, gating over two streams, …) are *not* shoehorned in; they
+//! expose domain-named methods (`attend`, `blend`, `fuse`, `propagate`)
+//! instead, and `xtask lint` rejects any new `pub fn forward` in this crate
+//! outside this module so the convention holds.
 
-use embsr_tensor::Tensor;
+use embsr_tensor::{Rng, Tensor};
 
 /// A component with trainable parameters.
 ///
@@ -21,6 +34,66 @@ pub fn collect_params(modules: &[&dyn Module]) -> Vec<Tensor> {
     modules.iter().flat_map(|m| m.parameters()).collect()
 }
 
+/// Per-call context for [`Forward`]: train/eval mode plus the RNG that
+/// stochastic layers (dropout) draw from.
+///
+/// Deterministic layers ignore it entirely; stochastic layers draw from
+/// `rng` only when `training` is true, so an inference context never needs
+/// an RNG and never perturbs a trainer's draw sequence.
+pub struct ModuleCtx<'a> {
+    /// True during training (enables dropout and other train-only behavior).
+    pub training: bool,
+    /// RNG for stochastic layers; required only when `training` is true and
+    /// a stochastic layer is actually active.
+    pub rng: Option<&'a mut Rng>,
+}
+
+impl<'a> ModuleCtx<'a> {
+    /// Context with an explicit mode and RNG (the general form used by call
+    /// sites that receive `(training, rng)` from their own caller).
+    pub fn new(training: bool, rng: &'a mut Rng) -> Self {
+        ModuleCtx {
+            training,
+            rng: Some(rng),
+        }
+    }
+
+    /// Training context: dropout active, drawing from `rng`.
+    pub fn train(rng: &'a mut Rng) -> Self {
+        ModuleCtx {
+            training: true,
+            rng: Some(rng),
+        }
+    }
+
+    /// Inference context: stochastic layers are the identity and no RNG is
+    /// carried.
+    pub fn infer() -> ModuleCtx<'static> {
+        ModuleCtx {
+            training: false,
+            rng: None,
+        }
+    }
+}
+
+/// The unified forward pass for single-input layers.
+///
+/// `forward` maps one tensor to one tensor under a [`ModuleCtx`];
+/// [`Forward::apply`] is the ergonomic deterministic/eval shorthand used by
+/// the many call sites that previously invoked ad-hoc inherent `forward`
+/// methods. Layers whose natural signature takes several tensors implement
+/// domain-named methods instead of this trait.
+pub trait Forward: Module {
+    /// Applies the layer to `x` under `ctx`.
+    fn forward(&self, x: &Tensor, ctx: &mut ModuleCtx<'_>) -> Tensor;
+
+    /// Applies the layer in inference mode (no dropout, no RNG). For
+    /// deterministic layers this is *the* forward pass.
+    fn apply(&self, x: &Tensor) -> Tensor {
+        self.forward(x, &mut ModuleCtx::infer())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -39,6 +112,29 @@ mod tests {
             Tensor::zeros(&[4]).requires_grad(),
         );
         assert_eq!(m.num_parameters(), 10);
+    }
+
+    struct Doubler;
+    impl Module for Doubler {
+        fn parameters(&self) -> Vec<Tensor> {
+            Vec::new()
+        }
+    }
+    impl Forward for Doubler {
+        fn forward(&self, x: &Tensor, _ctx: &mut ModuleCtx<'_>) -> Tensor {
+            x.mul_scalar(2.0)
+        }
+    }
+
+    #[test]
+    fn apply_is_inference_forward() {
+        let x = Tensor::from_vec(vec![1.0, -2.0], &[2]);
+        assert_eq!(Doubler.apply(&x).to_vec(), vec![2.0, -4.0]);
+        let mut rng = Rng::seed_from_u64(0);
+        let mut ctx = ModuleCtx::train(&mut rng);
+        assert!(ctx.training);
+        assert_eq!(Doubler.forward(&x, &mut ctx).to_vec(), vec![2.0, -4.0]);
+        assert!(!ModuleCtx::infer().training);
     }
 
     #[test]

@@ -25,13 +25,25 @@ impl NormalizedScorer {
     /// `items` (`[|V|, d]`): `ŷ = w_k · L2(m) · L2(items)ᵀ`, shape `[|V|]`.
     pub fn logits(&self, m: &Tensor, items: &Tensor) -> Tensor {
         let d = m.len();
-        assert_eq!(items.cols(), d, "item table dim mismatch");
-        let m_hat = m
-            .reshape(&[1, d])
-            .l2_normalize_rows(1e-12)
-            .mul_scalar(self.w_k); // [1, d]
+        self.logits_rows(&m.reshape(&[1, d]), items)
+            .reshape(&[items.rows()])
+    }
+
+    /// Batched form of [`Self::logits`]: session representations `ms`
+    /// (`[B, d]`) against the item table `items` (`[|V|, d]`), producing one
+    /// logit row per session (`[B, |V|]`).
+    ///
+    /// The item table is normalized and transposed **once per batch** rather
+    /// than once per session — this amortization is where batched serving
+    /// gets most of its throughput. Each output row is bitwise-identical to
+    /// the corresponding single-session [`Self::logits`] call because row
+    /// normalization and matmul rows are computed independently in the same
+    /// element order.
+    pub fn logits_rows(&self, ms: &Tensor, items: &Tensor) -> Tensor {
+        assert_eq!(items.cols(), ms.cols(), "item table dim mismatch");
+        let m_hat = ms.l2_normalize_rows(1e-12).mul_scalar(self.w_k); // [B, d]
         let v_hat = items.l2_normalize_rows(1e-12); // [|V|, d]
-        m_hat.matmul(&v_hat.transpose()).reshape(&[items.rows()])
+        m_hat.matmul(&v_hat.transpose())
     }
 }
 

@@ -7,7 +7,7 @@
 use embsr_tensor::{Rng, Tensor};
 
 use crate::linear::Linear;
-use crate::module::Module;
+use crate::module::{Forward, Module};
 
 /// Eq. 9: per-satellite scalar gate
 /// `α_i = (W_q1 ê_i)ᵀ (W_k1 e_s) / √d`, then
@@ -33,12 +33,12 @@ impl StarGate {
     }
 
     /// Applies the gate. `satellites` is `[c, d]`, `star` is `[d]`.
-    pub fn forward(&self, satellites: &Tensor, star: &Tensor) -> Tensor {
+    pub fn propagate(&self, satellites: &Tensor, star: &Tensor) -> Tensor {
         assert_eq!(satellites.cols(), self.dim);
         assert_eq!(star.len(), self.dim);
         let c = satellites.rows();
-        let qs = self.q.forward(satellites); // [c, d]
-        let ks = self.k.forward(&star.reshape(&[1, self.dim])); // [1, d]
+        let qs = self.q.apply(satellites); // [c, d]
+        let ks = self.k.apply(&star.reshape(&[1, self.dim])); // [1, d]
         // α = qs · ksᵀ / √d → [c, 1]
         let alpha = qs
             .matmul(&ks.transpose())
@@ -81,10 +81,10 @@ impl StarAttention {
     }
 
     /// Returns the new star embedding `[d]`.
-    pub fn forward(&self, satellites: &Tensor, star: &Tensor) -> Tensor {
+    pub fn attend(&self, satellites: &Tensor, star: &Tensor) -> Tensor {
         assert_eq!(satellites.cols(), self.dim);
-        let ks = self.k.forward(satellites); // [c, d]
-        let q = self.q.forward(&star.reshape(&[1, self.dim])); // [1, d]
+        let ks = self.k.apply(satellites); // [c, d]
+        let q = self.q.apply(&star.reshape(&[1, self.dim])); // [1, d]
         let scores = q
             .matmul(&ks.transpose())
             .mul_scalar(1.0 / (self.dim as f32).sqrt()); // [1, c]
@@ -111,7 +111,7 @@ mod tests {
         let g = StarGate::new(4, &mut Rng::seed_from_u64(0));
         let sats = Tensor::ones(&[3, 4]);
         let star = Tensor::ones(&[4]);
-        assert_eq!(g.forward(&sats, &star).shape().dims(), &[3, 4]);
+        assert_eq!(g.propagate(&sats, &star).shape().dims(), &[3, 4]);
     }
 
     #[test]
@@ -120,7 +120,7 @@ mod tests {
         let g = StarGate::new(3, &mut Rng::seed_from_u64(1));
         let sats = Tensor::full(&[2, 3], 0.7);
         let star = Tensor::full(&[3], 0.7);
-        assert_close(&g.forward(&sats, &star).to_vec(), &[0.7; 6], 1e-5);
+        assert_close(&g.propagate(&sats, &star).to_vec(), &[0.7; 6], 1e-5);
     }
 
     #[test]
@@ -128,7 +128,7 @@ mod tests {
         let a = StarAttention::new(2, &mut Rng::seed_from_u64(2));
         let sats = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
         let star = Tensor::from_vec(vec![0.5, 0.5], &[2]);
-        let out = a.forward(&sats, &star).to_vec();
+        let out = a.attend(&sats, &star).to_vec();
         // convex mixture of rows: components sum to 1 and lie in [0,1]
         assert_close(&[out[0] + out[1]], &[1.0], 1e-5);
         assert!(out.iter().all(|&v| (0.0..=1.0).contains(&v)));
@@ -139,7 +139,7 @@ mod tests {
         let a = StarAttention::new(3, &mut Rng::seed_from_u64(3));
         let sats = Tensor::from_vec(vec![0.1, 0.2, 0.3], &[1, 3]);
         let star = Tensor::zeros(&[3]);
-        assert_close(&a.forward(&sats, &star).to_vec(), &[0.1, 0.2, 0.3], 1e-5);
+        assert_close(&a.attend(&sats, &star).to_vec(), &[0.1, 0.2, 0.3], 1e-5);
     }
 
     #[test]
@@ -148,8 +148,8 @@ mod tests {
         let a = StarAttention::new(2, &mut Rng::seed_from_u64(5));
         let sats = Tensor::from_vec(vec![0.3, -0.3, 0.6, 0.1], &[2, 2]);
         let star = Tensor::from_vec(vec![0.2, 0.4], &[2]);
-        let gated = g.forward(&sats, &star);
-        let new_star = a.forward(&gated, &star);
+        let gated = g.propagate(&sats, &star);
+        let new_star = a.attend(&gated, &star);
         new_star.sum().backward();
         for p in g.parameters().iter().chain(a.parameters().iter()) {
             assert!(p.grad().is_some());

@@ -5,7 +5,7 @@
 //! through each composite layer matches central differences.
 
 use embsr_nn::{
-    Ffn, FusionGate, FusionMode, GgnnCell, Gru, Highway, NormalizedScorer,
+    Ffn, Forward, FusionGate, FusionMode, GgnnCell, Gru, Highway, NormalizedScorer,
     OpAwareSelfAttention, StarAttention, StarGate,
 };
 use embsr_tensor::testing::check_gradient;
@@ -19,7 +19,7 @@ fn input(vals: &[f32], dims: &[usize]) -> Tensor {
 fn gru_full_sequence_gradcheck() {
     let gru = Gru::new(3, 3, &mut Rng::seed_from_u64(0));
     let x = input(&[0.1, -0.2, 0.3, 0.4, 0.0, -0.5], &[2, 3]);
-    check_gradient(&x, |t| gru.forward_last(t).square().sum(), 1e-3, 5e-2);
+    check_gradient(&x, |t| gru.last_state(t).square().sum(), 1e-3, 5e-2);
 }
 
 #[test]
@@ -40,8 +40,8 @@ fn star_layers_gradcheck() {
     check_gradient(
         &sats,
         |s| {
-            let gated = gate.forward(s, &star);
-            attn.forward(&gated, &star).square().sum()
+            let gated = gate.propagate(s, &star);
+            attn.attend(&gated, &star).square().sum()
         },
         1e-3,
         5e-2,
@@ -53,14 +53,14 @@ fn highway_gradcheck() {
     let hw = Highway::new(3, &mut Rng::seed_from_u64(3));
     let before = input(&[0.1, 0.5, -0.3], &[1, 3]);
     let after = Tensor::from_vec(vec![-0.2, 0.4, 0.7], &[1, 3]);
-    check_gradient(&before, |b| hw.forward(b, &after).square().sum(), 1e-3, 5e-2);
+    check_gradient(&before, |b| hw.blend(b, &after).square().sum(), 1e-3, 5e-2);
 }
 
 #[test]
 fn op_aware_attention_gradcheck() {
     let att = OpAwareSelfAttention::new(3, 2, 4, true, &mut Rng::seed_from_u64(4));
     let x = input(&[0.1, -0.2, 0.3, 0.0, 0.4, -0.1], &[2, 3]);
-    check_gradient(&x, |t| att.forward(t, &[0, 1]).square().sum(), 1e-3, 8e-2);
+    check_gradient(&x, |t| att.attend(t, &[0, 1]).square().sum(), 1e-3, 8e-2);
 }
 
 #[test]
@@ -72,9 +72,7 @@ fn ffn_gradcheck() {
         &x,
         |t| {
             let w = Tensor::from_vec(vec![1.0, 0.5, -0.5, 2.0], &[1, 4]);
-            ffn.forward(t, false, &mut Rng::seed_from_u64(0))
-                .mul(&w)
-                .sum()
+            ffn.apply(t).mul(&w).sum()
         },
         1e-3,
         8e-2,
@@ -87,7 +85,7 @@ fn fusion_gate_gradcheck() {
     let fg = FusionGate::new(3, FusionMode::Gated, &mut Rng::seed_from_u64(7));
     let z = input(&[0.3, -0.4, 0.2], &[3]);
     let x_t = Tensor::from_vec(vec![0.1, 0.6, -0.2], &[3]);
-    check_gradient(&z, |t| fg.forward(t, &x_t).square().sum(), 1e-3, 5e-2);
+    check_gradient(&z, |t| fg.fuse(t, &x_t).square().sum(), 1e-3, 5e-2);
 }
 
 #[test]

@@ -1,0 +1,67 @@
+//! Send-safe wall-clock timing.
+//!
+//! [`SpanGuard`](crate::SpanGuard) maintains a per-thread nesting path, so it
+//! must not cross threads; code that needs to time an interval *across*
+//! threads (e.g. a serving request that is enqueued on one thread and scored
+//! on another) uses a [`Stopwatch`] instead. This module lives in `embsr-obs`
+//! because the workspace lint confines `std::time::Instant` to this crate.
+
+use std::time::{Duration, Instant};
+
+/// A started wall clock that can be read from any thread.
+///
+/// Unlike a span it carries no logging, no nesting path and no histogram —
+/// callers decide what to do with the measured [`Duration`] (typically
+/// record it into a [`crate::metrics::histogram`]).
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts the clock.
+    pub fn start() -> Self {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Time elapsed since [`Stopwatch::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Elapsed time in whole microseconds, saturating at `u64::MAX` —
+    /// the unit the latency histograms record.
+    pub fn elapsed_us(&self) -> u64 {
+        u64::try_from(self.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let w = Stopwatch::start();
+        let a = w.elapsed();
+        let b = w.elapsed();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn stopwatch_crosses_threads() {
+        let w = Stopwatch::start();
+        let us = std::thread::spawn(move || w.elapsed_us())
+            .join()
+            .expect("timer thread");
+        assert!(us < 60_000_000, "sane elapsed reading, got {us}us");
+    }
+}

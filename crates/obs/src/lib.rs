@@ -32,6 +32,7 @@
 //! on it without pulling anything external.
 
 pub mod bench;
+mod clock;
 mod filter;
 mod json;
 mod level;
@@ -40,6 +41,7 @@ pub mod metrics;
 mod sink;
 mod span;
 
+pub use clock::Stopwatch;
 pub use filter::EnvFilter;
 pub use json::{parse as parse_json, JsonValue};
 pub use level::Level;

@@ -1,0 +1,89 @@
+//! The batch-first prediction API: request/response pairs.
+//!
+//! Serving traffic is expressed as *batches of session prefixes*, not single
+//! sessions — the shape both the micro-batching engine and the batched
+//! kernels want. A [`ScoreBatch`] asks for full-vocabulary score vectors
+//! (what the eval harness consumes); a [`TopK`] asks only for the `k`
+//! best-scored items per session (what a recommendation endpoint returns).
+
+use embsr_sessions::{ItemId, Session};
+
+/// Request: score the full item vocabulary for each session prefix.
+#[derive(Clone, Debug, Default)]
+pub struct ScoreBatch {
+    /// Session prefixes to score, in reply order.
+    pub sessions: Vec<Session>,
+}
+
+/// Response to a [`ScoreBatch`]: one `num_items`-length score vector per
+/// requested session, in request order.
+#[derive(Clone, Debug, Default)]
+pub struct ScoreResponse {
+    /// `scores[i][v]` is the model's score of item `v` after `sessions[i]`.
+    pub scores: Vec<Vec<f32>>,
+}
+
+/// Request: the `k` highest-scored items for each session prefix.
+#[derive(Clone, Debug, Default)]
+pub struct TopK {
+    /// Session prefixes to score, in reply order.
+    pub sessions: Vec<Session>,
+    /// Number of recommendations per session.
+    pub k: usize,
+}
+
+/// Response to a [`TopK`]: per session, the best `k` items best-first.
+#[derive(Clone, Debug, Default)]
+pub struct TopKResponse {
+    /// `items[i]` are the recommendations for `sessions[i]`, descending by
+    /// score (ties broken by ascending item id, so responses are
+    /// deterministic).
+    pub items: Vec<Vec<ScoredItem>>,
+}
+
+/// One recommended item with its score.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScoredItem {
+    /// The recommended item.
+    pub item: ItemId,
+    /// The model's score for it.
+    pub score: f32,
+}
+
+/// Selects the `k` best items of one score row, descending by score with
+/// ascending-id tie-break. `k` is clamped to the vocabulary size.
+pub fn top_k_of_row(scores: &[f32], k: usize) -> Vec<ScoredItem> {
+    let mut order: Vec<u32> = (0..scores.len() as u32).collect();
+    order.sort_by(|&a, &b| {
+        scores[b as usize]
+            .total_cmp(&scores[a as usize])
+            .then(a.cmp(&b))
+    });
+    order
+        .into_iter()
+        .take(k)
+        .map(|i| ScoredItem {
+            item: i,
+            score: scores[i as usize],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_sorts_descending_with_id_tiebreak() {
+        let got = top_k_of_row(&[0.5, 2.0, 0.5, -1.0], 3);
+        let items: Vec<u32> = got.iter().map(|s| s.item).collect();
+        assert_eq!(items, vec![1, 0, 2]);
+        assert_eq!(got[0].score, 2.0);
+    }
+
+    #[test]
+    fn top_k_clamps_to_vocabulary() {
+        assert_eq!(top_k_of_row(&[1.0, 0.0], 10).len(), 2);
+        assert!(top_k_of_row(&[], 3).is_empty());
+    }
+}

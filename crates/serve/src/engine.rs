@@ -1,0 +1,371 @@
+//! The micro-batching serving engine.
+//!
+//! Requests arrive as [`ScoreBatch`]es / [`TopK`]s on the calling thread;
+//! their sessions are enqueued individually and **coalesced across
+//! requests** by a pool of scoring workers: a worker drains up to
+//! [`EngineConfig::max_batch`] sessions per forward, waiting at most
+//! [`EngineConfig::flush_deadline_us`] for stragglers to fill the batch
+//! (the classic latency/throughput knob of batched inference servers).
+//!
+//! Model weights cross threads as the flat snapshot inside a
+//! [`FrozenModel`]; each worker rebuilds a private replica from a
+//! constructor closure plus the snapshot (tensors are `Rc`-backed and
+//! cannot be shared). Latency and batch-occupancy histograms are recorded
+//! through `embsr_obs` when telemetry is enabled.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{RecvTimeoutError, Sender};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+use embsr_obs::Stopwatch;
+use embsr_pool::{run_with_workers, AbortSignal};
+use embsr_sessions::Session;
+use embsr_train::SessionModel;
+
+use crate::api::{top_k_of_row, ScoreBatch, ScoreResponse, TopK, TopKResponse};
+use crate::frozen::FrozenModel;
+
+/// Histogram of end-to-end request latency in microseconds.
+pub const METRIC_REQUEST_LATENCY_US: &str = "serve.request_latency_us";
+/// Histogram of sessions per scored micro-batch (batch occupancy).
+pub const METRIC_BATCH_SESSIONS: &str = "serve.batch_sessions";
+/// Counter of sessions scored by the engine.
+pub const METRIC_SESSIONS_SCORED: &str = "serve.sessions_scored";
+
+/// Tuning knobs of the micro-batching engine.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Number of scoring worker threads (each holds a model replica).
+    pub workers: usize,
+    /// Maximum sessions coalesced into one batched forward.
+    pub max_batch: usize,
+    /// How long a worker holds an underfull batch open for stragglers,
+    /// in microseconds, before flushing it anyway.
+    pub flush_deadline_us: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 2,
+            max_batch: 32,
+            flush_deadline_us: 500,
+        }
+    }
+}
+
+/// One enqueued session awaiting scoring.
+struct Job {
+    session: Session,
+    enqueued: Stopwatch,
+    /// Position inside the originating request.
+    slot: usize,
+    reply: Sender<(usize, Vec<f32>)>,
+}
+
+/// Queue state shared between the client thread and the workers.
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    arrivals: Condvar,
+    /// Cleared on shutdown; workers drain the queue and exit.
+    open: AtomicBool,
+}
+
+fn lock(shared: &Shared) -> MutexGuard<'_, VecDeque<Job>> {
+    match shared.queue.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Handle for submitting requests to a running engine (see [`serve`]).
+///
+/// Both calls block until every session of the request is scored; sessions
+/// from concurrent callers coalesce into shared micro-batches.
+pub struct Client<'a> {
+    shared: &'a Shared,
+    signal: &'a AbortSignal,
+}
+
+impl Client<'_> {
+    /// Scores the full vocabulary for each session of the request.
+    pub fn score(&self, req: ScoreBatch) -> ScoreResponse {
+        ScoreResponse {
+            scores: self.submit(req.sessions),
+        }
+    }
+
+    /// Returns the `k` best items per session of the request.
+    pub fn top_k(&self, req: TopK) -> TopKResponse {
+        TopKResponse {
+            items: self
+                .submit(req.sessions)
+                .iter()
+                .map(|row| top_k_of_row(row, req.k))
+                .collect(),
+        }
+    }
+
+    fn submit(&self, sessions: Vec<Session>) -> Vec<Vec<f32>> {
+        let n = sessions.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let watch = Stopwatch::start();
+        let (reply, replies) = std::sync::mpsc::channel::<(usize, Vec<f32>)>();
+        {
+            let mut q = lock(self.shared);
+            for (slot, session) in sessions.into_iter().enumerate() {
+                q.push_back(Job {
+                    session,
+                    enqueued: Stopwatch::start(),
+                    slot,
+                    reply: reply.clone(),
+                });
+            }
+        }
+        self.shared.arrivals.notify_all();
+        drop(reply);
+
+        let mut rows: Vec<Vec<f32>> = vec![Vec::new(); n];
+        let mut received = 0;
+        while received < n {
+            match replies.recv_timeout(Duration::from_millis(50)) {
+                Ok((slot, row)) => {
+                    rows[slot] = row;
+                    received += 1;
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    assert!(
+                        !self.signal.is_aborted(),
+                        "serving worker died while scoring"
+                    );
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Every worker dropped its Sender clone: the pool is
+                    // tearing down after a worker panic, which the pool
+                    // re-raises once we return.
+                    assert!(
+                        received == n,
+                        "serving workers disconnected with {} of {n} rows scored",
+                        received
+                    );
+                }
+            }
+        }
+        if embsr_obs::metrics::enabled() {
+            embsr_obs::metrics::histogram(METRIC_REQUEST_LATENCY_US).record(watch.elapsed_us());
+        }
+        rows
+    }
+}
+
+/// Drains the next micro-batch, or `None` when the engine has shut down and
+/// the queue is empty.
+fn next_batch(shared: &Shared, cfg: &EngineConfig) -> Option<Vec<Job>> {
+    let deadline = Duration::from_micros(cfg.flush_deadline_us);
+    let mut q = lock(shared);
+    loop {
+        if let Some(oldest) = q.front() {
+            let waited = oldest.enqueued.elapsed();
+            let closing = !shared.open.load(Ordering::SeqCst);
+            if q.len() >= cfg.max_batch || waited >= deadline || closing {
+                let take = q.len().min(cfg.max_batch);
+                return Some(q.drain(..take).collect());
+            }
+            // Hold the batch open for stragglers, but never past the
+            // flush deadline of its oldest session.
+            let (guard, _) = match shared.arrivals.wait_timeout(q, deadline - waited) {
+                Ok(pair) => pair,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            q = guard;
+        } else {
+            if !shared.open.load(Ordering::SeqCst) {
+                return None;
+            }
+            // Idle: sleep until an arrival (with a timeout so a missed
+            // shutdown notification cannot strand the worker).
+            let (guard, _) = match shared.arrivals.wait_timeout(q, Duration::from_millis(10)) {
+                Ok(pair) => pair,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            q = guard;
+        }
+    }
+}
+
+/// Runs a micro-batching serving engine for the duration of `master`.
+///
+/// `cfg.workers` scoring threads each build a private model replica with
+/// `factory()` and load `frozen`'s weight snapshot into it; `master` runs
+/// on the calling thread with a [`Client`] for submitting requests. When
+/// `master` returns, the queue is flushed, the workers exit, and the
+/// master's value is returned.
+///
+/// # Panics
+/// Re-raises worker panics (e.g. a scoring failure), as
+/// [`run_with_workers`] does.
+pub fn serve<M, F, R>(
+    frozen: &FrozenModel<M>,
+    factory: F,
+    cfg: EngineConfig,
+    master: impl FnOnce(&Client<'_>) -> R,
+) -> R
+where
+    M: SessionModel,
+    F: Fn() -> M + Sync,
+{
+    let snapshot = frozen.snapshot().to_vec();
+    let max_session_len = frozen.max_session_len();
+    let shared = Shared {
+        queue: Mutex::new(VecDeque::new()),
+        arrivals: Condvar::new(),
+        open: AtomicBool::new(true),
+    };
+    run_with_workers(
+        cfg.workers.max(1),
+        |_worker_id| {
+            let replica = FrozenModel::from_snapshot(factory(), &snapshot, max_session_len);
+            while let Some(batch) = next_batch(&shared, &cfg) {
+                let sessions: Vec<Session> = batch.iter().map(|j| j.session.clone()).collect();
+                let rows = replica.score_batch(&sessions);
+                if embsr_obs::metrics::enabled() {
+                    embsr_obs::metrics::histogram(METRIC_BATCH_SESSIONS)
+                        .record(batch.len() as u64);
+                    embsr_obs::metrics::counter(METRIC_SESSIONS_SCORED).add(batch.len() as u64);
+                }
+                for (job, row) in batch.into_iter().zip(rows) {
+                    // A receiver gone away just means the caller bailed out;
+                    // drop its rows rather than killing the worker.
+                    let _ = job.reply.send((job.slot, row));
+                }
+            }
+        },
+        |signal| {
+            let client = Client {
+                shared: &shared,
+                signal,
+            };
+            let out = master(&client);
+            shared.open.store(false, Ordering::SeqCst);
+            notify_shutdown(&shared);
+            out
+        },
+    )
+}
+
+fn notify_shutdown(shared: &Shared) {
+    // Take the lock so no worker can check `open` between its queue
+    // inspection and its wait — the wake-up cannot be missed.
+    drop(lock(shared));
+    shared.arrivals.notify_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::{sess, ToyModel};
+
+    fn frozen(n: usize, seed: u64) -> FrozenModel<ToyModel> {
+        FrozenModel::freeze(ToyModel::new(n, seed), 32)
+    }
+
+    #[test]
+    fn engine_scores_match_direct_frozen_scores() {
+        let f = frozen(9, 4);
+        let sessions: Vec<Session> = (0..23).map(|i| sess(&[i % 9, (i + 2) % 9])).collect();
+        let want = f.score_batch(&sessions);
+        let cfg = EngineConfig {
+            workers: 3,
+            max_batch: 4,
+            flush_deadline_us: 200,
+        };
+        let got = serve(&f, || ToyModel::new(9, 0), cfg, |client| {
+            client
+                .score(ScoreBatch {
+                    sessions: sessions.clone(),
+                })
+                .scores
+        });
+        assert_eq!(got, want, "micro-batched rows must be bitwise-identical");
+    }
+
+    #[test]
+    fn top_k_requests_are_served() {
+        let f = frozen(6, 1);
+        let got = serve(
+            &f,
+            || ToyModel::new(6, 0),
+            EngineConfig::default(),
+            |client| {
+                client.top_k(TopK {
+                    sessions: vec![sess(&[1]), sess(&[2, 3])],
+                    k: 2,
+                })
+            },
+        );
+        assert_eq!(got.items.len(), 2);
+        for recs in &got.items {
+            assert_eq!(recs.len(), 2);
+            assert!(recs[0].score >= recs[1].score);
+        }
+    }
+
+    #[test]
+    fn empty_request_returns_immediately() {
+        let f = frozen(4, 2);
+        let got = serve(
+            &f,
+            || ToyModel::new(4, 0),
+            EngineConfig::default(),
+            |client| client.score(ScoreBatch::default()),
+        );
+        assert!(got.scores.is_empty());
+    }
+
+    #[test]
+    fn single_worker_underfull_batches_flush_on_deadline() {
+        let f = frozen(5, 3);
+        let cfg = EngineConfig {
+            workers: 1,
+            max_batch: 64, // never fills: the deadline must flush
+            flush_deadline_us: 100,
+        };
+        let sessions = vec![sess(&[0]), sess(&[1]), sess(&[2])];
+        let want = f.score_batch(&sessions);
+        let got = serve(&f, || ToyModel::new(5, 0), cfg, |client| {
+            client
+                .score(ScoreBatch {
+                    sessions: sessions.clone(),
+                })
+                .scores
+        });
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sequential_requests_reuse_the_running_engine() {
+        let f = frozen(7, 8);
+        let want_a = f.score_batch(&[sess(&[1, 2])]);
+        let want_b = f.score_batch(&[sess(&[3])]);
+        let (got_a, got_b) = serve(
+            &f,
+            || ToyModel::new(7, 0),
+            EngineConfig::default(),
+            |client| {
+                let a = client.score(ScoreBatch {
+                    sessions: vec![sess(&[1, 2])],
+                });
+                let b = client.score(ScoreBatch {
+                    sessions: vec![sess(&[3])],
+                });
+                (a.scores, b.scores)
+            },
+        );
+        assert_eq!(got_a, want_a);
+        assert_eq!(got_b, want_b);
+    }
+}

@@ -1,0 +1,151 @@
+//! Frozen model snapshots for inference.
+
+use embsr_sessions::Session;
+use embsr_tensor::{export_params, import_params, inference_mode};
+use embsr_train::{truncate_session, SessionModel};
+
+use crate::api::{top_k_of_row, ScoredItem};
+
+/// A [`SessionModel`] frozen for serving: the weights are captured as a flat
+/// `f32` snapshot (via `export_params`) and every forward runs tape-free
+/// inside [`inference_mode`], so scoring records no autograd graph and
+/// recycles activations through the tensor buffer pool.
+///
+/// The snapshot is plain `Send + Sync` data; worker threads replicate the
+/// model by constructing a fresh instance and calling
+/// [`FrozenModel::from_snapshot`] (tensors are `Rc`-backed and cannot cross
+/// threads themselves).
+pub struct FrozenModel<M: SessionModel> {
+    model: M,
+    snapshot: Vec<f32>,
+    max_session_len: usize,
+}
+
+impl<M: SessionModel> FrozenModel<M> {
+    /// Freezes `model` as-is, capturing its current weights. Sessions longer
+    /// than `max_session_len` micro-behaviors are truncated to their suffix
+    /// before scoring, matching the training-time protocol.
+    pub fn freeze(model: M, max_session_len: usize) -> Self {
+        let snapshot = export_params(&model.parameters());
+        FrozenModel {
+            model,
+            snapshot,
+            max_session_len,
+        }
+    }
+
+    /// Rebuilds a frozen replica from a weight snapshot taken by
+    /// [`FrozenModel::freeze`] on an architecturally identical model
+    /// (same constructor arguments — the flat layout must match).
+    pub fn from_snapshot(model: M, snapshot: &[f32], max_session_len: usize) -> Self {
+        import_params(&model.parameters(), snapshot);
+        FrozenModel {
+            model,
+            snapshot: snapshot.to_vec(),
+            max_session_len,
+        }
+    }
+
+    /// The flat weight snapshot (feed to [`FrozenModel::from_snapshot`]).
+    pub fn snapshot(&self) -> &[f32] {
+        &self.snapshot
+    }
+
+    /// The session-truncation horizon.
+    pub fn max_session_len(&self) -> usize {
+        self.max_session_len
+    }
+
+    /// Model name.
+    pub fn name(&self) -> &str {
+        self.model.name()
+    }
+
+    /// Item vocabulary size `|V|`.
+    pub fn num_items(&self) -> usize {
+        self.model.num_items()
+    }
+
+    /// Scores the full vocabulary for one session, tape-free.
+    pub fn score(&self, session: &Session) -> Vec<f32> {
+        let truncated = truncate_session(session, self.max_session_len);
+        inference_mode(|| self.model.logits_infer(&truncated)).to_vec()
+    }
+
+    /// Scores the full vocabulary for a batch of sessions, tape-free and
+    /// batched: one `num_items`-length row per session, in input order.
+    ///
+    /// Row `i` is bitwise-equal to `self.score(&sessions[i])` — the batched
+    /// forward shares the item-table pass across the batch but computes each
+    /// row with the same sequential dot products as the per-session path.
+    pub fn score_batch(&self, sessions: &[Session]) -> Vec<Vec<f32>> {
+        if sessions.is_empty() {
+            return Vec::new();
+        }
+        let truncated: Vec<Session> = sessions
+            .iter()
+            .map(|s| truncate_session(s, self.max_session_len))
+            .collect();
+        let refs: Vec<&Session> = truncated.iter().collect();
+        let logits = inference_mode(|| self.model.logits_batch(&refs));
+        let v = self.model.num_items();
+        assert_eq!(logits.rows(), sessions.len(), "one logit row per session");
+        assert_eq!(logits.cols(), v, "full-vocabulary rows");
+        let flat = logits.to_vec();
+        flat.chunks(v).map(|row| row.to_vec()).collect()
+    }
+
+    /// The `k` best items per session, best-first (ties broken by ascending
+    /// item id).
+    pub fn top_k(&self, sessions: &[Session], k: usize) -> Vec<Vec<ScoredItem>> {
+        self.score_batch(sessions)
+            .iter()
+            .map(|row| top_k_of_row(row, k))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::{sess, ToyModel};
+
+    #[test]
+    fn snapshot_round_trips_weights() {
+        let frozen = FrozenModel::freeze(ToyModel::new(6, 7), 32);
+        let replica = FrozenModel::from_snapshot(ToyModel::new(6, 99), frozen.snapshot(), 32);
+        let s = sess(&[1, 3]);
+        assert_eq!(frozen.score(&s), replica.score(&s));
+        assert_eq!(frozen.num_items(), 6);
+    }
+
+    #[test]
+    fn batched_rows_match_single_scores() {
+        let frozen = FrozenModel::freeze(ToyModel::new(8, 3), 32);
+        let sessions = vec![sess(&[1]), sess(&[2, 5]), sess(&[7, 0, 4])];
+        let rows = frozen.score_batch(&sessions);
+        assert_eq!(rows.len(), 3);
+        for (s, row) in sessions.iter().zip(&rows) {
+            assert_eq!(row, &frozen.score(s));
+        }
+        assert!(frozen.score_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn top_k_orders_by_score() {
+        let frozen = FrozenModel::freeze(ToyModel::new(5, 1), 32);
+        let recs = frozen.top_k(&[sess(&[2])], 3);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].len(), 3);
+        assert!(recs[0][0].score >= recs[0][1].score);
+    }
+
+    #[test]
+    fn long_sessions_are_truncated_to_the_horizon() {
+        let frozen = FrozenModel::freeze(ToyModel::new(4, 2), 2);
+        // with max_session_len = 2 only the last two events matter
+        let long = sess(&[3, 3, 3, 1, 2]);
+        let short = sess(&[1, 2]);
+        assert_eq!(frozen.score(&long), frozen.score(&short));
+    }
+}

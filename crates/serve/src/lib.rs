@@ -1,0 +1,82 @@
+//! # embsr-serve
+//!
+//! The serving layer: batched, tape-free inference behind a batch-first
+//! prediction API.
+//!
+//! * [`FrozenModel`] — a [`SessionModel`](embsr_train::SessionModel) frozen
+//!   for inference: weights captured as a flat snapshot (`export_params`),
+//!   every forward wrapped in `embsr_tensor::inference_mode` so no autograd
+//!   tape is recorded and activations recycle through the buffer pool.
+//! * [`ScoreBatch`] / [`TopK`] — the request/response pairs: full-vocabulary
+//!   score rows for the eval harness, top-`k` recommendations for an
+//!   endpoint.
+//! * [`serve`] — a micro-batching engine on `embsr-pool` workers: requests
+//!   from concurrent callers coalesce into batches of up to
+//!   [`EngineConfig::max_batch`] sessions, held open at most
+//!   [`EngineConfig::flush_deadline_us`]; latency and batch-occupancy land
+//!   in `embsr_obs` histograms.
+//!
+//! The batched path is held to **bitwise equality** with the per-session
+//! taped path (`tests/serving_equivalence.rs`): GEMM rows are independent
+//! sequential dot products, so batching changes throughput, never scores.
+
+mod api;
+mod engine;
+mod frozen;
+
+pub use api::{top_k_of_row, ScoreBatch, ScoreResponse, ScoredItem, TopK, TopKResponse};
+pub use engine::{
+    serve, Client, EngineConfig, METRIC_BATCH_SESSIONS, METRIC_REQUEST_LATENCY_US,
+    METRIC_SESSIONS_SCORED,
+};
+pub use frozen::FrozenModel;
+
+#[cfg(test)]
+pub(crate) mod testing {
+    use embsr_sessions::{MicroBehavior, Session};
+    use embsr_tensor::{uniform_init, Rng, Tensor};
+    use embsr_train::SessionModel;
+
+    /// Minimal deterministic model: logits are the mean of the weight rows
+    /// of the session's items, so scores depend on the whole (truncated)
+    /// session and on the weights — enough to catch snapshot or batching
+    /// mix-ups.
+    pub struct ToyModel {
+        weight: Tensor,
+        num_items: usize,
+    }
+
+    impl ToyModel {
+        pub fn new(num_items: usize, seed: u64) -> Self {
+            let mut rng = Rng::seed_from_u64(seed);
+            ToyModel {
+                weight: uniform_init(&[num_items, num_items], &mut rng),
+                num_items,
+            }
+        }
+    }
+
+    impl SessionModel for ToyModel {
+        fn name(&self) -> &str {
+            "Toy"
+        }
+        fn num_items(&self) -> usize {
+            self.num_items
+        }
+        fn parameters(&self) -> Vec<Tensor> {
+            vec![self.weight.clone()]
+        }
+        fn logits(&self, session: &Session, _training: bool, _rng: &mut Rng) -> Tensor {
+            let idx: Vec<usize> = session.events.iter().map(|e| e.item as usize).collect();
+            assert!(!idx.is_empty(), "empty session");
+            self.weight.gather_rows(&idx).mean_rows()
+        }
+    }
+
+    pub fn sess(items: &[u32]) -> Session {
+        Session {
+            id: 0,
+            events: items.iter().map(|&i| MicroBehavior::new(i, 0)).collect(),
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Inference mode: a thread-local switch that disables autograd tape
+//! recording for the duration of a closure.
+//!
+//! Ops always *skip* graph construction when no input requires gradients
+//! (see [`crate::Tensor`]'s `from_op`), but a forward pass through a model
+//! whose parameters are trainable leaves still records parents and backward
+//! closures at every step — activations stay alive until the output is
+//! dropped, and the tape bookkeeping is pure overhead when nobody will call
+//! `backward`. [`inference_mode`] flips a thread-local flag that `from_op`
+//! consults *in addition to* the parents' `requires_grad` bits: inside the
+//! closure every op behaves as if its inputs were plain constants, so no
+//! parents are retained, no backward closures are built, and each
+//! intermediate activation returns to the [buffer pool](crate::pool_stats)
+//! as soon as the next op consumes it.
+//!
+//! The flag only suppresses *tape construction*; forward arithmetic is the
+//! identical code path, so values computed under inference mode are
+//! bitwise-equal to the taped forward. The serving equivalence suite
+//! asserts this end-to-end for full models.
+//!
+//! The guard is re-entrant and panic-safe: nesting keeps the flag set, and
+//! unwinding restores the previous state.
+
+use std::cell::Cell;
+
+thread_local! {
+    static INFERENCE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// RAII restorer so the flag survives panics and nesting correctly.
+struct Restore(bool);
+
+impl Drop for Restore {
+    fn drop(&mut self) {
+        let _ = INFERENCE.try_with(|f| f.set(self.0));
+    }
+}
+
+/// Runs `f` with autograd tape recording disabled on the calling thread.
+///
+/// Every tensor op executed inside `f` produces a constant (non-grad) node:
+/// parents and backward closures are dropped immediately, so activations
+/// recycle into the buffer pool as the forward pass proceeds. Values are
+/// bitwise identical to the taped forward — only graph retention changes.
+///
+/// Nested calls are fine; the flag is restored (even on panic) when the
+/// outermost call returns.
+pub fn inference_mode<R>(f: impl FnOnce() -> R) -> R {
+    let prev = INFERENCE.with(|flag| flag.replace(true));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// True while the calling thread is inside [`inference_mode`].
+pub fn is_inference() -> bool {
+    INFERENCE.try_with(Cell::get).unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tensor;
+
+    #[test]
+    fn flag_is_scoped_and_nested() {
+        assert!(!is_inference());
+        inference_mode(|| {
+            assert!(is_inference());
+            inference_mode(|| assert!(is_inference()));
+            assert!(is_inference(), "inner scope must not clear the flag");
+        });
+        assert!(!is_inference());
+    }
+
+    #[test]
+    fn flag_restored_after_panic() {
+        let result = std::panic::catch_unwind(|| {
+            inference_mode(|| panic!("boom"));
+        });
+        assert!(result.is_err());
+        assert!(!is_inference(), "panic must restore the flag");
+    }
+
+    #[test]
+    fn ops_do_not_retain_graph_under_inference() {
+        let w = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).requires_grad();
+        let x = Tensor::from_vec(vec![0.5, -1.0], &[1, 2]);
+        let taped = x.matmul(&w);
+        assert!(taped.is_grad(), "taped forward must require grad");
+        let frozen = inference_mode(|| x.matmul(&w));
+        assert!(!frozen.is_grad(), "inference forward must not require grad");
+    }
+
+    #[test]
+    fn values_bitwise_equal_with_and_without_tape() {
+        let w = Tensor::from_vec(vec![0.1, -0.7, 1.3, 2.9, -0.2, 0.4], &[2, 3]).requires_grad();
+        let x = Tensor::from_vec(vec![0.25, -1.5], &[1, 2]);
+        let taped = x.matmul(&w).relu().softmax_rows();
+        let frozen = inference_mode(|| x.matmul(&w).relu().softmax_rows());
+        let a = taped.to_vec();
+        let b = frozen.to_vec();
+        assert_eq!(a.len(), b.len());
+        for (i, (ta, fb)) in a.iter().zip(b.iter()).enumerate() {
+            assert_eq!(
+                ta.to_bits(),
+                fb.to_bits(),
+                "element {i}: taped {ta} vs inference {fb}"
+            );
+        }
+    }
+}

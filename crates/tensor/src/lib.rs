@@ -38,6 +38,7 @@
 
 mod autograd;
 mod flat;
+mod inference;
 mod init;
 mod ops;
 mod optim;
@@ -50,6 +51,7 @@ mod tensor;
 pub mod verify;
 
 pub use flat::{export_grads, export_params, flat_len, import_grads, import_params, tree_reduce};
+pub use inference::{inference_mode, is_inference};
 pub use init::{kaiming_uniform, uniform_init, xavier_uniform, zeros_init};
 pub use ops::kernels;
 pub use ops::softmax_slice;

@@ -198,7 +198,8 @@ impl Tensor {
         backward: BackwardFn,
     ) -> Self {
         debug_assert_eq!(data.len(), shape.len());
-        let requires_grad = parents.iter().any(|p| p.inner.requires_grad);
+        let requires_grad =
+            !crate::inference::is_inference() && parents.iter().any(|p| p.inner.requires_grad);
         // Single central dispatch point for op telemetry: one relaxed-atomic
         // load when telemetry is off, so the hot path stays effectively free.
         // Fresh-allocation bytes are no longer counted here: op output

@@ -50,7 +50,6 @@ use crate::trainer::{truncate_session, validate_loss_graph, EpochStats, TrainRep
 // arbitrary odd constants; only distinctness matters.
 const STREAM_SHUFFLE: u64 = 0x9163_2D4A_F05B_ED31;
 const STREAM_DROPOUT: u64 = 0x4C15_7B89_A2E6_0D17;
-const STREAM_EVAL: u64 = 0xD6E8_FEB8_6659_FD93;
 
 /// One round of the splitmix64 output function — a cheap, well-mixed hash
 /// used to derive independent seeds from `(seed, stream, a, b)` tuples.
@@ -450,13 +449,7 @@ impl ParallelTrainer {
                     }
 
                     let train_loss = (epoch_loss / seen.max(1) as f64) as f32;
-                    let mut eval_rng = Rng::seed_from_u64(derive_seed(
-                        cfg.seed,
-                        STREAM_EVAL,
-                        epoch as u64,
-                        0,
-                    ));
-                    let val_loss = seq.eval_loss(model, val_slice, &mut eval_rng);
+                    let val_loss = seq.eval_loss(model, val_slice);
                     let duration_s = epoch_span.elapsed().as_secs_f64();
                     drop(epoch_span);
                     embsr_obs::debug!(
@@ -826,7 +819,7 @@ mod tests {
     #[test]
     fn derived_seeds_are_distinct_across_streams_and_positions() {
         let mut seen = std::collections::HashSet::new();
-        for stream in [STREAM_SHUFFLE, STREAM_DROPOUT, STREAM_EVAL] {
+        for stream in [STREAM_SHUFFLE, STREAM_DROPOUT] {
             for a in 0..8u64 {
                 for b in 0..32u64 {
                     assert!(

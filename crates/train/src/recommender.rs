@@ -23,6 +23,18 @@ pub trait Recommender {
     /// The returned vector has length `num_items()`.
     fn scores(&self, session: &Session) -> Vec<f32>;
 
+    /// Scores for a batch of session prefixes: one `num_items()`-length
+    /// vector per session, in input order.
+    ///
+    /// The default loops over [`Recommender::scores`], so every implementor
+    /// is batchable; neural models override it with a genuinely batched,
+    /// tape-free forward (see `NeuralRecommender`). Row `i` must equal
+    /// `self.scores(&sessions[i])` — the serving equivalence suite holds
+    /// overrides to bitwise equality.
+    fn scores_batch(&self, sessions: &[Session]) -> Vec<Vec<f32>> {
+        sessions.iter().map(|s| self.scores(s)).collect()
+    }
+
     /// The training report of the most recent [`Recommender::fit`], when the
     /// model trains with the shared [`crate::Trainer`]. Non-neural methods
     /// keep the default `None`.
@@ -46,6 +58,37 @@ pub trait SessionModel {
     ///
     /// `training` toggles dropout; `rng` drives it.
     fn logits(&self, session: &Session, training: bool, rng: &mut Rng) -> Tensor;
+
+    /// Inference-time logits `[|V|]`: no dropout, no RNG to thread.
+    ///
+    /// Eval-time callers used to pass `training = false` plus a dummy RNG
+    /// into [`SessionModel::logits`]; this is the same forward without the
+    /// ceremony. The default delegates, so implementors get it for free.
+    fn logits_infer(&self, session: &Session) -> Tensor {
+        let mut rng = Rng::seed_from_u64(0); // never drawn from: dropout is off
+        self.logits(session, false, &mut rng)
+    }
+
+    /// Inference-time logits for a batch of sessions, shape `[B, |V|]` with
+    /// row `i` scoring `sessions[i]`.
+    ///
+    /// The default stacks per-session [`SessionModel::logits_infer`] rows.
+    /// Models override it to share work across the batch — encoding each
+    /// session once and scoring all representations against the item table
+    /// in a single GEMM — while keeping every row bitwise-equal to the
+    /// per-session path (GEMM rows are independent sequential dot products).
+    fn logits_batch(&self, sessions: &[&Session]) -> Tensor {
+        assert!(!sessions.is_empty(), "logits_batch of an empty batch");
+        let rows: Vec<Tensor> = sessions
+            .iter()
+            .map(|s| {
+                let y = self.logits_infer(s);
+                let n = y.len();
+                y.reshape(&[1, n])
+            })
+            .collect();
+        Tensor::concat_rows(&rows)
+    }
 }
 
 /// Adapter turning a trained [`SessionModel`] into a [`Recommender`].
@@ -83,9 +126,28 @@ impl<M: SessionModel> Recommender for NeuralRecommender<M> {
     }
 
     fn scores(&self, session: &Session) -> Vec<f32> {
-        let mut rng = Rng::seed_from_u64(0); // dropout disabled at eval
         let truncated = crate::trainer::truncate_session(session, self.config.max_session_len);
-        self.model.logits(&truncated, false, &mut rng).to_vec()
+        self.model.logits_infer(&truncated).to_vec()
+    }
+
+    fn scores_batch(&self, sessions: &[Session]) -> Vec<Vec<f32>> {
+        if sessions.is_empty() {
+            return Vec::new();
+        }
+        let truncated: Vec<Session> = sessions
+            .iter()
+            .map(|s| crate::trainer::truncate_session(s, self.config.max_session_len))
+            .collect();
+        let refs: Vec<&Session> = truncated.iter().collect();
+        // Tape-free: the whole batched forward runs without recording the
+        // autograd graph, so intermediate activations recycle through the
+        // buffer pool instead of accumulating until the logits drop.
+        let logits = embsr_tensor::inference_mode(|| self.model.logits_batch(&refs));
+        let v = self.model.num_items();
+        assert_eq!(logits.rows(), sessions.len(), "one logit row per session");
+        assert_eq!(logits.cols(), v, "full-vocabulary rows");
+        let flat = logits.to_vec();
+        flat.chunks(v).map(|row| row.to_vec()).collect()
     }
 
     fn train_report(&self) -> Option<&crate::TrainReport> {
@@ -128,5 +190,34 @@ mod tests {
             events: vec![MicroBehavior::new(1, 0)],
         };
         assert_eq!(rec.scores(&s).len(), 7);
+    }
+
+    #[test]
+    fn batched_scores_match_per_session_scores() {
+        let rec = NeuralRecommender::new(Uniform { n: 5 }, crate::TrainConfig::fast());
+        let sessions: Vec<Session> = (0..3)
+            .map(|i| Session {
+                id: i,
+                events: vec![MicroBehavior::new(i as u32 + 1, 0)],
+            })
+            .collect();
+        let batched = rec.scores_batch(&sessions);
+        assert_eq!(batched.len(), 3);
+        for (s, row) in sessions.iter().zip(&batched) {
+            assert_eq!(row, &rec.scores(s));
+        }
+        assert!(rec.scores_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn default_logits_batch_stacks_rows() {
+        let m = Uniform { n: 4 };
+        let s = Session {
+            id: 0,
+            events: vec![MicroBehavior::new(1, 0)],
+        };
+        let out = m.logits_batch(&[&s, &s, &s]);
+        assert_eq!(out.shape().dims(), &[3, 4]);
+        assert_eq!(m.logits_infer(&s).len(), 4);
     }
 }

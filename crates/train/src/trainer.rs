@@ -149,7 +149,7 @@ impl Trainer {
                 }
             }
             let train_loss = (epoch_loss / seen.max(1) as f64) as f32;
-            let val_loss = self.eval_loss(model, val_slice, &mut rng);
+            let val_loss = self.eval_loss(model, val_slice);
             let duration_s = epoch_span.elapsed().as_secs_f64();
             drop(epoch_span);
             embsr_obs::debug!(
@@ -199,22 +199,28 @@ impl Trainer {
     }
 
     /// Mean cross-entropy over a set of examples without building graphs.
-    pub fn eval_loss<M: SessionModel>(&self, model: &M, examples: &[Example], rng: &mut Rng) -> f32 {
+    ///
+    /// Runs on the inference path ([`SessionModel::logits_infer`] under
+    /// [`embsr_tensor::inference_mode`]): dropout is off, no RNG is
+    /// consumed, and no autograd tape is recorded.
+    pub fn eval_loss<M: SessionModel>(&self, model: &M, examples: &[Example]) -> f32 {
         if examples.is_empty() {
             return f32::NAN;
         }
-        let mut total = 0.0f64;
-        let mut n = 0usize;
-        for ex in examples {
-            if ex.session.is_empty() {
-                continue;
+        embsr_tensor::inference_mode(|| {
+            let mut total = 0.0f64;
+            let mut n = 0usize;
+            for ex in examples {
+                if ex.session.is_empty() {
+                    continue;
+                }
+                let sess = truncate_session(&ex.session, self.cfg.max_session_len);
+                let logits = model.logits_infer(&sess);
+                total += logits.cross_entropy_single(ex.target as usize).item() as f64;
+                n += 1;
             }
-            let sess = truncate_session(&ex.session, self.cfg.max_session_len);
-            let logits = model.logits(&sess, false, rng);
-            total += logits.cross_entropy_single(ex.target as usize).item() as f64;
-            n += 1;
-        }
-        (total / n.max(1) as f64) as f32
+            (total / n.max(1) as f64) as f32
+        })
     }
 }
 
@@ -414,8 +420,6 @@ mod tests {
     fn eval_loss_handles_empty_sets() {
         let model = Bigram::new(2, &mut Rng::seed_from_u64(2));
         let trainer = Trainer::new(TrainConfig::fast());
-        assert!(trainer
-            .eval_loss(&model, &[], &mut Rng::seed_from_u64(0))
-            .is_nan());
+        assert!(trainer.eval_loss(&model, &[]).is_nan());
     }
 }

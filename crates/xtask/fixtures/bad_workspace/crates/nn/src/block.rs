@@ -1,0 +1,7 @@
+// Seeded lint-violation fixture (never compiled by the real workspace):
+// line 5 trips nn-forward-unification — an ad-hoc `pub fn forward` in
+// crates/nn instead of a `Forward` trait impl.
+/// A block dodging the unified module API.
+pub fn forward(x: f32) -> f32 {
+    x
+}

@@ -15,6 +15,9 @@
 //! * `no-timing-outside-obs` — wall-clock reads only in `crates/obs`;
 //! * `gradcheck-coverage` — every `crates/tensor/src/ops/*.rs` has a
 //!   finite-difference entry in the gradcheck registry;
+//! * `nn-forward-unification` — no new ad-hoc `pub fn forward` in
+//!   `crates/nn`; forward passes implement the `Forward` trait (or use a
+//!   named method like `attend`/`readout`);
 //! * `doc-public-items` — public items in `tensor`/`nn` carry doc comments.
 
 mod baseline;
@@ -114,6 +117,7 @@ fn lint(root: &Path, update_baseline: bool) -> Result<bool, String> {
     findings.extend(rules::rule_no_external_deps(root, &manifests));
     findings.extend(rules::rule_no_timing_outside_obs(&sources));
     findings.extend(rules::rule_gradcheck_coverage(root));
+    findings.extend(rules::rule_nn_forward_unification(&sources));
     findings.extend(rules::rule_doc_public_items(&sources));
 
     let errors = findings.iter().filter(|f| f.is_error).count();

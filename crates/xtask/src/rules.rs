@@ -329,7 +329,37 @@ pub fn rule_gradcheck_coverage(root: &Path) -> Vec<Finding> {
 }
 
 // ---------------------------------------------------------------------------
-// Rule 5: doc-public-items
+// Rule 5: nn-forward-unification
+// ---------------------------------------------------------------------------
+
+/// All forward passes in `crates/nn` go through the `Forward` trait (or a
+/// named inherent method like `attend`/`readout`); new ad-hoc
+/// `pub fn forward` methods fragment the module API and are rejected.
+/// `module.rs` itself — where the trait lives — is exempt.
+pub fn rule_nn_forward_unification(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for f in files {
+        if !f.rel.starts_with("crates/nn/src/") || f.rel == "crates/nn/src/module.rs" {
+            continue;
+        }
+        for pos in f.production_hits("pub fn forward") {
+            findings.push(Finding {
+                rule: "nn-forward-unification",
+                path: f.rel.clone(),
+                line: line_of(&f.stripped, pos),
+                message: "ad-hoc `pub fn forward` in crates/nn; implement the `Forward` \
+                          trait from module.rs (callers use `.apply(x)` / `.forward(x, ctx)`) \
+                          or expose a named method (`attend`, `readout`, ...) instead"
+                    .to_string(),
+                is_error: true,
+            });
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Rule 6: doc-public-items
 // ---------------------------------------------------------------------------
 
 /// Item keywords that, following `pub `, introduce an API item we require

@@ -57,6 +57,10 @@ fn lint_fails_on_seeded_violations_with_rule_and_location() {
         stdout.contains("error[no-external-deps]: pkg/Cargo.toml:8"),
         "{stdout}"
     );
+    assert!(
+        stdout.contains("error[nn-forward-unification]: crates/nn/src/block.rs:5"),
+        "{stdout}"
+    );
     // Decoys (string literal, comment, #[cfg(test)] body) must not add
     // extra panic findings: exactly one panic construct is counted.
     assert!(stdout.contains("1 panicking construct(s)"), "{stdout}");

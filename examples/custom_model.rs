@@ -11,7 +11,7 @@
 
 use embsr_datasets::{build_dataset, DatasetPreset, SyntheticConfig};
 use embsr_eval::evaluate;
-use embsr_nn::{Embedding, Linear, Module};
+use embsr_nn::{Embedding, Forward, Linear, Module};
 use embsr_sessions::Session;
 use embsr_tensor::{Rng, Tensor};
 use embsr_train::{NeuralRecommender, Recommender, SessionModel, TrainConfig};
@@ -51,7 +51,7 @@ impl SessionModel for LastItemBilinear {
 
     fn logits(&self, session: &Session, _training: bool, _rng: &mut Rng) -> Tensor {
         let last = session.events.last().expect("non-empty session").item as usize;
-        let q = self.w.forward(&self.items.lookup_one(last)); // [d]
+        let q = self.w.apply(&self.items.lookup_one(last)); // [d]
         let d = q.len();
         q.reshape(&[1, d])
             .matmul(&self.items.weight.transpose())

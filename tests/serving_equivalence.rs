@@ -1,0 +1,142 @@
+//! Serving-path equivalence: the frozen, batched, tape-free scoring path
+//! must be **bitwise identical** to the per-session taped
+//! `Recommender::scores` path.
+//!
+//! Batched scoring computes `[B, d] · [d, |V|]` GEMMs whose rows are
+//! independent sequential dot products — the same arithmetic, in the same
+//! order, as the per-session `[1, d]` product — so equality here is exact
+//! (`f32::to_bits`), not approximate. The batch sizes exercised are ragged
+//! on purpose: 1, 3, 4, 5 and 32 straddle the packed-GEMM kernel tiles, so
+//! both the partial-tile and full-tile code paths are held to equality.
+
+use embsr_baselines::{Gru4Rec, Narm};
+use embsr_core::{Embsr, EmbsrConfig};
+use embsr_serve::FrozenModel;
+use embsr_sessions::{MicroBehavior, Session};
+use embsr_train::{NeuralRecommender, Recommender, SessionModel, TrainConfig};
+
+const SEEDS: [u64; 3] = [11, 42, 1337];
+const RAGGED_BATCHES: [usize; 5] = [1, 3, 4, 5, 32];
+
+const NUM_ITEMS: usize = 40;
+const NUM_OPS: usize = 6;
+const DIM: usize = 16;
+
+/// Variable-length sessions covering the ragged batch sizes with room to
+/// spare; lengths vary so batches mix short and long prefixes.
+fn test_sessions(seed: u64) -> Vec<Session> {
+    (0..64u64)
+        .map(|i| {
+            let len = 1 + ((i * 7 + seed) % 9) as usize;
+            Session {
+                id: i,
+                events: (0..len)
+                    .map(|j| {
+                        let item = ((i * 13 + j as u64 * 5 + seed) % NUM_ITEMS as u64) as u32;
+                        let op = ((i + j as u64) % NUM_OPS as u64) as u16;
+                        MicroBehavior::new(item, op)
+                    })
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+/// Asserts the frozen batched path reproduces the per-session path bit for
+/// bit, across every ragged batch size.
+fn assert_equivalence<M: SessionModel>(model: M, reference: M, seed: u64) {
+    let max_len = TrainConfig::fast().max_session_len;
+    let frozen = FrozenModel::freeze(model, max_len);
+    let rec = NeuralRecommender::new(reference, TrainConfig::fast());
+    let sessions = test_sessions(seed);
+    for &batch in &RAGGED_BATCHES {
+        for chunk in sessions.chunks(batch) {
+            let batched = frozen.score_batch(chunk);
+            assert_eq!(batched.len(), chunk.len());
+            for (session, row) in chunk.iter().zip(&batched) {
+                let single = rec.scores(session);
+                assert_eq!(row.len(), single.len());
+                for (i, (a, b)) in row.iter().zip(&single).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "model {} seed {seed} batch {batch} session {} item {i}: \
+                         batched {a} != per-session {b}",
+                        frozen.name(),
+                        session.id,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn embsr_frozen_scores_are_bitwise_equal() {
+    for seed in SEEDS {
+        let mut cfg = EmbsrConfig::full(NUM_ITEMS, NUM_OPS, DIM);
+        cfg.seed = seed;
+        assert_equivalence(Embsr::new(cfg.clone()), Embsr::new(cfg), seed);
+    }
+}
+
+#[test]
+fn gru4rec_frozen_scores_are_bitwise_equal() {
+    for seed in SEEDS {
+        assert_equivalence(
+            Gru4Rec::new(NUM_ITEMS, DIM, seed),
+            Gru4Rec::new(NUM_ITEMS, DIM, seed),
+            seed,
+        );
+    }
+}
+
+#[test]
+fn narm_frozen_scores_are_bitwise_equal() {
+    for seed in SEEDS {
+        assert_equivalence(
+            Narm::new(NUM_ITEMS, DIM, 0.25, seed),
+            Narm::new(NUM_ITEMS, DIM, 0.25, seed),
+            seed,
+        );
+    }
+}
+
+#[test]
+fn snapshot_replicas_score_identically() {
+    // The engine's worker replicas are built this way: fresh model +
+    // imported snapshot. They must score exactly like the original.
+    let mut cfg = EmbsrConfig::full(NUM_ITEMS, NUM_OPS, DIM);
+    cfg.seed = 42;
+    let frozen = FrozenModel::freeze(Embsr::new(cfg.clone()), 40);
+    cfg.seed = 7; // different init: the snapshot must overwrite it
+    let replica = FrozenModel::from_snapshot(Embsr::new(cfg), frozen.snapshot(), 40);
+    let sessions = test_sessions(42);
+    let a = frozen.score_batch(&sessions[..8]);
+    let b = replica.score_batch(&sessions[..8]);
+    for (ra, rb) in a.iter().zip(&b) {
+        for (x, y) in ra.iter().zip(rb) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}
+
+#[test]
+fn steady_state_batches_allocate_nothing() {
+    // Inference-mode scoring recycles activations through the tensor buffer
+    // pool: after a warm-up batch has populated the pool's free lists, a
+    // same-shape batch must be served entirely from recycled buffers.
+    let mut cfg = EmbsrConfig::full(NUM_ITEMS, NUM_OPS, DIM);
+    cfg.seed = 11;
+    let frozen = FrozenModel::freeze(Embsr::new(cfg), 40);
+    let sessions = &test_sessions(11)[..8];
+    let _ = frozen.score_batch(sessions); // warm-up populates the pool
+    embsr_tensor::reset_pool_stats();
+    let _ = frozen.score_batch(sessions);
+    let stats = embsr_tensor::pool_stats();
+    assert_eq!(
+        stats.misses, 0,
+        "steady-state batch fell through to fresh allocations: {stats:?}"
+    );
+    assert!(stats.hits > 0, "scoring should exercise the pool");
+}
