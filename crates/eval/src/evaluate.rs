@@ -65,7 +65,7 @@ pub fn evaluate(rec: &dyn Recommender, test: &[Example], ks: &[usize]) -> Evalua
     for chunk in scorable.chunks(EVAL_BATCH) {
         let _score_span =
             embsr_obs::span("embsr_eval", "score_batch").with_close_level(embsr_obs::Level::Trace);
-        let sessions: Vec<Session> = chunk.iter().map(|ex| ex.session.clone()).collect();
+        let sessions: Vec<&Session> = chunk.iter().map(|ex| &ex.session).collect();
         let scores = rec.scores_batch(&sessions);
         debug_assert_eq!(scores.len(), chunk.len());
         for (ex, row) in chunk.iter().zip(&scores) {

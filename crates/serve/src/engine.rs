@@ -83,7 +83,10 @@ fn lock(shared: &Shared) -> MutexGuard<'_, VecDeque<Job>> {
 /// Handle for submitting requests to a running engine (see [`serve`]).
 ///
 /// Both calls block until every session of the request is scored; sessions
-/// from concurrent callers coalesce into shared micro-batches.
+/// from concurrent callers coalesce into shared micro-batches. Empty
+/// sessions carry no evidence to score and are answered inline with an
+/// empty row (no recommendations for [`Client::top_k`]) — they never reach
+/// a scoring worker, so a malformed request cannot take the engine down.
 pub struct Client<'a> {
     shared: &'a Shared,
     signal: &'a AbortSignal,
@@ -115,9 +118,16 @@ impl Client<'_> {
         }
         let watch = Stopwatch::start();
         let (reply, replies) = std::sync::mpsc::channel::<(usize, Vec<f32>)>();
+        let mut pending = 0usize;
         {
             let mut q = lock(self.shared);
             for (slot, session) in sessions.into_iter().enumerate() {
+                if session.is_empty() {
+                    // Answered inline as an empty row (see the type docs):
+                    // workers assume non-empty sessions.
+                    continue;
+                }
+                pending += 1;
                 q.push_back(Job {
                     session,
                     enqueued: Stopwatch::start(),
@@ -131,7 +141,7 @@ impl Client<'_> {
 
         let mut rows: Vec<Vec<f32>> = vec![Vec::new(); n];
         let mut received = 0;
-        while received < n {
+        while received < pending {
             match replies.recv_timeout(Duration::from_millis(50)) {
                 Ok((slot, row)) => {
                     rows[slot] = row;
@@ -148,9 +158,8 @@ impl Client<'_> {
                     // tearing down after a worker panic, which the pool
                     // re-raises once we return.
                     assert!(
-                        received == n,
-                        "serving workers disconnected with {} of {n} rows scored",
-                        received
+                        received == pending,
+                        "serving workers disconnected with {received} of {pending} rows scored"
                     );
                 }
             }
@@ -197,6 +206,23 @@ fn next_batch(shared: &Shared, cfg: &EngineConfig) -> Option<Vec<Job>> {
     }
 }
 
+/// Closes the queue and wakes every worker when dropped.
+///
+/// Shutdown must happen on *every* exit from the master closure — a master
+/// panic unwinds through [`run_with_workers`]' `catch_unwind` and then
+/// blocks in `thread::scope` joining workers, which would otherwise spin in
+/// [`next_batch`] forever (`open` still true, queue drained). Routing the
+/// store + notify through `Drop` makes the re-raise documented below
+/// reachable no matter how the master exits.
+struct ShutdownGuard<'a>(&'a Shared);
+
+impl Drop for ShutdownGuard<'_> {
+    fn drop(&mut self) {
+        self.0.open.store(false, Ordering::SeqCst);
+        notify_shutdown(self.0);
+    }
+}
+
 /// Runs a micro-batching serving engine for the duration of `master`.
 ///
 /// `cfg.workers` scoring threads each build a private model replica with
@@ -207,7 +233,8 @@ fn next_batch(shared: &Shared, cfg: &EngineConfig) -> Option<Vec<Job>> {
 ///
 /// # Panics
 /// Re-raises worker panics (e.g. a scoring failure), as
-/// [`run_with_workers`] does.
+/// [`run_with_workers`] does; master panics shut the workers down before
+/// propagating, so the engine never hangs on a panicking closure.
 pub fn serve<M, F, R>(
     frozen: &FrozenModel<M>,
     factory: F,
@@ -245,14 +272,12 @@ where
             }
         },
         |signal| {
+            let _shutdown = ShutdownGuard(&shared);
             let client = Client {
                 shared: &shared,
                 signal,
             };
-            let out = master(&client);
-            shared.open.store(false, Ordering::SeqCst);
-            notify_shutdown(&shared);
-            out
+            master(&client)
         },
     )
 }
@@ -344,6 +369,68 @@ mod tests {
                 .scores
         });
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn master_panic_shuts_workers_down_instead_of_hanging() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let f = frozen(4, 6);
+        // Without the ShutdownGuard this test never returns: the pool
+        // catches the master panic, then blocks joining workers that wait
+        // for a shutdown notification nobody will send.
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            serve(
+                &f,
+                || ToyModel::new(4, 0),
+                EngineConfig::default(),
+                |client| {
+                    let _ = client.score(ScoreBatch {
+                        sessions: vec![sess(&[1, 2])],
+                    });
+                    panic!("master bailed mid-serve");
+                },
+            )
+        }))
+        .expect_err("master panic must propagate");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("master bailed"), "wrong panic surfaced: {msg}");
+    }
+
+    #[test]
+    fn empty_sessions_are_answered_inline_without_reaching_workers() {
+        let f = frozen(6, 9);
+        let valid = sess(&[2, 4]);
+        let want = f.score_batch(std::slice::from_ref(&valid));
+        let (scores, recs, later) = serve(
+            &f,
+            || ToyModel::new(6, 0),
+            EngineConfig::default(),
+            |client| {
+                let scores = client.score(ScoreBatch {
+                    sessions: vec![sess(&[]), valid.clone(), sess(&[])],
+                });
+                let recs = client.top_k(TopK {
+                    sessions: vec![sess(&[])],
+                    k: 3,
+                });
+                // The engine must still be fully alive afterwards.
+                let later = client.score(ScoreBatch {
+                    sessions: vec![valid.clone()],
+                });
+                (scores, recs, later)
+            },
+        );
+        assert_eq!(scores.scores.len(), 3);
+        assert!(scores.scores[0].is_empty());
+        assert_eq!(scores.scores[1], want[0]);
+        assert!(scores.scores[2].is_empty());
+        assert_eq!(recs.items, vec![Vec::new()]);
+        assert_eq!(later.scores, want);
     }
 
     #[test]

@@ -67,7 +67,14 @@ impl<M: SessionModel> FrozenModel<M> {
     }
 
     /// Scores the full vocabulary for one session, tape-free.
+    ///
+    /// An empty session carries no evidence to condition on; it yields an
+    /// empty row (mirroring the eval harness, which skips empty prefixes)
+    /// rather than tripping a model assert on a serving thread.
     pub fn score(&self, session: &Session) -> Vec<f32> {
+        if session.is_empty() {
+            return Vec::new();
+        }
         let truncated = truncate_session(session, self.max_session_len);
         inference_mode(|| self.model.logits_infer(&truncated)).to_vec()
     }
@@ -78,21 +85,34 @@ impl<M: SessionModel> FrozenModel<M> {
     /// Row `i` is bitwise-equal to `self.score(&sessions[i])` — the batched
     /// forward shares the item-table pass across the batch but computes each
     /// row with the same sequential dot products as the per-session path.
+    /// Empty sessions get an empty row, like [`FrozenModel::score`].
     pub fn score_batch(&self, sessions: &[Session]) -> Vec<Vec<f32>> {
-        if sessions.is_empty() {
-            return Vec::new();
-        }
         let truncated: Vec<Session> = sessions
             .iter()
+            .filter(|s| !s.is_empty())
             .map(|s| truncate_session(s, self.max_session_len))
             .collect();
+        if truncated.is_empty() {
+            return sessions.iter().map(|_| Vec::new()).collect();
+        }
         let refs: Vec<&Session> = truncated.iter().collect();
         let logits = inference_mode(|| self.model.logits_batch(&refs));
         let v = self.model.num_items();
-        assert_eq!(logits.rows(), sessions.len(), "one logit row per session");
+        assert_eq!(logits.rows(), refs.len(), "one logit row per session");
         assert_eq!(logits.cols(), v, "full-vocabulary rows");
         let flat = logits.to_vec();
-        flat.chunks(v).map(|row| row.to_vec()).collect()
+        // One chunk per non-empty session, guaranteed by the row assert above.
+        let mut scored = flat.chunks(v).map(|row| row.to_vec());
+        sessions
+            .iter()
+            .map(|s| {
+                if s.is_empty() {
+                    Vec::new()
+                } else {
+                    scored.next().unwrap_or_default()
+                }
+            })
+            .collect()
     }
 
     /// The `k` best items per session, best-first (ties broken by ascending
@@ -129,6 +149,19 @@ mod tests {
             assert_eq!(row, &frozen.score(s));
         }
         assert!(frozen.score_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn empty_sessions_score_as_empty_rows() {
+        let frozen = FrozenModel::freeze(ToyModel::new(5, 6), 32);
+        assert!(frozen.score(&sess(&[])).is_empty());
+        let rows = frozen.score_batch(&[sess(&[]), sess(&[1, 2]), sess(&[])]);
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].is_empty());
+        assert_eq!(rows[1], frozen.score(&sess(&[1, 2])));
+        assert!(rows[2].is_empty());
+        // all-empty batches skip the forward entirely
+        assert_eq!(frozen.score_batch(&[sess(&[])]), vec![Vec::<f32>::new()]);
     }
 
     #[test]

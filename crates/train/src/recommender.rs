@@ -26,13 +26,15 @@ pub trait Recommender {
     /// Scores for a batch of session prefixes: one `num_items()`-length
     /// vector per session, in input order.
     ///
-    /// The default loops over [`Recommender::scores`], so every implementor
-    /// is batchable; neural models override it with a genuinely batched,
-    /// tape-free forward (see `NeuralRecommender`). Row `i` must equal
-    /// `self.scores(&sessions[i])` — the serving equivalence suite holds
-    /// overrides to bitwise equality.
-    fn scores_batch(&self, sessions: &[Session]) -> Vec<Vec<f32>> {
-        sessions.iter().map(|s| self.scores(s)).collect()
+    /// Takes references (mirroring [`SessionModel::logits_batch`]) so bulk
+    /// callers like the eval harness can batch without cloning every
+    /// session's event vector. The default loops over
+    /// [`Recommender::scores`], so every implementor is batchable; neural
+    /// models override it with a genuinely batched, tape-free forward (see
+    /// `NeuralRecommender`). Row `i` must equal `self.scores(sessions[i])`
+    /// — the serving equivalence suite holds overrides to bitwise equality.
+    fn scores_batch(&self, sessions: &[&Session]) -> Vec<Vec<f32>> {
+        sessions.iter().map(|&s| self.scores(s)).collect()
     }
 
     /// The training report of the most recent [`Recommender::fit`], when the
@@ -130,13 +132,13 @@ impl<M: SessionModel> Recommender for NeuralRecommender<M> {
         self.model.logits_infer(&truncated).to_vec()
     }
 
-    fn scores_batch(&self, sessions: &[Session]) -> Vec<Vec<f32>> {
+    fn scores_batch(&self, sessions: &[&Session]) -> Vec<Vec<f32>> {
         if sessions.is_empty() {
             return Vec::new();
         }
         let truncated: Vec<Session> = sessions
             .iter()
-            .map(|s| crate::trainer::truncate_session(s, self.config.max_session_len))
+            .map(|&s| crate::trainer::truncate_session(s, self.config.max_session_len))
             .collect();
         let refs: Vec<&Session> = truncated.iter().collect();
         // Tape-free: the whole batched forward runs without recording the
@@ -201,7 +203,8 @@ mod tests {
                 events: vec![MicroBehavior::new(i as u32 + 1, 0)],
             })
             .collect();
-        let batched = rec.scores_batch(&sessions);
+        let refs: Vec<&Session> = sessions.iter().collect();
+        let batched = rec.scores_batch(&refs);
         assert_eq!(batched.len(), 3);
         for (s, row) in sessions.iter().zip(&batched) {
             assert_eq!(row, &rec.scores(s));
