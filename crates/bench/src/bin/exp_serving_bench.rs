@@ -10,8 +10,8 @@
 //! 3. `frozen_batch8` / `frozen_batch32` — the batched tape-free path
 //!    (amortizes the per-batch item-table normalization across rows);
 //! 4. `engine` — end-to-end through the micro-batching engine on pool
-//!    workers, with request latency recorded into `embsr_obs` histograms
-//!    (p50/p99 reported).
+//!    workers, with request latency (p50/p95/p99) and queue depth
+//!    (p95/max) recorded into `embsr_obs` histograms and reported.
 //!
 //! Writes `results/serving.json` plus the aggregate `BENCH_serving.json`.
 //! The CI serving job runs `--check-baseline crates/bench/serving_baseline.json`:
@@ -30,7 +30,7 @@ use embsr_bench::parse_args;
 use embsr_core::{Embsr, EmbsrConfig};
 use embsr_obs::JsonValue;
 use embsr_serve::{
-    serve, EngineConfig, FrozenModel, ScoreBatch, METRIC_BATCH_SESSIONS,
+    serve, EngineConfig, FrozenModel, ScoreBatch, METRIC_BATCH_SESSIONS, METRIC_QUEUE_DEPTH,
     METRIC_REQUEST_LATENCY_US,
 };
 use embsr_sessions::{MicroBehavior, Session};
@@ -161,12 +161,22 @@ fn main() {
     );
 
     let latency = embsr_obs::metrics::histogram(METRIC_REQUEST_LATENCY_US);
-    let (p50_us, p99_us) = (latency.quantile(0.5), latency.quantile(0.99));
+    let (p50_us, p95_us, p99_us) = (
+        latency.quantile(0.5),
+        latency.quantile(0.95),
+        latency.quantile(0.99),
+    );
     let batch_p50 = embsr_obs::metrics::histogram(METRIC_BATCH_SESSIONS).quantile(0.5);
+    let queue_depth = embsr_obs::metrics::histogram(METRIC_QUEUE_DEPTH);
+    let depth_max = queue_depth.max().unwrap_or(0);
+    // Quantiles come back as log-bucket upper bounds, which can exceed the
+    // exact maximum; clamp so the gauge is never self-contradictory.
+    let depth_p95 = queue_depth.quantile(0.95).min(depth_max as f64);
     println!(
-        "  engine request latency: p50 {p50_us:.0}us · p99 {p99_us:.0}us · \
+        "  engine request latency: p50 {p50_us:.0}us · p95 {p95_us:.0}us · p99 {p99_us:.0}us · \
          median batch occupancy {batch_p50:.0}"
     );
+    println!("  engine queue depth: p95 {depth_p95:.0} · max {depth_max}");
 
     let mut ratios: Vec<(String, f64)> = Vec::new();
     for &(batch, per_sec) in &frozen_per_sec {
@@ -220,7 +230,10 @@ fn main() {
             ("dim", JsonValue::Number(dim as f64)),
             ("engine_workers", JsonValue::Number(workers as f64)),
             ("latency_p50_us", JsonValue::Number(p50_us)),
+            ("latency_p95_us", JsonValue::Number(p95_us)),
             ("latency_p99_us", JsonValue::Number(p99_us)),
+            ("queue_depth_p95", JsonValue::Number(depth_p95)),
+            ("queue_depth_max", JsonValue::Number(depth_max as f64)),
             ("rows", JsonValue::Array(rows)),
         ]);
         let path = std::path::Path::new("BENCH_serving.json");

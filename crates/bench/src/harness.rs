@@ -381,6 +381,8 @@ pub fn run_cell(spec: ModelSpec, dataset: &Dataset, ks: &[usize], args: &Harness
             eval_seconds,
             throughput_examples_per_sec: dataset.train.len() as f64 * passes
                 / fit_seconds.max(1e-9),
+            cores_available: embsr_obs::manifest::cores_available(),
+            git_revision: embsr_obs::manifest::git_revision(),
             metrics: ks
                 .iter()
                 .enumerate()

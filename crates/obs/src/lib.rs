@@ -18,9 +18,21 @@
 //!   Hot-path increments are gated on [`metrics::enabled`] (one relaxed
 //!   atomic load when off), so instrumented inner loops cost ~nothing
 //!   unless telemetry is switched on.
+//! * **Tracing** — [`trace`] propagates a (trace id, span id) context
+//!   across threads and emits parent/child span records through the same
+//!   sinks, so a serving request's timeline (queue wait, batch assembly,
+//!   scoring, top-k) is reconstructable offline from the JSONL output via
+//!   [`trace::parse_jsonl`] + [`trace::build_trees`].
+//! * **Profiling** — [`profile`] aggregates kernel timings into
+//!   shape-bucketed rows (thread-local accumulators, one atomic load when
+//!   disabled); [`profile::report`] returns them busiest-first.
+//! * **SLOs** — [`slo`] parses latency objectives like
+//!   `serve.request_latency_us:p99<=2000` and evaluates them against the
+//!   live histograms with error-budget accounting.
 //! * **Run manifests** — [`RunManifest`] serializes a whole harness run
 //!   (dataset, model, config, per-epoch loss/duration, eval metrics,
-//!   throughput) to `results/run_<name>.json`, and
+//!   throughput, [`manifest::cores_available`] and
+//!   [`manifest::git_revision`]) to `results/run_<name>.json`, and
 //!   [`manifest::append_bench_entry`] maintains the aggregate
 //!   `BENCH_table3.json` bench trajectory.
 //! * **Micro-benchmarks** — [`bench`] is a tiny criterion-style harness
@@ -38,8 +50,11 @@ mod json;
 mod level;
 pub mod manifest;
 pub mod metrics;
+pub mod profile;
 mod sink;
+pub mod slo;
 mod span;
+pub mod trace;
 
 pub use clock::Stopwatch;
 pub use filter::EnvFilter;
@@ -52,6 +67,7 @@ pub use sink::{
     JsonlSink, MemorySink, Sink,
 };
 pub use span::{span, span_path, SpanGuard};
+pub use trace::TraceCtx;
 
 /// Initializes the default console sink from an environment variable
 /// (conventionally `EMBSR_LOG`), falling back to `default_filter` when the

@@ -19,6 +19,7 @@
 //!   "best_epoch": 1, "early_stopped": false,
 //!   "fit_seconds": 1.7, "eval_seconds": 0.1,
 //!   "throughput_examples_per_sec": 1058.8,
+//!   "cores_available": 8, "git_revision": "79ba04d…",
 //!   "metrics": [{"name": "H@5", "value": 31.2}, …],
 //!   "generated_unix_ms": 1754380800000
 //! }
@@ -78,7 +79,82 @@ pub struct RunManifest {
     pub eval_seconds: f64,
     /// Training throughput: examples seen per wall-clock second of `fit`.
     pub throughput_examples_per_sec: f64,
+    /// Logical cores the run could use (see [`cores_available`]); `0` when
+    /// not recorded.
+    pub cores_available: usize,
+    /// Git commit the binary was built from (see [`git_revision`]);
+    /// `"unknown"` or `""` when not recorded.
+    pub git_revision: String,
     pub metrics: Vec<MetricRecord>,
+}
+
+/// Logical cores available to this process (`1` when undetectable) — the
+/// honest-cores figure every manifest records so throughput numbers can be
+/// compared across machines.
+pub fn cores_available() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// The current git commit hash, read straight from `.git` (the workspace
+/// has no external dependencies and shells out to nothing). Walks up from
+/// the current directory to the first `.git`, follows `HEAD` through one
+/// level of `ref:` indirection, and falls back to `packed-refs`. Returns
+/// `"unknown"` when anything is missing.
+pub fn git_revision() -> String {
+    let Ok(start) = std::env::current_dir() else {
+        return "unknown".to_string();
+    };
+    let mut dir: Option<&Path> = Some(start.as_path());
+    while let Some(d) = dir {
+        let git = d.join(".git");
+        if git.is_dir() {
+            return read_git_head(&git);
+        }
+        if git.is_file() {
+            // Worktree: `.git` is a file `gitdir: <path>`.
+            if let Ok(text) = std::fs::read_to_string(&git) {
+                if let Some(target) = text.trim().strip_prefix("gitdir:") {
+                    return read_git_head(&d.join(target.trim()));
+                }
+            }
+            return "unknown".to_string();
+        }
+        dir = d.parent();
+    }
+    "unknown".to_string()
+}
+
+fn read_git_head(git_dir: &Path) -> String {
+    let Ok(head) = std::fs::read_to_string(git_dir.join("HEAD")) else {
+        return "unknown".to_string();
+    };
+    let head = head.trim();
+    let Some(refname) = head.strip_prefix("ref:") else {
+        // Detached HEAD: the hash itself.
+        return if head.is_empty() { "unknown".to_string() } else { head.to_string() };
+    };
+    let refname = refname.trim();
+    if let Ok(hash) = std::fs::read_to_string(git_dir.join(refname)) {
+        let hash = hash.trim();
+        if !hash.is_empty() {
+            return hash.to_string();
+        }
+    }
+    // Ref not unpacked: look it up in packed-refs (`<hash> <refname>`).
+    if let Ok(packed) = std::fs::read_to_string(git_dir.join("packed-refs")) {
+        for line in packed.lines() {
+            let line = line.trim();
+            if line.starts_with('#') || line.starts_with('^') {
+                continue;
+            }
+            if let Some((hash, name)) = line.split_once(' ') {
+                if name.trim() == refname {
+                    return hash.trim().to_string();
+                }
+            }
+        }
+    }
+    "unknown".to_string()
 }
 
 /// Lower-cases and squashes a string into a `[a-z0-9_]+` file-name key.
@@ -153,6 +229,8 @@ impl RunManifest {
                 "throughput_examples_per_sec",
                 self.throughput_examples_per_sec.into(),
             ),
+            ("cores_available", self.cores_available.into()),
+            ("git_revision", self.git_revision.as_str().into()),
             (
                 "metrics",
                 JsonValue::Array(
@@ -229,6 +307,11 @@ impl RunManifest {
             fit_seconds: num(v.get("fit_seconds")),
             eval_seconds: num(v.get("eval_seconds")),
             throughput_examples_per_sec: num(v.get("throughput_examples_per_sec")),
+            cores_available: {
+                let n = num(v.get("cores_available"));
+                if n.is_nan() { 0 } else { n as usize }
+            },
+            git_revision: text(v.get("git_revision")),
             metrics,
         })
     }
@@ -319,6 +402,8 @@ mod tests {
             fit_seconds: 0.75,
             eval_seconds: 0.125,
             throughput_examples_per_sec: 2400.0,
+            cores_available: 8,
+            git_revision: "0123abcd".into(),
             metrics: vec![
                 MetricRecord {
                     name: "H@5".into(),
@@ -344,6 +429,16 @@ mod tests {
         let parsed = parse(&m.to_json()).unwrap();
         let back = RunManifest::from_json_value(&parsed).unwrap();
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn environment_helpers_report_sane_values() {
+        assert!(cores_available() >= 1);
+        let rev = git_revision();
+        assert!(!rev.is_empty());
+        // In this repo's checkout the revision should be a real hash, but
+        // the helper must never fail outright elsewhere either.
+        assert!(rev == "unknown" || rev.chars().all(|c| c.is_ascii_hexdigit()));
     }
 
     #[test]

@@ -172,6 +172,30 @@ impl Histogram {
         bucket_mid(BUCKETS - 1)
     }
 
+    /// Fraction of recorded samples above `threshold` (`0.0` when empty),
+    /// judged by bucket midpoint — subject to the same ~12.5% relative
+    /// bucketing error as [`Histogram::quantile`]. This is the violation
+    /// rate the SLO error-budget accounting consumes.
+    pub fn fraction_above(&self, threshold: u64) -> f64 {
+        let mut total = 0u64;
+        let mut above = 0u64;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
+            }
+            total += c;
+            if bucket_mid(idx) > threshold as f64 {
+                above += c;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            above as f64 / total as f64
+        }
+    }
+
     pub fn reset(&self) {
         for b in &self.buckets {
             b.store(0, Ordering::Relaxed);
@@ -353,6 +377,21 @@ mod tests {
         let rel = (h.quantile(0.0) - 42.0).abs() / 42.0;
         assert!(rel <= 0.125);
         assert_eq!(h.quantile(0.0), h.quantile(1.0));
+    }
+
+    #[test]
+    fn fraction_above_tracks_the_tail() {
+        let h = Histogram::default();
+        assert_eq!(h.fraction_above(0), 0.0);
+        for v in 1..=1_000u64 {
+            h.record(v);
+        }
+        // ~10% of the uniform range exceeds 900, within bucketing error.
+        let frac = h.fraction_above(900);
+        assert!((frac - 0.10).abs() < 0.05, "fraction {frac}");
+        assert_eq!(h.fraction_above(u64::MAX), 0.0);
+        let all = h.fraction_above(0);
+        assert!(all > 0.99, "almost everything above 0, got {all}");
     }
 
     #[test]

@@ -1,0 +1,295 @@
+//! Shape-bucketed kernel profiling.
+//!
+//! The GEMM/gather hot paths in `embsr-tensor` call [`record`] with the
+//! operand shape and elapsed microseconds of each invocation. Samples land
+//! in a **thread-local** accumulator keyed by `(site, m, k, n)` with each
+//! dimension rounded up to the next power of two, so a steady-state
+//! workload produces a handful of rows instead of millions — and the hot
+//! path takes no lock. Per-thread tables merge into the global table when
+//! a thread exits (pool workers) or via [`flush_thread`]; [`report`]
+//! flushes the calling thread and returns rows busiest-first.
+//!
+//! # Cost when disabled
+//!
+//! Profiling is off by default. The instrumentation pattern at a call
+//! site is
+//!
+//! ```ignore
+//! let watch = profile::enabled().then(Stopwatch::start);
+//! // ... unchanged kernel body ...
+//! if let Some(w) = watch {
+//!     profile::record("gemm_ab", m, k, n, w.elapsed_us(), flops);
+//! }
+//! ```
+//!
+//! which costs one relaxed atomic load when off and never alters the
+//! arithmetic, so the bitwise equivalence suites are unaffected either
+//! way.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use crate::json::JsonValue;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns profiling on or off (off by default).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Is profiling on? One relaxed atomic load — the only cost a call site
+/// pays when profiling is disabled.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+type Key = (&'static str, usize, usize, usize);
+
+#[derive(Clone, Copy, Default)]
+struct Acc {
+    calls: u64,
+    total_us: u64,
+    flops: u64,
+}
+
+impl Acc {
+    fn merge(&mut self, other: &Acc) {
+        self.calls += other.calls;
+        self.total_us += other.total_us;
+        self.flops += other.flops;
+    }
+}
+
+fn global() -> MutexGuard<'static, HashMap<Key, Acc>> {
+    static G: OnceLock<Mutex<HashMap<Key, Acc>>> = OnceLock::new();
+    G.get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+struct LocalBuf(RefCell<HashMap<Key, Acc>>);
+
+impl Drop for LocalBuf {
+    fn drop(&mut self) {
+        // Thread exit: merge whatever this thread accumulated.
+        let map = self.0.borrow();
+        if !map.is_empty() {
+            let mut g = global();
+            for (k, a) in map.iter() {
+                g.entry(*k).or_default().merge(a);
+            }
+        }
+    }
+}
+
+thread_local! {
+    static LOCAL: LocalBuf = LocalBuf(RefCell::new(HashMap::new()));
+}
+
+fn pow2_bucket(v: usize) -> usize {
+    if v <= 1 {
+        v
+    } else {
+        v.next_power_of_two()
+    }
+}
+
+/// Records one timed call at `site` with operand shape `(m, k, n)` (use
+/// `0` for dimensions that do not apply), `us` elapsed microseconds and
+/// `flops` floating-point operations (0 when not meaningful). Dimensions
+/// are bucketed up to the next power of two. No-op when disabled.
+pub fn record(site: &'static str, m: usize, k: usize, n: usize, us: u64, flops: u64) {
+    if !enabled() {
+        return;
+    }
+    let key = (site, pow2_bucket(m), pow2_bucket(k), pow2_bucket(n));
+    let sample = Acc {
+        calls: 1,
+        total_us: us,
+        flops,
+    };
+    // `try_with` so a record during thread teardown (after the local table
+    // already dropped) degrades to the global table instead of aborting.
+    let local = LOCAL.try_with(|l| l.0.borrow_mut().entry(key).or_default().merge(&sample));
+    if local.is_err() {
+        global().entry(key).or_default().merge(&sample);
+    }
+}
+
+/// Merges the calling thread's accumulator into the global table. Threads
+/// that exit flush automatically; long-lived threads call this (or rely on
+/// [`report`], which flushes the caller) before a snapshot is taken.
+pub fn flush_thread() {
+    let _ = LOCAL.try_with(|l| {
+        let mut map = l.0.borrow_mut();
+        if map.is_empty() {
+            return;
+        }
+        let mut g = global();
+        for (k, a) in map.iter() {
+            g.entry(*k).or_default().merge(a);
+        }
+        map.clear();
+    });
+}
+
+/// One aggregated row of the profile report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProfileEntry {
+    /// Call-site label (`"gemm_ab"`, `"gather_rows"`, …).
+    pub site: &'static str,
+    /// Power-of-two shape bucket (upper bounds of the true dimensions).
+    pub m: usize,
+    pub k: usize,
+    pub n: usize,
+    pub calls: u64,
+    pub total_us: u64,
+    pub flops: u64,
+}
+
+impl ProfileEntry {
+    /// Achieved throughput in GFLOP/s (0 when no time or no flops were
+    /// recorded).
+    pub fn gflops(&self) -> f64 {
+        if self.total_us == 0 || self.flops == 0 {
+            0.0
+        } else {
+            self.flops as f64 / (self.total_us as f64 * 1e3)
+        }
+    }
+
+    /// JSON shape used by `results/profile.json`.
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("site", self.site.into()),
+            ("m", self.m.into()),
+            ("k", self.k.into()),
+            ("n", self.n.into()),
+            ("calls", self.calls.into()),
+            ("total_us", self.total_us.into()),
+            ("flops", self.flops.into()),
+            ("gflops", self.gflops().into()),
+        ])
+    }
+}
+
+/// Flushes the calling thread and returns the aggregated rows, busiest
+/// (largest `total_us`) first; ties broken by site then shape for a
+/// deterministic report.
+pub fn report() -> Vec<ProfileEntry> {
+    flush_thread();
+    let g = global();
+    let mut rows: Vec<ProfileEntry> = g
+        .iter()
+        .map(|(&(site, m, k, n), a)| ProfileEntry {
+            site,
+            m,
+            k,
+            n,
+            calls: a.calls,
+            total_us: a.total_us,
+            flops: a.flops,
+        })
+        .collect();
+    drop(g);
+    rows.sort_by(|a, b| {
+        b.total_us
+            .cmp(&a.total_us)
+            .then_with(|| a.site.cmp(b.site))
+            .then_with(|| (a.m, a.k, a.n).cmp(&(b.m, b.k, b.n)))
+    });
+    rows
+}
+
+/// Clears the global table and the calling thread's accumulator. Other
+/// live threads keep their local samples until they flush or exit.
+pub fn reset() {
+    let _ = LOCAL.try_with(|l| l.0.borrow_mut().clear());
+    global().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as TestMutex;
+
+    // The accumulator is process-global; serialize the tests that touch it.
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: TestMutex<()> = TestMutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_recording_is_dropped() {
+        let _g = guard();
+        reset();
+        set_enabled(false);
+        record("gemm_test_off", 8, 8, 8, 100, 1024);
+        assert!(report().iter().all(|e| e.site != "gemm_test_off"));
+    }
+
+    #[test]
+    fn shapes_bucket_to_powers_of_two_and_aggregate() {
+        let _g = guard();
+        reset();
+        set_enabled(true);
+        record("gemm_test_agg", 60, 100, 129, 10, 1000);
+        record("gemm_test_agg", 64, 70, 200, 30, 3000);
+        set_enabled(false);
+        let rows = report();
+        let row = rows
+            .iter()
+            .find(|e| e.site == "gemm_test_agg")
+            .expect("aggregated row");
+        assert_eq!((row.m, row.k, row.n), (64, 128, 256));
+        assert_eq!(row.calls, 2);
+        assert_eq!(row.total_us, 40);
+        assert_eq!(row.flops, 4000);
+        assert!((row.gflops() - 0.1).abs() < 1e-9, "gflops {}", row.gflops());
+        reset();
+    }
+
+    #[test]
+    fn worker_threads_flush_on_exit_and_report_sorts_busiest_first() {
+        let _g = guard();
+        reset();
+        set_enabled(true);
+        std::thread::spawn(|| {
+            record("profile_test_worker", 4, 4, 4, 500, 0);
+        })
+        .join()
+        .expect("worker");
+        record("profile_test_main", 4, 4, 4, 20, 0);
+        set_enabled(false);
+        let rows = report();
+        let pos = |site: &str| rows.iter().position(|e| e.site == site);
+        let (w, m) = (
+            pos("profile_test_worker").expect("worker row"),
+            pos("profile_test_main").expect("main row"),
+        );
+        assert!(w < m, "busiest row first: worker(500us) before main(20us)");
+        reset();
+    }
+
+    #[test]
+    fn zero_dims_and_json_shape() {
+        let _g = guard();
+        reset();
+        set_enabled(true);
+        record("gather_test", 33, 16, 0, 7, 0);
+        set_enabled(false);
+        let rows = report();
+        let row = rows.iter().find(|e| e.site == "gather_test").expect("row");
+        assert_eq!((row.m, row.k, row.n), (64, 16, 0));
+        let v = row.to_json_value();
+        assert_eq!(v.get("site").unwrap().as_str(), Some("gather_test"));
+        assert_eq!(v.get("calls").unwrap().as_f64(), Some(1.0));
+        assert_eq!(v.get("total_us").unwrap().as_f64(), Some(7.0));
+        assert_eq!(v.get("gflops").unwrap().as_f64(), Some(0.0));
+        reset();
+    }
+}

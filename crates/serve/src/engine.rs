@@ -12,6 +12,16 @@
 //! constructor closure plus the snapshot (tensors are `Rc`-backed and
 //! cannot be shared). Latency and batch-occupancy histograms are recorded
 //! through `embsr_obs` when telemetry is enabled.
+//!
+//! When request tracing is active ([`embsr_obs::trace::set_enabled`] plus
+//! a trace-level sink), every request opens a root span
+//! (`score_request` / `top_k_request`) whose [`TraceCtx`] rides inside
+//! each queued [`Job`]; the scoring worker stamps the batch lifecycle on
+//! the shared monotonic clock and emits `queue_wait`, `batch_assembly`
+//! and `scoring` child spans per job, so the per-request timeline is
+//! reconstructable offline from the JSONL sink. With tracing off the
+//! whole machinery costs one relaxed atomic load per request and per
+//! batch.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -19,6 +29,7 @@ use std::sync::mpsc::{RecvTimeoutError, Sender};
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
+use embsr_obs::trace::{self, TraceCtx};
 use embsr_obs::Stopwatch;
 use embsr_pool::{run_with_workers, AbortSignal};
 use embsr_sessions::Session;
@@ -33,6 +44,10 @@ pub const METRIC_REQUEST_LATENCY_US: &str = "serve.request_latency_us";
 pub const METRIC_BATCH_SESSIONS: &str = "serve.batch_sessions";
 /// Counter of sessions scored by the engine.
 pub const METRIC_SESSIONS_SCORED: &str = "serve.sessions_scored";
+/// Histogram of queue depth (sessions waiting) sampled after each
+/// request's enqueue — its p95/max expose backlog tails that the latency
+/// quantiles alone hide.
+pub const METRIC_QUEUE_DEPTH: &str = "serve.queue_depth";
 
 /// Tuning knobs of the micro-batching engine.
 #[derive(Clone, Copy, Debug)]
@@ -60,6 +75,12 @@ impl Default for EngineConfig {
 struct Job {
     session: Session,
     enqueued: Stopwatch,
+    /// Trace context of the originating request ([`TraceCtx::NONE`] when
+    /// tracing was inactive at submit time).
+    trace: TraceCtx,
+    /// [`trace::now_us`] at enqueue (0 when untraced); start of the job's
+    /// `queue_wait` phase.
+    enqueued_us: u64,
     /// Position inside the originating request.
     slot: usize,
     reply: Sender<(usize, Vec<f32>)>,
@@ -95,30 +116,32 @@ pub struct Client<'a> {
 impl Client<'_> {
     /// Scores the full vocabulary for each session of the request.
     pub fn score(&self, req: ScoreBatch) -> ScoreResponse {
+        let root = trace::root("score_request");
         ScoreResponse {
-            scores: self.submit(req.sessions),
+            scores: self.submit(req.sessions, root.ctx()),
         }
     }
 
     /// Returns the `k` best items per session of the request.
     pub fn top_k(&self, req: TopK) -> TopKResponse {
+        let root = trace::root("top_k_request");
+        let rows = self.submit(req.sessions, root.ctx());
+        let _select = trace::child(root.ctx(), "top_k");
         TopKResponse {
-            items: self
-                .submit(req.sessions)
-                .iter()
-                .map(|row| top_k_of_row(row, req.k))
-                .collect(),
+            items: rows.iter().map(|row| top_k_of_row(row, req.k)).collect(),
         }
     }
 
-    fn submit(&self, sessions: Vec<Session>) -> Vec<Vec<f32>> {
+    fn submit(&self, sessions: Vec<Session>, ctx: TraceCtx) -> Vec<Vec<f32>> {
         let n = sessions.len();
         if n == 0 {
             return Vec::new();
         }
         let watch = Stopwatch::start();
+        let tracing = !ctx.is_none() && trace::active();
         let (reply, replies) = std::sync::mpsc::channel::<(usize, Vec<f32>)>();
         let mut pending = 0usize;
+        let depth;
         {
             let mut q = lock(self.shared);
             for (slot, session) in sessions.into_iter().enumerate() {
@@ -131,10 +154,16 @@ impl Client<'_> {
                 q.push_back(Job {
                     session,
                     enqueued: Stopwatch::start(),
+                    trace: ctx,
+                    enqueued_us: if tracing { trace::now_us() } else { 0 },
                     slot,
                     reply: reply.clone(),
                 });
             }
+            depth = q.len();
+        }
+        if embsr_obs::metrics::enabled() {
+            embsr_obs::metrics::histogram(METRIC_QUEUE_DEPTH).record(depth as u64);
         }
         self.shared.arrivals.notify_all();
         drop(reply);
@@ -245,6 +274,7 @@ where
     M: SessionModel,
     F: Fn() -> M + Sync,
 {
+    let _engine_span = embsr_obs::span("embsr_serve", "serve");
     let snapshot = frozen.snapshot().to_vec();
     let max_session_len = frozen.max_session_len();
     let shared = Shared {
@@ -257,14 +287,25 @@ where
         |_worker_id| {
             let replica = FrozenModel::from_snapshot(factory(), &snapshot, max_session_len);
             while let Some(batch) = next_batch(&shared, &cfg) {
+                let tracing = trace::active();
+                let drained_us = if tracing { trace::now_us() } else { 0 };
                 let sessions: Vec<Session> = batch.iter().map(|j| j.session.clone()).collect();
+                let assembled_us = if tracing { trace::now_us() } else { 0 };
                 let rows = replica.score_batch(&sessions);
+                let scored_us = if tracing { trace::now_us() } else { 0 };
                 if embsr_obs::metrics::enabled() {
                     embsr_obs::metrics::histogram(METRIC_BATCH_SESSIONS)
                         .record(batch.len() as u64);
                     embsr_obs::metrics::counter(METRIC_SESSIONS_SCORED).add(batch.len() as u64);
                 }
                 for (job, row) in batch.into_iter().zip(rows) {
+                    if tracing && job.enqueued_us != 0 {
+                        // One shared batch timeline, attributed to every
+                        // request that rode in it.
+                        trace::emit_span(job.trace, "queue_wait", job.enqueued_us, drained_us);
+                        trace::emit_span(job.trace, "batch_assembly", drained_us, assembled_us);
+                        trace::emit_span(job.trace, "scoring", assembled_us, scored_us);
+                    }
                     // A receiver gone away just means the caller bailed out;
                     // drop its rows rather than killing the worker.
                     let _ = job.reply.send((job.slot, row));

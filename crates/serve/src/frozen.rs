@@ -26,6 +26,7 @@ impl<M: SessionModel> FrozenModel<M> {
     /// than `max_session_len` micro-behaviors are truncated to their suffix
     /// before scoring, matching the training-time protocol.
     pub fn freeze(model: M, max_session_len: usize) -> Self {
+        let _span = embsr_obs::span("embsr_serve", "freeze");
         let snapshot = export_params(&model.parameters());
         FrozenModel {
             model,
@@ -38,6 +39,7 @@ impl<M: SessionModel> FrozenModel<M> {
     /// [`FrozenModel::freeze`] on an architecturally identical model
     /// (same constructor arguments — the flat layout must match).
     pub fn from_snapshot(model: M, snapshot: &[f32], max_session_len: usize) -> Self {
+        let _span = embsr_obs::span("embsr_serve", "from_snapshot");
         import_params(&model.parameters(), snapshot);
         FrozenModel {
             model,
@@ -75,6 +77,8 @@ impl<M: SessionModel> FrozenModel<M> {
         if session.is_empty() {
             return Vec::new();
         }
+        let _span =
+            embsr_obs::span("embsr_serve", "score").with_close_level(embsr_obs::Level::Trace);
         let truncated = truncate_session(session, self.max_session_len);
         inference_mode(|| self.model.logits_infer(&truncated)).to_vec()
     }
@@ -87,6 +91,8 @@ impl<M: SessionModel> FrozenModel<M> {
     /// row with the same sequential dot products as the per-session path.
     /// Empty sessions get an empty row, like [`FrozenModel::score`].
     pub fn score_batch(&self, sessions: &[Session]) -> Vec<Vec<f32>> {
+        let _span = embsr_obs::span("embsr_serve", "score_batch")
+            .with_close_level(embsr_obs::Level::Trace);
         let truncated: Vec<Session> = sessions
             .iter()
             .filter(|s| !s.is_empty())
@@ -118,6 +124,8 @@ impl<M: SessionModel> FrozenModel<M> {
     /// The `k` best items per session, best-first (ties broken by ascending
     /// item id).
     pub fn top_k(&self, sessions: &[Session], k: usize) -> Vec<Vec<ScoredItem>> {
+        let _span =
+            embsr_obs::span("embsr_serve", "top_k").with_close_level(embsr_obs::Level::Trace);
         self.score_batch(sessions)
             .iter()
             .map(|row| top_k_of_row(row, k))

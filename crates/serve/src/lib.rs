@@ -13,8 +13,11 @@
 //! * [`serve`] — a micro-batching engine on `embsr-pool` workers: requests
 //!   from concurrent callers coalesce into batches of up to
 //!   [`EngineConfig::max_batch`] sessions, held open at most
-//!   [`EngineConfig::flush_deadline_us`]; latency and batch-occupancy land
-//!   in `embsr_obs` histograms.
+//!   [`EngineConfig::flush_deadline_us`]; latency, batch-occupancy and
+//!   queue-depth land in `embsr_obs` histograms, and when request tracing
+//!   is on ([`embsr_obs::trace`]) every request emits a reconstructable
+//!   span tree (`score_request` → `queue_wait` / `batch_assembly` /
+//!   `scoring`, plus `top_k` selection).
 //!
 //! The batched path is held to **bitwise equality** with the per-session
 //! taped path (`tests/serving_equivalence.rs`): GEMM rows are independent
@@ -26,8 +29,8 @@ mod frozen;
 
 pub use api::{top_k_of_row, ScoreBatch, ScoreResponse, ScoredItem, TopK, TopKResponse};
 pub use engine::{
-    serve, Client, EngineConfig, METRIC_BATCH_SESSIONS, METRIC_REQUEST_LATENCY_US,
-    METRIC_SESSIONS_SCORED,
+    serve, Client, EngineConfig, METRIC_BATCH_SESSIONS, METRIC_QUEUE_DEPTH,
+    METRIC_REQUEST_LATENCY_US, METRIC_SESSIONS_SCORED,
 };
 pub use frozen::FrozenModel;
 

@@ -17,6 +17,9 @@ impl Tensor {
     pub fn gather_rows(&self, indices: &[usize]) -> Tensor {
         let (rows, cols) = self.shape().as_matrix();
         assert_eq!(self.shape().rank(), 2, "gather_rows needs rank 2");
+        // Timing only — the gather body is untouched, so bitwise suites see
+        // identical results whether or not profiling is enabled.
+        let watch = embsr_obs::profile::enabled().then(embsr_obs::Stopwatch::start);
         let d = self.data();
         let mut out = pool::take_reserve(indices.len() * cols);
         for &i in indices {
@@ -24,6 +27,9 @@ impl Tensor {
             out.extend_from_slice(&d[i * cols..(i + 1) * cols]);
         }
         drop(d);
+        if let Some(w) = watch {
+            embsr_obs::profile::record("gather_rows", indices.len(), cols, 0, w.elapsed_us(), 0);
+        }
         let parent = self.clone();
         let idx: Vec<usize> = indices.to_vec();
         Tensor::from_op(

@@ -23,6 +23,12 @@
 //! matches the reference on every target. This preserves the data-parallel
 //! trainer's bitwise thread-invariance guarantee: replica math is a pure
 //! function of the batch, independent of blocking and thread count.
+//!
+//! When [`embsr_obs::profile`] is enabled, the three public entry points
+//! additionally record shape-bucketed timings (`gemm_ab`/`gemm_atb`/
+//! `gemm_abt` sites). The hooks only read a clock around the unchanged
+//! body — one relaxed atomic load when profiling is off, and never a
+//! change to the accumulation order either way.
 
 use crate::pool;
 use crate::shape::Shape;
@@ -108,6 +114,9 @@ fn packed_gemm(
 pub fn gemm_ab(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
+    // Timing only — the kernel body is untouched, so the bitwise
+    // equivalence suites hold with profiling on or off.
+    let watch = embsr_obs::profile::enabled().then(embsr_obs::Stopwatch::start);
     packed_gemm(
         out,
         m,
@@ -132,12 +141,16 @@ pub fn gemm_ab(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usi
             }
         },
     );
+    if let Some(w) = watch {
+        embsr_obs::profile::record("gemm_ab", m, k, n, w.elapsed_us(), (2 * m * k * n) as u64);
+    }
 }
 
 /// `C[m,n] += Aᵀ · B[k,n]` where `a` is stored as `[k, m]`.
 pub fn gemm_atb(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize, n: usize) {
     debug_assert_eq!(a.len(), k * m);
     debug_assert_eq!(b.len(), k * n);
+    let watch = embsr_obs::profile::enabled().then(embsr_obs::Stopwatch::start);
     packed_gemm(
         out,
         m,
@@ -157,6 +170,9 @@ pub fn gemm_atb(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize, n: us
             }
         },
     );
+    if let Some(w) = watch {
+        embsr_obs::profile::record("gemm_atb", m, k, n, w.elapsed_us(), (2 * m * k * n) as u64);
+    }
 }
 
 /// `C[m,kb] += A[m,n] · Bᵀ` where `b` is stored as `[kb, n]`; the reduction
@@ -165,6 +181,7 @@ pub fn gemm_atb(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize, n: us
 pub fn gemm_abt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, n: usize, kb: usize) {
     debug_assert_eq!(a.len(), m * n);
     debug_assert_eq!(b.len(), kb * n);
+    let watch = embsr_obs::profile::enabled().then(embsr_obs::Stopwatch::start);
     packed_gemm(
         out,
         m,
@@ -192,6 +209,9 @@ pub fn gemm_abt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, n: usize, kb: u
             }
         },
     );
+    if let Some(w) = watch {
+        embsr_obs::profile::record("gemm_abt", m, n, kb, w.elapsed_us(), (2 * m * n * kb) as u64);
+    }
 }
 
 /// Straightforward scalar reference for [`gemm_ab`]: per output element, one

@@ -44,7 +44,9 @@ use embsr_tensor::{
 
 use crate::config::TrainConfig;
 use crate::recommender::SessionModel;
-use crate::trainer::{truncate_session, validate_loss_graph, EpochStats, TrainReport, Trainer};
+use crate::trainer::{
+    truncate_session, validate_loss_graph, EpochStats, PhaseTimes, TrainReport, Trainer,
+};
 
 // Stream tags keeping the derived RNG streams disjoint. Values are
 // arbitrary odd constants; only distinctness matters.
@@ -93,6 +95,11 @@ struct ShardGrad {
     loss_sum: f64,
     /// Non-empty examples the shard actually contributed.
     examples: usize,
+    /// Wall-clock the worker spent in the forward pass (0 when metrics are
+    /// off). Timing only — never feeds back into the numerics.
+    forward_us: u64,
+    /// Wall-clock the worker spent in backward + gradient export.
+    backward_us: u64,
 }
 
 /// Resumable snapshot of a [`ParallelTrainer`] run, captured after the last
@@ -287,6 +294,8 @@ impl ParallelTrainer {
                         .with_close_level(embsr_obs::Level::Trace);
                     import_params(&rparams, &task.params);
                     for shard in task.shards {
+                        let watch =
+                            embsr_obs::metrics::enabled().then(embsr_obs::Stopwatch::start);
                         for p in &rparams {
                             p.zero_grad();
                         }
@@ -306,6 +315,7 @@ impl ParallelTrainer {
                             let logits = replica.logits(&sess, true, &mut ex_rng);
                             losses.push(logits.cross_entropy_single(ex.target as usize));
                         }
+                        let forward_mark = watch.map_or(0, |w| w.elapsed_us());
                         let examples = losses.len();
                         let (grads, loss_sum) =
                             match losses.into_iter().reduce(|a, b| a.add(&b)) {
@@ -318,6 +328,10 @@ impl ParallelTrainer {
                                 // zero buffer keeps the reduction shape.
                                 None => (vec![0.0f32; n_flat], 0.0),
                             };
+                        let (forward_us, backward_us) = match watch {
+                            Some(w) => (forward_mark, w.elapsed_us() - forward_mark),
+                            None => (0, 0),
+                        };
                         if embsr_obs::metrics::enabled() {
                             embsr_obs::metrics::counter("train.parallel.shards").inc();
                         }
@@ -326,6 +340,8 @@ impl ParallelTrainer {
                             grads,
                             loss_sum,
                             examples,
+                            forward_us,
+                            backward_us,
                         });
                         if sent.is_err() {
                             return; // master is gone; nothing left to do
@@ -357,6 +373,10 @@ impl ParallelTrainer {
                     let mut epoch_loss = 0.0f64;
                     let mut seen = 0usize;
                     let mut last_grad_norm = f32::NAN;
+                    // Phase attribution: workers report forward/backward time
+                    // per shard, the master times reduce and optimizer here.
+                    let timing = embsr_obs::metrics::enabled();
+                    let mut phases = PhaseTimes::default();
                     for chunk in indexed.chunks(cfg.batch_size) {
                         let _batch_span = embsr_obs::span("embsr_train", "batch")
                             .with_close_level(embsr_obs::Level::Trace);
@@ -419,6 +439,8 @@ impl ParallelTrainer {
                                 Some(sg) => {
                                     n_examples += sg.examples;
                                     batch_loss += sg.loss_sum;
+                                    phases.forward_us += sg.forward_us;
+                                    phases.backward_us += sg.backward_us;
                                     buffers.push(sg.grads);
                                 }
                                 None => return Err("missing shard result".to_string()),
@@ -427,6 +449,7 @@ impl ParallelTrainer {
                         if n_examples == 0 {
                             continue; // every session in the batch was empty
                         }
+                        let watch = timing.then(embsr_obs::Stopwatch::start);
                         let mut reduced = tree_reduce(buffers);
                         // Workers backprop the loss *sum*; normalize to the
                         // batch mean here, once, in one deterministic pass.
@@ -435,10 +458,15 @@ impl ParallelTrainer {
                             *g *= scale;
                         }
                         import_grads(&params, &reduced);
+                        let reduce_mark = watch.map_or(0, |w| w.elapsed_us());
                         if let Some(max) = cfg.clip_norm {
                             last_grad_norm = clip_grad_norm(&params, max);
                         }
                         opt.step();
+                        if let Some(w) = watch {
+                            phases.reduce_us += reduce_mark;
+                            phases.optimizer_us += w.elapsed_us() - reduce_mark;
+                        }
                         epoch_loss += batch_loss;
                         seen += n_examples;
                         if embsr_obs::metrics::enabled() {
@@ -448,6 +476,7 @@ impl ParallelTrainer {
                         }
                     }
 
+                    phases.observe(epoch);
                     let train_loss = (epoch_loss / seen.max(1) as f64) as f32;
                     let val_loss = seq.eval_loss(model, val_slice);
                     let duration_s = epoch_span.elapsed().as_secs_f64();

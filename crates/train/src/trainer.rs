@@ -58,6 +58,44 @@ pub fn truncate_session(session: &Session, max_len: usize) -> Session {
     }
 }
 
+/// Per-epoch wall-clock attribution across the batch-loop phases
+/// (forward, backward, gradient reduce, optimizer step). Accumulation is
+/// timing-only — the batch math is identical whether or not metrics are on —
+/// and [`PhaseTimes::observe`] records one histogram sample per phase per
+/// epoch (`train.phase.*_us`) plus a field-carrying debug event.
+#[derive(Default)]
+pub(crate) struct PhaseTimes {
+    pub forward_us: u64,
+    pub backward_us: u64,
+    pub reduce_us: u64,
+    pub optimizer_us: u64,
+}
+
+impl PhaseTimes {
+    pub(crate) fn observe(&self, epoch: usize) {
+        if !embsr_obs::metrics::enabled() {
+            return;
+        }
+        embsr_obs::metrics::histogram("train.phase.forward_us").record(self.forward_us);
+        embsr_obs::metrics::histogram("train.phase.backward_us").record(self.backward_us);
+        embsr_obs::metrics::histogram("train.phase.reduce_us").record(self.reduce_us);
+        embsr_obs::metrics::histogram("train.phase.optimizer_us").record(self.optimizer_us);
+        if embsr_obs::log_enabled(embsr_obs::Level::Debug) {
+            embsr_obs::dispatch(
+                embsr_obs::Level::Debug,
+                "embsr_train",
+                format_args!("epoch {epoch} phase attribution"),
+                &[
+                    ("forward_us", self.forward_us as f64),
+                    ("backward_us", self.backward_us as f64),
+                    ("reduce_us", self.reduce_us as f64),
+                    ("optimizer_us", self.optimizer_us as f64),
+                ],
+            );
+        }
+    }
+}
+
 /// Mini-batch Adam trainer for any [`SessionModel`].
 pub struct Trainer {
     cfg: TrainConfig,
@@ -114,9 +152,15 @@ impl Trainer {
             let mut epoch_loss = 0.0f64;
             let mut seen = 0usize;
             let mut last_grad_norm = f32::NAN;
+            // One stopwatch per batch with cumulative marks: the phases are
+            // attributed by subtraction, never by restarting clocks inside
+            // the hot loop. Timing only — identical math when metrics are off.
+            let timing = embsr_obs::metrics::enabled();
+            let mut phases = PhaseTimes::default();
             for chunk in order.chunks(cfg.batch_size) {
                 let _batch_span =
                     embsr_obs::span("embsr_train", "batch").with_close_level(embsr_obs::Level::Trace);
+                let watch = timing.then(embsr_obs::Stopwatch::start);
                 opt.zero_grad();
                 let mut batch_losses: Vec<Tensor> = Vec::with_capacity(chunk.len());
                 for &i in chunk {
@@ -128,6 +172,7 @@ impl Trainer {
                     let logits = model.logits(&sess, true, &mut rng);
                     batch_losses.push(logits.cross_entropy_single(ex.target as usize));
                 }
+                let forward_mark = watch.map_or(0, |w| w.elapsed_us());
                 let n = batch_losses.len() as f32;
                 let Some(batch_sum) = batch_losses.into_iter().reduce(|a, b| a.add(&b)) else {
                     continue; // every session in the chunk was empty
@@ -138,16 +183,25 @@ impl Trainer {
                 }
                 epoch_loss += loss.item() as f64 * n as f64;
                 seen += n as usize;
+                let reduce_mark = watch.map_or(0, |w| w.elapsed_us());
                 loss.backward();
+                let backward_mark = watch.map_or(0, |w| w.elapsed_us());
                 if let Some(max) = cfg.clip_norm {
                     last_grad_norm = clip_grad_norm(&params, max);
                 }
                 opt.step();
+                if let Some(w) = watch {
+                    phases.forward_us += forward_mark;
+                    phases.reduce_us += reduce_mark - forward_mark;
+                    phases.backward_us += backward_mark - reduce_mark;
+                    phases.optimizer_us += w.elapsed_us() - backward_mark;
+                }
                 if embsr_obs::metrics::enabled() {
                     embsr_obs::metrics::counter("train.batches").inc();
                     embsr_obs::metrics::counter("train.examples_seen").add(n as u64);
                 }
             }
+            phases.observe(epoch);
             let train_loss = (epoch_loss / seen.max(1) as f64) as f32;
             let val_loss = self.eval_loss(model, val_slice);
             let duration_s = epoch_span.elapsed().as_secs_f64();

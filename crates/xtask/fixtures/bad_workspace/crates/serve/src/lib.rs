@@ -1,0 +1,13 @@
+//! Fixture: a serve entry point without any observability instrumentation.
+
+/// Scores a request without opening a span — the serve-span-coverage rule
+/// must flag this (new files get no baseline allowance).
+pub fn score_unobserved(xs: &[f32]) -> f32 {
+    xs.iter().sum()
+}
+
+/// Decoy: an instrumented entry point must NOT be flagged.
+pub fn score_observed(xs: &[f32]) -> f32 {
+    let _span = embsr_obs::span("fixture", "score_observed");
+    xs.iter().sum()
+}

@@ -18,7 +18,10 @@
 //! * `nn-forward-unification` — no new ad-hoc `pub fn forward` in
 //!   `crates/nn`; forward passes implement the `Forward` trait (or use a
 //!   named method like `attend`/`readout`);
-//! * `doc-public-items` — public items in `tensor`/`nn` carry doc comments.
+//! * `doc-public-items` — public items in `tensor`/`nn` carry doc comments;
+//! * `serve-span-coverage` — public entry points in `crates/serve` open an
+//!   obs span (or record trace/metrics), ratcheted per file via a second
+//!   checked-in baseline that may only go down.
 
 mod baseline;
 mod rules;
@@ -103,14 +106,22 @@ fn lint(root: &Path, update_baseline: bool) -> Result<bool, String> {
 
     if update_baseline {
         let counts = rules::panic_counts(&sources);
-        baseline::save(root, &counts)?;
+        baseline::save(root, baseline::BASELINE_REL, baseline::PANIC_HEADER, &counts)?;
         println!(
             "xtask: baseline rewritten: {} file(s), {} panic construct(s) total",
             counts.len(),
             counts.values().sum::<usize>()
         );
+        let spans = rules::span_counts(&sources);
+        baseline::save(root, baseline::SPAN_BASELINE_REL, baseline::SPAN_HEADER, &spans)?;
+        println!(
+            "xtask: span baseline rewritten: {} file(s), {} uninstrumented fn(s) total",
+            spans.len(),
+            spans.values().sum::<usize>()
+        );
     }
-    let base = baseline::load(root)?;
+    let base = baseline::load(root, baseline::BASELINE_REL)?;
+    let span_base = baseline::load(root, baseline::SPAN_BASELINE_REL)?;
 
     let mut findings: Vec<Finding> = Vec::new();
     findings.extend(rules::rule_no_panic_ratchet(&sources, &base));
@@ -119,6 +130,7 @@ fn lint(root: &Path, update_baseline: bool) -> Result<bool, String> {
     findings.extend(rules::rule_gradcheck_coverage(root));
     findings.extend(rules::rule_nn_forward_unification(&sources));
     findings.extend(rules::rule_doc_public_items(&sources));
+    findings.extend(rules::rule_serve_span_coverage(&sources, &span_base));
 
     let errors = findings.iter().filter(|f| f.is_error).count();
     for f in &findings {

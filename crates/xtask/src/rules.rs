@@ -178,6 +178,138 @@ pub fn rule_no_panic_ratchet(
 }
 
 // ---------------------------------------------------------------------------
+// Rule 1b: serve-span-coverage
+// ---------------------------------------------------------------------------
+
+/// Markers that count as observability instrumentation inside a function
+/// body: an obs span, trace propagation, a metrics hook, or a stopwatch.
+const SPAN_MARKERS: [&str; 4] = ["span(", "trace::", "metrics::", "Stopwatch::start"];
+
+/// Char offset just past the matching `}` of the body opened at `open`,
+/// or the source end when braces never re-balance (malformed input).
+fn body_end(chars: &[char], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, &c) in chars.iter().enumerate().skip(open) {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    chars.len()
+}
+
+/// Counts public entry points in `crates/serve/src/` whose body carries no
+/// observability marker, per file. Bodyless declarations (trait methods
+/// ending in `;`) are skipped.
+pub fn span_counts(files: &[SourceFile]) -> BTreeMap<String, usize> {
+    let mut counts = BTreeMap::new();
+    for f in files {
+        let n = uninstrumented_pub_fns(f).len();
+        if n > 0 {
+            counts.insert(f.rel.clone(), n);
+        }
+    }
+    counts
+}
+
+/// Char offsets (in the stripped source) of `pub fn`s in a serve source
+/// file whose body has no [`SPAN_MARKERS`] hit.
+fn uninstrumented_pub_fns(f: &SourceFile) -> Vec<usize> {
+    if !f.rel.starts_with("crates/serve/src/") {
+        return Vec::new();
+    }
+    let chars: Vec<char> = f.stripped.chars().collect();
+    let mut out = Vec::new();
+    for pos in f.production_hits("pub fn ") {
+        // Find the body: the first `{` after the signature. A `;` first
+        // means a bodyless trait-method declaration — nothing to lint.
+        let mut open = None;
+        for (i, &c) in chars.iter().enumerate().skip(pos) {
+            match c {
+                '{' => {
+                    open = Some(i);
+                    break;
+                }
+                ';' => break,
+                _ => {}
+            }
+        }
+        let Some(open) = open else { continue };
+        let end = body_end(&chars, open);
+        let body: String = chars[open..end].iter().collect();
+        if !SPAN_MARKERS.iter().any(|m| body.contains(m)) {
+            out.push(pos);
+        }
+    }
+    out
+}
+
+/// The span-coverage ratchet: every public entry point in `crates/serve`
+/// should open an obs span (or record trace/metrics); per-file counts of
+/// uninstrumented `pub fn`s may only go down relative to the checked-in
+/// baseline. New files start at an allowance of zero.
+pub fn rule_serve_span_coverage(
+    files: &[SourceFile],
+    baseline: &BTreeMap<String, usize>,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for f in files {
+        let hits = uninstrumented_pub_fns(f);
+        let count = hits.len();
+        let first_line = hits
+            .first()
+            .map(|&pos| line_of(&f.stripped, pos))
+            .unwrap_or(0);
+        let allowed = baseline.get(&f.rel).copied().unwrap_or(0);
+        if count > allowed {
+            findings.push(Finding {
+                rule: "serve-span-coverage",
+                path: f.rel.clone(),
+                line: first_line,
+                message: format!(
+                    "{count} public fn(s) without an obs span/trace/metrics hook, baseline \
+                     allows {allowed} (open an `embsr_obs::span(...)` in the body, or run \
+                     `cargo run -p xtask -- lint --update-baseline` if the fn is genuinely \
+                     not worth tracing)"
+                ),
+                is_error: true,
+            });
+        } else if count < allowed {
+            findings.push(Finding {
+                rule: "serve-span-coverage",
+                path: f.rel.clone(),
+                line: 0,
+                message: format!(
+                    "improved: {count} uninstrumented public fn(s), baseline allows {allowed}; \
+                     run `cargo run -p xtask -- lint --update-baseline` to ratchet down"
+                ),
+                is_error: false,
+            });
+        }
+    }
+    for rel in baseline.keys() {
+        if !files.iter().any(|f| &f.rel == rel) {
+            findings.push(Finding {
+                rule: "serve-span-coverage",
+                path: rel.clone(),
+                line: 0,
+                message: "baseline entry for a file that no longer exists; \
+                          run --update-baseline to drop it"
+                    .to_string(),
+                is_error: false,
+            });
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
 // Rule 2: no-external-deps
 // ---------------------------------------------------------------------------
 

@@ -61,6 +61,16 @@ fn lint_fails_on_seeded_violations_with_rule_and_location() {
         stdout.contains("error[nn-forward-unification]: crates/nn/src/block.rs:5"),
         "{stdout}"
     );
+    // The uninstrumented serve entry point is flagged; the instrumented
+    // decoy in the same file must not add a second count.
+    assert!(
+        stdout.contains("error[serve-span-coverage]: crates/serve/src/lib.rs:5"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("1 public fn(s) without an obs span"),
+        "{stdout}"
+    );
     // Decoys (string literal, comment, #[cfg(test)] body) must not add
     // extra panic findings: exactly one panic construct is counted.
     assert!(stdout.contains("1 panicking construct(s)"), "{stdout}");
