@@ -57,9 +57,12 @@ impl Recommender for ItemKnn {
                 }
             }
         }
-        // cosine = co(a,b) / sqrt(freq a * freq b)
+        // cosine = co(a,b) / sqrt(freq a * freq b); drain the counts into a
+        // key-sorted list so neighbor lists are built in a fixed order
+        let mut pairs: Vec<((ItemId, ItemId), f32)> = co.into_iter().collect();
+        pairs.sort_unstable_by_key(|&(key, _)| key);
         let mut sims: Vec<Vec<(ItemId, f32)>> = vec![Vec::new(); self.num_items];
-        for (&(a, b), &c) in &co {
+        for &((a, b), c) in &pairs {
             let (ai, bi) = (a as usize, b as usize);
             if ai >= self.num_items || bi >= self.num_items {
                 continue;

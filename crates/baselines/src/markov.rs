@@ -11,8 +11,9 @@ use embsr_train::Recommender;
 /// The Markov-chain baseline.
 pub struct MarkovChain {
     num_items: usize,
-    /// Sparse transition counts `from -> (to -> count)`.
-    transitions: HashMap<ItemId, HashMap<ItemId, f32>>,
+    /// Sparse transition rows `from -> [(to, count)]`, each row sorted by
+    /// successor id (the map itself is only probed, never iterated).
+    transitions: HashMap<ItemId, Vec<(ItemId, f32)>>,
     /// Global popularity back-off, normalized to (0, 0.5].
     popularity: Vec<f32>,
 }
@@ -38,18 +39,13 @@ impl Recommender for MarkovChain {
     }
 
     fn fit(&mut self, train: &[Example], _val: &[Example]) {
-        self.transitions.clear();
+        let mut counts: HashMap<ItemId, HashMap<ItemId, f32>> = HashMap::new();
         let mut pop = vec![0.0f32; self.num_items];
         for ex in train {
             let mut seq = ex.session.macro_items();
             seq.push(ex.target);
             for w in seq.windows(2) {
-                *self
-                    .transitions
-                    .entry(w[0])
-                    .or_default()
-                    .entry(w[1])
-                    .or_insert(0.0) += 1.0;
+                *counts.entry(w[0]).or_default().entry(w[1]).or_insert(0.0) += 1.0;
             }
             for &it in &seq {
                 if (it as usize) < self.num_items {
@@ -57,6 +53,16 @@ impl Recommender for MarkovChain {
                 }
             }
         }
+        // finalize each row as an id-sorted list so scoring iterates
+        // transitions in a fixed order
+        self.transitions = counts
+            .into_iter()
+            .map(|(from, row)| {
+                let mut r: Vec<(ItemId, f32)> = row.into_iter().collect();
+                r.sort_unstable_by_key(|&(to, _)| to);
+                (from, r)
+            })
+            .collect();
         let max = pop.iter().cloned().fold(1.0f32, f32::max);
         self.popularity = pop.into_iter().map(|c| 0.5 * c / max).collect();
     }
@@ -65,7 +71,7 @@ impl Recommender for MarkovChain {
         let mut scores = self.popularity.clone();
         if let Some(last) = session.macro_items().last() {
             if let Some(row) = self.transitions.get(last) {
-                for (&to, &count) in row {
+                for &(to, count) in row {
                     if (to as usize) < self.num_items {
                         scores[to as usize] += count;
                     }

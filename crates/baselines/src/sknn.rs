@@ -17,8 +17,9 @@ pub struct Sknn {
     /// Cap on candidate neighbors scanned per query (most recent first),
     /// the standard SKNN efficiency trick.
     pub sample_size: usize,
-    /// Item sets of the training sessions.
-    neighbors: Vec<HashSet<ItemId>>,
+    /// Item sets of the training sessions (sorted + deduped, so every
+    /// iteration over a neighbor is in item-id order).
+    neighbors: Vec<Vec<ItemId>>,
     /// Inverted index: item → training-session indices.
     index: HashMap<ItemId, Vec<u32>>,
 }
@@ -49,8 +50,10 @@ impl Recommender for Sknn {
         self.neighbors.clear();
         self.index.clear();
         for (i, ex) in train.iter().enumerate() {
-            let mut items: HashSet<ItemId> = ex.session.items().collect();
-            items.insert(ex.target);
+            let mut items: Vec<ItemId> = ex.session.items().collect();
+            items.push(ex.target);
+            items.sort_unstable();
+            items.dedup();
             for &it in &items {
                 self.index.entry(it).or_default().push(i as u32);
             }
@@ -59,14 +62,29 @@ impl Recommender for Sknn {
     }
 
     fn scores(&self, session: &Session) -> Vec<f32> {
-        let query: HashSet<ItemId> = session.items().collect();
+        // distinct query items, id-sorted (for membership and the cosine)
+        let mut query: Vec<ItemId> = session.items().collect();
         if query.is_empty() {
             return vec![0.0; self.num_items];
         }
+        // candidate enumeration scans query items most recent first — a
+        // deterministic order, unlike the hash-set iteration it replaces
+        let recency: Vec<ItemId> = {
+            let mut seen_items: HashSet<ItemId> = HashSet::new();
+            let mut v = Vec::new();
+            for &it in query.iter().rev() {
+                if seen_items.insert(it) {
+                    v.push(it);
+                }
+            }
+            v
+        };
+        query.sort_unstable();
+        query.dedup();
         // candidate sessions sharing any item, most recent first
         let mut cands: Vec<u32> = Vec::new();
         let mut seen: HashSet<u32> = HashSet::new();
-        for it in &query {
+        for it in &recency {
             if let Some(ids) = self.index.get(it) {
                 for &id in ids.iter().rev() {
                     if seen.insert(id) {
@@ -86,19 +104,23 @@ impl Recommender for Sknn {
             .into_iter()
             .map(|id| {
                 let other = &self.neighbors[id as usize];
-                let inter = query.intersection(other).count() as f32;
+                let inter = query
+                    .iter()
+                    .filter(|it| other.binary_search(it).is_ok())
+                    .count() as f32;
                 let sim = inter / ((query.len() as f32).sqrt() * (other.len() as f32).sqrt());
                 (sim, id)
             })
             .filter(|(s, _)| *s > 0.0)
             .collect();
-        sims.sort_by(|a, b| b.0.total_cmp(&a.0));
+        // equal similarities tie-break by session id so truncation is stable
+        sims.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
         sims.truncate(self.k);
 
         let mut scores = vec![0.0f32; self.num_items];
         for (sim, id) in sims {
             for &it in &self.neighbors[id as usize] {
-                if !query.contains(&it) && (it as usize) < self.num_items {
+                if query.binary_search(&it).is_err() && (it as usize) < self.num_items {
                     scores[it as usize] += sim;
                 }
             }

@@ -43,8 +43,12 @@ impl Recommender for SPop {
             }
             *counts.entry(ex.target).or_default() += 1.0;
         }
-        let max = counts.values().cloned().fold(1.0f32, f32::max);
-        for (&item, &c) in &counts {
+        // drain into an id-sorted list so the normalization pass (and any
+        // float it touches) runs in a fixed order
+        let mut pairs: Vec<(u32, f32)> = counts.into_iter().collect();
+        pairs.sort_unstable_by_key(|&(item, _)| item);
+        let max = pairs.iter().map(|&(_, c)| c).fold(1.0f32, f32::max);
+        for &(item, c) in &pairs {
             if (item as usize) < self.num_items {
                 self.global[item as usize] = c / max; // in (0, 1]
             }

@@ -6,7 +6,7 @@
 //! chronological order), and (3) within-neighbor weighting of items by their
 //! distance to the items shared with the query.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use embsr_sessions::{Example, ItemId, Session};
 use embsr_train::Recommender;
@@ -55,7 +55,9 @@ impl Recommender for Stan {
         for (i, ex) in train.iter().enumerate() {
             let mut seq = ex.session.macro_items();
             seq.push(ex.target);
-            let distinct: HashSet<ItemId> = seq.iter().copied().collect();
+            let mut distinct = seq.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
             for it in distinct {
                 self.index.entry(it).or_default().push(i as u32);
             }
@@ -69,8 +71,9 @@ impl Recommender for Stan {
             return vec![0.0; self.num_items];
         }
         let qlen = query_seq.len();
-        // recency weight of each query item (most recent position wins)
-        let mut qweight: HashMap<ItemId, f32> = HashMap::new();
+        // recency weight of each query item (most recent position wins);
+        // a BTreeMap so every later sum over the weights runs in id order
+        let mut qweight: BTreeMap<ItemId, f32> = BTreeMap::new();
         for (pos, &it) in query_seq.iter().enumerate() {
             let w = (-self.lambda_recency * (qlen - 1 - pos) as f32).exp();
             let e = qweight.entry(it).or_insert(0.0);
@@ -78,12 +81,22 @@ impl Recommender for Stan {
                 *e = w;
             }
         }
-        let qset: HashSet<ItemId> = query_seq.iter().copied().collect();
 
-        // candidates, most recent training sessions first
+        // candidates, most recent training sessions first; query items are
+        // scanned most recent first (a deterministic order, unlike the
+        // hash-set iteration it replaces)
+        let recency: Vec<ItemId> = {
+            let mut v: Vec<ItemId> = Vec::new();
+            for &it in query_seq.iter().rev() {
+                if !v.contains(&it) {
+                    v.push(it);
+                }
+            }
+            v
+        };
         let mut cands: Vec<u32> = Vec::new();
         let mut seen: HashSet<u32> = HashSet::new();
-        for it in &qset {
+        for it in &recency {
             if let Some(ids) = self.index.get(it) {
                 for &id in ids.iter().rev() {
                     if seen.insert(id) {
@@ -104,17 +117,21 @@ impl Recommender for Stan {
             .into_iter()
             .map(|id| {
                 let other = &self.sequences[id as usize];
-                let oset: HashSet<ItemId> = other.iter().copied().collect();
-                let inter: f32 = oset
+                let mut odistinct = other.clone();
+                odistinct.sort_unstable();
+                odistinct.dedup();
+                // id-ordered sum: the f32 accumulation order is fixed
+                let inter: f32 = odistinct
                     .iter()
                     .filter_map(|it| qweight.get(it))
                     .sum();
-                let sim = inter / (norm_q.max(1e-9) * (oset.len() as f32).sqrt());
+                let sim = inter / (norm_q.max(1e-9) * (odistinct.len() as f32).sqrt());
                 (sim, id)
             })
             .filter(|(s, _)| *s > 0.0)
             .collect();
-        sims.sort_by(|a, b| b.0.total_cmp(&a.0));
+        // equal similarities tie-break by session id so truncation is stable
+        sims.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
         sims.truncate(self.k);
 
         let mut scores = vec![0.0f32; self.num_items];
@@ -124,12 +141,12 @@ impl Recommender for Stan {
             let anchor = seq
                 .iter()
                 .enumerate()
-                .filter(|(_, it)| qset.contains(it))
+                .filter(|(_, it)| qweight.contains_key(it))
                 .map(|(p, _)| p)
                 .next_back();
             let Some(anchor) = anchor else { continue };
             for (pos, &it) in seq.iter().enumerate() {
-                if qset.contains(&it) || (it as usize) >= self.num_items {
+                if qweight.contains_key(&it) || (it as usize) >= self.num_items {
                     continue;
                 }
                 let dist = pos.abs_diff(anchor) as f32;

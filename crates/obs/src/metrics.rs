@@ -18,12 +18,16 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 
 /// Turns hot-path metric collection on or off (off by default).
 pub fn set_enabled(on: bool) {
+    // ordering: Release so metrics registered before the flip are visible
+    // to probes that observe it; readers that lag only miss some samples.
     ENABLED.store(on, Ordering::Release);
 }
 
 /// Whether instrumented hot paths should record (one relaxed load).
 #[inline(always)]
 pub fn enabled() -> bool {
+    // ordering: Relaxed — the flag gates best-effort sampling only; a
+    // stale read just delays when a probe notices the switch.
     ENABLED.load(Ordering::Relaxed)
 }
 
@@ -43,14 +47,18 @@ impl Counter {
     }
 
     pub fn add(&self, n: u64) {
+        // ordering: Relaxed — independent event counts; the RMW is atomic
+        // and no other memory is published through the counter.
         self.value.fetch_add(n, Ordering::Relaxed);
     }
 
     pub fn get(&self) -> u64 {
+        // ordering: Relaxed — a snapshot read; counts may lag in-flight adds.
         self.value.load(Ordering::Relaxed)
     }
 
     pub fn reset(&self) {
+        // ordering: Relaxed — test/bench-only zeroing, no synchronization.
         self.value.store(0, Ordering::Relaxed);
     }
 }
@@ -63,10 +71,12 @@ pub struct Gauge {
 
 impl Gauge {
     pub fn set(&self, v: f64) {
+        // ordering: Relaxed — last-writer-wins value, no ordering contract.
         self.bits.store(v.to_bits(), Ordering::Relaxed);
     }
 
     pub fn get(&self) -> f64 {
+        // ordering: Relaxed — a snapshot read of a standalone value.
         f64::from_bits(self.bits.load(Ordering::Relaxed))
     }
 
@@ -127,6 +137,8 @@ fn bucket_mid(idx: usize) -> f64 {
 impl Histogram {
     /// Records one sample.
     pub fn record(&self, v: u64) {
+        // ordering: Relaxed throughout — each field is an independent
+        // statistic; readers tolerate tearing between them by design.
         self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
@@ -135,6 +147,7 @@ impl Histogram {
     }
 
     pub fn count(&self) -> u64 {
+        // ordering: Relaxed — snapshot read, may lag concurrent records.
         self.count.load(Ordering::Relaxed)
     }
 
@@ -143,14 +156,18 @@ impl Histogram {
         if n == 0 {
             return f64::NAN;
         }
+        // ordering: Relaxed — sum and count may tear vs. each other; the
+        // mean is a best-effort statistic, not an invariant.
         self.sum.load(Ordering::Relaxed) as f64 / n as f64
     }
 
     pub fn min(&self) -> Option<u64> {
+        // ordering: Relaxed — snapshot read of an independent statistic.
         (self.count() > 0).then(|| self.min.load(Ordering::Relaxed))
     }
 
     pub fn max(&self) -> Option<u64> {
+        // ordering: Relaxed — snapshot read of an independent statistic.
         (self.count() > 0).then(|| self.max.load(Ordering::Relaxed))
     }
 
@@ -163,6 +180,8 @@ impl Histogram {
         }
         let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
         let mut cum = 0u64;
+        // ordering: Relaxed — bucket reads may interleave with writers;
+        // quantiles are estimates with a documented error bound anyway.
         for (idx, b) in self.buckets.iter().enumerate() {
             cum += b.load(Ordering::Relaxed);
             if cum >= rank {
@@ -179,6 +198,7 @@ impl Histogram {
     pub fn fraction_above(&self, threshold: u64) -> f64 {
         let mut total = 0u64;
         let mut above = 0u64;
+        // ordering: Relaxed — same best-effort bucket snapshot as quantile.
         for (idx, b) in self.buckets.iter().enumerate() {
             let c = b.load(Ordering::Relaxed);
             if c == 0 {
@@ -197,6 +217,7 @@ impl Histogram {
     }
 
     pub fn reset(&self) {
+        // ordering: Relaxed — test/bench-only zeroing, no synchronization.
         for b in &self.buckets {
             b.store(0, Ordering::Relaxed);
         }

@@ -37,6 +37,8 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 
 /// Turns profiling on or off (off by default).
 pub fn set_enabled(on: bool) {
+    // ordering: Relaxed — a standalone flag; nothing is published through
+    // it, and late observers only miss a few samples.
     ENABLED.store(on, Ordering::Relaxed);
 }
 
@@ -44,6 +46,8 @@ pub fn set_enabled(on: bool) {
 /// pays when profiling is disabled.
 #[inline]
 pub fn enabled() -> bool {
+    // ordering: Relaxed — best-effort gate; a stale read skips or adds one
+    // sample, never corrupts state.
     ENABLED.load(Ordering::Relaxed)
 }
 

@@ -115,6 +115,9 @@ fn recompute_max_level(d: &Dispatcher) {
         .iter()
         .filter_map(|s| s.max_level())
         .max();
+    // ordering: Release pairs with sink registration happening under the
+    // RwLock above; readers doing the Relaxed fast-path check only risk
+    // evaluating one extra (or one fewer) log call during a reconfigure.
     d.max_level
         .store(level_code(console_max.max(extra_max)), Ordering::Release);
 }
@@ -144,6 +147,8 @@ pub fn clear_sinks() {
 /// Cheap global pre-check used by the log macros: one relaxed atomic load.
 #[inline]
 pub fn log_enabled(level: Level) -> bool {
+    // ordering: Relaxed — a pre-filter only; dispatch re-checks under the
+    // sink locks, so a stale level is never a correctness problem.
     let code = dispatcher().max_level.load(Ordering::Relaxed);
     (level as u8) < code
 }

@@ -55,6 +55,8 @@ static NEXT_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Turns trace-record emission on or off (off by default).
 pub fn set_enabled(on: bool) {
+    // ordering: Relaxed — standalone flag; late observers only start (or
+    // stop) emitting records a moment later.
     ENABLED.store(on, Ordering::Relaxed);
 }
 
@@ -62,6 +64,7 @@ pub fn set_enabled(on: bool) {
 /// accepts [`Level::Trace`]; see [`active`].)
 #[inline]
 pub fn enabled() -> bool {
+    // ordering: Relaxed — best-effort gate, no data published through it.
     ENABLED.load(Ordering::Relaxed)
 }
 
@@ -86,6 +89,8 @@ pub fn now_us() -> u64 {
 }
 
 fn fresh_id() -> u64 {
+    // ordering: Relaxed — the RMW alone guarantees uniqueness; ids carry
+    // no happens-before obligations.
     NEXT_ID.fetch_add(1, Ordering::Relaxed)
 }
 

@@ -60,11 +60,16 @@ impl AbortSignal {
     }
 
     fn trigger(&self) {
+        // ordering: SeqCst — the abort flag must totally order against the
+        // panic-payload mutex and channel closes done around it; this fires
+        // once per pool lifetime, so nothing weaker is worth reasoning out.
         self.aborted.store(true, Ordering::SeqCst);
     }
 
     /// True once any worker has panicked.
     pub fn is_aborted(&self) -> bool {
+        // ordering: SeqCst — pairs with trigger's store; a master polling
+        // this must not observe the flag after missing the panic payload.
         self.aborted.load(Ordering::SeqCst)
     }
 }

@@ -208,6 +208,9 @@ fn next_batch(shared: &Shared, cfg: &EngineConfig) -> Option<Vec<Job>> {
     loop {
         if let Some(oldest) = q.front() {
             let waited = oldest.enqueued.elapsed();
+            // ordering: SeqCst — the open flag must totally order with the
+            // queue mutex and shutdown notify so a closing engine can never
+            // be seen as open after the final drain (see ShutdownGuard).
             let closing = !shared.open.load(Ordering::SeqCst);
             if q.len() >= cfg.max_batch || waited >= deadline || closing {
                 let take = q.len().min(cfg.max_batch);
@@ -221,6 +224,9 @@ fn next_batch(shared: &Shared, cfg: &EngineConfig) -> Option<Vec<Job>> {
             };
             q = guard;
         } else {
+            // ordering: SeqCst — pairs with ShutdownGuard's store; a worker
+            // holding the (empty) queue lock must observe the close or it
+            // would sleep through its own shutdown.
             if !shared.open.load(Ordering::SeqCst) {
                 return None;
             }
@@ -247,6 +253,9 @@ struct ShutdownGuard<'a>(&'a Shared);
 
 impl Drop for ShutdownGuard<'_> {
     fn drop(&mut self) {
+        // ordering: SeqCst — the close must totally order against workers'
+        // loads in next_batch; a weaker store could let a worker re-check
+        // `open` after the wakeup and still read true, stranding it.
         self.0.open.store(false, Ordering::SeqCst);
         notify_shutdown(self.0);
     }

@@ -137,6 +137,8 @@ impl Tensor {
         }
         Tensor {
             inner: Rc::new(Inner {
+                // ordering: Relaxed — the RMW alone makes ids unique; they
+                // order nothing else.
                 id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
                 shape: self.inner.shape.clone(),
                 op: "leaf",
@@ -176,6 +178,7 @@ impl Tensor {
     fn leaf_raw(data: Vec<f32>, shape: Shape, requires_grad: bool) -> Self {
         Tensor {
             inner: Rc::new(Inner {
+                // ordering: Relaxed — uniqueness comes from the RMW itself.
                 id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
                 shape,
                 op: "leaf",
@@ -213,6 +216,7 @@ impl Tensor {
         }
         Tensor {
             inner: Rc::new(Inner {
+                // ordering: Relaxed — uniqueness comes from the RMW itself.
                 id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
                 shape,
                 op,

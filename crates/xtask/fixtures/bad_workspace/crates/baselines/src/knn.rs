@@ -1,0 +1,26 @@
+//! Fixture: a HashMap iteration whose hash order leaks into an f32 sum.
+
+use std::collections::HashMap;
+
+/// Trips map-iteration-determinism: the accumulation below follows the
+/// map's per-instance hash order, so the float total is nondeterministic.
+pub fn accumulate(weights: &HashMap<u32, f32>) -> f32 {
+    let mut total = 0.0;
+    for (_, w) in weights.iter() {
+        total += w;
+    }
+    total
+}
+
+/// Decoy: draining into a key-sorted list must NOT be flagged (the sort in
+/// the following statement launders the iteration).
+pub fn sorted_pairs(weights: &HashMap<u32, f32>) -> Vec<(u32, f32)> {
+    let mut pairs: Vec<(u32, f32)> = weights.iter().map(|(&k, &v)| (k, v)).collect();
+    pairs.sort_unstable_by_key(|&(k, _)| k);
+    pairs
+}
+
+/// Decoy: reducing to a cardinality must NOT be flagged.
+pub fn size(weights: &HashMap<u32, f32>) -> usize {
+    weights.keys().count()
+}

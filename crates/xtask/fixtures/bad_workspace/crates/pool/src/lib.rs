@@ -1,0 +1,61 @@
+//! Fixture: the three lock-discipline violation shapes, plus decoys.
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Poison-recovering lock helper (mirrors the real pool crate's).
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+/// Trips lock-discipline (a): an `if`-guarded Condvar wait — spurious
+/// wakeups and racing predicates need a `while` re-check.
+pub fn wait_once(cv: &Condvar, m: &Mutex<bool>) {
+    let mut ready = lock(m);
+    if !*ready {
+        ready = match cv.wait(ready) {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+    }
+    *ready = false;
+}
+
+/// Trips lock-discipline (b): the same mutex locked again while the first
+/// guard is still live (std::sync::Mutex is not reentrant).
+pub fn double_lock(m: &Mutex<u32>) -> u32 {
+    let a = lock(m);
+    let b = lock(m);
+    *a + *b
+}
+
+/// Trips lock-discipline (c): a guard held across a spawn boundary.
+pub fn hold_across_scope(m: &Mutex<u32>) {
+    let g = lock(m);
+    std::thread::scope(|s| {
+        s.spawn(|| ());
+    });
+    drop(g);
+}
+
+/// Decoy: the canonical loop re-check must NOT be flagged.
+pub fn wait_loop(cv: &Condvar, m: &Mutex<bool>) {
+    let mut ready = lock(m);
+    while !*ready {
+        ready = match cv.wait(ready) {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+    }
+}
+
+/// Decoy: dropping the guard before re-locking must NOT be flagged.
+pub fn relock_after_drop(m: &Mutex<u32>) -> u32 {
+    let a = lock(m);
+    let first = *a;
+    drop(a);
+    let b = lock(m);
+    first + *b
+}

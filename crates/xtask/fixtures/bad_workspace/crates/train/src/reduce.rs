@@ -1,0 +1,24 @@
+//! Fixture: ad-hoc gradient merging in crates/train that bypasses the
+//! fixed-order tree reduction.
+
+/// Trips float-reduction-order: element-wise `+=` over two indexed bases.
+pub fn merge(acc: &mut [f32], shard: &[f32]) {
+    for i in 0..acc.len() {
+        acc[i] += shard[i];
+    }
+}
+
+/// Trips float-reduction-order (the `.zip(` loop form).
+pub fn merge_zip(acc: &mut [f32], shard: &[f32]) {
+    for (a, s) in acc.iter_mut().zip(shard.iter()) {
+        *a += *s;
+    }
+}
+
+/// Decoy: a justified accumulation must NOT be flagged.
+pub fn merge_justified(acc: &mut [f32], shard: &[f32]) {
+    for i in 0..acc.len() {
+        // reduce: fixture decoy — the index loop fixes the order
+        acc[i] += shard[i];
+    }
+}

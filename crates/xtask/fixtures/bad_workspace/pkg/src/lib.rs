@@ -19,3 +19,29 @@ mod tests {
         assert_eq!(x.unwrap(), 1);
     }
 }
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub static FLAG: AtomicBool = AtomicBool::new(false);
+
+/// Trips the atomics audit: no justifying comment at all.
+pub fn set_flag() {
+    FLAG.store(true, Ordering::SeqCst);
+}
+
+/// Trips the atomics audit: the comment never names the strong choice.
+pub fn get_flag() -> bool {
+    // ordering: strongest available, just in case
+    FLAG.load(Ordering::SeqCst)
+}
+
+/// Decoy: a justified relaxed load must NOT be flagged.
+pub fn peek_flag() -> bool {
+    // ordering: Relaxed — standalone flag, nothing published through it
+    FLAG.load(Ordering::Relaxed)
+}
+
+/// Trips no-unsafe-ratchet.
+pub fn first_unchecked(xs: &[f32]) -> f32 {
+    unsafe { *xs.get_unchecked(0) }
+}

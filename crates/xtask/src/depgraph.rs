@@ -1,0 +1,182 @@
+//! The workspace crate-dependency graph, read straight from the
+//! `crates/*/Cargo.toml` manifests (the workspace has no external deps, so
+//! every edge is in-tree). The graph feeds the `crate-layering` rule: each
+//! crate sits on a named layer of the DESIGN.md DAG, dependency edges must
+//! point strictly downward, and cycles are rejected outright.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The architecture layers, lowest first. A crate may only depend on
+/// crates with a strictly smaller layer number. New crates must be added
+/// here before they lint clean (a deliberate speed bump: placing a crate
+/// in the DAG is an architecture decision).
+pub const LAYERS: &[(&str, u8)] = &[
+    ("embsr-obs", 0),       // telemetry: depends on nothing
+    ("embsr-pool", 1),      // worker pool
+    ("embsr-tensor", 1),    // autograd tensors
+    ("embsr-sessions", 1),  // session data model
+    ("embsr-nn", 2),        // neural layers on tensor
+    ("embsr-datasets", 2),  // generators/preprocessing
+    ("embsr-train", 3),     // training loop + recommender trait
+    ("embsr-core", 4),      // the EMBSR model
+    ("embsr-baselines", 4), // Table III baselines
+    ("embsr-eval", 4),      // metrics + significance tests
+    ("embsr-serve", 4),     // batched inference engine
+    ("embsr-bench", 5),     // experiment harness (may use everything)
+    ("xtask", 5),           // this lint
+];
+
+/// The layer of a crate, or `None` for crates missing from [`LAYERS`].
+pub fn layer_of(name: &str) -> Option<u8> {
+    LAYERS.iter().find(|(n, _)| *n == name).map(|&(_, l)| l)
+}
+
+/// One parsed crate manifest.
+pub struct CrateInfo {
+    /// The `[package] name`.
+    pub name: String,
+    /// Workspace-relative manifest path.
+    pub manifest_rel: String,
+    /// `(dep name, manifest line)` from `[dependencies]` and
+    /// `[build-dependencies]`. Dev-dependencies are exempt from layering
+    /// (tests may reach sideways, e.g. model crates pulling datasets).
+    pub deps: Vec<(String, usize)>,
+}
+
+/// Parses one manifest; `None` when it has no `[package]` section (the
+/// virtual workspace root).
+pub fn parse_manifest(rel: &str, content: &str) -> Option<CrateInfo> {
+    let mut name = None;
+    let mut deps = Vec::new();
+    let mut section = "";
+    for (idx, raw_line) in content.lines().enumerate() {
+        let line = raw_line.trim();
+        if line.starts_with('[') {
+            section = match line {
+                "[package]" => "package",
+                "[dependencies]" | "[build-dependencies]" => "deps",
+                _ => "",
+            };
+            continue;
+        }
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let key = key.trim();
+        match section {
+            "package" if key == "name" => {
+                name = Some(value.trim().trim_matches('"').to_string());
+            }
+            "deps" => {
+                // `foo = {..}` or `foo.workspace = true`
+                let dep = key.trim_end_matches(".workspace").trim();
+                deps.push((dep.to_string(), idx + 1));
+            }
+            _ => {}
+        }
+    }
+    Some(CrateInfo {
+        name: name?,
+        manifest_rel: rel.to_string(),
+        deps,
+    })
+}
+
+/// Finds a dependency cycle among `crates` (edges restricted to crates in
+/// the set), returned as a `a -> b -> ... -> a` path; `None` when acyclic.
+pub fn find_cycle(crates: &[CrateInfo]) -> Option<Vec<String>> {
+    let edges: BTreeMap<&str, Vec<&str>> = crates
+        .iter()
+        .map(|c| {
+            (
+                c.name.as_str(),
+                c.deps.iter().map(|(d, _)| d.as_str()).collect(),
+            )
+        })
+        .collect();
+    let mut done: BTreeSet<&str> = BTreeSet::new();
+    for start in edges.keys() {
+        if done.contains(start) {
+            continue;
+        }
+        // Iterative DFS with an explicit path stack.
+        let mut path: Vec<&str> = vec![start];
+        let mut iters: Vec<usize> = vec![0];
+        while !path.is_empty() {
+            let top = path.len() - 1;
+            let node = path[top];
+            let next = edges.get(node).and_then(|ds| ds.get(iters[top]).copied());
+            match next {
+                Some(dep) => {
+                    iters[top] += 1;
+                    if !edges.contains_key(dep) || done.contains(dep) {
+                        continue;
+                    }
+                    if let Some(at) = path.iter().position(|&p| p == dep) {
+                        let mut cycle: Vec<String> =
+                            path[at..].iter().map(|s| s.to_string()).collect();
+                        cycle.push(dep.to_string());
+                        return Some(cycle);
+                    }
+                    path.push(dep);
+                    iters.push(0);
+                }
+                None => {
+                    done.insert(node);
+                    path.pop();
+                    iters.pop();
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(name: &str, deps: &[&str]) -> CrateInfo {
+        CrateInfo {
+            name: name.to_string(),
+            manifest_rel: format!("crates/{name}/Cargo.toml"),
+            deps: deps.iter().map(|d| (d.to_string(), 1)).collect(),
+        }
+    }
+
+    #[test]
+    fn manifest_parsing_reads_name_and_dep_sections() {
+        let toml = "[package]\nname = \"embsr-serve\"\n\n[dependencies]\n\
+                    embsr-obs = { workspace = true }\nembsr-pool.workspace = true\n\n\
+                    [dev-dependencies]\nembsr-datasets = { workspace = true }\n";
+        let c = parse_manifest("crates/serve/Cargo.toml", toml).expect("package section");
+        assert_eq!(c.name, "embsr-serve");
+        let deps: Vec<&str> = c.deps.iter().map(|(d, _)| d.as_str()).collect();
+        assert_eq!(deps, ["embsr-obs", "embsr-pool"], "dev-deps are exempt");
+    }
+
+    #[test]
+    fn virtual_workspace_roots_are_skipped() {
+        assert!(parse_manifest("Cargo.toml", "[workspace]\nmembers = [\"crates/*\"]\n").is_none());
+    }
+
+    #[test]
+    fn layer_table_covers_the_workspace() {
+        assert_eq!(layer_of("embsr-obs"), Some(0));
+        assert_eq!(layer_of("embsr-bench"), Some(5));
+        assert_eq!(layer_of("left-pad"), None);
+    }
+
+    #[test]
+    fn cycles_are_found_and_reported_as_paths() {
+        let crates = vec![info("a", &["b"]), info("b", &["c"]), info("c", &["a"])];
+        let cycle = find_cycle(&crates).expect("cycle exists");
+        assert_eq!(cycle.first(), cycle.last());
+        assert_eq!(cycle.len(), 4);
+        let acyclic = vec![info("a", &["b"]), info("b", &["c"]), info("c", &[])];
+        assert!(find_cycle(&acyclic).is_none());
+    }
+}

@@ -1,0 +1,290 @@
+//! Item-level IR for one source file, built on [`crate::lexer::Lexed`]:
+//! functions with body spans, `use` imports, and the identifiers declared
+//! with determinism/concurrency-sensitive types (`HashMap`/`HashSet`,
+//! `Condvar`). The extraction is token-level and deliberately shallow — it
+//! tracks declarations whose type annotation or constructor is syntactically
+//! visible (`x: HashMap<..>`, `x = HashMap::new()`, struct fields), not
+//! types that only arrive through inference or nested generics. Rules that
+//! consume the IR accept the resulting false negatives and document them.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::Lexed;
+
+/// One `fn` item: its name, body span, and signature line.
+pub struct FnItem {
+    /// The function name.
+    pub name: String,
+    /// `(open, close)` char offsets of the body braces; `None` for
+    /// bodyless trait-method declarations.
+    pub body: Option<(usize, usize)>,
+    /// 1-based line of the signature.
+    pub line: usize,
+}
+
+/// One `use` import (text with whitespace collapsed, e.g.
+/// `use std::collections::HashMap;`).
+pub struct UseItem {
+    pub text: String,
+    /// Char offset of the `use` keyword (for test-mask checks).
+    pub pos: usize,
+    pub line: usize,
+}
+
+/// The IR of one file.
+pub struct FileIr {
+    /// Token stream + brace tree over the stripped source.
+    pub lex: Lexed,
+    /// `fn` items in source order.
+    pub fns: Vec<FnItem>,
+    /// `use` imports.
+    pub uses: Vec<UseItem>,
+    /// Identifiers declared as `HashMap`/`HashSet` (locals, params, fields).
+    pub hash_idents: BTreeSet<String>,
+    /// Identifiers declared as `Condvar` (locals, params, fields).
+    pub condvar_idents: BTreeSet<String>,
+}
+
+/// Constructors whose result is bound directly (`x = HashMap::new()`).
+const CTORS: [&str; 3] = ["new", "with_capacity", "default"];
+
+impl FileIr {
+    /// Builds the IR for one stripped source file.
+    pub fn build(stripped: &str) -> FileIr {
+        let lex = Lexed::new(stripped);
+        let fns = find_fns(&lex);
+        let uses = find_uses(&lex);
+        let hash_idents = declared_idents(&lex, &["HashMap", "HashSet"]);
+        let condvar_idents = declared_idents(&lex, &["Condvar"]);
+        FileIr {
+            lex,
+            fns,
+            uses,
+            hash_idents,
+            condvar_idents,
+        }
+    }
+
+    /// The innermost `fn` whose body contains `pos`.
+    pub fn enclosing_fn(&self, pos: usize) -> Option<&FnItem> {
+        self.fns
+            .iter()
+            .filter(|f| matches!(f.body, Some((o, c)) if o < pos && pos < c))
+            .max_by_key(|f| f.body.map(|(o, _)| o))
+    }
+
+    /// True when `pos` sits inside a `loop`/`while` block *within* its
+    /// enclosing function (the canonical Condvar re-check shape). Blocks
+    /// are classified by scanning their header — the text between the
+    /// previous `;`/`{`/`}` and the open brace — for the loop keyword.
+    pub fn in_loop(&self, pos: usize) -> bool {
+        let Some(f) = self.enclosing_fn(pos) else {
+            return false;
+        };
+        let Some((fn_open, _)) = f.body else {
+            return false;
+        };
+        for (open, _) in self.lex.enclosing_braces(pos) {
+            if open <= fn_open {
+                continue; // the fn body itself, or something outside it
+            }
+            let header_start = self.lex.statement_start(open.saturating_sub(1));
+            let header = self.lex.text(header_start, open);
+            let header_lex = Lexed::new(&header);
+            if header_lex
+                .tokens
+                .iter()
+                .any(|t| matches!(t.ident(), "loop" | "while"))
+            {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Extracts `fn` items: the `fn` keyword followed by a name; the body is
+/// the first `{` after the signature (a `;` first means no body).
+fn find_fns(lex: &Lexed) -> Vec<FnItem> {
+    let mut out = Vec::new();
+    for (i, t) in lex.tokens.iter().enumerate() {
+        if t.ident() != "fn" {
+            continue;
+        }
+        let Some(name_tok) = lex.tokens.get(i + 1) else {
+            continue;
+        };
+        let name = name_tok.ident();
+        if name.is_empty() {
+            continue; // `fn(usize) -> T` fn-pointer type
+        }
+        let mut body = None;
+        let mut j = name_tok.end;
+        while j < lex.chars.len() {
+            match lex.chars[j] {
+                '{' => {
+                    body = Some((j, lex.close_of(j)));
+                    break;
+                }
+                ';' => break,
+                _ => j += 1,
+            }
+        }
+        out.push(FnItem {
+            name: name.to_string(),
+            body,
+            line: lex.line_of(t.start),
+        });
+    }
+    out
+}
+
+/// Extracts `use` statements as collapsed text.
+fn find_uses(lex: &Lexed) -> Vec<UseItem> {
+    let mut out = Vec::new();
+    for t in &lex.tokens {
+        if t.ident() != "use" {
+            continue;
+        }
+        let end = lex.statement_end(t.start);
+        let text: String = lex
+            .text(t.start, end)
+            .split_whitespace()
+            .collect::<Vec<_>>()
+            .join(" ");
+        out.push(UseItem {
+            text,
+            pos: t.start,
+            line: lex.line_of(t.start),
+        });
+    }
+    out
+}
+
+/// Identifiers declared with one of `types`, via either a visible type
+/// annotation (`name: [&][mut] Type<..>` — locals, params, struct fields)
+/// or a direct constructor binding (`name = Type::new(..)`).
+fn declared_idents(lex: &Lexed, types: &[&str]) -> BTreeSet<String> {
+    let toks = &lex.tokens;
+    let mut out = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !types.contains(&t.ident()) {
+            continue;
+        }
+        // Case A: `name : [&] [mut] Type` — walk back over `&`/`mut`, then
+        // require a single `:` (not `::`) preceded by the name.
+        let mut j = i;
+        while j > 0 && (toks[j - 1].is_punct('&') || toks[j - 1].ident() == "mut") {
+            j -= 1;
+        }
+        if j >= 2
+            && toks[j - 1].is_punct(':')
+            && !toks[j - 2].is_punct(':')
+            && !toks[j - 2].ident().is_empty()
+        {
+            out.insert(toks[j - 2].ident().to_string());
+            continue;
+        }
+        // Case B: `name = Type::new(..)` — constructor on the rhs.
+        let is_ctor = i + 3 < toks.len()
+            && toks[i + 1].is_punct(':')
+            && toks[i + 2].is_punct(':')
+            && CTORS.contains(&toks[i + 3].ident());
+        if is_ctor && i >= 2 && toks[i - 1].is_punct('=') && !toks[i - 2].ident().is_empty() {
+            out.insert(toks[i - 2].ident().to_string());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ir(src: &str) -> FileIr {
+        FileIr::build(src)
+    }
+
+    #[test]
+    fn fns_have_names_and_bodies() {
+        let f = ir("fn a() { x(); }\npub fn b(v: u32) -> u32 { v }\ntrait T { fn c(&self); }");
+        let names: Vec<&str> = f.fns.iter().map(|x| x.name.as_str()).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+        assert!(f.fns[0].body.is_some());
+        assert!(f.fns[1].body.is_some());
+        assert!(f.fns[2].body.is_none(), "trait decl has no body");
+        assert_eq!(f.fns[1].line, 2);
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let f = ir("fn go(cb: fn(usize) -> usize) { cb(1); }");
+        assert_eq!(f.fns.len(), 1);
+        assert_eq!(f.fns[0].name, "go");
+    }
+
+    #[test]
+    fn enclosing_fn_picks_the_innermost() {
+        let src = "fn outer() { fn inner() { mark(); } }";
+        let f = ir(src);
+        let pos = src.find("mark").expect("mark");
+        assert_eq!(f.enclosing_fn(pos).map(|x| x.name.as_str()), Some("inner"));
+    }
+
+    #[test]
+    fn declared_map_idents_are_tracked() {
+        let src = "struct S { index: HashMap<u32, f32> }\n\
+                   fn f(q: &HashSet<u32>) { let mut co: HashMap<u32, u32> = HashMap::new();\n\
+                   let seen = HashSet::new(); let v: Vec<u32> = Vec::new(); co.len(); }";
+        let f = ir(src);
+        assert!(f.hash_idents.contains("index"));
+        assert!(f.hash_idents.contains("q"));
+        assert!(f.hash_idents.contains("co"));
+        assert!(f.hash_idents.contains("seen"));
+        assert!(!f.hash_idents.contains("v"));
+    }
+
+    #[test]
+    fn use_paths_are_not_declarations() {
+        let f = ir("use std::collections::HashMap;\nfn f() {}");
+        assert!(f.hash_idents.is_empty());
+        assert_eq!(f.uses.len(), 1);
+        assert_eq!(f.uses[0].text, "use std::collections::HashMap;");
+    }
+
+    #[test]
+    fn nested_generic_wrappers_are_not_tracked() {
+        // `OnceLock<Mutex<HashMap<..>>>` statics resolve through accessors
+        // the token scan cannot follow; they must not produce a bogus name.
+        let f = ir("static G: OnceLock<Mutex<HashMap<u32, u32>>> = OnceLock::new();");
+        assert!(f.hash_idents.is_empty());
+    }
+
+    #[test]
+    fn condvar_declarations_are_tracked() {
+        let f = ir("struct Shared { arrivals: Condvar }\nfn w(cv: &Condvar) {}");
+        assert!(f.condvar_idents.contains("arrivals"));
+        assert!(f.condvar_idents.contains("cv"));
+    }
+
+    #[test]
+    fn in_loop_sees_while_and_loop_but_not_if() {
+        let src = "fn f() { loop { if q { w.wait(); } } }\n\
+                   fn g() { if q { w.wait(); } }\n\
+                   fn h() { while go { w.wait(); } }";
+        let f = ir(src);
+        let hits: Vec<usize> = {
+            let mut v = Vec::new();
+            let mut from = 0;
+            while let Some(p) = src[from..].find("w.wait") {
+                v.push(from + p);
+                from += p + 6;
+            }
+            v
+        };
+        assert_eq!(hits.len(), 3);
+        assert!(f.in_loop(hits[0]), "loop{{if{{..}}}} counts");
+        assert!(!f.in_loop(hits[1]), "bare if does not");
+        assert!(f.in_loop(hits[2]), "while counts");
+    }
+}

@@ -1,0 +1,340 @@
+//! A tiny Rust lexer + bracket tree over the *stripped* source (the output
+//! of [`crate::scanner::strip_comments_and_strings`]), still with no `syn`:
+//! the stripped text has every comment and literal blanked, so a
+//! whitespace/ident/punct tokenizer plus brace matching is enough structure
+//! for the static-analysis rules (statement spans, enclosing blocks, call
+//! chains, loop headers).
+//!
+//! Offsets are always *char* offsets into the stripped source, which line
+//! up one-to-one with the raw source because stripping is
+//! length-preserving.
+
+use std::collections::BTreeMap;
+
+/// Token classes the rules care about. Everything that is not an
+/// identifier or a number is a single-char punct.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `let`, `HashMap`, ...).
+    Ident(String),
+    /// Numeric literal (`0`, `1.5e3`, `0x_ff`).
+    Number,
+    /// Any other non-whitespace char (`{`, `.`, `&`, ...).
+    Punct(char),
+}
+
+/// One token with its `[start, end)` char span.
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Token {
+    /// The identifier text, or `""` for non-ident tokens.
+    pub fn ident(&self) -> &str {
+        match &self.kind {
+            TokenKind::Ident(s) => s,
+            _ => "",
+        }
+    }
+
+    /// True when the token is the single punct `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// Tokenized stripped source plus a brace tree.
+pub struct Lexed {
+    /// The stripped source as chars (offsets index into this).
+    pub chars: Vec<char>,
+    /// Tokens in source order.
+    pub tokens: Vec<Token>,
+    /// `{` offset → matching `}` offset.
+    brace_match: BTreeMap<usize, usize>,
+    /// Char offsets where each line starts (line `i+1` starts at `starts[i]`).
+    line_starts: Vec<usize>,
+}
+
+impl Lexed {
+    /// Tokenizes the stripped source and matches its braces.
+    pub fn new(stripped: &str) -> Lexed {
+        let chars: Vec<char> = stripped.chars().collect();
+        let mut tokens = Vec::new();
+        let mut line_starts = vec![0usize];
+        let mut i = 0usize;
+        let n = chars.len();
+        while i < n {
+            let c = chars[i];
+            if c == '\n' {
+                line_starts.push(i + 1);
+                i += 1;
+                continue;
+            }
+            if c.is_whitespace() {
+                i += 1;
+                continue;
+            }
+            if c.is_alphabetic() || c == '_' {
+                let start = i;
+                while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                tokens.push(Token {
+                    kind: TokenKind::Ident(text),
+                    start,
+                    end: i,
+                });
+                continue;
+            }
+            if c.is_ascii_digit() {
+                let start = i;
+                while i < n && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '.') {
+                    // Stop a range like `0..n` from being eaten as one number.
+                    if chars[i] == '.' && i + 1 < n && chars[i + 1] == '.' {
+                        break;
+                    }
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Number,
+                    start,
+                    end: i,
+                });
+                continue;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Punct(c),
+                start: i,
+                end: i + 1,
+            });
+            i += 1;
+        }
+        let mut brace_match = BTreeMap::new();
+        let mut stack = Vec::new();
+        for (pos, &c) in chars.iter().enumerate() {
+            if c == '{' {
+                stack.push(pos);
+            } else if c == '}' {
+                if let Some(open) = stack.pop() {
+                    brace_match.insert(open, pos);
+                }
+            }
+        }
+        Lexed {
+            chars,
+            tokens,
+            brace_match,
+            line_starts,
+        }
+    }
+
+    /// 1-based line of char offset `pos`.
+    pub fn line_of(&self, pos: usize) -> usize {
+        self.line_starts.partition_point(|&s| s <= pos)
+    }
+
+    /// Matching `}` offset for the `{` at `open` (source end if unbalanced).
+    pub fn close_of(&self, open: usize) -> usize {
+        self.brace_match.get(&open).copied().unwrap_or(self.chars.len())
+    }
+
+    /// `(open, close)` brace pairs enclosing `pos`, outermost first.
+    pub fn enclosing_braces(&self, pos: usize) -> Vec<(usize, usize)> {
+        let mut out: Vec<(usize, usize)> = self
+            .brace_match
+            .iter()
+            .filter(|&(&o, &c)| o < pos && pos < c)
+            .map(|(&o, &c)| (o, c))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Index of the first token whose span starts at or after `pos`.
+    pub fn token_at(&self, pos: usize) -> usize {
+        self.tokens.partition_point(|t| t.start < pos)
+    }
+
+    /// The stripped text of `[start, end)` as a `String`.
+    pub fn text(&self, start: usize, end: usize) -> String {
+        self.chars[start.min(self.chars.len())..end.min(self.chars.len())]
+            .iter()
+            .collect()
+    }
+
+    /// Matching `)` offset for the `(` at `open` (source end if unbalanced).
+    pub fn close_paren(&self, open: usize) -> usize {
+        let mut depth = 0i32;
+        for i in open..self.chars.len() {
+            match self.chars[i] {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i;
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.chars.len()
+    }
+
+    /// End offset (exclusive) of the statement containing/starting at
+    /// `from`: scans forward to the `;` at the statement's own nesting
+    /// level, treating a top-level `{ ... }` (match arm list, loop body,
+    /// struct literal) as part of the statement. A block not followed by
+    /// `;` (a `for`/`if`/block statement) ends the statement at its `}`.
+    pub fn statement_end(&self, from: usize) -> usize {
+        let n = self.chars.len();
+        let mut i = from;
+        // Signed depth: a hit can sit inside parens that close before the
+        // statement does.
+        let mut pdepth = 0i32;
+        while i < n {
+            match self.chars[i] {
+                '(' | '[' => pdepth += 1,
+                ')' | ']' => pdepth -= 1,
+                ';' if pdepth <= 0 => return i + 1,
+                '}' if pdepth <= 0 => return i, // enclosing block closed
+                '{' if pdepth <= 0 => {
+                    let close = self.close_of(i);
+                    let mut j = close + 1;
+                    while j < n && self.chars[j].is_whitespace() {
+                        j += 1;
+                    }
+                    if j < n && self.chars[j] == ';' {
+                        return j + 1;
+                    }
+                    return close + 1;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        n
+    }
+
+    /// Start offset of the statement containing `pos`: scans backward to
+    /// the previous `;`, `{` or `}` at the statement's nesting level,
+    /// then past any leading whitespace.
+    pub fn statement_start(&self, pos: usize) -> usize {
+        let mut i = pos;
+        let mut pdepth = 0i32;
+        let mut start = 0usize;
+        while i > 0 {
+            i -= 1;
+            match self.chars[i] {
+                ')' | ']' => pdepth += 1,
+                '(' | '[' => pdepth -= 1,
+                ';' | '{' | '}' if pdepth <= 0 => {
+                    start = i + 1;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        while start < pos && self.chars[start].is_whitespace() {
+            start += 1;
+        }
+        start
+    }
+
+    /// `(start, end)` of the statement *after* the one ending at `end`
+    /// (exclusive); returns an empty span at `end` if the enclosing block
+    /// closes first.
+    pub fn next_statement(&self, end: usize) -> (usize, usize) {
+        let n = self.chars.len();
+        let mut i = end;
+        while i < n && self.chars[i].is_whitespace() {
+            i += 1;
+        }
+        if i >= n || self.chars[i] == '}' {
+            return (i, i);
+        }
+        (i, self.statement_end(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(src: &str) -> Lexed {
+        Lexed::new(src)
+    }
+
+    #[test]
+    fn tokens_have_kinds_and_spans() {
+        let l = lex("let x = a.b(1);");
+        let idents: Vec<&str> = l.tokens.iter().map(|t| t.ident()).filter(|s| !s.is_empty()).collect();
+        assert_eq!(idents, ["let", "x", "a", "b"]);
+        assert!(l.tokens.iter().any(|t| t.kind == TokenKind::Number));
+        assert!(l.tokens.iter().any(|t| t.is_punct('.')));
+    }
+
+    #[test]
+    fn ranges_do_not_eat_the_dots() {
+        let l = lex("for i in 0..n {}");
+        assert!(l.tokens.iter().any(|t| t.ident() == "n"));
+        let dots = l.tokens.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn brace_pairs_nest() {
+        let src = "fn f() { if x { y(); } }";
+        let l = lex(src);
+        let inner_open = src.find("{ y").expect("inner");
+        let pairs = l.enclosing_braces(inner_open + 2);
+        assert_eq!(pairs.len(), 2, "fn body and if body");
+        assert!(pairs[0].0 < pairs[1].0, "outermost first");
+    }
+
+    #[test]
+    fn statement_end_handles_blocks_and_semicolons() {
+        let src = "let a = f(x, y);\nfor i in v { g(i); }\nlet b = 1;";
+        let l = lex(src);
+        let e1 = l.statement_end(0);
+        assert_eq!(l.text(0, e1), "let a = f(x, y);");
+        let for_pos = src.find("for").expect("for");
+        let e2 = l.statement_end(for_pos);
+        assert_eq!(l.text(for_pos, e2), "for i in v { g(i); }");
+        let (s3, e3) = l.next_statement(e2);
+        assert_eq!(l.text(s3, e3), "let b = 1;");
+    }
+
+    #[test]
+    fn statement_end_keeps_match_blocks_with_trailing_semicolon() {
+        let src = "let g = match m.lock() { Ok(g) => g, Err(p) => p.into_inner(), };";
+        let l = lex(src);
+        assert_eq!(l.text(0, l.statement_end(0)), src);
+    }
+
+    #[test]
+    fn statement_start_scans_back() {
+        let src = "a();\nlet q = w.iter().sum();";
+        let l = lex(src);
+        let pos = src.find("iter").expect("iter");
+        assert_eq!(l.statement_start(pos), src.find("let").expect("let"));
+    }
+
+    #[test]
+    fn line_of_is_one_based() {
+        let l = lex("a\nbb\nccc");
+        assert_eq!(l.line_of(0), 1);
+        assert_eq!(l.line_of(3), 2);
+        assert_eq!(l.line_of(6), 3);
+    }
+
+    #[test]
+    fn semicolons_inside_parens_do_not_end_statements() {
+        let src = "let v = m.map(|x| { x; x + 1 }).sum();";
+        let l = lex(src);
+        assert_eq!(l.text(0, l.statement_end(0)), src);
+    }
+}

@@ -1,35 +1,58 @@
-//! embsr-check layer 2: the in-tree workspace lint.
+//! embsr-analyze: the in-tree determinism & concurrency static-analysis
+//! pass (an in-tree lexer + brace-tree IR, no `syn`).
 //!
 //! ```text
 //! cargo run -p xtask -- lint                     # run all rules, exit 1 on violation
-//! cargo run -p xtask -- lint --update-baseline   # rewrite the panic-ratchet baseline
+//! cargo run -p xtask -- lint --json              # machine-readable findings on stdout
+//! cargo run -p xtask -- lint --update-baseline   # rewrite crates/xtask/baselines.txt
 //! cargo run -p xtask -- lint --root <dir>        # lint another workspace (tests/fixtures)
 //! ```
 //!
-//! Rules (all dependency-free, token-level — no `syn`):
+//! Rules (all dependency-free, built on the stripped-source token stream):
 //!
 //! * `no-panic-ratchet` — no `.unwrap()`/`.expect()`/`panic!`/`todo!`/
-//!   `unimplemented!` in production code, ratcheted per file via a
-//!   checked-in baseline that may only go down;
+//!   `unimplemented!` in production code, ratcheted per file;
 //! * `no-external-deps` — every manifest dependency is an in-tree path;
 //! * `no-timing-outside-obs` — wall-clock reads only in `crates/obs`;
 //! * `gradcheck-coverage` — every `crates/tensor/src/ops/*.rs` has a
 //!   finite-difference entry in the gradcheck registry;
 //! * `nn-forward-unification` — no new ad-hoc `pub fn forward` in
-//!   `crates/nn`; forward passes implement the `Forward` trait (or use a
-//!   named method like `attend`/`readout`);
+//!   `crates/nn`; forward passes implement the `Forward` trait;
 //! * `doc-public-items` — public items in `tensor`/`nn` carry doc comments;
 //! * `serve-span-coverage` — public entry points in `crates/serve` open an
-//!   obs span (or record trace/metrics), ratcheted per file via a second
-//!   checked-in baseline that may only go down.
+//!   obs span (or record trace/metrics), ratcheted per file;
+//! * `map-iteration-determinism` — HashMap/HashSet iteration in production
+//!   code must sort, rebuild into a BTree container, reduce to a
+//!   cardinality, or justify with `// det:`; ratcheted per file;
+//! * `float-reduction-order` — element-wise f32 accumulation in
+//!   `crates/train` routes through the fixed-order `tree_reduce` (escape:
+//!   `// reduce:`);
+//! * `lock-discipline` — Condvar waits re-check in a `loop`/`while`; no
+//!   double-lock of one mutex while its guard is live; no guard held
+//!   across a pool worker/spawn boundary (escape: `// lock:`);
+//! * `atomics-ordering-audit` — every `Ordering::` site carries a
+//!   justifying `// ordering:` comment; `SeqCst` must be named in it;
+//! * `no-unsafe-ratchet` — the workspace is pinned at zero of the keyword
+//!   this rule bans;
+//! * `crate-layering` — manifest deps and `embsr_*` source references obey
+//!   the DESIGN.md layer DAG (`depgraph::LAYERS`); cycles are rejected.
+//!
+//! The three ratcheted rules share one checked-in baseline,
+//! `crates/xtask/baselines.txt` (`<rule> <count> <path>` lines), rewritten
+//! as a whole by `--update-baseline`.
 
 mod baseline;
+mod depgraph;
+mod ir;
+mod lexer;
 mod rules;
 mod scanner;
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use embsr_obs::JsonValue;
+use ir::FileIr;
 use rules::{Finding, SourceFile};
 
 fn main() -> ExitCode {
@@ -48,16 +71,20 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<bool, String> {
     let mut it = args.iter();
     let Some(cmd) = it.next() else {
-        return Err("usage: cargo run -p xtask -- lint [--update-baseline] [--root <dir>]".into());
+        return Err(
+            "usage: cargo run -p xtask -- lint [--update-baseline] [--json] [--root <dir>]".into(),
+        );
     };
     if cmd != "lint" {
         return Err(format!("unknown command `{cmd}`; the only command is `lint`"));
     }
     let mut update_baseline = false;
+    let mut json = false;
     let mut root_override: Option<PathBuf> = None;
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--update-baseline" => update_baseline = true,
+            "--json" => json = true,
             "--root" => {
                 let dir = it.next().ok_or("--root takes a directory")?;
                 root_override = Some(PathBuf::from(dir));
@@ -69,7 +96,7 @@ fn run(args: &[String]) -> Result<bool, String> {
         Some(r) => r,
         None => find_workspace_root()?,
     };
-    lint(&root, update_baseline)
+    lint(&root, update_baseline, json)
 }
 
 /// Walks up from the current directory to the manifest containing
@@ -92,7 +119,7 @@ fn find_workspace_root() -> Result<PathBuf, String> {
 
 /// Runs every rule over the workspace at `root`; prints findings and
 /// returns `Ok(true)` when no errors were found.
-fn lint(root: &Path, update_baseline: bool) -> Result<bool, String> {
+fn lint(root: &Path, update_baseline: bool, json: bool) -> Result<bool, String> {
     let mut rs_files = Vec::new();
     let mut manifests = vec!["Cargo.toml".to_string()];
     collect(root, Path::new(""), &mut rs_files, &mut manifests)?;
@@ -103,36 +130,55 @@ fn lint(root: &Path, update_baseline: bool) -> Result<bool, String> {
     for rel in &rs_files {
         sources.push(SourceFile::load(root, rel)?);
     }
+    let irs: Vec<FileIr> = sources.iter().map(|s| FileIr::build(&s.stripped)).collect();
 
     if update_baseline {
-        let counts = rules::panic_counts(&sources);
-        baseline::save(root, baseline::BASELINE_REL, baseline::PANIC_HEADER, &counts)?;
-        println!(
-            "xtask: baseline rewritten: {} file(s), {} panic construct(s) total",
-            counts.len(),
-            counts.values().sum::<usize>()
-        );
+        let panics = rules::panic_counts(&sources);
         let spans = rules::span_counts(&sources);
-        baseline::save(root, baseline::SPAN_BASELINE_REL, baseline::SPAN_HEADER, &spans)?;
+        let maps = rules::map_iteration_counts(&sources, &irs);
+        baseline::save(
+            root,
+            &[
+                ("no-panic-ratchet", &panics),
+                ("serve-span-coverage", &spans),
+                ("map-iteration-determinism", &maps),
+            ],
+        )?;
         println!(
-            "xtask: span baseline rewritten: {} file(s), {} uninstrumented fn(s) total",
+            "xtask: baseline rewritten: {} panic / {} span / {} map-iteration entries",
+            panics.len(),
             spans.len(),
-            spans.values().sum::<usize>()
+            maps.len()
         );
     }
-    let base = baseline::load(root, baseline::BASELINE_REL)?;
-    let span_base = baseline::load(root, baseline::SPAN_BASELINE_REL)?;
+    let baselines = baseline::load(root)?;
+    let panic_base = baseline::for_rule(&baselines, "no-panic-ratchet");
+    let span_base = baseline::for_rule(&baselines, "serve-span-coverage");
+    let map_base = baseline::for_rule(&baselines, "map-iteration-determinism");
 
     let mut findings: Vec<Finding> = Vec::new();
-    findings.extend(rules::rule_no_panic_ratchet(&sources, &base));
+    findings.extend(rules::rule_no_panic_ratchet(&sources, &panic_base));
     findings.extend(rules::rule_no_external_deps(root, &manifests));
     findings.extend(rules::rule_no_timing_outside_obs(&sources));
     findings.extend(rules::rule_gradcheck_coverage(root));
     findings.extend(rules::rule_nn_forward_unification(&sources));
     findings.extend(rules::rule_doc_public_items(&sources));
     findings.extend(rules::rule_serve_span_coverage(&sources, &span_base));
+    findings.extend(rules::rule_map_iteration_determinism(&sources, &irs, &map_base));
+    findings.extend(rules::rule_float_reduction_order(&sources, &irs));
+    findings.extend(rules::rule_lock_discipline(&sources, &irs));
+    findings.extend(rules::rule_atomics_ordering_audit(&sources, &irs));
+    findings.extend(rules::rule_no_unsafe_ratchet(&sources));
+    findings.extend(rules::rule_crate_layering(root, &manifests, &sources, &irs));
 
     let errors = findings.iter().filter(|f| f.is_error).count();
+    if json {
+        println!(
+            "{}",
+            findings_json(&findings, sources.len(), manifests.len(), errors).to_json()
+        );
+        return Ok(errors == 0);
+    }
     for f in &findings {
         if f.is_error {
             println!("{f}");
@@ -148,6 +194,43 @@ fn lint(root: &Path, update_baseline: bool) -> Result<bool, String> {
         findings.len() - errors
     );
     Ok(errors == 0)
+}
+
+/// The `--json` payload: every finding plus summary counts, rendered with
+/// the in-tree JSON writer (BTreeMap-backed objects keep it diffable).
+fn findings_json(
+    findings: &[Finding],
+    files: usize,
+    manifests: usize,
+    errors: usize,
+) -> JsonValue {
+    let rows: Vec<JsonValue> = findings
+        .iter()
+        .map(|f| {
+            JsonValue::object(vec![
+                ("rule", JsonValue::String(f.rule.to_string())),
+                ("file", JsonValue::String(f.path.clone())),
+                ("line", JsonValue::Number(f.line as f64)),
+                (
+                    "level",
+                    JsonValue::String(if f.is_error { "error" } else { "note" }.to_string()),
+                ),
+                ("message", JsonValue::String(f.message.clone())),
+            ])
+        })
+        .collect();
+    JsonValue::object(vec![
+        ("findings", JsonValue::Array(rows)),
+        (
+            "summary",
+            JsonValue::object(vec![
+                ("files", JsonValue::Number(files as f64)),
+                ("manifests", JsonValue::Number(manifests as f64)),
+                ("errors", JsonValue::Number(errors as f64)),
+                ("notes", JsonValue::Number((findings.len() - errors) as f64)),
+            ]),
+        ),
+    ])
 }
 
 /// Recursively collects `.rs` files and `Cargo.toml` manifests, skipping

@@ -1,9 +1,12 @@
 //! The lint rules. Every rule returns [`Finding`]s; the driver fails the
 //! run when any finding is an error.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
 
+use crate::depgraph;
+use crate::ir::FileIr;
+use crate::lexer::Lexed;
 use crate::scanner::{line_of, strip_comments_and_strings, test_region_mask};
 
 /// One rule violation (or advisory note).
@@ -85,6 +88,71 @@ impl SourceFile {
     }
 }
 
+/// Per-file `(count, first offending line)` maps produced by the ratcheted
+/// rules (only files with a nonzero count appear).
+pub type Counts = BTreeMap<String, (usize, usize)>;
+
+/// Shared ratchet logic: per-file counts may only go *down* relative to
+/// the checked-in baseline; files absent from the baseline get an
+/// allowance of zero. Counts below their allowance produce an advisory
+/// note (ratchet down), as do baseline entries for deleted files.
+fn apply_ratchet(
+    rule: &'static str,
+    counts: &Counts,
+    baseline: &BTreeMap<String, usize>,
+    files: &[SourceFile],
+    over_message: &dyn Fn(usize, usize) -> String,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (rel, &(count, first_line)) in counts {
+        let allowed = baseline.get(rel).copied().unwrap_or(0);
+        if count > allowed {
+            findings.push(Finding {
+                rule,
+                path: rel.clone(),
+                line: first_line,
+                message: over_message(count, allowed),
+                is_error: true,
+            });
+        }
+    }
+    for (rel, &allowed) in baseline {
+        let count = counts.get(rel).map(|&(c, _)| c).unwrap_or(0);
+        if count >= allowed {
+            continue;
+        }
+        let message = if files.iter().any(|f| &f.rel == rel) {
+            format!(
+                "improved: {count} hit(s), baseline allows {allowed}; run \
+                 `cargo run -p xtask -- lint --update-baseline` to ratchet down"
+            )
+        } else {
+            "baseline entry for a file that no longer exists; \
+             run --update-baseline to drop it"
+                .to_string()
+        };
+        findings.push(Finding {
+            rule,
+            path: rel.clone(),
+            line: 0,
+            message,
+            is_error: false,
+        });
+    }
+    findings
+}
+
+/// Returns true when the raw source lines from `lookback` lines above
+/// `line` through `line` itself (1-based) contain `marker` — the shared
+/// shape of the justification-comment escape hatches (`// det:`,
+/// `// reduce:`, `// lock:`, `// ordering:`).
+fn justified(raw: &str, line: usize, lookback: usize, marker: &str) -> bool {
+    raw.lines()
+        .skip(line.saturating_sub(lookback + 1))
+        .take(lookback + 1)
+        .any(|l| l.contains(marker))
+}
+
 // ---------------------------------------------------------------------------
 // Rule 1: no-panic-ratchet
 // ---------------------------------------------------------------------------
@@ -102,26 +170,9 @@ fn panic_patterns() -> [(&'static str, String); 5] {
 }
 
 /// Counts panicking constructs per file in production (non-test) code.
-pub fn panic_counts(files: &[SourceFile]) -> BTreeMap<String, usize> {
+pub fn panic_counts(files: &[SourceFile]) -> Counts {
     let pats = panic_patterns();
     let mut counts = BTreeMap::new();
-    for f in files {
-        let total: usize = pats.iter().map(|(_, p)| f.production_hits(p).len()).sum();
-        if total > 0 {
-            counts.insert(f.rel.clone(), total);
-        }
-    }
-    counts
-}
-
-/// The panic ratchet: per-file counts may only go down relative to the
-/// checked-in baseline. New files start at an allowance of zero.
-pub fn rule_no_panic_ratchet(
-    files: &[SourceFile],
-    baseline: &BTreeMap<String, usize>,
-) -> Vec<Finding> {
-    let pats = panic_patterns();
-    let mut findings = Vec::new();
     for f in files {
         let mut count = 0usize;
         let mut first_line = 0usize;
@@ -134,47 +185,32 @@ pub fn rule_no_panic_ratchet(
                 }
             }
         }
-        let allowed = baseline.get(&f.rel).copied().unwrap_or(0);
-        if count > allowed {
-            findings.push(Finding {
-                rule: "no-panic-ratchet",
-                path: f.rel.clone(),
-                line: first_line,
-                message: format!(
-                    "{count} panicking construct(s) in production code, baseline allows {allowed} \
-                     (convert to Result, or run `cargo run -p xtask -- lint --update-baseline` \
-                     if this regression is intentional)"
-                ),
-                is_error: true,
-            });
-        } else if count < allowed {
-            findings.push(Finding {
-                rule: "no-panic-ratchet",
-                path: f.rel.clone(),
-                line: 0,
-                message: format!(
-                    "improved: {count} panicking construct(s), baseline allows {allowed}; \
-                     run `cargo run -p xtask -- lint --update-baseline` to ratchet down"
-                ),
-                is_error: false,
-            });
+        if count > 0 {
+            counts.insert(f.rel.clone(), (count, first_line));
         }
     }
-    // Stale baseline entries for deleted files are advisory only.
-    for rel in baseline.keys() {
-        if !files.iter().any(|f| &f.rel == rel) {
-            findings.push(Finding {
-                rule: "no-panic-ratchet",
-                path: rel.clone(),
-                line: 0,
-                message: "baseline entry for a file that no longer exists; \
-                          run --update-baseline to drop it"
-                    .to_string(),
-                is_error: false,
-            });
-        }
-    }
-    findings
+    counts
+}
+
+/// The panic ratchet: per-file counts may only go down relative to the
+/// checked-in baseline. New files start at an allowance of zero.
+pub fn rule_no_panic_ratchet(
+    files: &[SourceFile],
+    baseline: &BTreeMap<String, usize>,
+) -> Vec<Finding> {
+    apply_ratchet(
+        "no-panic-ratchet",
+        &panic_counts(files),
+        baseline,
+        files,
+        &|count, allowed| {
+            format!(
+                "{count} panicking construct(s) in production code, baseline allows {allowed} \
+                 (convert to Result, or run `cargo run -p xtask -- lint --update-baseline` \
+                 if this regression is intentional)"
+            )
+        },
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -207,12 +243,15 @@ fn body_end(chars: &[char], open: usize) -> usize {
 /// Counts public entry points in `crates/serve/src/` whose body carries no
 /// observability marker, per file. Bodyless declarations (trait methods
 /// ending in `;`) are skipped.
-pub fn span_counts(files: &[SourceFile]) -> BTreeMap<String, usize> {
+pub fn span_counts(files: &[SourceFile]) -> Counts {
     let mut counts = BTreeMap::new();
     for f in files {
-        let n = uninstrumented_pub_fns(f).len();
-        if n > 0 {
-            counts.insert(f.rel.clone(), n);
+        let hits = uninstrumented_pub_fns(f);
+        if let Some(&first) = hits.first() {
+            counts.insert(
+                f.rel.clone(),
+                (hits.len(), line_of(&f.stripped, first)),
+            );
         }
     }
     counts
@@ -258,55 +297,20 @@ pub fn rule_serve_span_coverage(
     files: &[SourceFile],
     baseline: &BTreeMap<String, usize>,
 ) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    for f in files {
-        let hits = uninstrumented_pub_fns(f);
-        let count = hits.len();
-        let first_line = hits
-            .first()
-            .map(|&pos| line_of(&f.stripped, pos))
-            .unwrap_or(0);
-        let allowed = baseline.get(&f.rel).copied().unwrap_or(0);
-        if count > allowed {
-            findings.push(Finding {
-                rule: "serve-span-coverage",
-                path: f.rel.clone(),
-                line: first_line,
-                message: format!(
-                    "{count} public fn(s) without an obs span/trace/metrics hook, baseline \
-                     allows {allowed} (open an `embsr_obs::span(...)` in the body, or run \
-                     `cargo run -p xtask -- lint --update-baseline` if the fn is genuinely \
-                     not worth tracing)"
-                ),
-                is_error: true,
-            });
-        } else if count < allowed {
-            findings.push(Finding {
-                rule: "serve-span-coverage",
-                path: f.rel.clone(),
-                line: 0,
-                message: format!(
-                    "improved: {count} uninstrumented public fn(s), baseline allows {allowed}; \
-                     run `cargo run -p xtask -- lint --update-baseline` to ratchet down"
-                ),
-                is_error: false,
-            });
-        }
-    }
-    for rel in baseline.keys() {
-        if !files.iter().any(|f| &f.rel == rel) {
-            findings.push(Finding {
-                rule: "serve-span-coverage",
-                path: rel.clone(),
-                line: 0,
-                message: "baseline entry for a file that no longer exists; \
-                          run --update-baseline to drop it"
-                    .to_string(),
-                is_error: false,
-            });
-        }
-    }
-    findings
+    apply_ratchet(
+        "serve-span-coverage",
+        &span_counts(files),
+        baseline,
+        files,
+        &|count, allowed| {
+            format!(
+                "{count} public fn(s) without an obs span/trace/metrics hook, baseline \
+                 allows {allowed} (open an `embsr_obs::span(...)` in the body, or run \
+                 `cargo run -p xtask -- lint --update-baseline` if the fn is genuinely \
+                 not worth tracing)"
+            )
+        },
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -550,6 +554,791 @@ pub fn rule_doc_public_items(files: &[SourceFile]) -> Vec<Finding> {
                     message: format!(
                         "undocumented public item `{}`",
                         trimmed.chars().take(60).collect::<String>().trim_end()
+                    ),
+                    is_error: true,
+                });
+            }
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Rule 7: map-iteration-determinism
+// ---------------------------------------------------------------------------
+
+/// Methods whose result order is the map's per-instance hash order.
+const ORDER_LEAKING_METHODS: [&str; 13] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "intersection",
+    "union",
+    "difference",
+    "symmetric_difference",
+];
+
+/// Substrings that launder an iteration when they appear in the hit's own
+/// statement or the one immediately after it: sorting, rebuilding into an
+/// ordered container, or reducing to a cardinality.
+const LAUNDERING: [&str; 4] = [".sort", "BTreeMap", "BTreeSet", ".count()"];
+
+/// Char offsets of HashMap/HashSet iterations in production code whose
+/// hash order can escape: a `for .. in map` header or an order-leaking
+/// method call on a tracked identifier, not laundered by a sort/BTree
+/// rebuild in the statement window and not justified by a `// det:`
+/// comment on or near the line.
+fn map_iteration_hits(f: &SourceFile, ir: &FileIr) -> Vec<usize> {
+    if f.all_test || ir.hash_idents.is_empty() {
+        return Vec::new();
+    }
+    let toks = &ir.lex.tokens;
+    let mut hits = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        let name = t.ident();
+        if name.is_empty() || !ir.hash_idents.contains(name) {
+            continue;
+        }
+        if f.test_mask.get(t.start).copied().unwrap_or(false) {
+            continue;
+        }
+        // (a) `map.iter()` / `.keys()` / `.drain(..)` / set algebra.
+        let method_hit = i + 3 < toks.len()
+            && toks[i + 1].is_punct('.')
+            && ORDER_LEAKING_METHODS.contains(&toks[i + 2].ident())
+            && toks[i + 3].is_punct('(');
+        // (b) `for x in [&][mut] [self.] map` — direct IntoIterator use.
+        // `map[key]` indexes a *value* (possibly an ordered one), so a
+        // following `[` disqualifies; a following `.` is either case (a)
+        // or a non-iterating method.
+        let mut j = i;
+        while j > 0
+            && (toks[j - 1].is_punct('&')
+                || toks[j - 1].is_punct('.')
+                || toks[j - 1].ident() == "mut"
+                || toks[j - 1].ident() == "self")
+        {
+            j -= 1;
+        }
+        let next_blocks = i + 1 < toks.len()
+            && (toks[i + 1].is_punct('.') || toks[i + 1].is_punct('['));
+        let for_hit = j > 0 && toks[j - 1].ident() == "in" && !next_blocks;
+        if !(method_hit || for_hit) {
+            continue;
+        }
+        let line = ir.lex.line_of(t.start);
+        if justified(&f.raw, line, 2, "det:") {
+            continue;
+        }
+        let stmt_end = ir.lex.statement_end(t.start);
+        let (_, next_end) = ir.lex.next_statement(stmt_end);
+        let window = ir.lex.text(t.start, next_end.max(stmt_end));
+        if LAUNDERING.iter().any(|p| window.contains(p)) {
+            continue;
+        }
+        hits.insert(t.start);
+    }
+    hits.into_iter().collect()
+}
+
+/// Per-file counts of unlaundered map iterations (for the ratchet).
+pub fn map_iteration_counts(files: &[SourceFile], irs: &[FileIr]) -> Counts {
+    let mut counts = BTreeMap::new();
+    for (f, ir) in files.iter().zip(irs) {
+        let hits = map_iteration_hits(f, ir);
+        if let Some(&first) = hits.first() {
+            counts.insert(f.rel.clone(), (hits.len(), ir.lex.line_of(first)));
+        }
+    }
+    counts
+}
+
+/// HashMap/HashSet iteration order is a per-process random function; on
+/// score/gradient/metric paths it breaks the bitwise contract. Iterations
+/// must sort, rebuild into a BTree container, reduce to a cardinality, or
+/// carry a `// det:` justification; everything else is ratcheted.
+pub fn rule_map_iteration_determinism(
+    files: &[SourceFile],
+    irs: &[FileIr],
+    baseline: &BTreeMap<String, usize>,
+) -> Vec<Finding> {
+    apply_ratchet(
+        "map-iteration-determinism",
+        &map_iteration_counts(files, irs),
+        baseline,
+        files,
+        &|count, allowed| {
+            format!(
+                "{count} HashMap/HashSet iteration(s) whose hash order can leak into \
+                 results, baseline allows {allowed} (sort the items, use a \
+                 BTreeMap/BTreeSet, add a `// det:` justification, or run \
+                 `cargo run -p xtask -- lint --update-baseline`)"
+            )
+        },
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Rule 8: float-reduction-order
+// ---------------------------------------------------------------------------
+
+/// Distinct identifiers indexed with `[` inside `[start, end)`.
+fn indexed_bases(lex: &Lexed, start: usize, end: usize) -> usize {
+    let mut names = BTreeSet::new();
+    let toks = &lex.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.start < start || t.ident().is_empty() {
+            continue;
+        }
+        if t.start >= end {
+            break;
+        }
+        if i + 1 < toks.len() && toks[i + 1].is_punct('[') {
+            names.insert(t.ident().to_string());
+        }
+    }
+    names.len()
+}
+
+/// f32 accumulation order is part of the bitwise training contract, so
+/// gradient merging in `crates/train` must route through the fixed-order
+/// `tree_reduce` in embsr-tensor. Flags `a[i] += b[i]`-shaped statements
+/// (two-plus distinct indexed bases) and `.zip(`-driven `+=` loops unless
+/// the statement mentions `tree_reduce` or carries a `// reduce:`
+/// justification.
+pub fn rule_float_reduction_order(files: &[SourceFile], irs: &[FileIr]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (f, ir) in files.iter().zip(irs) {
+        if !f.rel.starts_with("crates/train/src/") {
+            continue;
+        }
+        for pos in f.production_hits("+=") {
+            let start = ir.lex.statement_start(pos);
+            let end = ir.lex.statement_end(start);
+            let stmt = ir.lex.text(start, end);
+            if stmt.contains("tree_reduce") || indexed_bases(&ir.lex, start, end) < 2 {
+                continue;
+            }
+            let line = ir.lex.line_of(pos);
+            if justified(&f.raw, line, 2, "reduce:") {
+                continue;
+            }
+            findings.push(Finding {
+                rule: "float-reduction-order",
+                path: f.rel.clone(),
+                line,
+                message: "ad-hoc element-wise f32 accumulation on a train reduce path; \
+                          route the merge through embsr_tensor's fixed-order `tree_reduce` \
+                          or justify with a `// reduce:` comment"
+                    .to_string(),
+                is_error: true,
+            });
+        }
+        if f.all_test {
+            continue;
+        }
+        for t in &ir.lex.tokens {
+            if t.ident() != "for" || f.test_mask.get(t.start).copied().unwrap_or(false) {
+                continue;
+            }
+            // The loop body is the first `{` outside parens after `for`.
+            let mut open = None;
+            let mut pdepth = 0i32;
+            let mut j = t.start;
+            while j < ir.lex.chars.len() {
+                match ir.lex.chars[j] {
+                    '(' | '[' => pdepth += 1,
+                    ')' | ']' => pdepth -= 1,
+                    '{' if pdepth <= 0 => {
+                        open = Some(j);
+                        break;
+                    }
+                    ';' if pdepth <= 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let Some(open) = open else { continue };
+            let header = ir.lex.text(t.start, open);
+            if !header.contains(".zip(") {
+                continue;
+            }
+            let body = ir.lex.text(open, ir.lex.close_of(open));
+            if !body.contains("+=") {
+                continue;
+            }
+            let line = ir.lex.line_of(t.start);
+            if justified(&f.raw, line, 2, "reduce:") {
+                continue;
+            }
+            findings.push(Finding {
+                rule: "float-reduction-order",
+                path: f.rel.clone(),
+                line,
+                message: "`.zip(`-driven `+=` accumulation loop in crates/train; route \
+                          the merge through embsr_tensor's fixed-order `tree_reduce` or \
+                          justify with a `// reduce:` comment"
+                    .to_string(),
+                is_error: true,
+            });
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Rule 9: lock-discipline
+// ---------------------------------------------------------------------------
+
+/// Method calls on a freshly acquired lock result that still yield the
+/// guard (poison recovery and friends). Anything else after `.lock()`
+/// means the guard is a statement-scoped temporary, not a live binding.
+const GUARD_PRESERVING: [&str; 4] = ["unwrap", "expect", "unwrap_or_else", "into_inner"];
+
+/// Worker/spawn boundary markers a `MutexGuard` must not be held across:
+/// the pool primitives plus raw scoped threads.
+const BOUNDARY_CALLS: [&str; 4] = [
+    ".spawn(",
+    "run_with_workers(",
+    "run_parallel(",
+    "thread::scope(",
+];
+
+/// A lock call site inside one statement: the token index of the `lock`
+/// ident and the char offsets of its argument parens.
+struct LockSite {
+    lock_tok: usize,
+    open: usize,
+    close: usize,
+    /// True for the `lock(x)` helper-fn form, false for `.lock()`.
+    helper: bool,
+}
+
+/// Finds `.lock(` / `lock(` call sites with token start in `[from, to)`.
+fn lock_sites(lex: &Lexed, from: usize, to: usize) -> Vec<LockSite> {
+    let toks = &lex.tokens;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.ident() != "lock" || t.start < from || t.start >= to {
+            continue;
+        }
+        if !(i + 1 < toks.len() && toks[i + 1].is_punct('(')) {
+            continue;
+        }
+        let helper = !(i > 0 && toks[i - 1].is_punct('.'));
+        let open = toks[i + 1].start;
+        out.push(LockSite {
+            lock_tok: i,
+            open,
+            close: lex.close_paren(open),
+            helper,
+        });
+    }
+    out
+}
+
+/// Normalized (whitespace-free, `&`/`mut`-stripped) text of the mutex a
+/// lock site locks: the receiver chain for `.lock()`, the first argument
+/// for the `lock(x)` helper.
+fn lock_target(lex: &Lexed, site: &LockSite) -> String {
+    let toks = &lex.tokens;
+    let text_of = |start: usize, end: usize| -> String {
+        lex.text(start, end)
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .collect()
+    };
+    if site.helper {
+        let inner = text_of(site.open + 1, site.close);
+        return inner
+            .trim_start_matches('&')
+            .trim_start_matches("mut")
+            .to_string();
+    }
+    // Walk the receiver chain back from the `.` before `lock`: idents,
+    // `.`, and `(..)` call suffixes, stopping at keywords/operators.
+    let dot = site.lock_tok - 1;
+    let mut j = dot;
+    loop {
+        if j == 0 {
+            break;
+        }
+        let prev = &toks[j - 1];
+        if prev.is_punct(')') {
+            // Scan back to the matching `(` token.
+            let mut depth = 0i32;
+            let mut k = j - 1;
+            loop {
+                if toks[k].is_punct(')') {
+                    depth += 1;
+                } else if toks[k].is_punct('(') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if k == 0 {
+                    break;
+                }
+                k -= 1;
+            }
+            j = k;
+            continue;
+        }
+        let id = prev.ident();
+        if !id.is_empty() {
+            if matches!(id, "match" | "let" | "return" | "if" | "else" | "in" | "while") {
+                break;
+            }
+            j -= 1;
+            if j > 0 && toks[j - 1].is_punct('.') {
+                j -= 1;
+                continue;
+            }
+            break;
+        }
+        break;
+    }
+    text_of(toks[j].start, toks[dot].start)
+}
+
+/// True when every method call in `[from, to)` tail text keeps the lock
+/// result a guard (see [`GUARD_PRESERVING`]); `[` indexing or any other
+/// `.method(` means the guard is consumed within the statement.
+fn tail_keeps_guard(lex: &Lexed, from: usize, to: usize) -> bool {
+    let toks = &lex.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.start < from {
+            continue;
+        }
+        if t.start >= to {
+            break;
+        }
+        if t.is_punct('[') {
+            return false;
+        }
+        if t.is_punct('.')
+            && i + 2 < toks.len()
+            && !toks[i + 1].ident().is_empty()
+            && toks[i + 2].is_punct('(')
+            && !GUARD_PRESERVING.contains(&toks[i + 1].ident())
+        {
+            return false;
+        }
+    }
+    true
+}
+
+/// Concurrency shape checks on Mutex/Condvar use:
+///
+/// * a `Condvar` wait must sit inside a `loop`/`while` re-check (spurious
+///   wakeups and racing predicates make a bare `if`-guarded wait a bug);
+/// * a statement-bound `MutexGuard` must not still be live at a second
+///   lock of the same mutex (self-deadlock: `std::sync::Mutex` is not
+///   reentrant);
+/// * a live `MutexGuard` must not be held across a pool worker-callback /
+///   spawn boundary (workers contending on it serialize or deadlock).
+///
+/// Escape hatch: a `// lock:` justification on or near the line.
+pub fn rule_lock_discipline(files: &[SourceFile], irs: &[FileIr]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (f, ir) in files.iter().zip(irs) {
+        if f.all_test {
+            continue;
+        }
+        let toks = &ir.lex.tokens;
+        let masked = |pos: usize| f.test_mask.get(pos).copied().unwrap_or(false);
+        // (a) Condvar waits re-check in a loop.
+        for (i, t) in toks.iter().enumerate() {
+            let name = t.ident();
+            if name.is_empty() || !ir.condvar_idents.contains(name) || masked(t.start) {
+                continue;
+            }
+            let is_wait = i + 2 < toks.len()
+                && toks[i + 1].is_punct('.')
+                && toks[i + 2].ident().starts_with("wait");
+            if !is_wait || ir.in_loop(t.start) {
+                continue;
+            }
+            let line = ir.lex.line_of(t.start);
+            if justified(&f.raw, line, 2, "lock:") {
+                continue;
+            }
+            findings.push(Finding {
+                rule: "lock-discipline",
+                path: f.rel.clone(),
+                line,
+                message: format!(
+                    "Condvar wait on `{name}` is not inside a `loop`/`while` re-check; \
+                     spurious wakeups and racing predicates require \
+                     `while !ready {{ guard = {name}.wait(guard); }}` (or justify with \
+                     a `// lock:` comment)"
+                ),
+                is_error: true,
+            });
+        }
+        // (b)+(c) live guard bindings: `let g = <mutex>.lock()...;`
+        for (i, t) in toks.iter().enumerate() {
+            if t.ident() != "let" || masked(t.start) {
+                continue;
+            }
+            let Some(name_tok) = toks[i + 1..]
+                .iter()
+                .take(2)
+                .find(|x| !x.ident().is_empty() && x.ident() != "mut")
+            else {
+                continue;
+            };
+            let binding = name_tok.ident().to_string();
+            let stmt_end = ir.lex.statement_end(t.start);
+            let Some(site) = lock_sites(&ir.lex, t.start, stmt_end).into_iter().last() else {
+                continue;
+            };
+            if !tail_keeps_guard(&ir.lex, site.close + 1, stmt_end) {
+                continue; // temporary, dropped at the end of the statement
+            }
+            let target = lock_target(&ir.lex, &site);
+            let let_line = ir.lex.line_of(t.start);
+            if justified(&f.raw, let_line, 2, "lock:") {
+                continue;
+            }
+            // The guard lives to the end of its block, or to `drop(g)`.
+            let mut scope_end = ir
+                .lex
+                .enclosing_braces(t.start)
+                .last()
+                .map(|&(_, c)| c)
+                .unwrap_or(ir.lex.chars.len());
+            for (k, d) in toks.iter().enumerate() {
+                if d.start <= stmt_end || d.start >= scope_end || d.ident() != "drop" {
+                    continue;
+                }
+                if k + 2 < toks.len()
+                    && toks[k + 1].is_punct('(')
+                    && toks[k + 2].ident() == binding
+                {
+                    scope_end = d.start;
+                    break;
+                }
+            }
+            for later in lock_sites(&ir.lex, stmt_end, scope_end) {
+                if masked(later.open) {
+                    continue;
+                }
+                if lock_target(&ir.lex, &later) == target {
+                    findings.push(Finding {
+                        rule: "lock-discipline",
+                        path: f.rel.clone(),
+                        line: ir.lex.line_of(later.open),
+                        message: format!(
+                            "`{target}` locked again while guard `{binding}` from line \
+                             {let_line} is still live; std::sync::Mutex is not reentrant, \
+                             this self-deadlocks (drop the guard first, or justify with \
+                             a `// lock:` comment)"
+                        ),
+                        is_error: true,
+                    });
+                }
+            }
+            let scope_text = ir.lex.text(stmt_end, scope_end);
+            if let Some(pat) = BOUNDARY_CALLS.iter().find(|p| scope_text.contains(*p)) {
+                findings.push(Finding {
+                    rule: "lock-discipline",
+                    path: f.rel.clone(),
+                    line: let_line,
+                    message: format!(
+                        "MutexGuard `{binding}` (locking `{target}`) is live across a \
+                         `{pat}` worker boundary; workers contending on the mutex \
+                         serialize or deadlock — drop the guard before dispatching \
+                         (or justify with a `// lock:` comment)"
+                    ),
+                    is_error: true,
+                });
+            }
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Rule 10: atomics-ordering-audit
+// ---------------------------------------------------------------------------
+
+/// The memory-ordering variants (filters out `cmp::Ordering::Less` etc.).
+const MEM_ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Every atomic memory-ordering choice is a claim about which reorderings
+/// are safe; the claim must be written down. Each `Ordering::<X>` site
+/// needs an `// ordering:` comment between the head of its enclosing
+/// function (minus three lines, so the comment may sit on the fn's doc
+/// block) and the site itself; `SeqCst` — the "I could not prove anything
+/// weaker" ordering — additionally requires the justification to mention
+/// SeqCst explicitly.
+pub fn rule_atomics_ordering_audit(files: &[SourceFile], irs: &[FileIr]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (f, ir) in files.iter().zip(irs) {
+        for pos in f.production_hits("Ordering::") {
+            let after = pos + "Ordering::".chars().count();
+            let idx = ir.lex.token_at(after);
+            let Some(tok) = ir.lex.tokens.get(idx) else { continue };
+            let variant = tok.ident();
+            if tok.start != after || !MEM_ORDERINGS.contains(&variant) {
+                continue;
+            }
+            let line = ir.lex.line_of(pos);
+            let (fn_line, fn_name) = ir
+                .enclosing_fn(pos)
+                .map(|x| (x.line, x.name.as_str()))
+                .unwrap_or((line, "<no fn>"));
+            let lookback = line.saturating_sub(fn_line.saturating_sub(3));
+            let window: String = f
+                .raw
+                .lines()
+                .skip(line.saturating_sub(lookback + 1))
+                .take(lookback + 1)
+                .collect::<Vec<_>>()
+                .join("\n");
+            // The site line itself always spells `Ordering::SeqCst`; scrub
+            // the token so only *prose* mentions satisfy the SeqCst check.
+            let scrubbed = window.replace("Ordering::SeqCst", "");
+            if !window.contains("ordering:") {
+                findings.push(Finding {
+                    rule: "atomics-ordering-audit",
+                    path: f.rel.clone(),
+                    line,
+                    message: format!(
+                        "`Ordering::{variant}` in `{fn_name}` without a justifying \
+                         `// ordering:` comment between the enclosing fn and the site; \
+                         write down which reorderings the choice rules out"
+                    ),
+                    is_error: true,
+                });
+            } else if variant == "SeqCst" && !scrubbed.to_lowercase().contains("seqcst") {
+                findings.push(Finding {
+                    rule: "atomics-ordering-audit",
+                    path: f.rel.clone(),
+                    line,
+                    message: "`Ordering::SeqCst` whose `// ordering:` justification never \
+                              mentions SeqCst; explain why nothing weaker suffices (or \
+                              weaken the ordering)"
+                        .to_string(),
+                    is_error: true,
+                });
+            }
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Rule 11: no-unsafe-ratchet
+// ---------------------------------------------------------------------------
+
+/// The workspace is presently free of the keyword this rule bans (split so
+/// this file never contains it contiguously); pin it at zero. No baseline,
+/// no escape comment: a future genuine need (SIMD intrinsics) must come
+/// with its own rule change and review.
+pub fn rule_no_unsafe_ratchet(files: &[SourceFile]) -> Vec<Finding> {
+    let kw = ["uns", "afe"].concat();
+    let mut findings = Vec::new();
+    for f in files {
+        for pos in f.production_hits(&kw) {
+            // Whole-word check: identifiers may embed the keyword.
+            let chars: Vec<char> = f.stripped.chars().collect();
+            let before_ok = pos == 0
+                || !(chars[pos - 1].is_alphanumeric() || chars[pos - 1] == '_');
+            let after = pos + kw.chars().count();
+            let after_ok = after >= chars.len()
+                || !(chars[after].is_alphanumeric() || chars[after] == '_');
+            if !(before_ok && after_ok) {
+                continue;
+            }
+            findings.push(Finding {
+                rule: "no-unsafe-ratchet",
+                path: f.rel.clone(),
+                line: line_of(&f.stripped, pos),
+                message: format!(
+                    "`{kw}` in production code; the workspace is pinned at zero `{kw}` \
+                     blocks — express the operation safely or bring the block with a \
+                     rule change that documents its proof obligations"
+                ),
+                is_error: true,
+            });
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Rule 12: crate-layering
+// ---------------------------------------------------------------------------
+
+/// Enforces the DESIGN.md dependency DAG via [`depgraph::LAYERS`]: every
+/// `crates/*/Cargo.toml` belongs to a named layer, `[dependencies]` /
+/// `[build-dependencies]` edges must point strictly downward
+/// (dev-dependencies may reach sideways for test scaffolding), cycles are
+/// rejected, and production `use embsr_*` references in source are checked
+/// against the same table (so a path dependency can't be smuggled in
+/// through a re-export).
+pub fn rule_crate_layering(
+    root: &Path,
+    manifests: &[String],
+    files: &[SourceFile],
+    irs: &[FileIr],
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut crates = Vec::new();
+    for rel in manifests {
+        let is_crate_manifest = rel.starts_with("crates/")
+            && rel.ends_with("/Cargo.toml")
+            && rel.matches('/').count() == 2;
+        if !is_crate_manifest {
+            continue;
+        }
+        let Ok(content) = std::fs::read_to_string(root.join(rel)) else {
+            continue; // unreadable manifests are no-external-deps' problem
+        };
+        if let Some(info) = depgraph::parse_manifest(rel, &content) {
+            crates.push(info);
+        }
+    }
+    for c in &crates {
+        let Some(layer) = depgraph::layer_of(&c.name) else {
+            findings.push(Finding {
+                rule: "crate-layering",
+                path: c.manifest_rel.clone(),
+                line: 0,
+                message: format!(
+                    "crate `{}` is missing from the layer table; add it to LAYERS in \
+                     crates/xtask/src/depgraph.rs (placing a crate in the DAG is an \
+                     architecture decision, not a default)",
+                    c.name
+                ),
+                is_error: true,
+            });
+            continue;
+        };
+        for (dep, line) in &c.deps {
+            let Some(dep_layer) = depgraph::layer_of(dep) else {
+                if dep.starts_with("embsr-") || dep == "xtask" {
+                    findings.push(Finding {
+                        rule: "crate-layering",
+                        path: c.manifest_rel.clone(),
+                        line: *line,
+                        message: format!(
+                            "dependency `{dep}` is missing from the layer table in \
+                             crates/xtask/src/depgraph.rs"
+                        ),
+                        is_error: true,
+                    });
+                }
+                continue;
+            };
+            if dep_layer >= layer {
+                findings.push(Finding {
+                    rule: "crate-layering",
+                    path: c.manifest_rel.clone(),
+                    line: *line,
+                    message: format!(
+                        "`{}` (layer {layer}) depends on `{dep}` (layer {dep_layer}); \
+                         edges must point strictly down the DESIGN.md DAG",
+                        c.name
+                    ),
+                    is_error: true,
+                });
+            }
+        }
+    }
+    if let Some(cycle) = depgraph::find_cycle(&crates) {
+        let path = crates
+            .iter()
+            .find(|c| Some(&c.name) == cycle.first())
+            .map(|c| c.manifest_rel.clone())
+            .unwrap_or_else(|| "Cargo.toml".to_string());
+        findings.push(Finding {
+            rule: "crate-layering",
+            path,
+            line: 0,
+            message: format!("dependency cycle: {}", cycle.join(" -> ")),
+            is_error: true,
+        });
+    }
+    // Source-level check: `embsr_*` references in production code.
+    for (f, ir) in files.iter().zip(irs) {
+        if f.all_test {
+            continue;
+        }
+        let Some(rest) = f.rel.strip_prefix("crates/") else { continue };
+        let Some((dir, tail)) = rest.split_once('/') else { continue };
+        if !tail.starts_with("src/") {
+            continue;
+        }
+        let me = if dir == "xtask" {
+            "xtask".to_string()
+        } else {
+            format!("embsr-{dir}")
+        };
+        let Some(my_layer) = depgraph::layer_of(&me) else { continue };
+        let mut reported: BTreeSet<String> = BTreeSet::new();
+        // Imports first (precise `use` lines), then a token-scan backstop
+        // for fully qualified `embsr_x::` paths used without an import.
+        for u in &ir.uses {
+            let Some(rest) = u.text.strip_prefix("use ") else { continue };
+            let dep_ident: String = rest
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if !dep_ident.starts_with("embsr_")
+                || f.test_mask.get(u.pos).copied().unwrap_or(false)
+            {
+                continue;
+            }
+            let dep = dep_ident.replace('_', "-");
+            if dep == me || reported.contains(&dep) {
+                continue;
+            }
+            let Some(dep_layer) = depgraph::layer_of(&dep) else { continue };
+            if dep_layer >= my_layer {
+                reported.insert(dep.clone());
+                findings.push(Finding {
+                    rule: "crate-layering",
+                    path: f.rel.clone(),
+                    line: u.line,
+                    message: format!(
+                        "`{me}` (layer {my_layer}) imports `{dep}` (layer {dep_layer}) \
+                         via `{}`; edges must point strictly down the DESIGN.md DAG",
+                        u.text
+                    ),
+                    is_error: true,
+                });
+            }
+        }
+        for t in &ir.lex.tokens {
+            let id = t.ident();
+            if !id.starts_with("embsr_") || f.test_mask.get(t.start).copied().unwrap_or(false) {
+                continue;
+            }
+            let dep = id.replace('_', "-");
+            if dep == me || reported.contains(&dep) {
+                continue;
+            }
+            let Some(dep_layer) = depgraph::layer_of(&dep) else { continue };
+            if dep_layer >= my_layer {
+                reported.insert(dep.clone());
+                findings.push(Finding {
+                    rule: "crate-layering",
+                    path: f.rel.clone(),
+                    line: ir.lex.line_of(t.start),
+                    message: format!(
+                        "`{me}` (layer {my_layer}) references `{dep}` (layer {dep_layer}) \
+                         in production code; edges must point strictly down the \
+                         DESIGN.md DAG"
                     ),
                     is_error: true,
                 });
