@@ -153,6 +153,7 @@ fn main() {
         workers,
         max_batch: 32,
         flush_deadline_us: 500,
+        ..EngineConfig::default()
     };
     let span = embsr_obs::span("embsr_bench", "profile_requests");
     serve(

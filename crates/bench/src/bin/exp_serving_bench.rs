@@ -144,6 +144,7 @@ fn main() {
         workers,
         max_batch: 32,
         flush_deadline_us: 500,
+        ..EngineConfig::default()
     };
     let engine_per_sec = serve(
         &frozen,

@@ -1,0 +1,184 @@
+//! The networked client: blocking RPC over one connection, with typed
+//! errors and overload retry.
+//!
+//! A [`NetClient`] owns one TCP connection and issues one request at a
+//! time (the protocol is strictly request/response per connection; open
+//! more clients for concurrency — the load generator does). Every request
+//! opens a `net_request` trace root when tracing is active and sends its
+//! [`TraceCtx`] inside the payload, so the server's spans (and the
+//! engine's beneath them) nest into one reconstructable tree per request.
+//!
+//! [`NetClient::score_with_retry`] implements the client half of admission
+//! control: `Overloaded` responses back off exponentially (capped) and
+//! retry; every observed rejection is counted, which the admission tests
+//! reconcile exactly against the server's counters.
+
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use embsr_obs::trace;
+use embsr_serve::{ScoreBatch, ScoreResponse, SubmitOptions, TopK, TopKResponse};
+
+use crate::frame::{self, Frame, FrameKind};
+use crate::wire::{self, NetError};
+
+/// Exponential backoff for overload retry.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = try once).
+    pub max_retries: u32,
+    /// Backoff before the first retry, µs; doubles per retry.
+    pub base_backoff_us: u64,
+    /// Backoff ceiling, µs.
+    pub max_backoff_us: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 6,
+            base_backoff_us: 500,
+            max_backoff_us: 100_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `attempt` (1-based), µs.
+    pub fn backoff_us(&self, attempt: u32) -> u64 {
+        let shift = attempt.saturating_sub(1).min(32);
+        self.base_backoff_us
+            .saturating_mul(1u64 << shift)
+            .min(self.max_backoff_us)
+    }
+}
+
+/// One connection to a [`Server`](crate::Server).
+pub struct NetClient {
+    stream: TcpStream,
+    next_id: u64,
+    overloaded_seen: u64,
+    retries: u64,
+}
+
+impl NetClient {
+    /// Connects to a server (blocking reads; requests have no client-side
+    /// timeout — the server's deadline machinery bounds them).
+    pub fn connect(addr: SocketAddr) -> Result<NetClient, NetError> {
+        let _span = embsr_obs::span("embsr_net", "client_connect");
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| NetError::Unavailable(format!("connect failed: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        Ok(NetClient {
+            stream,
+            next_id: 1,
+            overloaded_seen: 0,
+            retries: 0,
+        })
+    }
+
+    /// `Overloaded` responses observed so far (including retried ones) —
+    /// the client side of the admission-accounting reconciliation.
+    pub fn overloaded_seen(&self) -> u64 {
+        // Reading a plain counter; instrumented callers take it alongside
+        // `metrics::` snapshots.
+        self.overloaded_seen
+    }
+
+    /// Retries performed by [`NetClient::score_with_retry`] so far.
+    pub fn retries(&self) -> u64 {
+        // Companion counter to `overloaded_seen`; see `metrics::` note there.
+        self.retries
+    }
+
+    fn rpc(&mut self, kind: FrameKind, payload: Vec<u8>) -> Result<Frame, NetError> {
+        let request_id = self.next_id;
+        self.next_id += 1;
+        let req = Frame {
+            kind,
+            request_id,
+            payload,
+        };
+        let mut writer = &self.stream;
+        frame::write_frame(&mut writer, &req)?;
+        let mut reader = &self.stream;
+        let resp = frame::read_frame(&mut reader)?;
+        if resp.request_id != request_id {
+            return Err(NetError::Wire(format!(
+                "response for request {} while awaiting {}",
+                resp.request_id, request_id
+            )));
+        }
+        if resp.kind == FrameKind::ErrorResponse {
+            let err = wire::decode_error(&resp.payload);
+            if matches!(err, NetError::Overloaded { .. }) {
+                self.overloaded_seen += 1;
+            }
+            return Err(err);
+        }
+        Ok(resp)
+    }
+
+    /// Scores the full vocabulary for each session of `req` across the
+    /// wire. Bitwise-identical to the in-process engine (see the wire
+    /// module docs).
+    pub fn score(
+        &mut self,
+        req: &ScoreBatch,
+        opts: SubmitOptions,
+    ) -> Result<ScoreResponse, NetError> {
+        let span = trace::root("net_request");
+        let payload = wire::encode_score_request(req, opts, span.ctx());
+        let resp = self.rpc(FrameKind::ScoreRequest, payload)?;
+        if resp.kind != FrameKind::ScoreResponse {
+            return Err(NetError::Wire(format!(
+                "expected a score response, got {:?}",
+                resp.kind
+            )));
+        }
+        let _decode = trace::child(span.ctx(), "decode_response");
+        wire::decode_score_response(&resp.payload)
+    }
+
+    /// The `k` best items per session of `req`, across the wire.
+    pub fn top_k(&mut self, req: &TopK, opts: SubmitOptions) -> Result<TopKResponse, NetError> {
+        let span = trace::root("net_request");
+        let payload = wire::encode_top_k_request(req, opts, span.ctx());
+        let resp = self.rpc(FrameKind::TopKRequest, payload)?;
+        if resp.kind != FrameKind::TopKResponse {
+            return Err(NetError::Wire(format!(
+                "expected a top-k response, got {:?}",
+                resp.kind
+            )));
+        }
+        let _decode = trace::child(span.ctx(), "decode_response");
+        wire::decode_top_k_response(&resp.payload)
+    }
+
+    /// [`NetClient::score`] with overload retry: `Overloaded` responses
+    /// back off per `policy` and try again; every other outcome returns
+    /// immediately. Returns the response and the retries it took.
+    pub fn score_with_retry(
+        &mut self,
+        req: &ScoreBatch,
+        opts: SubmitOptions,
+        policy: &RetryPolicy,
+    ) -> Result<(ScoreResponse, u32), NetError> {
+        let _span = embsr_obs::span("embsr_net", "score_with_retry");
+        let mut attempt = 0u32;
+        loop {
+            match self.score(req, opts) {
+                Ok(resp) => return Ok((resp, attempt)),
+                Err(NetError::Overloaded { queued, cap }) => {
+                    if attempt >= policy.max_retries {
+                        return Err(NetError::Overloaded { queued, cap });
+                    }
+                    attempt += 1;
+                    self.retries += 1;
+                    std::thread::sleep(Duration::from_micros(policy.backoff_us(attempt)));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! # embsr-net
+//!
+//! Networked serving for the micro-behavior scoring path: a
+//! dependency-free TCP protocol carrying the `embsr-serve`
+//! [`ScoreBatch`](embsr_serve::ScoreBatch)/[`TopK`](embsr_serve::TopK) API
+//! across process boundaries, behind replica sharding, admission control
+//! and deadline propagation.
+//!
+//! Layers, bottom up:
+//!
+//! * [`frame`] — length-prefixed binary framing (magic, version, kind,
+//!   request id, payload length). Every malformed byte sequence maps to a
+//!   typed [`FrameError`], never a panic; split/coalesced/truncated reads
+//!   are part of the tested contract.
+//! * [`wire`] — JSON payload codec over `embsr_obs`'s in-tree `JsonValue`.
+//!   Scores cross the wire **bitwise** (`f32` → exact `f64` → shortest
+//!   round-trip decimal → back); requests carry the serving
+//!   [`SubmitOptions`](embsr_serve::SubmitOptions) (deadline budget + shed
+//!   flag) and the [`TraceCtx`](embsr_obs::TraceCtx) wire form, so both
+//!   admission control and request traces span client → server → engine.
+//! * [`shard`] — rendezvous (highest-random-weight) hashing of session
+//!   keys over the alive replica set: deterministic, balanced, and
+//!   minimal-movement under replica death.
+//! * [`Server`] — accept loop → per-connection handlers → router →
+//!   per-replica bounded queues → dispatcher threads → [`serve`]
+//!   (embsr_serve::serve) engines, one frozen replica each. Ships fault
+//!   injection ([`Server::kill_replica`], [`Server::set_replica_delay_us`])
+//!   and exact request accounting ([`Server::stats`]).
+//! * [`NetClient`] — blocking request/response client with typed errors
+//!   and exponential overload backoff ([`NetClient::score_with_retry`]).
+//!
+//! The crate's correctness story is its test battery: protocol property
+//! tests (`tests/protocol.rs`), fault injection (`tests/faults.rs`),
+//! admission accounting (`tests/admission.rs`), and the workspace-level
+//! `tests/net_equivalence.rs`, which pins networked scores to the
+//! in-process engine at `f32::to_bits` equality across multiple replicas.
+
+pub mod frame;
+pub mod shard;
+pub mod wire;
+
+mod client;
+mod server;
+
+pub use client::{NetClient, RetryPolicy};
+pub use frame::{Frame, FrameError, FrameKind};
+pub use server::{
+    Server, ServerConfig, ServerStats, METRIC_NET_DEADLINE_EXPIRED, METRIC_NET_LATENCY_US,
+    METRIC_NET_REJECTED, METRIC_NET_REQUESTS, METRIC_NET_REROUTED,
+};
+pub use wire::NetError;

@@ -1,0 +1,128 @@
+//! Consistent session-key sharding via rendezvous (highest-random-weight)
+//! hashing.
+//!
+//! Each session is routed to the *alive* replica with the highest
+//! pseudo-random weight `h(session_key, replica)`. Two properties make
+//! this the right shape for replica routing:
+//!
+//! * **Determinism** — the same key always lands on the same replica while
+//!   the alive set is unchanged, so per-session state (warm caches, future
+//!   stickiness) has a stable home.
+//! * **Minimal movement** — when a replica dies, only the keys that were
+//!   mapped *to it* move (to their second-choice replica); every other
+//!   key keeps its replica. Mod-N hashing would reshuffle nearly all keys.
+//!
+//! The weight function is SplitMix64 over the key XOR a per-replica
+//! stream: cheap, dependency-free, and well-mixed enough that shards
+//! balance to within sampling noise (the unit tests check both the
+//! balance and the minimal-movement property).
+
+/// SplitMix64: the 64-bit finalizer used across the workspace's test RNGs;
+/// here it is the sharding hash.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Rendezvous weight of `replica` for `session_key`.
+pub fn weight(session_key: u64, replica: usize) -> u64 {
+    // Mixing the replica id through SplitMix64 first gives each replica an
+    // independent hash stream; XOR alone would correlate adjacent ids.
+    splitmix64(session_key ^ splitmix64(replica as u64))
+}
+
+/// Picks the alive replica with the highest rendezvous weight for
+/// `session_key`, or `None` when no replica is alive. `alive[i]` is
+/// replica `i`'s liveness; indices are stable across deaths, which is what
+/// preserves the minimal-movement property.
+pub fn route(session_key: u64, alive: &[bool]) -> Option<usize> {
+    let mut best: Option<(u64, usize)> = None;
+    for (idx, &up) in alive.iter().enumerate() {
+        if !up {
+            continue;
+        }
+        let w = weight(session_key, idx);
+        // Strict > with ascending index scan: ties break to the lowest
+        // index, deterministically.
+        if best.map(|(bw, _)| w > bw).unwrap_or(true) {
+            best = Some((w, idx));
+        }
+    }
+    best.map(|(_, idx)| idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        let alive = vec![true; 4];
+        for key in 0..1000u64 {
+            let a = route(key, &alive).expect("some replica");
+            let b = route(key, &alive).expect("some replica");
+            assert_eq!(a, b);
+            assert!(a < 4);
+        }
+        assert_eq!(route(7, &[]), None);
+        assert_eq!(route(7, &[false, false]), None);
+    }
+
+    #[test]
+    fn shards_balance_within_sampling_noise() {
+        let alive = vec![true; 4];
+        let mut counts = [0usize; 4];
+        let n = 40_000u64;
+        for key in 0..n {
+            counts[route(key, &alive).expect("alive")] += 1;
+        }
+        let expect = n as usize / 4;
+        for (idx, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as i64 - expect as i64).unsigned_abs() < (expect / 10) as u64,
+                "replica {idx} holds {c} of {n} keys, expected ~{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn replica_death_moves_only_its_own_keys() {
+        let alive = vec![true; 4];
+        let mut degraded = alive.clone();
+        degraded[2] = false;
+        let mut moved = 0usize;
+        let mut owned_by_dead = 0usize;
+        for key in 0..10_000u64 {
+            let before = route(key, &alive).expect("alive");
+            let after = route(key, &degraded).expect("alive");
+            assert_ne!(after, 2, "dead replica must receive nothing");
+            if before == 2 {
+                owned_by_dead += 1;
+            } else {
+                assert_eq!(
+                    before, after,
+                    "key {key} moved despite its replica surviving"
+                );
+            }
+            if before != after {
+                moved += 1;
+            }
+        }
+        assert_eq!(moved, owned_by_dead, "exactly the dead replica's keys move");
+        assert!(owned_by_dead > 0, "shard 2 owned some keys");
+    }
+
+    #[test]
+    fn revival_restores_the_original_assignment() {
+        let alive = vec![true; 3];
+        let mut degraded = alive.clone();
+        degraded[0] = false;
+        for key in 0..2_000u64 {
+            let original = route(key, &alive).expect("alive");
+            let _ = route(key, &degraded);
+            assert_eq!(route(key, &alive).expect("alive"), original);
+        }
+    }
+}

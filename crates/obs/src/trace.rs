@@ -114,6 +114,38 @@ impl TraceCtx {
     pub fn is_none(&self) -> bool {
         self.trace == 0
     }
+
+    /// Wire form for propagating the context across a process or network
+    /// boundary: `{"trace": n, "span": n}`. Ids stay below 2^53 (see the
+    /// module docs), so the `f64`-backed JSON numbers are lossless.
+    /// [`TraceCtx::NONE`] encodes as zeros, which [`TraceCtx::from_json_value`]
+    /// maps back to `NONE`.
+    pub fn to_json_value(&self) -> json::JsonValue {
+        json::JsonValue::object(vec![("trace", self.trace.into()), ("span", self.span.into())])
+    }
+
+    /// Inverse of [`TraceCtx::to_json_value`]. Missing or malformed fields
+    /// yield [`TraceCtx::NONE`] — an untraced peer degrades to no tracing,
+    /// never to an error.
+    pub fn from_json_value(v: &json::JsonValue) -> TraceCtx {
+        let num = |key: &str| -> u64 {
+            let raw = v.get(key).and_then(json::JsonValue::as_f64).unwrap_or(0.0);
+            if raw.is_finite() && raw >= 0.0 && raw.fract() == 0.0 {
+                raw as u64
+            } else {
+                0
+            }
+        };
+        let ctx = TraceCtx {
+            trace: num("trace"),
+            span: num("span"),
+        };
+        if ctx.trace == 0 || ctx.span == 0 {
+            TraceCtx::NONE
+        } else {
+            ctx
+        }
+    }
 }
 
 fn emit(name: &str, trace: u64, span: u64, parent: u64, start_us: u64, end_us: u64) {

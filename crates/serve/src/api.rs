@@ -9,7 +9,7 @@
 use embsr_sessions::{ItemId, Session};
 
 /// Request: score the full item vocabulary for each session prefix.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ScoreBatch {
     /// Session prefixes to score, in reply order.
     pub sessions: Vec<Session>,
@@ -17,14 +17,14 @@ pub struct ScoreBatch {
 
 /// Response to a [`ScoreBatch`]: one `num_items`-length score vector per
 /// requested session, in request order.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ScoreResponse {
     /// `scores[i][v]` is the model's score of item `v` after `sessions[i]`.
     pub scores: Vec<Vec<f32>>,
 }
 
 /// Request: the `k` highest-scored items for each session prefix.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct TopK {
     /// Session prefixes to score, in reply order.
     pub sessions: Vec<Session>,
@@ -33,7 +33,7 @@ pub struct TopK {
 }
 
 /// Response to a [`TopK`]: per session, the best `k` items best-first.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct TopKResponse {
     /// `items[i]` are the recommendations for `sessions[i]`, descending by
     /// score (ties broken by ascending item id, so responses are

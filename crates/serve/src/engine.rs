@@ -48,6 +48,13 @@ pub const METRIC_SESSIONS_SCORED: &str = "serve.sessions_scored";
 /// request's enqueue — its p95/max expose backlog tails that the latency
 /// quantiles alone hide.
 pub const METRIC_QUEUE_DEPTH: &str = "serve.queue_depth";
+/// Counter of requests rejected at admission because the queue was over
+/// [`EngineConfig::queue_cap`] (only requests submitted with
+/// [`SubmitOptions::shed`] are ever rejected).
+pub const METRIC_REJECTED: &str = "serve.rejected";
+/// Counter of sessions shed by a worker because their request's deadline
+/// expired while they waited in the queue.
+pub const METRIC_DEADLINE_EXPIRED: &str = "serve.deadline_expired";
 
 /// Tuning knobs of the micro-batching engine.
 #[derive(Clone, Copy, Debug)]
@@ -59,6 +66,10 @@ pub struct EngineConfig {
     /// How long a worker holds an underfull batch open for stragglers,
     /// in microseconds, before flushing it anyway.
     pub flush_deadline_us: u64,
+    /// Admission bound: sessions allowed to wait in the queue before a
+    /// shedding submit ([`SubmitOptions::shed`]) is rejected with
+    /// [`ServeError::Overloaded`]. Non-shedding submits ignore the cap.
+    pub queue_cap: usize,
 }
 
 impl Default for EngineConfig {
@@ -67,6 +78,47 @@ impl Default for EngineConfig {
             workers: 2,
             max_batch: 32,
             flush_deadline_us: 500,
+            queue_cap: usize::MAX,
+        }
+    }
+}
+
+/// Per-request admission and deadline knobs for the fallible submit paths
+/// ([`Client::try_score`] / [`Client::try_top_k`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SubmitOptions {
+    /// Microseconds the request may spend queued before a worker sheds it
+    /// with [`ServeError::DeadlineExpired`] instead of scoring it. `0`
+    /// means no deadline.
+    pub deadline_us: u64,
+    /// Reject at admission (with [`ServeError::Overloaded`]) when the queue
+    /// already holds [`EngineConfig::queue_cap`] or more sessions, instead
+    /// of enqueueing unconditionally.
+    pub shed: bool,
+}
+
+/// Why a fallible submit did not produce scores. Both variants are *load*
+/// conditions, not bugs: callers are expected to back off and retry
+/// (`Overloaded`) or give up on the stale request (`DeadlineExpired`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission control turned the request away: the queue already held
+    /// `queued` sessions against a cap of `cap`.
+    Overloaded { queued: usize, cap: usize },
+    /// The request waited `waited_us` in the queue, past its deadline, and
+    /// was shed by the scoring worker without being scored.
+    DeadlineExpired { waited_us: u64 },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { queued, cap } => {
+                write!(f, "overloaded: {queued} session(s) queued, cap {cap}")
+            }
+            ServeError::DeadlineExpired { waited_us } => {
+                write!(f, "deadline expired after {waited_us}us in queue")
+            }
         }
     }
 }
@@ -81,9 +133,12 @@ struct Job {
     /// [`trace::now_us`] at enqueue (0 when untraced); start of the job's
     /// `queue_wait` phase.
     enqueued_us: u64,
+    /// Queue-wait budget in microseconds (`0` = none): workers shed the job
+    /// unscored once `enqueued` exceeds it.
+    deadline_us: u64,
     /// Position inside the originating request.
     slot: usize,
-    reply: Sender<(usize, Vec<f32>)>,
+    reply: Sender<(usize, Result<Vec<f32>, ServeError>)>,
 }
 
 /// Queue state shared between the client thread and the workers.
@@ -111,39 +166,94 @@ fn lock(shared: &Shared) -> MutexGuard<'_, VecDeque<Job>> {
 pub struct Client<'a> {
     shared: &'a Shared,
     signal: &'a AbortSignal,
+    cfg: EngineConfig,
 }
 
 impl Client<'_> {
     /// Scores the full vocabulary for each session of the request.
     pub fn score(&self, req: ScoreBatch) -> ScoreResponse {
-        let root = trace::root("score_request");
-        ScoreResponse {
-            scores: self.submit(req.sessions, root.ctx()),
-        }
+        // Infallible by construction: no deadline, no shedding.
+        self.try_score(req, SubmitOptions::default())
+            .unwrap_or_default()
+    }
+
+    /// Scores a request under explicit admission/deadline control: the
+    /// request is rejected up front when the queue is over
+    /// [`EngineConfig::queue_cap`] (if `opts.shed`), and any session still
+    /// queued past `opts.deadline_us` is shed by the workers, failing the
+    /// request with [`ServeError::DeadlineExpired`].
+    pub fn try_score(&self, req: ScoreBatch, opts: SubmitOptions) -> Result<ScoreResponse, ServeError> {
+        self.try_score_in(req, opts, TraceCtx::NONE)
+    }
+
+    /// [`Client::try_score`] with an explicit trace parent: when `parent`
+    /// is a live [`TraceCtx`] the engine spans (`score_request` →
+    /// `queue_wait`/`batch_assembly`/`scoring`) nest under it instead of
+    /// opening a fresh trace — this is how a network front end stitches
+    /// engine work into its own request trees.
+    pub fn try_score_in(
+        &self,
+        req: ScoreBatch,
+        opts: SubmitOptions,
+        parent: TraceCtx,
+    ) -> Result<ScoreResponse, ServeError> {
+        let span = if parent.is_none() {
+            trace::root("score_request")
+        } else {
+            trace::child(parent, "score_request")
+        };
+        Ok(ScoreResponse {
+            scores: self.submit(req.sessions, span.ctx(), opts)?,
+        })
     }
 
     /// Returns the `k` best items per session of the request.
     pub fn top_k(&self, req: TopK) -> TopKResponse {
-        let root = trace::root("top_k_request");
-        let rows = self.submit(req.sessions, root.ctx());
-        let _select = trace::child(root.ctx(), "top_k");
-        TopKResponse {
-            items: rows.iter().map(|row| top_k_of_row(row, req.k)).collect(),
-        }
+        // Infallible by construction: no deadline, no shedding.
+        self.try_top_k(req, SubmitOptions::default())
+            .unwrap_or_default()
     }
 
-    fn submit(&self, sessions: Vec<Session>, ctx: TraceCtx) -> Vec<Vec<f32>> {
+    /// [`Client::top_k`] under explicit admission/deadline control (see
+    /// [`Client::try_score`]).
+    pub fn try_top_k(&self, req: TopK, opts: SubmitOptions) -> Result<TopKResponse, ServeError> {
+        let root = trace::root("top_k_request");
+        let rows = self.submit(req.sessions, root.ctx(), opts)?;
+        let _select = trace::child(root.ctx(), "top_k");
+        Ok(TopKResponse {
+            items: rows.iter().map(|row| top_k_of_row(row, req.k)).collect(),
+        })
+    }
+
+    fn submit(
+        &self,
+        sessions: Vec<Session>,
+        ctx: TraceCtx,
+        opts: SubmitOptions,
+    ) -> Result<Vec<Vec<f32>>, ServeError> {
         let n = sessions.len();
         if n == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let watch = Stopwatch::start();
         let tracing = !ctx.is_none() && trace::active();
-        let (reply, replies) = std::sync::mpsc::channel::<(usize, Vec<f32>)>();
+        let (reply, replies) =
+            std::sync::mpsc::channel::<(usize, Result<Vec<f32>, ServeError>)>();
         let mut pending = 0usize;
         let depth;
         {
             let mut q = lock(self.shared);
+            if opts.shed && q.len() >= self.cfg.queue_cap {
+                let queued = q.len();
+                drop(q);
+                if embsr_obs::metrics::enabled() {
+                    embsr_obs::metrics::counter(METRIC_REJECTED).inc();
+                }
+                return Err(ServeError::Overloaded {
+                    queued,
+                    cap: self.cfg.queue_cap,
+                });
+            }
             for (slot, session) in sessions.into_iter().enumerate() {
                 if session.is_empty() {
                     // Answered inline as an empty row (see the type docs):
@@ -156,6 +266,7 @@ impl Client<'_> {
                     enqueued: Stopwatch::start(),
                     trace: ctx,
                     enqueued_us: if tracing { trace::now_us() } else { 0 },
+                    deadline_us: opts.deadline_us,
                     slot,
                     reply: reply.clone(),
                 });
@@ -172,9 +283,16 @@ impl Client<'_> {
         let mut received = 0;
         while received < pending {
             match replies.recv_timeout(Duration::from_millis(50)) {
-                Ok((slot, row)) => {
+                Ok((slot, Ok(row))) => {
                     rows[slot] = row;
                     received += 1;
+                }
+                Ok((_, Err(e))) => {
+                    // One shed session fails the whole request: the caller
+                    // asked for a deadline and this reply is already late.
+                    // Replies for the request's other sessions go to a
+                    // dropped receiver, which workers tolerate.
+                    return Err(e);
                 }
                 Err(RecvTimeoutError::Timeout) => {
                     assert!(
@@ -196,7 +314,7 @@ impl Client<'_> {
         if embsr_obs::metrics::enabled() {
             embsr_obs::metrics::histogram(METRIC_REQUEST_LATENCY_US).record(watch.elapsed_us());
         }
-        rows
+        Ok(rows)
     }
 }
 
@@ -298,16 +416,39 @@ where
             while let Some(batch) = next_batch(&shared, &cfg) {
                 let tracing = trace::active();
                 let drained_us = if tracing { trace::now_us() } else { 0 };
-                let sessions: Vec<Session> = batch.iter().map(|j| j.session.clone()).collect();
+                // Shed jobs whose queue-wait budget ran out before this
+                // drain: scoring them would spend forward-pass time on
+                // answers their callers have already written off.
+                let mut live = Vec::with_capacity(batch.len());
+                for job in batch {
+                    let waited_us = job.enqueued.elapsed_us();
+                    if job.deadline_us != 0 && waited_us >= job.deadline_us {
+                        if embsr_obs::metrics::enabled() {
+                            embsr_obs::metrics::counter(METRIC_DEADLINE_EXPIRED).inc();
+                        }
+                        if tracing && job.enqueued_us != 0 {
+                            trace::emit_span(job.trace, "queue_wait", job.enqueued_us, drained_us);
+                        }
+                        let _ = job
+                            .reply
+                            .send((job.slot, Err(ServeError::DeadlineExpired { waited_us })));
+                    } else {
+                        live.push(job);
+                    }
+                }
+                if live.is_empty() {
+                    continue;
+                }
+                let sessions: Vec<Session> = live.iter().map(|j| j.session.clone()).collect();
                 let assembled_us = if tracing { trace::now_us() } else { 0 };
                 let rows = replica.score_batch(&sessions);
                 let scored_us = if tracing { trace::now_us() } else { 0 };
                 if embsr_obs::metrics::enabled() {
                     embsr_obs::metrics::histogram(METRIC_BATCH_SESSIONS)
-                        .record(batch.len() as u64);
-                    embsr_obs::metrics::counter(METRIC_SESSIONS_SCORED).add(batch.len() as u64);
+                        .record(live.len() as u64);
+                    embsr_obs::metrics::counter(METRIC_SESSIONS_SCORED).add(live.len() as u64);
                 }
-                for (job, row) in batch.into_iter().zip(rows) {
+                for (job, row) in live.into_iter().zip(rows) {
                     if tracing && job.enqueued_us != 0 {
                         // One shared batch timeline, attributed to every
                         // request that rode in it.
@@ -317,7 +458,7 @@ where
                     }
                     // A receiver gone away just means the caller bailed out;
                     // drop its rows rather than killing the worker.
-                    let _ = job.reply.send((job.slot, row));
+                    let _ = job.reply.send((job.slot, Ok(row)));
                 }
             }
         },
@@ -326,6 +467,7 @@ where
             let client = Client {
                 shared: &shared,
                 signal,
+                cfg,
             };
             master(&client)
         },
@@ -357,6 +499,7 @@ mod tests {
             workers: 3,
             max_batch: 4,
             flush_deadline_us: 200,
+            ..EngineConfig::default()
         };
         let got = serve(&f, || ToyModel::new(9, 0), cfg, |client| {
             client
@@ -408,6 +551,7 @@ mod tests {
             workers: 1,
             max_batch: 64, // never fills: the deadline must flush
             flush_deadline_us: 100,
+            ..EngineConfig::default()
         };
         let sessions = vec![sess(&[0]), sess(&[1]), sess(&[2])];
         let want = f.score_batch(&sessions);
@@ -481,6 +625,95 @@ mod tests {
         assert!(scores.scores[2].is_empty());
         assert_eq!(recs.items, vec![Vec::new()]);
         assert_eq!(later.scores, want);
+    }
+
+    #[test]
+    fn shedding_submit_is_rejected_when_the_queue_is_over_cap() {
+        let f = frozen(5, 11);
+        let cfg = EngineConfig {
+            workers: 1,
+            max_batch: 4,
+            flush_deadline_us: 200,
+            queue_cap: 0, // every shedding submit sees a full queue
+        };
+        let got = serve(&f, || ToyModel::new(5, 0), cfg, |client| {
+            let opts = SubmitOptions {
+                shed: true,
+                ..SubmitOptions::default()
+            };
+            let rejected = client.try_score(
+                ScoreBatch {
+                    sessions: vec![sess(&[1])],
+                },
+                opts,
+            );
+            // A non-shedding submit ignores the cap entirely.
+            let accepted = client.try_score(
+                ScoreBatch {
+                    sessions: vec![sess(&[1])],
+                },
+                SubmitOptions::default(),
+            );
+            (rejected, accepted)
+        });
+        assert_eq!(got.0, Err(ServeError::Overloaded { queued: 0, cap: 0 }));
+        let accepted = got.1.expect("non-shedding submit must be admitted");
+        assert_eq!(accepted.scores.len(), 1);
+        assert!(!accepted.scores[0].is_empty());
+    }
+
+    #[test]
+    fn queued_past_deadline_is_shed_not_scored() {
+        let f = frozen(5, 13);
+        let cfg = EngineConfig {
+            workers: 1,
+            // A huge flush deadline with an unfillable batch keeps the job
+            // queued long past its 1us budget.
+            max_batch: 64,
+            flush_deadline_us: 20_000,
+            ..EngineConfig::default()
+        };
+        let got = serve(&f, || ToyModel::new(5, 0), cfg, |client| {
+            client.try_score(
+                ScoreBatch {
+                    sessions: vec![sess(&[2])],
+                },
+                SubmitOptions {
+                    deadline_us: 1,
+                    shed: false,
+                },
+            )
+        });
+        match got {
+            Err(ServeError::DeadlineExpired { waited_us }) => {
+                assert!(waited_us >= 1, "shed job must report its queue wait");
+            }
+            other => panic!("expected DeadlineExpired, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generous_deadline_still_scores_bitwise_identically() {
+        let f = frozen(6, 17);
+        let sessions = vec![sess(&[1, 2]), sess(&[3])];
+        let want = f.score_batch(&sessions);
+        let got = serve(
+            &f,
+            || ToyModel::new(6, 0),
+            EngineConfig::default(),
+            |client| {
+                client.try_score(
+                    ScoreBatch {
+                        sessions: sessions.clone(),
+                    },
+                    SubmitOptions {
+                        deadline_us: 60_000_000,
+                        shed: true,
+                    },
+                )
+            },
+        );
+        assert_eq!(got.expect("well within deadline").scores, want);
     }
 
     #[test]

@@ -29,8 +29,9 @@ mod frozen;
 
 pub use api::{top_k_of_row, ScoreBatch, ScoreResponse, ScoredItem, TopK, TopKResponse};
 pub use engine::{
-    serve, Client, EngineConfig, METRIC_BATCH_SESSIONS, METRIC_QUEUE_DEPTH,
-    METRIC_REQUEST_LATENCY_US, METRIC_SESSIONS_SCORED,
+    serve, Client, EngineConfig, ServeError, SubmitOptions, METRIC_BATCH_SESSIONS,
+    METRIC_DEADLINE_EXPIRED, METRIC_QUEUE_DEPTH, METRIC_REJECTED, METRIC_REQUEST_LATENCY_US,
+    METRIC_SESSIONS_SCORED,
 };
 pub use frozen::FrozenModel;
 

@@ -1,0 +1,16 @@
+//! Fixture: a net entry point without any observability instrumentation —
+//! the span-coverage ratchet extends past `crates/serve` to the networked
+//! serving crate.
+
+/// Handles a framed request without opening a span — the
+/// serve-span-coverage rule must flag this (new files get no baseline
+/// allowance).
+pub fn handle_unobserved(payload: &[u8]) -> usize {
+    payload.len()
+}
+
+/// Decoy: an instrumented entry point must NOT be flagged.
+pub fn handle_observed(payload: &[u8]) -> usize {
+    let _span = embsr_obs::span("fixture", "handle_observed");
+    payload.len()
+}

@@ -22,8 +22,9 @@ pub const LAYERS: &[(&str, u8)] = &[
     ("embsr-baselines", 4), // Table III baselines
     ("embsr-eval", 4),      // metrics + significance tests
     ("embsr-serve", 4),     // batched inference engine
-    ("embsr-bench", 5),     // experiment harness (may use everything)
-    ("xtask", 5),           // this lint
+    ("embsr-net", 5),       // networked serving on top of the engine
+    ("embsr-bench", 6),     // experiment harness (may use everything)
+    ("xtask", 6),           // this lint
 ];
 
 /// The layer of a crate, or `None` for crates missing from [`LAYERS`].
@@ -166,7 +167,8 @@ mod tests {
     #[test]
     fn layer_table_covers_the_workspace() {
         assert_eq!(layer_of("embsr-obs"), Some(0));
-        assert_eq!(layer_of("embsr-bench"), Some(5));
+        assert_eq!(layer_of("embsr-net"), Some(5));
+        assert_eq!(layer_of("embsr-bench"), Some(6));
         assert_eq!(layer_of("left-pad"), None);
     }
 

@@ -19,8 +19,9 @@
 //! * `nn-forward-unification` — no new ad-hoc `pub fn forward` in
 //!   `crates/nn`; forward passes implement the `Forward` trait;
 //! * `doc-public-items` — public items in `tensor`/`nn` carry doc comments;
-//! * `serve-span-coverage` — public entry points in `crates/serve` open an
-//!   obs span (or record trace/metrics), ratcheted per file;
+//! * `serve-span-coverage` — public entry points in the serving-path
+//!   crates (`crates/serve`, `crates/net`) open an obs span (or record
+//!   trace/metrics), ratcheted per file;
 //! * `map-iteration-determinism` — HashMap/HashSet iteration in production
 //!   code must sort, rebuild into a BTree container, reduce to a
 //!   cardinality, or justify with `// det:`; ratcheted per file;

@@ -240,9 +240,9 @@ fn body_end(chars: &[char], open: usize) -> usize {
     chars.len()
 }
 
-/// Counts public entry points in `crates/serve/src/` whose body carries no
-/// observability marker, per file. Bodyless declarations (trait methods
-/// ending in `;`) are skipped.
+/// Counts public entry points in the serving-path crates (`crates/serve`,
+/// `crates/net`) whose body carries no observability marker, per file.
+/// Bodyless declarations (trait methods ending in `;`) are skipped.
 pub fn span_counts(files: &[SourceFile]) -> Counts {
     let mut counts = BTreeMap::new();
     for f in files {
@@ -257,10 +257,10 @@ pub fn span_counts(files: &[SourceFile]) -> Counts {
     counts
 }
 
-/// Char offsets (in the stripped source) of `pub fn`s in a serve source
-/// file whose body has no [`SPAN_MARKERS`] hit.
+/// Char offsets (in the stripped source) of `pub fn`s in a serving-path
+/// source file whose body has no [`SPAN_MARKERS`] hit.
 fn uninstrumented_pub_fns(f: &SourceFile) -> Vec<usize> {
-    if !f.rel.starts_with("crates/serve/src/") {
+    if !f.rel.starts_with("crates/serve/src/") && !f.rel.starts_with("crates/net/src/") {
         return Vec::new();
     }
     let chars: Vec<char> = f.stripped.chars().collect();
@@ -289,8 +289,8 @@ fn uninstrumented_pub_fns(f: &SourceFile) -> Vec<usize> {
     out
 }
 
-/// The span-coverage ratchet: every public entry point in `crates/serve`
-/// should open an obs span (or record trace/metrics); per-file counts of
+/// The span-coverage ratchet: every public entry point in the serving-path
+/// crates should open an obs span (or record trace/metrics); per-file counts of
 /// uninstrumented `pub fn`s may only go down relative to the checked-in
 /// baseline. New files start at an allowance of zero.
 pub fn rule_serve_span_coverage(

@@ -71,6 +71,13 @@ fn lint_fails_on_seeded_violations_with_rule_and_location() {
         stdout.contains("1 public fn(s) without an obs span"),
         "{stdout}"
     );
+    // The ratchet covers the networked-serving crate too: its seeded
+    // uninstrumented entry point is flagged, its instrumented decoy is not.
+    assert!(
+        stdout.contains("error[serve-span-coverage]: crates/net/src/lib.rs:8"),
+        "{stdout}"
+    );
+    assert_eq!(stdout.matches("error[serve-span-coverage]").count(), 2, "{stdout}");
     // Decoys (string literal, comment, #[cfg(test)] body) must not add
     // extra panic findings: exactly one panic construct is counted.
     assert!(stdout.contains("1 panicking construct(s)"), "{stdout}");

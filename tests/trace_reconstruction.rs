@@ -81,6 +81,7 @@ fn with_traced_engine<M: SessionModel, R>(
             workers,
             max_batch: 16,
             flush_deadline_us: 200,
+            ..EngineConfig::default()
         },
         f,
     );
@@ -239,6 +240,7 @@ fn disabled_tracing_emits_nothing() {
             workers: 1,
             max_batch: 8,
             flush_deadline_us: 200,
+            ..EngineConfig::default()
         },
         |client| {
             client.score(ScoreBatch {
