@@ -173,12 +173,14 @@ impl DotScorer {
     }
 
     /// Batched form: representations `ms` (`[B, d]`) against `items`
-    /// (`[|V|, d]`) in one GEMM, shape `[B, |V|]`. The transpose is
-    /// amortized across the batch; each row is bitwise-equal to the
-    /// single-session [`Self::logits`].
+    /// (`[|V|, d]`) in one GEMM, shape `[B, |V|]`; each row is bitwise-equal
+    /// to the single-session [`Self::logits`]. `matmul_nt` consumes the item
+    /// table row-major (the `A·Bᵀ` kernel transpose-packs panels on the
+    /// fly), bitwise-identical to the old `matmul(items.transpose())` but
+    /// without materializing the `[d,|V|]` copy per call.
     pub fn logits_rows(ms: &Tensor, items: &Tensor) -> Tensor {
         assert_eq!(items.cols(), ms.cols(), "item table dim mismatch");
-        ms.matmul(&items.transpose())
+        ms.matmul_nt(items)
     }
 }
 

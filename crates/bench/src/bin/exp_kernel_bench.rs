@@ -1,14 +1,20 @@
 //! Experiment K1 — kernel-layer micro-benchmarks.
 //!
-//! Sweeps square `d × d × d` GEMMs for `d ∈ {32, 64, 128}` across all three
-//! packed micro-kernel variants (`A·B`, `Aᵀ·B`, `A·Bᵀ`) against the scalar
-//! reference kernels they must match bitwise, plus embedding gather
-//! (forward) and gather→scatter (forward + backward) throughput. Writes one
-//! row file `results/kernels.json` and the aggregate `BENCH_kernels.json`.
+//! Sweeps square `d × d × d` GEMMs for `d ∈ {32, 64, 128}` across the three
+//! micro-kernel variants (`A·B`, `Aᵀ·B`, `A·Bᵀ`) at every kernel tier —
+//! scalar reference, packed register-tiled, and the vectorized lane-form
+//! tier — plus embedding gather (forward) and gather→scatter (forward +
+//! backward) throughput. Writes one row file `results/kernels.json` and the
+//! aggregate `BENCH_kernels.json`.
+//!
+//! `--tier {scalar,packed,simd,all}` restricts the sweep (default `all`;
+//! the baseline check needs the full sweep since it gates both ratio
+//! families).
 //!
 //! The CI bench-regression job runs this with
-//! `--check-baseline crates/bench/kernel_baseline.json`: the packed-vs-
-//! reference **speedup ratios** (machine-portable, unlike raw GFLOP/s) are
+//! `--check-baseline crates/bench/kernel_baseline.json`: the **speedup
+//! ratios** (machine-portable, unlike raw GFLOP/s) — packed-vs-reference
+//! (`gemm_ab_d128`) and vectorized-vs-packed (`simd_gemm_ab_d128`) — are
 //! compared against the checked-in baseline, and the run exits non-zero
 //! when any ratio regresses by more than the baseline's tolerance (15%).
 //! `--write-baseline <path>` regenerates the baseline from the current run.
@@ -22,12 +28,13 @@ use std::path::PathBuf;
 use embsr_bench::parse_args;
 use embsr_obs::JsonValue;
 use embsr_tensor::kernels::{
-    gemm_ab, gemm_abt, gemm_atb, reference_gemm_ab, reference_gemm_abt, reference_gemm_atb,
+    self, gemm_ab, gemm_abt, gemm_atb, reference_gemm_ab, reference_gemm_abt, reference_gemm_atb,
+    KernelTier,
 };
 use embsr_tensor::{Rng, Tensor};
 use std::hint::black_box;
 
-/// All six kernels share this square-problem calling shape.
+/// All kernels share this square-problem calling shape.
 type Kernel = fn(&[f32], &[f32], &mut [f32], usize, usize, usize);
 
 /// Embedding-table rows for the gather/scatter benchmarks.
@@ -83,10 +90,21 @@ fn main() {
         argv.iter()
             .position(|a| a == flag)
             .and_then(|i| argv.get(i + 1).cloned())
-            .map(PathBuf::from)
     };
-    let check_baseline = flag_value("--check-baseline");
-    let write_baseline = flag_value("--write-baseline");
+    let check_baseline = flag_value("--check-baseline").map(PathBuf::from);
+    let write_baseline = flag_value("--write-baseline").map(PathBuf::from);
+    let tier_arg = flag_value("--tier").unwrap_or_else(|| "all".to_string());
+    let tiers: Vec<KernelTier> = if tier_arg == "all" {
+        vec![KernelTier::Scalar, KernelTier::Packed, KernelTier::Simd]
+    } else {
+        match KernelTier::parse(&tier_arg) {
+            Some(t) => vec![t],
+            None => {
+                eprintln!("--tier must be one of scalar|packed|simd|all, got `{tier_arg}`");
+                std::process::exit(2);
+            }
+        }
+    };
     let quick = std::env::var("EMBSR_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
     // Work budget per measurement: FLOPs for the GEMM timings, bytes moved
     // for the gather timings. Quick mode divides both by 10.
@@ -94,7 +112,10 @@ fn main() {
     let byte_budget = if quick { 4.0e7 } else { 4.0e8 };
 
     println!(
-        "kernel bench: d ∈ {{32, 64, 128}} · packed vs reference · quick={quick} · seed={}",
+        "kernel bench: d ∈ {{32, 64, 128}} · tiers {:?} · lanes={} · fma={} · quick={quick} · seed={}",
+        tiers.iter().map(|t| t.name()).collect::<Vec<_>>(),
+        kernels::simd_lanes(),
+        kernels::has_hardware_fma(),
         args.seed
     );
 
@@ -114,26 +135,44 @@ fn main() {
         let flops_per_call = 2.0 * (d * d * d) as f64;
         let iters = ((flop_budget / flops_per_call) as usize).clamp(5, 200_000);
 
-        for (name, packed, reference) in variants {
-            let packed_secs = time_gemm(packed, &a, &b, &mut out, d, iters);
+        for (name, dispatched, reference) in variants {
             let reference_secs = time_gemm(reference, &a, &b, &mut out, d, iters);
-            let packed_gflops = flops_per_call / packed_secs / 1e9;
             let reference_gflops = flops_per_call / reference_secs / 1e9;
-            let speedup = reference_secs / packed_secs;
-            println!(
-                "  {name} d={d}: packed {packed_gflops:.2} GFLOP/s · reference \
-                 {reference_gflops:.2} GFLOP/s · speedup {speedup:.2}×"
-            );
-            speedups.push((format!("{name}_d{d}"), speedup));
-            rows.push(JsonValue::object(vec![
-                ("experiment", JsonValue::String("kernel_bench".into())),
-                ("kernel", JsonValue::String(name.into())),
-                ("dim", JsonValue::Number(d as f64)),
-                ("iters", JsonValue::Number(iters as f64)),
-                ("packed_gflops", JsonValue::Number(packed_gflops)),
-                ("reference_gflops", JsonValue::Number(reference_gflops)),
-                ("speedup", JsonValue::Number(speedup)),
-            ]));
+            // seconds per call at each measured tier, in tier order
+            let mut tier_secs: Vec<(KernelTier, f64)> = Vec::new();
+            for &tier in &tiers {
+                let secs = kernels::with_tier(tier, || {
+                    time_gemm(dispatched, &a, &b, &mut out, d, iters)
+                });
+                tier_secs.push((tier, secs));
+            }
+            let secs_of = |t: KernelTier| tier_secs.iter().find(|(x, _)| *x == t).map(|(_, s)| *s);
+            let mut line = format!("  {name} d={d}: reference {reference_gflops:.2} GFLOP/s");
+            for &(tier, secs) in &tier_secs {
+                let gflops = flops_per_call / secs / 1e9;
+                let vs_ref = reference_secs / secs;
+                line += &format!(" · {} {gflops:.2} GFLOP/s ({vs_ref:.2}× ref)", tier.name());
+                rows.push(JsonValue::object(vec![
+                    ("experiment", JsonValue::String("kernel_bench".into())),
+                    ("kernel", JsonValue::String(name.into())),
+                    ("tier", JsonValue::String(tier.name().into())),
+                    ("dim", JsonValue::Number(d as f64)),
+                    ("iters", JsonValue::Number(iters as f64)),
+                    ("gflops", JsonValue::Number(gflops)),
+                    ("reference_gflops", JsonValue::Number(reference_gflops)),
+                    ("speedup_vs_reference", JsonValue::Number(vs_ref)),
+                ]));
+            }
+            println!("{line}");
+            // Ratio families for the portable regression gate: packed vs
+            // scalar reference (the historical keys) and vectorized vs
+            // packed (the new tier's multiplier).
+            if let Some(packed_secs) = secs_of(KernelTier::Packed) {
+                speedups.push((format!("{name}_d{d}"), reference_secs / packed_secs));
+                if let Some(simd_secs) = secs_of(KernelTier::Simd) {
+                    speedups.push((format!("simd_{name}_d{d}"), packed_secs / simd_secs));
+                }
+            }
         }
 
         // Embedding gather/scatter: the other kernel class the training
@@ -199,6 +238,8 @@ fn main() {
             ("bench", JsonValue::String("kernels".into())),
             ("quick", JsonValue::Bool(quick)),
             ("seed", JsonValue::Number(args.seed as f64)),
+            ("simd_lanes", JsonValue::Number(kernels::simd_lanes() as f64)),
+            ("hardware_fma", JsonValue::Bool(kernels::has_hardware_fma())),
             ("rows", JsonValue::Array(rows)),
         ]);
         let path = std::path::Path::new("BENCH_kernels.json");
@@ -215,7 +256,8 @@ fn main() {
             (
                 "note",
                 JsonValue::String(
-                    "packed-vs-reference GEMM speedup ratios; ratios are compared, \
+                    "GEMM speedup ratios — `<kernel>_d<d>` packed vs scalar reference, \
+                     `simd_<kernel>_d<d>` vectorized vs packed; ratios are compared, \
                      not absolute GFLOP/s, so the check ports across machines"
                         .into(),
                 ),
@@ -247,9 +289,10 @@ fn main() {
     }
 
     println!(
-        "Shape to verify: packed speedup grows with d and clears 2× at d=128 \
-         (gemm_ab_d128 in BENCH_kernels.json); gather+scatter moves 2× the \
-         bytes of gather alone at similar GB/s."
+        "Shape to verify: the vectorized tier clears 2× over packed at d=128 \
+         (simd_gemm_ab_d128 in the baseline) and packed clears 2× over the \
+         scalar reference (gemm_ab_d128); gather+scatter moves 2× the bytes \
+         of gather alone at similar GB/s."
     );
 }
 

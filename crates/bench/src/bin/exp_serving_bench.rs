@@ -13,12 +13,25 @@
 //!    workers, with request latency (p50/p95/p99) and queue depth
 //!    (p95/max) recorded into `embsr_obs` histograms and reported.
 //!
+//! The frozen and engine paths are additionally swept across kernel tiers
+//! (`packed`, the bitwise training tier, vs `simd`, the vectorized serving
+//! default) and across snapshot precisions (`f32` vs `bf16`), so the bench
+//! records both the vectorized tier's end-to-end multiplier
+//! (`simd_engine` in the baseline) and the reduced-precision snapshot's
+//! size ratio.
+//!
 //! Writes `results/serving.json` plus the aggregate `BENCH_serving.json`.
 //! The CI serving job runs `--check-baseline crates/bench/serving_baseline.json`:
 //! the batched-vs-per-session **throughput ratios** (machine-portable,
 //! unlike raw sessions/s) are compared against the checked-in baseline and
 //! the run exits non-zero when any ratio regresses by more than the
 //! baseline's tolerance (15%). `--write-baseline <path>` regenerates it.
+//!
+//! `--reference-engine <sessions/s>` embeds the engine throughput of a
+//! pre-change build measured on the same machine; the artifact then carries
+//! the cross-build `engine_vs_reference` multiplier alongside the within-run
+//! ratios (it is informational — cross-build numbers cannot be revalidated
+//! by `--check-baseline`).
 //!
 //! `EMBSR_BENCH_QUICK=1` shrinks the model and the session set ~10× for
 //! smoke runs; the ratios stay meaningful because every path shrinks
@@ -30,8 +43,8 @@ use embsr_bench::parse_args;
 use embsr_core::{Embsr, EmbsrConfig};
 use embsr_obs::JsonValue;
 use embsr_serve::{
-    serve, EngineConfig, FrozenModel, ScoreBatch, METRIC_BATCH_SESSIONS, METRIC_QUEUE_DEPTH,
-    METRIC_REQUEST_LATENCY_US,
+    serve, EngineConfig, FrozenModel, KernelTier, Precision, ScoreBatch, METRIC_BATCH_SESSIONS,
+    METRIC_QUEUE_DEPTH, METRIC_REQUEST_LATENCY_US,
 };
 use embsr_sessions::{MicroBehavior, Session};
 use embsr_train::{NeuralRecommender, Recommender, TrainConfig};
@@ -86,6 +99,12 @@ fn main() {
     };
     let check_baseline = flag_value("--check-baseline");
     let write_baseline = flag_value("--write-baseline");
+    // Engine throughput of a pre-change build measured on the same machine
+    // (sessions/s). Cross-build ratios can't be recomputed inside one run,
+    // so this is recorded in the JSON artifact for context rather than
+    // checked against the baseline.
+    let reference_engine: Option<f64> = flag_value("--reference-engine")
+        .and_then(|p| p.to_string_lossy().parse().ok());
     let quick = std::env::var("EMBSR_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
 
     // A serving-scale vocabulary: the per-session path re-normalizes and
@@ -128,7 +147,8 @@ fn main() {
         }
     });
 
-    // 2./3. frozen tape-free path at batch sizes 1, 8, 32
+    // 2./3. frozen tape-free path at batch sizes 1, 8, 32 (simd, the
+    // serving default)
     let mut frozen_per_sec: Vec<(usize, f64)> = Vec::new();
     for &batch in &[1usize, 8, 32] {
         let per_sec = throughput(&format!("frozen_batch{batch:<2}"), n_sessions, passes, || {
@@ -139,19 +159,68 @@ fn main() {
         frozen_per_sec.push((batch, per_sec));
     }
 
-    // 4. end-to-end through the micro-batching engine
+    // 3b. tier and precision sweep on the batched frozen path: the packed
+    // (bitwise training) tier isolates the vectorized tier's multiplier,
+    // and a bf16 snapshot shows reduced precision serves at full speed
+    // from half the bytes (quantized weights are stored back as f32).
+    let mut frozen_packed = FrozenModel::freeze(Embsr::new(cfg.clone()), max_len);
+    frozen_packed.set_tier(KernelTier::Packed);
+    let packed_batch32 = throughput("frozen_batch32[packed]", n_sessions, passes, || {
+        for chunk in sessions.chunks(32) {
+            std::hint::black_box(frozen_packed.score_batch(chunk));
+        }
+    });
+    let frozen_bf16 =
+        FrozenModel::freeze_with_precision(Embsr::new(cfg.clone()), max_len, Precision::Bf16);
+    let bf16_batch32 = throughput("frozen_batch32[bf16]  ", n_sessions, passes, || {
+        for chunk in sessions.chunks(32) {
+            std::hint::black_box(frozen_bf16.score_batch(chunk));
+        }
+    });
+    let snapshot_f32_bytes = frozen.snapshot_bytes().len();
+    let snapshot_bf16_bytes = frozen_bf16.snapshot_bytes().len();
+    println!(
+        "  snapshot bytes: f32 {snapshot_f32_bytes} · bf16 {snapshot_bf16_bytes} \
+         ({:.2}× smaller)",
+        snapshot_f32_bytes as f64 / snapshot_bf16_bytes as f64
+    );
+
+    // 4. end-to-end through the micro-batching engine, packed tier first —
+    // its histograms are reset afterwards so the reported latency reflects
+    // the production (simd) configuration only.
     let engine_cfg = EngineConfig {
         workers,
         max_batch: 32,
         flush_deadline_us: 500,
         ..EngineConfig::default()
     };
+    let engine_packed_per_sec = serve(
+        &frozen_packed,
+        || Embsr::new(cfg.clone()),
+        engine_cfg,
+        |client| {
+            throughput("engine[packed]", n_sessions, passes, || {
+                for chunk in sessions.chunks(32) {
+                    std::hint::black_box(client.score(ScoreBatch {
+                        sessions: chunk.to_vec(),
+                    }));
+                }
+            })
+        },
+    );
+    for metric in [
+        METRIC_REQUEST_LATENCY_US,
+        METRIC_BATCH_SESSIONS,
+        METRIC_QUEUE_DEPTH,
+    ] {
+        embsr_obs::metrics::histogram(metric).reset();
+    }
     let engine_per_sec = serve(
         &frozen,
         || Embsr::new(cfg.clone()),
         engine_cfg,
         |client| {
-            throughput("engine      ", n_sessions, passes, || {
+            throughput("engine[simd]  ", n_sessions, passes, || {
                 for chunk in sessions.chunks(32) {
                     std::hint::black_box(client.score(ScoreBatch {
                         sessions: chunk.to_vec(),
@@ -185,22 +254,85 @@ fn main() {
             ratios.push((format!("frozen_batch{batch}"), per_sec / single_per_sec));
         }
     }
+    // Vectorized-tier multipliers: same path, same batching, only the
+    // kernel tier differs — the serving counterpart of the kernel bench's
+    // `simd_gemm_*` ratio family.
+    ratios.push((
+        "simd_frozen_batch32".to_string(),
+        frozen_per_sec[2].1 / packed_batch32,
+    ));
+    ratios.push((
+        "simd_engine".to_string(),
+        engine_per_sec / engine_packed_per_sec,
+    ));
     for (key, ratio) in &ratios {
-        println!("  speedup {key}: {ratio:.2}× over per_session");
+        let against = if key.starts_with("simd_") {
+            "over packed tier"
+        } else {
+            "over per_session"
+        };
+        println!("  speedup {key}: {ratio:.2}× {against}");
+    }
+    if let Some(reference) = reference_engine {
+        println!(
+            "  speedup engine_vs_reference: {:.2}× over pre-change engine ({reference:.1} sessions/s)",
+            engine_per_sec / reference
+        );
     }
 
     let rows: Vec<JsonValue> = [
-        ("per_session".to_string(), 1, single_per_sec),
-        ("frozen_batch1".to_string(), 1, frozen_per_sec[0].1),
-        ("frozen_batch8".to_string(), 8, frozen_per_sec[1].1),
-        ("frozen_batch32".to_string(), 32, frozen_per_sec[2].1),
-        ("engine".to_string(), 32, engine_per_sec),
+        ("per_session".to_string(), "packed", "f32", 1, single_per_sec),
+        (
+            "frozen_batch1".to_string(),
+            "simd",
+            "f32",
+            1,
+            frozen_per_sec[0].1,
+        ),
+        (
+            "frozen_batch8".to_string(),
+            "simd",
+            "f32",
+            8,
+            frozen_per_sec[1].1,
+        ),
+        (
+            "frozen_batch32".to_string(),
+            "simd",
+            "f32",
+            32,
+            frozen_per_sec[2].1,
+        ),
+        (
+            "frozen_batch32_packed".to_string(),
+            "packed",
+            "f32",
+            32,
+            packed_batch32,
+        ),
+        (
+            "frozen_batch32_bf16".to_string(),
+            "simd",
+            "bf16",
+            32,
+            bf16_batch32,
+        ),
+        (
+            "engine_packed".to_string(),
+            "packed",
+            "f32",
+            32,
+            engine_packed_per_sec,
+        ),
+        ("engine".to_string(), "simd", "f32", 32, engine_per_sec),
     ]
     .into_iter()
-    .map(|(path, batch, per_sec)| {
+    .map(|(path, tier, precision, batch, per_sec)| {
         JsonValue::object(vec![
             ("experiment", JsonValue::String("serving_bench".into())),
             ("path", JsonValue::String(path)),
+            ("tier", JsonValue::String(tier.into())),
+            ("precision", JsonValue::String(precision.into())),
             ("batch", JsonValue::Number(batch as f64)),
             ("sessions_per_sec", JsonValue::Number(per_sec)),
             (
@@ -230,6 +362,26 @@ fn main() {
             ("vocab", JsonValue::Number(vocab as f64)),
             ("dim", JsonValue::Number(dim as f64)),
             ("engine_workers", JsonValue::Number(workers as f64)),
+            (
+                "simd_lanes",
+                JsonValue::Number(embsr_tensor::kernels::simd_lanes() as f64),
+            ),
+            (
+                "snapshot_f32_bytes",
+                JsonValue::Number(snapshot_f32_bytes as f64),
+            ),
+            (
+                "snapshot_bf16_bytes",
+                JsonValue::Number(snapshot_bf16_bytes as f64),
+            ),
+            (
+                "reference_engine_per_sec",
+                reference_engine.map_or(JsonValue::Null, JsonValue::Number),
+            ),
+            (
+                "engine_vs_reference",
+                reference_engine.map_or(JsonValue::Null, |r| JsonValue::Number(engine_per_sec / r)),
+            ),
             ("latency_p50_us", JsonValue::Number(p50_us)),
             ("latency_p95_us", JsonValue::Number(p95_us)),
             ("latency_p99_us", JsonValue::Number(p99_us)),

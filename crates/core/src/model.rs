@@ -126,13 +126,18 @@ impl Embsr {
         if !self.cfg.use_op_gru {
             return Tensor::zeros(&[n, d]);
         }
-        let mut rows = Vec::with_capacity(n);
-        for step in &graph.steps {
-            let idx: Vec<usize> = step.ops.iter().map(|&o| o as usize).collect();
-            let embs = self.op_embeddings(&idx); // [k, d]
-            rows.push(self.op_gru.last_state(&embs)); // [d]
-        }
-        Tensor::stack_rows(&rows)
+        // One embedding lookup per step; the GRU batches the sub-sequences
+        // itself (lockstep under inference, per-step taped loop otherwise).
+        let embs: Vec<Tensor> = graph
+            .steps
+            .iter()
+            .map(|step| {
+                let idx: Vec<usize> = step.ops.iter().map(|&o| o as usize).collect();
+                self.op_embeddings(&idx) // [k, d]
+            })
+            .collect();
+        let refs: Vec<&Tensor> = embs.iter().collect();
+        self.op_gru.last_states(&refs) // [n, d]
     }
 
     /// Builds the constant scatter matrix `[c, E]` mapping edge messages to

@@ -368,11 +368,13 @@ fn handle_item(client: &Client<'_>, item: WorkItem, injected_delay_us: u64) {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_replica<M, F>(
     idx: usize,
     inner: Arc<Inner>,
     snapshot: Arc<Vec<f32>>,
     max_session_len: usize,
+    tier: embsr_serve::KernelTier,
     factory: Arc<F>,
     engine: EngineConfig,
     dispatchers: usize,
@@ -380,7 +382,10 @@ fn run_replica<M, F>(
     M: SessionModel,
     F: Fn() -> M + Send + Sync + 'static,
 {
-    let frozen = FrozenModel::from_snapshot(factory(), &snapshot, max_session_len);
+    // the replica (and, via `serve`, its engine workers) scores on the
+    // source model's kernel tier
+    let mut frozen = FrozenModel::from_snapshot(factory(), &snapshot, max_session_len);
+    frozen.set_tier(tier);
     let worker_factory = Arc::clone(&factory);
     serve(&frozen, move || worker_factory(), engine, |client| {
         std::thread::scope(|scope| {
@@ -639,6 +644,7 @@ impl Server {
         let factory = Arc::new(factory);
         let snapshot = Arc::new(frozen.snapshot().to_vec());
         let max_session_len = frozen.max_session_len();
+        let tier = frozen.tier();
         let mut replica_handles = Vec::with_capacity(replicas);
         for idx in 0..replicas {
             let inner_r = Arc::clone(&inner);
@@ -654,6 +660,7 @@ impl Server {
                         inner_r,
                         snapshot_r,
                         max_session_len,
+                        tier,
                         factory_r,
                         engine,
                         dispatchers,

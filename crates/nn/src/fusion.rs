@@ -46,6 +46,10 @@ impl FusionGate {
         match self.mode {
             FusionMode::Gated => {
                 let beta = self.gate.apply(&z_s.concat_cols(x_t)).sigmoid();
+                if embsr_tensor::is_inference() {
+                    // Single-pass convex blend, bitwise-identical.
+                    return embsr_tensor::gated_blend(&beta, z_s, x_t);
+                }
                 beta.mul(z_s).add(&beta.one_minus().mul(x_t))
             }
             FusionMode::Fixed(beta) => z_s.mul_scalar(beta).add(&x_t.mul_scalar(1.0 - beta)),
@@ -83,6 +87,23 @@ mod tests {
         let z = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
         let x = Tensor::from_vec(vec![9.0, 8.0, 7.0], &[3]);
         assert_close(&f.fuse(&z, &x).to_vec(), &[1.0, 2.0, 3.0], 1e-6);
+    }
+
+    #[test]
+    fn gated_inference_is_bitwise_identical_to_taped() {
+        let mut rng = Rng::seed_from_u64(41);
+        let f = FusionGate::new(7, FusionMode::Gated, &mut rng);
+        let z: Vec<f32> = (0..7).map(|_| rng.uniform_range(-1.0, 1.0)).collect();
+        let x: Vec<f32> = (0..7).map(|_| rng.uniform_range(-1.0, 1.0)).collect();
+        let z = Tensor::from_vec(z, &[7]);
+        let x = Tensor::from_vec(x, &[7]);
+        let taped: Vec<u32> = f.fuse(&z, &x).to_vec().iter().map(|v| v.to_bits()).collect();
+        let fused: Vec<u32> = embsr_tensor::inference_mode(|| f.fuse(&z, &x))
+            .to_vec()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(taped, fused);
     }
 
     #[test]

@@ -52,6 +52,25 @@ impl GgnnCell {
         assert_eq!(agg.cols(), 2 * self.dim, "aggregate must be [c, 2d]");
         assert_eq!(prev.cols(), self.dim, "prev must be [c, d]");
         assert_eq!(agg.rows(), prev.rows(), "node count mismatch");
+        if embsr_tensor::is_inference() {
+            // Two fused passes instead of ~eleven taped elementwise ops; the
+            // six GEMMs are unchanged. Bitwise-identical to the chain below
+            // (split where r ⊙ e feeds the candidate GEMM), so inference-mode
+            // dispatch changes no observable bits.
+            let (z, rp) = embsr_tensor::gated_update_gates(
+                &agg.matmul(&self.w_z),
+                &prev.matmul(&self.u_z),
+                &agg.matmul(&self.w_r),
+                &prev.matmul(&self.u_r),
+                prev,
+            );
+            return embsr_tensor::gated_update_combine(
+                &agg.matmul(&self.w_u),
+                &rp.matmul(&self.u_u),
+                &z,
+                prev,
+            );
+        }
         let z = agg.matmul(&self.w_z).add(&prev.matmul(&self.u_z)).sigmoid();
         let r = agg.matmul(&self.w_r).add(&prev.matmul(&self.u_r)).sigmoid();
         let cand = agg
@@ -117,6 +136,25 @@ mod tests {
     fn row_mismatch_rejected() {
         let cell = GgnnCell::new(2, &mut Rng::seed_from_u64(3));
         let _ = cell.update(&Tensor::zeros(&[2, 4]), &Tensor::zeros(&[3, 2]));
+    }
+
+    #[test]
+    fn inference_update_is_bitwise_identical_to_taped_update() {
+        let mut rng = Rng::seed_from_u64(11);
+        for &(c, d) in &[(1usize, 2usize), (5, 8), (9, 33)] {
+            let cell = GgnnCell::new(d, &mut rng);
+            let agg: Vec<f32> = (0..c * 2 * d).map(|_| rng.uniform_range(-1.5, 1.5)).collect();
+            let prev: Vec<f32> = (0..c * d).map(|_| rng.uniform_range(-1.0, 1.0)).collect();
+            let agg = Tensor::from_vec(agg, &[c, 2 * d]);
+            let prev = Tensor::from_vec(prev, &[c, d]);
+            let taped: Vec<u32> = cell.update(&agg, &prev).to_vec().iter().map(|v| v.to_bits()).collect();
+            let fused: Vec<u32> = embsr_tensor::inference_mode(|| cell.update(&agg, &prev))
+                .to_vec()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            assert_eq!(taped, fused, "diverged at (c={c}, d={d})");
+        }
     }
 
     #[test]

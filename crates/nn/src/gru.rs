@@ -73,21 +73,111 @@ impl Gru {
     /// as part of the whole `[t, hidden]` product, so results are bitwise
     /// unchanged.
     fn step_projected(&self, gx_r: &Tensor, gx_z: &Tensor, gx_n: &Tensor, h: &Tensor) -> Tensor {
-        let r = gx_r.add(&h.matmul(&self.u_r)).add(&self.b_r).sigmoid();
-        let z = gx_z.add(&h.matmul(&self.u_z)).add(&self.b_z).sigmoid();
-        let n = gx_n
-            .add(&r.mul(&h.matmul(&self.u_n)))
-            .add(&self.b_n)
-            .tanh();
+        let hu_r = h.matmul(&self.u_r);
+        let hu_z = h.matmul(&self.u_z);
+        let hu_n = h.matmul(&self.u_n);
+        if embsr_tensor::is_inference() {
+            // One pass over the state instead of ~ten taped elementwise ops.
+            // Bitwise-identical to the chain below (same scalar expressions,
+            // same rounding order), so dispatching on inference mode alone —
+            // including the trainer's eval loop — changes no observable bits.
+            return embsr_tensor::gru_step_fused(
+                gx_r, gx_z, gx_n, &hu_r, &hu_z, &hu_n, &self.b_r, &self.b_z, &self.b_n, h,
+            );
+        }
+        let r = gx_r.add(&hu_r).add(&self.b_r).sigmoid();
+        let z = gx_z.add(&hu_z).add(&self.b_z).sigmoid();
+        let n = gx_n.add(&r.mul(&hu_n)).add(&self.b_n).tanh();
         z.one_minus().mul(&n).add(&z.mul(h))
     }
 
     /// Runs the GRU over the sequence and returns only the final hidden
     /// state `[hidden]` — `h̃^i = h̃^i_k` in the paper.
     pub fn last_state(&self, xs: &Tensor) -> Tensor {
+        if embsr_tensor::is_inference() {
+            // Serving calls this once per micro-op sub-sequence; keeping only
+            // the running state skips the per-step clone and the final concat
+            // of `forward`. The last row of the concatenated states IS the
+            // final state, so the output bits are unchanged.
+            let t = xs.rows();
+            assert!(t > 0, "GRU over empty sequence");
+            let gx_r = xs.matmul(&self.w_r);
+            let gx_z = xs.matmul(&self.w_z);
+            let gx_n = xs.matmul(&self.w_n);
+            let mut h = Tensor::zeros(&[1, self.hidden]);
+            for i in 0..t {
+                h = self.step_projected(
+                    &gx_r.slice_rows(i, i + 1),
+                    &gx_z.slice_rows(i, i + 1),
+                    &gx_n.slice_rows(i, i + 1),
+                    &h,
+                );
+            }
+            return h.reshape(&[self.hidden]);
+        }
         let all = self.apply(xs);
         let t = all.rows();
         all.slice_rows(t - 1, t).reshape(&[self.hidden])
+    }
+
+    /// Final hidden state of several independent sequences, stacked as rows
+    /// of `[n, hidden]` in input order.
+    ///
+    /// Under the tape this is literally `last_state` per sequence plus a
+    /// `stack_rows`. Under inference mode the sequences advance in lockstep
+    /// instead: one `[Σtᵢ, input]` GEMM per gate for all input projections,
+    /// then per time step one `[n, hidden]`-shaped recurrent GEMM per gate
+    /// and one masked fused gate pass, with exhausted sequences carrying
+    /// their state through unchanged. A GEMM output row is the same
+    /// k-sequential reduction whatever the row count of the product, and the
+    /// masked fused step computes the exact single-row chain per active row,
+    /// so the batched path is bitwise-identical to the sequential one — it
+    /// just replaces `3·Σtᵢ` one-row GEMM dispatches with `3·(1 + max tᵢ)`
+    /// batch-shaped ones, which is where the serving time went.
+    pub fn last_states(&self, seqs: &[&Tensor]) -> Tensor {
+        assert!(!seqs.is_empty(), "GRU over an empty batch");
+        if !embsr_tensor::is_inference() || seqs.len() == 1 {
+            let rows: Vec<Tensor> = seqs.iter().map(|xs| self.last_state(xs)).collect();
+            return Tensor::stack_rows(&rows);
+        }
+        let n = seqs.len();
+        let lens: Vec<usize> = seqs.iter().map(|xs| xs.rows()).collect();
+        assert!(lens.iter().all(|&k| k > 0), "GRU over empty sequence");
+        let kmax = lens.iter().copied().fold(0, usize::max);
+        let mut offsets = Vec::with_capacity(n);
+        let mut total = 0usize;
+        for &k in &lens {
+            offsets.push(total);
+            total += k;
+        }
+        let flat = Tensor::concat_rows(&seqs.iter().map(|&x| x.clone()).collect::<Vec<_>>());
+        let gx_r = flat.matmul(&self.w_r); // [Σt, hidden]
+        let gx_z = flat.matmul(&self.w_z);
+        let gx_n = flat.matmul(&self.w_n);
+        let mut h = Tensor::zeros(&[n, self.hidden]);
+        for j in 0..kmax {
+            // Exhausted rows gather their last element again; the masked
+            // step ignores everything but their previous state.
+            let idx: Vec<usize> = (0..n).map(|i| offsets[i] + j.min(lens[i] - 1)).collect();
+            let active: Vec<bool> = lens.iter().map(|&k| j < k).collect();
+            let hu_r = h.matmul(&self.u_r);
+            let hu_z = h.matmul(&self.u_z);
+            let hu_n = h.matmul(&self.u_n);
+            h = embsr_tensor::gru_step_fused_masked(
+                &gx_r.gather_rows(&idx),
+                &gx_z.gather_rows(&idx),
+                &gx_n.gather_rows(&idx),
+                &hu_r,
+                &hu_z,
+                &hu_n,
+                &self.b_r,
+                &self.b_z,
+                &self.b_n,
+                &h,
+                &active,
+            );
+        }
+        h
     }
 }
 
@@ -170,6 +260,46 @@ mod tests {
     fn empty_sequence_rejected() {
         let g = Gru::new(2, 2, &mut Rng::seed_from_u64(3));
         let _ = g.apply(&Tensor::zeros(&[0, 2]));
+    }
+
+    #[test]
+    fn inference_path_is_bitwise_identical_to_taped_path() {
+        // The fused gate op and the state-only loop must reproduce the taped
+        // chain bit for bit — this is what lets serving (and the trainer's
+        // eval loop) dispatch on inference mode without an epsilon contract.
+        // Perturb the parameters away from init first so the zero biases
+        // don't mask a broken bias add.
+        let mut rng = embsr_tensor::Rng::seed_from_u64(9);
+        for &(t, input, hidden) in &[(1usize, 3usize, 4usize), (5, 8, 16), (7, 12, 33)] {
+            let g = Gru::new(input, hidden, &mut rng);
+            let mut opt = Adam::new(
+                g.parameters(),
+                AdamConfig {
+                    lr: 0.1,
+                    ..Default::default()
+                },
+            );
+            let warm: Vec<f32> = (0..t * input).map(|_| rng.uniform_range(-1.0, 1.0)).collect();
+            let warm = Tensor::from_vec(warm, &[t, input]);
+            for _ in 0..3 {
+                opt.zero_grad();
+                g.last_state(&warm).square().sum().backward();
+                opt.step();
+            }
+            // b_z, not b_r: with h₀ = 0 and t = 1 the reset gate only acts
+            // through r ⊙ (h·U_n) = 0, so b_r legitimately gets no gradient.
+            assert!(g.b_z.to_vec().iter().any(|&b| b != 0.0), "biases still zero");
+
+            let data: Vec<f32> = (0..t * input).map(|_| rng.uniform_range(-1.5, 1.5)).collect();
+            let xs = Tensor::from_vec(data, &[t, input]);
+            let taped: Vec<u32> = g.last_state(&xs).to_vec().iter().map(|v| v.to_bits()).collect();
+            let fused: Vec<u32> = embsr_tensor::inference_mode(|| g.last_state(&xs))
+                .to_vec()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            assert_eq!(taped, fused, "diverged at (t={t}, input={input}, hidden={hidden})");
+        }
     }
 
     #[test]

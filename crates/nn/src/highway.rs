@@ -25,6 +25,10 @@ impl Highway {
     pub fn blend(&self, before: &Tensor, after: &Tensor) -> Tensor {
         assert_eq!(before.shape(), after.shape(), "highway shape mismatch");
         let g = self.gate.apply(&before.concat_cols(after)).sigmoid();
+        if embsr_tensor::is_inference() {
+            // Single-pass convex blend, bitwise-identical to the chain below.
+            return embsr_tensor::gated_blend(&g, before, after);
+        }
         g.mul(before).add(&g.one_minus().mul(after))
     }
 }
@@ -39,6 +43,23 @@ impl Module for Highway {
 mod tests {
     use super::*;
     use embsr_tensor::testing::assert_close;
+
+    #[test]
+    fn inference_blend_is_bitwise_identical_to_taped_blend() {
+        let mut rng = Rng::seed_from_u64(31);
+        let h = Highway::new(5, &mut rng);
+        let a: Vec<f32> = (0..4 * 5).map(|_| rng.uniform_range(-1.0, 1.0)).collect();
+        let b: Vec<f32> = (0..4 * 5).map(|_| rng.uniform_range(-1.0, 1.0)).collect();
+        let a = Tensor::from_vec(a, &[4, 5]);
+        let b = Tensor::from_vec(b, &[4, 5]);
+        let taped: Vec<u32> = h.blend(&a, &b).to_vec().iter().map(|v| v.to_bits()).collect();
+        let fused: Vec<u32> = embsr_tensor::inference_mode(|| h.blend(&a, &b))
+            .to_vec()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(taped, fused);
+    }
 
     #[test]
     fn equal_inputs_pass_through() {

@@ -33,17 +33,23 @@ impl NormalizedScorer {
     /// (`[B, d]`) against the item table `items` (`[|V|, d]`), producing one
     /// logit row per session (`[B, |V|]`).
     ///
-    /// The item table is normalized and transposed **once per batch** rather
-    /// than once per session — this amortization is where batched serving
-    /// gets most of its throughput. Each output row is bitwise-identical to
-    /// the corresponding single-session [`Self::logits`] call because row
-    /// normalization and matmul rows are computed independently in the same
-    /// element order.
+    /// The item table is normalized **once per batch** rather than once per
+    /// session — this amortization is where batched serving gets most of its
+    /// throughput. Each output row is bitwise-identical to the corresponding
+    /// single-session [`Self::logits`] call because row normalization and
+    /// matmul rows are computed independently in the same element order.
+    ///
+    /// Two fusions keep the hot path lean, both bitwise-identical to the
+    /// ops they replace (see `embsr_tensor::ops::fused` / `matmul_nt`):
+    /// the session side normalizes and scales in one pass, and the logits
+    /// GEMM consumes the normalized item table in row-major form directly —
+    /// the `A·Bᵀ` kernel transpose-packs panels on the fly, so the old
+    /// per-call `[|V|,d]` transpose materialization is gone.
     pub fn logits_rows(&self, ms: &Tensor, items: &Tensor) -> Tensor {
         assert_eq!(items.cols(), ms.cols(), "item table dim mismatch");
-        let m_hat = ms.l2_normalize_rows(1e-12).mul_scalar(self.w_k); // [B, d]
+        let m_hat = ms.normalize_scale_rows(1e-12, self.w_k); // [B, d]
         let v_hat = items.l2_normalize_rows(1e-12); // [|V|, d]
-        m_hat.matmul(&v_hat.transpose())
+        m_hat.matmul_nt(&v_hat)
     }
 }
 

@@ -44,6 +44,12 @@ impl StarGate {
             .matmul(&ks.transpose())
             .mul_scalar(1.0 / (self.dim as f32).sqrt())
             .sigmoid(); // [c, 1]
+        if embsr_tensor::is_inference() {
+            // Reads α_i and star_j in place instead of materializing both as
+            // [c, d] through rank-one GEMMs; bitwise-identical (see
+            // `star_blend`).
+            return embsr_tensor::star_blend(&alpha, satellites, star);
+        }
         // broadcast α across columns
         let alpha_full = alpha.matmul(&Tensor::ones(&[1, self.dim])); // [c, d]
         let star_rows = Tensor::ones(&[c, 1]).matmul(&star.reshape(&[1, self.dim]));
@@ -105,6 +111,28 @@ impl Module for StarAttention {
 mod tests {
     use super::*;
     use embsr_tensor::testing::assert_close;
+
+    #[test]
+    fn inference_blend_is_bitwise_identical_to_taped_blend() {
+        let mut rng = Rng::seed_from_u64(21);
+        let g = StarGate::new(6, &mut rng);
+        let sats: Vec<f32> = (0..5 * 6).map(|_| rng.uniform_range(-1.0, 1.0)).collect();
+        let star: Vec<f32> = (0..6).map(|_| rng.uniform_range(-1.0, 1.0)).collect();
+        let sats = Tensor::from_vec(sats, &[5, 6]);
+        let star = Tensor::from_vec(star, &[6]);
+        let taped: Vec<u32> = g
+            .propagate(&sats, &star)
+            .to_vec()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let fused: Vec<u32> = embsr_tensor::inference_mode(|| g.propagate(&sats, &star))
+            .to_vec()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(taped, fused);
+    }
 
     #[test]
     fn star_gate_output_shape() {

@@ -85,6 +85,19 @@ pub struct RunManifest {
     /// Git commit the binary was built from (see [`git_revision`]);
     /// `"unknown"` or `""` when not recorded.
     pub git_revision: String,
+    /// Kernel tier the run's inference used (`"scalar"` / `"packed"` /
+    /// `"simd"`, as named by `embsr_tensor::kernels::KernelTier`); `""`
+    /// when not recorded. Filled by the caller — this crate sits below the
+    /// tensor layer and cannot detect the tier itself.
+    pub kernel_tier: String,
+    /// Detected f32 SIMD lane width of the build target
+    /// (`embsr_tensor::kernels::simd_lanes`): 16 under AVX-512, 8 under
+    /// AVX, 4 under SSE2/NEON, 1 scalar; `0` when not recorded.
+    pub simd_lanes: usize,
+    /// Frozen-snapshot weight precision served (`"f32"` / `"f16"` /
+    /// `"bf16"`, as named by `embsr_serve::Precision`); `""` when not
+    /// recorded or when the run never froze a model.
+    pub snapshot_precision: String,
     pub metrics: Vec<MetricRecord>,
 }
 
@@ -231,6 +244,9 @@ impl RunManifest {
             ),
             ("cores_available", self.cores_available.into()),
             ("git_revision", self.git_revision.as_str().into()),
+            ("kernel_tier", self.kernel_tier.as_str().into()),
+            ("simd_lanes", self.simd_lanes.into()),
+            ("snapshot_precision", self.snapshot_precision.as_str().into()),
             (
                 "metrics",
                 JsonValue::Array(
@@ -312,6 +328,12 @@ impl RunManifest {
                 if n.is_nan() { 0 } else { n as usize }
             },
             git_revision: text(v.get("git_revision")),
+            kernel_tier: text(v.get("kernel_tier")),
+            simd_lanes: {
+                let n = num(v.get("simd_lanes"));
+                if n.is_nan() { 0 } else { n as usize }
+            },
+            snapshot_precision: text(v.get("snapshot_precision")),
             metrics,
         })
     }
@@ -404,6 +426,9 @@ mod tests {
             throughput_examples_per_sec: 2400.0,
             cores_available: 8,
             git_revision: "0123abcd".into(),
+            kernel_tier: "simd".into(),
+            simd_lanes: 8,
+            snapshot_precision: "bf16".into(),
             metrics: vec![
                 MetricRecord {
                     name: "H@5".into(),

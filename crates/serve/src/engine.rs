@@ -404,6 +404,7 @@ where
     let _engine_span = embsr_obs::span("embsr_serve", "serve");
     let snapshot = frozen.snapshot().to_vec();
     let max_session_len = frozen.max_session_len();
+    let tier = frozen.tier();
     let shared = Shared {
         queue: Mutex::new(VecDeque::new()),
         arrivals: Condvar::new(),
@@ -412,7 +413,11 @@ where
     run_with_workers(
         cfg.workers.max(1),
         |_worker_id| {
-            let replica = FrozenModel::from_snapshot(factory(), &snapshot, max_session_len);
+            // replicas score on the master's kernel tier (snapshots are
+            // already quantized, so weights match the master bitwise)
+            let mut replica = FrozenModel::from_snapshot(factory(), &snapshot, max_session_len);
+            replica.set_tier(tier);
+            let replica = replica;
             while let Some(batch) = next_batch(&shared, &cfg) {
                 let tracing = trace::active();
                 let drained_us = if tracing { trace::now_us() } else { 0 };

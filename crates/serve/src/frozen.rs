@@ -1,15 +1,32 @@
 //! Frozen model snapshots for inference.
 
+use std::io;
+use std::path::Path;
+
 use embsr_sessions::Session;
+use embsr_tensor::kernels::{self, KernelTier};
 use embsr_tensor::{export_params, import_params, inference_mode};
 use embsr_train::{truncate_session, SessionModel};
 
 use crate::api::{top_k_of_row, ScoredItem};
+use crate::snapshot::{self, Precision};
 
 /// A [`SessionModel`] frozen for serving: the weights are captured as a flat
 /// `f32` snapshot (via `export_params`) and every forward runs tape-free
 /// inside [`inference_mode`], so scoring records no autograd graph and
 /// recycles activations through the tensor buffer pool.
+///
+/// Serving runs on the vectorized kernel tier by default
+/// ([`KernelTier::Simd`]): scores are epsilon-close to the scalar-reference
+/// training numerics and deterministic for a given build, but not bitwise
+/// equal to the taped path. Call [`FrozenModel::set_tier`] with
+/// [`KernelTier::Packed`] to recover the bitwise contract (the packed tier is
+/// pinned to the scalar reference).
+///
+/// Freezing can also quantize weights to f16/bf16
+/// ([`FrozenModel::freeze_with_precision`]): the rounding happens **once**,
+/// at freeze — the frozen model serves the quantized values, so replicas
+/// rebuilt from the snapshot anywhere are bitwise-identical to the master.
 ///
 /// The snapshot is plain `Send + Sync` data; worker threads replicate the
 /// model by constructing a fresh instance and calling
@@ -19,19 +36,36 @@ pub struct FrozenModel<M: SessionModel> {
     model: M,
     snapshot: Vec<f32>,
     max_session_len: usize,
+    tier: KernelTier,
+    precision: Precision,
 }
 
 impl<M: SessionModel> FrozenModel<M> {
-    /// Freezes `model` as-is, capturing its current weights. Sessions longer
-    /// than `max_session_len` micro-behaviors are truncated to their suffix
-    /// before scoring, matching the training-time protocol.
+    /// Freezes `model` as-is, capturing its current weights at full `f32`
+    /// precision. Sessions longer than `max_session_len` micro-behaviors are
+    /// truncated to their suffix before scoring, matching the training-time
+    /// protocol.
     pub fn freeze(model: M, max_session_len: usize) -> Self {
+        Self::freeze_with_precision(model, max_session_len, Precision::F32)
+    }
+
+    /// Freezes `model`, rounding every weight to the `precision` grid. For
+    /// [`Precision::F16`] / [`Precision::Bf16`] the snapshot serializes at
+    /// half the size ([`FrozenModel::snapshot_bytes`]) and the model's
+    /// working weights **are** the quantized values — the precision loss
+    /// happens here, exactly once, never again per snapshot hop.
+    pub fn freeze_with_precision(model: M, max_session_len: usize, precision: Precision) -> Self {
         let _span = embsr_obs::span("embsr_serve", "freeze");
-        let snapshot = export_params(&model.parameters());
+        let snapshot = snapshot::quantize_weights(&export_params(&model.parameters()), precision);
+        if precision != Precision::F32 {
+            import_params(&model.parameters(), &snapshot);
+        }
         FrozenModel {
             model,
             snapshot,
             max_session_len,
+            tier: KernelTier::Simd,
+            precision,
         }
     }
 
@@ -45,10 +79,69 @@ impl<M: SessionModel> FrozenModel<M> {
             model,
             snapshot: snapshot.to_vec(),
             max_session_len,
+            tier: KernelTier::Simd,
+            precision: Precision::F32,
         }
     }
 
+    /// Rebuilds a frozen replica from serialized `EMBSRSNP` bytes
+    /// ([`FrozenModel::snapshot_bytes`]), restoring the stored horizon and
+    /// precision. This is the wire format: reduced-precision snapshots ship
+    /// at half the bytes and decode to the exact quantized weights the
+    /// master serves.
+    ///
+    /// # Errors
+    /// Fails on malformed bytes or a weight count that does not match the
+    /// model's parameter layout.
+    pub fn from_snapshot_bytes(model: M, bytes: &[u8]) -> io::Result<Self> {
+        let _span = embsr_obs::span("embsr_serve", "from_snapshot_bytes");
+        let dec = snapshot::decode_snapshot(bytes)?;
+        let expected: usize = model.parameters().iter().map(|p| p.len()).sum();
+        if dec.weights.len() != expected {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "snapshot has {} weights, model expects {expected}",
+                    dec.weights.len()
+                ),
+            ));
+        }
+        let mut frozen = Self::from_snapshot(model, &dec.weights, dec.max_session_len);
+        frozen.precision = dec.precision;
+        Ok(frozen)
+    }
+
+    /// Serializes the frozen model to `EMBSRSNP` bytes at its freeze
+    /// precision (reduced precisions re-narrow losslessly — the working
+    /// weights already sit on the grid).
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let _span = embsr_obs::span("embsr_serve", "snapshot_bytes");
+        snapshot::encode_snapshot(&self.snapshot, self.max_session_len, self.precision)
+    }
+
+    /// Writes the serialized snapshot to `path`.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let _span = embsr_obs::span("embsr_serve", "save");
+        snapshot::save_snapshot(path, &self.snapshot, self.max_session_len, self.precision)
+    }
+
+    /// Loads a snapshot saved by [`FrozenModel::save`] into a fresh,
+    /// architecturally identical model.
+    ///
+    /// # Errors
+    /// Fails on I/O errors, malformed bytes, or a layout mismatch.
+    pub fn load(model: M, path: &Path) -> io::Result<Self> {
+        let _span = embsr_obs::span("embsr_serve", "load");
+        let dec = snapshot::load_snapshot(path)?;
+        Self::from_snapshot_bytes(
+            model,
+            &snapshot::encode_snapshot(&dec.weights, dec.max_session_len, dec.precision),
+        )
+    }
+
     /// The flat weight snapshot (feed to [`FrozenModel::from_snapshot`]).
+    /// For reduced-precision freezes these are the quantized values widened
+    /// to `f32`.
     pub fn snapshot(&self) -> &[f32] {
         &self.snapshot
     }
@@ -56,6 +149,24 @@ impl<M: SessionModel> FrozenModel<M> {
     /// The session-truncation horizon.
     pub fn max_session_len(&self) -> usize {
         self.max_session_len
+    }
+
+    /// The kernel tier scoring runs under ([`KernelTier::Simd`] by default).
+    pub fn tier(&self) -> KernelTier {
+        self.tier
+    }
+
+    /// Selects the kernel tier for scoring. [`KernelTier::Packed`] restores
+    /// bitwise equality with the taped training forward; [`KernelTier::Simd`]
+    /// (the default) trades that for vectorized throughput while staying
+    /// epsilon-equivalent and rank-preserving.
+    pub fn set_tier(&mut self, tier: KernelTier) {
+        self.tier = tier;
+    }
+
+    /// The precision the weights were frozen at.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// Model name.
@@ -80,16 +191,19 @@ impl<M: SessionModel> FrozenModel<M> {
         let _span =
             embsr_obs::span("embsr_serve", "score").with_close_level(embsr_obs::Level::Trace);
         let truncated = truncate_session(session, self.max_session_len);
-        inference_mode(|| self.model.logits_infer(&truncated)).to_vec()
+        kernels::with_tier(self.tier, || {
+            inference_mode(|| self.model.logits_infer(&truncated)).to_vec()
+        })
     }
 
     /// Scores the full vocabulary for a batch of sessions, tape-free and
     /// batched: one `num_items`-length row per session, in input order.
     ///
-    /// Row `i` is bitwise-equal to `self.score(&sessions[i])` — the batched
-    /// forward shares the item-table pass across the batch but computes each
-    /// row with the same sequential dot products as the per-session path.
-    /// Empty sessions get an empty row, like [`FrozenModel::score`].
+    /// Row `i` is bitwise-equal to `self.score(&sessions[i])` **at the same
+    /// tier** — the batched forward shares the item-table pass across the
+    /// batch but computes each row with the same per-row reduction order as
+    /// the per-session path. Empty sessions get an empty row, like
+    /// [`FrozenModel::score`].
     pub fn score_batch(&self, sessions: &[Session]) -> Vec<Vec<f32>> {
         let _span = embsr_obs::span("embsr_serve", "score_batch")
             .with_close_level(embsr_obs::Level::Trace);
@@ -102,7 +216,8 @@ impl<M: SessionModel> FrozenModel<M> {
             return sessions.iter().map(|_| Vec::new()).collect();
         }
         let refs: Vec<&Session> = truncated.iter().collect();
-        let logits = inference_mode(|| self.model.logits_batch(&refs));
+        let logits =
+            kernels::with_tier(self.tier, || inference_mode(|| self.model.logits_batch(&refs)));
         let v = self.model.num_items();
         assert_eq!(logits.rows(), refs.len(), "one logit row per session");
         assert_eq!(logits.cols(), v, "full-vocabulary rows");
@@ -145,6 +260,8 @@ mod tests {
         let s = sess(&[1, 3]);
         assert_eq!(frozen.score(&s), replica.score(&s));
         assert_eq!(frozen.num_items(), 6);
+        assert_eq!(frozen.tier(), KernelTier::Simd);
+        assert_eq!(frozen.precision(), Precision::F32);
     }
 
     #[test]
@@ -188,5 +305,67 @@ mod tests {
         let long = sess(&[3, 3, 3, 1, 2]);
         let short = sess(&[1, 2]);
         assert_eq!(frozen.score(&long), frozen.score(&short));
+    }
+
+    #[test]
+    fn tier_override_changes_dispatch_not_ranking() {
+        let mut packed = FrozenModel::freeze(ToyModel::new(16, 9), 32);
+        packed.set_tier(KernelTier::Packed);
+        let simd = FrozenModel::freeze(ToyModel::new(16, 9), 32);
+        let s = sess(&[3, 1, 4, 1, 5]);
+        let a = packed.score(&s);
+        let b = simd.score(&s);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() <= 1e-5, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn reduced_precision_freeze_serves_quantized_weights() {
+        for p in [Precision::F16, Precision::Bf16] {
+            let frozen = FrozenModel::freeze_with_precision(ToyModel::new(6, 7), 32, p);
+            assert_eq!(frozen.precision(), p);
+            // working weights == snapshot (the quantized grid), so a replica
+            // rebuilt from the f32 snapshot scores bitwise-identically
+            let replica = FrozenModel::from_snapshot(ToyModel::new(6, 99), frozen.snapshot(), 32);
+            let s = sess(&[1, 3, 2]);
+            assert_eq!(frozen.score(&s), replica.score(&s));
+        }
+    }
+
+    #[test]
+    fn snapshot_bytes_round_trip_preserves_scores_and_size() {
+        // big enough that the 29-byte header doesn't mask the 2× payload
+        let full = FrozenModel::freeze(ToyModel::new(64, 7), 16);
+        let half = FrozenModel::freeze_with_precision(ToyModel::new(64, 7), 16, Precision::F16);
+        let full_bytes = full.snapshot_bytes();
+        let half_bytes = half.snapshot_bytes();
+        assert!(
+            (full_bytes.len() as f64 / half_bytes.len() as f64) > 1.9,
+            "{} vs {}",
+            full_bytes.len(),
+            half_bytes.len()
+        );
+        let replica = FrozenModel::from_snapshot_bytes(ToyModel::new(64, 99), &half_bytes).unwrap();
+        assert_eq!(replica.precision(), Precision::F16);
+        assert_eq!(replica.max_session_len(), 16);
+        let s = sess(&[4, 2]);
+        assert_eq!(half.score(&s), replica.score(&s));
+        // layout mismatch is rejected, not mis-imported
+        assert!(FrozenModel::from_snapshot_bytes(ToyModel::new(7, 0), &half_bytes).is_err());
+    }
+
+    #[test]
+    fn save_load_round_trips_through_disk() {
+        let frozen =
+            FrozenModel::freeze_with_precision(ToyModel::new(5, 11), 8, Precision::Bf16);
+        let path = std::env::temp_dir().join(format!("embsr_frozen_{}.snp", std::process::id()));
+        frozen.save(&path).unwrap();
+        let loaded = FrozenModel::load(ToyModel::new(5, 0), &path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.precision(), Precision::Bf16);
+        assert_eq!(loaded.max_session_len(), 8);
+        let s = sess(&[1, 4]);
+        assert_eq!(frozen.score(&s), loaded.score(&s));
     }
 }

@@ -19,13 +19,18 @@
 //!   span tree (`score_request` → `queue_wait` / `batch_assembly` /
 //!   `scoring`, plus `top_k` selection).
 //!
-//! The batched path is held to **bitwise equality** with the per-session
-//! taped path (`tests/serving_equivalence.rs`): GEMM rows are independent
-//! sequential dot products, so batching changes throughput, never scores.
+//! Serving defaults to the **vectorized kernel tier** with optional
+//! f16/bf16 frozen snapshots ([`snapshot`]). The equivalence contract is
+//! tiered (`tests/serving_equivalence.rs`): batched-vs-single stays
+//! **bitwise** within any tier (GEMM rows are independent reductions, so
+//! batching changes throughput, never scores); the packed tier stays
+//! bitwise with the taped training path; the vectorized tier and reduced
+//! precisions are epsilon-gated with **exact Hit@20/MRR@20 identity**.
 
 mod api;
 mod engine;
 mod frozen;
+pub mod snapshot;
 
 pub use api::{top_k_of_row, ScoreBatch, ScoreResponse, ScoredItem, TopK, TopKResponse};
 pub use engine::{
@@ -34,6 +39,9 @@ pub use engine::{
     METRIC_SESSIONS_SCORED,
 };
 pub use frozen::FrozenModel;
+pub use snapshot::Precision;
+// downstream crates (embsr-net) pick tiers without a direct tensor edge
+pub use embsr_tensor::kernels::KernelTier;
 
 #[cfg(test)]
 pub(crate) mod testing {

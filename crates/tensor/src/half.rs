@@ -1,0 +1,307 @@
+//! In-tree IEEE-754 binary16 (f16) and bfloat16 bit conversions.
+//!
+//! The serving layer stores `FrozenModel` weights in reduced precision to
+//! halve snapshot size and wire traffic; the pack/decode layer widens them
+//! back to `f32` before any arithmetic, so kernels never see half floats.
+//! Rust has no stable half types and the workspace takes no external crates,
+//! so the conversions live here as pure bit manipulation.
+//!
+//! Contracts (asserted exhaustively over all 65 536 bit patterns in tests):
+//!
+//! * **Decode is exact**: every f16/bf16 value is exactly representable in
+//!   `f32`, so `decode` introduces no error.
+//! * **Encode rounds to nearest, ties to even** — the same rounding the
+//!   hardware would use — with overflow to infinity and every NaN collapsed
+//!   to the canonical quiet NaN of the target format (sign preserved).
+//! * **Idempotence**: `encode(decode(bits)) == bits` for every non-NaN
+//!   pattern. This is what makes reduced-precision replicas bitwise
+//!   reproducible: a snapshot decoded, re-encoded and shipped again is
+//!   byte-identical.
+//! * **Monotonicity**: encoding preserves `<=` ordering of finite floats,
+//!   so reduced-precision scores cannot invert a ranking that survives the
+//!   quantization step.
+
+/// Shifts `value` right by `shift` bits, rounding to nearest, ties to even.
+fn round_shift_rne(value: u32, shift: u32) -> u32 {
+    if shift == 0 {
+        return value;
+    }
+    if shift > 31 {
+        return 0;
+    }
+    let kept = value >> shift;
+    let round_bit = (value >> (shift - 1)) & 1;
+    let sticky = value & ((1u32 << (shift - 1)) - 1);
+    if round_bit == 1 && (sticky != 0 || (kept & 1) == 1) {
+        kept + 1
+    } else {
+        kept
+    }
+}
+
+/// Encodes an `f32` as IEEE binary16 bits (round-to-nearest-even, overflow
+/// to infinity, NaN canonicalized to `0x7E00`/`0xFE00`).
+pub fn f32_to_f16_bits(value: f32) -> u16 {
+    let bits = value.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp32 = ((bits >> 23) & 0xFF) as i32;
+    let man32 = bits & 0x007F_FFFF;
+    if exp32 == 0xFF {
+        return if man32 == 0 { sign | 0x7C00 } else { sign | 0x7E00 };
+    }
+    if exp32 == 0 {
+        // f32 subnormals are below 2^-126, far under the smallest f16
+        // subnormal (2^-24): all round to (signed) zero.
+        return sign;
+    }
+    let e = exp32 - 127 + 15; // f16-biased exponent
+    if e >= 31 {
+        return sign | 0x7C00; // magnitude ≥ 2^16: overflow to infinity
+    }
+    let half = if e <= 0 {
+        // Subnormal f16: restore the implicit leading 1 and shift it below
+        // the 10-bit mantissa. A round-up that carries into bit 10 lands on
+        // the smallest normal, which is exactly right.
+        let m = man32 | 0x0080_0000;
+        round_shift_rne(m, (14 - e) as u32)
+    } else {
+        // Normal: drop 13 mantissa bits with RNE; a mantissa carry
+        // propagates into the exponent (including up to infinity at e=30).
+        ((e as u32) << 10) + round_shift_rne(man32, 13)
+    };
+    sign | (half as u16)
+}
+
+/// Decodes IEEE binary16 bits to `f32` (exact).
+pub fn f16_bits_to_f32(bits: u16) -> f32 {
+    let sign = ((bits & 0x8000) as u32) << 16;
+    let exp = ((bits >> 10) & 0x1F) as u32;
+    let man = (bits & 0x3FF) as u32;
+    if exp == 0 {
+        if man == 0 {
+            return f32::from_bits(sign);
+        }
+        // Subnormal: man · 2^-24, exact as an f32 product of an integer and
+        // a power of two.
+        let v = (man as f32) * f32::from_bits(0x3380_0000); // 2^-24
+        return if sign != 0 { -v } else { v };
+    }
+    if exp == 31 {
+        return f32::from_bits(sign | 0x7F80_0000 | (man << 13));
+    }
+    f32::from_bits(sign | ((exp + 112) << 23) | (man << 13))
+}
+
+/// Encodes an `f32` as bfloat16 bits (round-to-nearest-even, overflow to
+/// infinity, NaN canonicalized with the quiet bit set).
+pub fn f32_to_bf16_bits(value: f32) -> u16 {
+    let bits = value.to_bits();
+    if value.is_nan() {
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        return sign | 0x7FC0;
+    }
+    // bf16 is the top 16 bits of f32; RNE on the dropped half via the
+    // add-then-truncate trick (the `(bits >> 16) & 1` term breaks ties to
+    // even). Finite overflow naturally lands on the infinity pattern.
+    let rounded = bits.wrapping_add(0x7FFF + ((bits >> 16) & 1));
+    (rounded >> 16) as u16
+}
+
+/// Decodes bfloat16 bits to `f32` (exact: bf16 is a truncated f32).
+pub fn bf16_bits_to_f32(bits: u16) -> f32 {
+    f32::from_bits((bits as u32) << 16)
+}
+
+/// Casts a slice down to f16 bits.
+pub fn cast_f32_to_f16(xs: &[f32]) -> Vec<u16> {
+    xs.iter().map(|&x| f32_to_f16_bits(x)).collect()
+}
+
+/// Widens f16 bits back to f32 (exact).
+pub fn cast_f16_to_f32(bits: &[u16]) -> Vec<f32> {
+    bits.iter().map(|&b| f16_bits_to_f32(b)).collect()
+}
+
+/// Casts a slice down to bf16 bits.
+pub fn cast_f32_to_bf16(xs: &[f32]) -> Vec<u16> {
+    xs.iter().map(|&x| f32_to_bf16_bits(x)).collect()
+}
+
+/// Widens bf16 bits back to f32 (exact).
+pub fn cast_bf16_to_f32(bits: &[u16]) -> Vec<f32> {
+    bits.iter().map(|&b| bf16_bits_to_f32(b)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Maps a sign-magnitude float bit pattern to a monotone integer key.
+    fn order_key16(bits: u16) -> i32 {
+        let v = bits as i32;
+        if v & 0x8000 != 0 {
+            0x8000 - v // negative range, descending magnitude
+        } else {
+            v + 0x8000
+        }
+    }
+
+    #[test]
+    fn f16_decode_encode_is_identity_exhaustive() {
+        for b in 0..=u16::MAX {
+            let v = f16_bits_to_f32(b);
+            if v.is_nan() {
+                let back = f32_to_f16_bits(v);
+                assert!(
+                    f16_bits_to_f32(back).is_nan(),
+                    "NaN-ness lost for {b:#06x}"
+                );
+                assert_eq!(back & 0x8000, b & 0x8000, "NaN sign lost for {b:#06x}");
+            } else {
+                assert_eq!(
+                    f32_to_f16_bits(v),
+                    b,
+                    "round-trip failed for {b:#06x} ({v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bf16_decode_encode_is_identity_exhaustive() {
+        for b in 0..=u16::MAX {
+            let v = bf16_bits_to_f32(b);
+            if v.is_nan() {
+                let back = f32_to_bf16_bits(v);
+                assert!(bf16_bits_to_f32(back).is_nan());
+                assert_eq!(back & 0x8000, b & 0x8000);
+            } else {
+                assert_eq!(f32_to_bf16_bits(v), b, "round-trip failed for {b:#06x}");
+            }
+        }
+    }
+
+    #[test]
+    fn f16_encode_is_monotone_over_decoded_grid() {
+        // Consecutive finite f16 values, decoded to f32, must decode in
+        // strictly increasing order (exactness + monotonicity together).
+        let mut finite: Vec<u16> = (0..=u16::MAX)
+            .filter(|&b| f16_bits_to_f32(b).is_finite())
+            .collect();
+        finite.sort_by_key(|&b| order_key16(b));
+        let mut prev = f32::NEG_INFINITY;
+        for &b in &finite {
+            let v = f16_bits_to_f32(b);
+            assert!(
+                v >= prev,
+                "decode order inversion at {b:#06x}: {v} < {prev}"
+            );
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn encode_is_monotone_on_f32_samples() {
+        // Dense sweep of finite f32s (including values between grid points):
+        // x <= y must imply encode(x) <= encode(y) for both formats.
+        let mut xs: Vec<f32> = Vec::new();
+        for i in 0..20_000 {
+            let t = (i as f32 / 20_000.0 - 0.5) * 2.0;
+            xs.push(t * 70_000.0); // spans past f16 overflow
+            xs.push(t * 1e-5); // subnormal f16 territory
+            xs.push(t * 3.0e38); // spans past bf16-max territory
+        }
+        xs.sort_by(f32::total_cmp);
+        let mut prev16 = i32::MIN;
+        let mut prev_bf = i32::MIN;
+        for &x in &xs {
+            let k16 = order_key16(f32_to_f16_bits(x));
+            let kbf = order_key16(f32_to_bf16_bits(x));
+            assert!(k16 >= prev16, "f16 encode not monotone at {x}");
+            assert!(kbf >= prev_bf, "bf16 encode not monotone at {x}");
+            prev16 = k16;
+            prev_bf = kbf;
+        }
+    }
+
+    #[test]
+    fn specials_survive_both_formats() {
+        type Roundtrip = (fn(f32) -> u16, fn(u16) -> f32);
+        let formats: [Roundtrip; 2] = [
+            (f32_to_f16_bits, f16_bits_to_f32),
+            (f32_to_bf16_bits, bf16_bits_to_f32),
+        ];
+        for (enc, dec) in formats {
+            assert_eq!(dec(enc(f32::INFINITY)), f32::INFINITY);
+            assert_eq!(dec(enc(f32::NEG_INFINITY)), f32::NEG_INFINITY);
+            assert!(dec(enc(f32::NAN)).is_nan());
+            assert!(dec(enc(-f32::NAN)).is_nan());
+            assert_eq!(dec(enc(0.0)).to_bits(), 0.0f32.to_bits());
+            assert_eq!(dec(enc(-0.0)).to_bits(), (-0.0f32).to_bits());
+            // Overflow rounds to infinity rather than saturating silently.
+            assert_eq!(dec(enc(f32::MAX)), f32::INFINITY);
+        }
+        // f16 subnormal flush: below half the smallest subnormal -> zero.
+        assert_eq!(f32_to_f16_bits(2.0f32.powi(-26)), 0);
+        // At exactly the smallest f16 subnormal the value survives.
+        let tiny = 2.0f32.powi(-24);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(tiny)), tiny);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // f16 has 11 significand bits (2^-11 relative), bf16 has 8 (2^-8).
+        let mut x = 1.0e-3f32;
+        while x < 6.0e4 {
+            for v in [x, -x] {
+                let r16 = f16_bits_to_f32(f32_to_f16_bits(v));
+                assert!(
+                    (r16 - v).abs() <= v.abs() * 2.0f32.powi(-11),
+                    "f16 error too large at {v}: {r16}"
+                );
+                let rbf = bf16_bits_to_f32(f32_to_bf16_bits(v));
+                assert!(
+                    (rbf - v).abs() <= v.abs() * 2.0f32.powi(-8),
+                    "bf16 error too large at {v}: {rbf}"
+                );
+            }
+            x *= 1.7;
+        }
+    }
+
+    #[test]
+    fn ties_round_to_even() {
+        // 1 + 2^-11 is exactly between two f16 values (1.0 and 1+2^-10);
+        // RNE picks the even mantissa: 1.0.
+        let tie = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(tie)), 1.0);
+        // 1 + 3·2^-11 is between 1+2^-10 and 1+2^-9; even mantissa is the
+        // upper one here.
+        let tie_up = 1.0 + 3.0 * 2.0f32.powi(-11);
+        assert_eq!(
+            f16_bits_to_f32(f32_to_f16_bits(tie_up)),
+            1.0 + 2.0 * 2.0f32.powi(-10)
+        );
+        // Same for bf16 at its coarser grid.
+        let tie_bf = 1.0 + 2.0f32.powi(-8);
+        assert_eq!(bf16_bits_to_f32(f32_to_bf16_bits(tie_bf)), 1.0);
+    }
+
+    #[test]
+    fn slice_casts_round_trip() {
+        let xs: Vec<f32> = (0..257).map(|i| (i as f32 * 0.37).sin() * 12.0).collect();
+        let f16_once = cast_f16_to_f32(&cast_f32_to_f16(&xs));
+        let f16_twice = cast_f16_to_f32(&cast_f32_to_f16(&f16_once));
+        assert_eq!(
+            f16_once.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            f16_twice.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            "quantization must be idempotent"
+        );
+        let bf_once = cast_bf16_to_f32(&cast_f32_to_bf16(&xs));
+        let bf_twice = cast_bf16_to_f32(&cast_f32_to_bf16(&bf_once));
+        assert_eq!(
+            bf_once.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            bf_twice.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+        );
+    }
+}

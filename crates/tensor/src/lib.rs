@@ -38,6 +38,8 @@
 
 mod autograd;
 mod flat;
+/// f16/bf16 bit conversions for reduced-precision snapshots.
+pub mod half;
 mod inference;
 mod init;
 mod ops;
@@ -54,7 +56,10 @@ pub use flat::{export_grads, export_params, flat_len, import_grads, import_param
 pub use inference::{inference_mode, is_inference};
 pub use init::{kaiming_uniform, uniform_init, xavier_uniform, zeros_init};
 pub use ops::kernels;
-pub use ops::softmax_slice;
+pub use ops::{
+    fused_softmax_rows, gated_blend, gated_update_combine, gated_update_gates, gru_step_fused,
+    gru_step_fused_masked, softmax_slice, star_blend,
+};
 pub use pool::{clear_pool, pool_stats, reset_pool_stats, PoolStats};
 pub use optim::{clip_grad_norm, Adam, AdamConfig, AdamParamState, Optimizer, Sgd};
 pub use rng::Rng;

@@ -56,6 +56,55 @@ impl Tensor {
         )
     }
 
+    /// Matrix product with a transposed right operand: `[m,k] · [n,k]ᵀ →
+    /// [m,n]`, without materializing the transpose. The scorers use this for
+    /// the `[B,d]·[d,|V|]` logits product so the item table is consumed in
+    /// its natural row-major layout — the `A·Bᵀ` kernel transpose-packs
+    /// panels on the fly, which kills the per-call `[|V|,d]` transpose copy
+    /// (and its tape node) the old `matmul(items.transpose())` spelling paid.
+    ///
+    /// Bitwise-identical to `self.matmul(&rhs.transpose())` in forward and
+    /// backward: all three kernels reduce over the same index in the same
+    /// ascending order, and `f32` multiplication commutes bitwise.
+    ///
+    /// # Panics
+    /// Panics on rank ≠ 2 or mismatched inner dimensions.
+    pub fn matmul_nt(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape().rank(), 2, "matmul_nt lhs must be rank 2");
+        assert_eq!(rhs.shape().rank(), 2, "matmul_nt rhs must be rank 2");
+        let (m, k) = self.shape().as_matrix();
+        let (n, k2) = rhs.shape().as_matrix();
+        assert_eq!(k, k2, "matmul_nt inner dims: {} vs {}", k, k2);
+
+        if embsr_obs::metrics::enabled() {
+            embsr_obs::metrics::counter("tensor.matmul_flops").add((2 * m * k * n) as u64);
+        }
+        let mut out = pool::take_zeroed(m * n);
+        gemm_abt(&self.data(), &rhs.data(), &mut out, m, k, n);
+
+        let lhs_t = self.clone();
+        let rhs_t = rhs.clone();
+        Tensor::from_op(
+            out,
+            Shape::new(&[m, n]),
+            vec![self.clone(), rhs.clone()],
+            "matmul_nt",
+            Box::new(move |grad| {
+                // C = A·Bᵀ ⇒ dA = dC·B ; dB = dCᵀ·A
+                if lhs_t.is_grad() {
+                    let mut da = pool::take_zeroed(m * k);
+                    gemm_ab(grad, &rhs_t.data(), &mut da, m, n, k);
+                    lhs_t.accumulate_grad_owned(da);
+                }
+                if rhs_t.is_grad() {
+                    let mut db = pool::take_zeroed(n * k);
+                    gemm_atb(grad, &lhs_t.data(), &mut db, m, n, k);
+                    rhs_t.accumulate_grad_owned(db);
+                }
+            }),
+        )
+    }
+
     /// Matrix transpose of a rank-2 tensor.
     pub fn transpose(&self) -> Tensor {
         assert_eq!(self.shape().rank(), 2, "transpose needs rank 2");
@@ -140,6 +189,59 @@ mod tests {
             |x| {
                 let a = Tensor::from_vec(vec![0.3, -0.7, 1.1, 0.9], &[2, 2]);
                 a.matmul(x).sum()
+            },
+            1e-3,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn matmul_nt_bitwise_equals_matmul_of_transpose() {
+        use crate::Rng;
+        let mut rng = Rng::seed_from_u64(29);
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (4, 16, 33), (8, 48, 11)] {
+            let a_data: Vec<f32> = (0..m * k).map(|_| rng.uniform_range(-1.0, 1.0)).collect();
+            let b_data: Vec<f32> = (0..n * k).map(|_| rng.uniform_range(-1.0, 1.0)).collect();
+            let a1 = Tensor::from_vec(a_data.clone(), &[m, k]).requires_grad();
+            let b1 = Tensor::from_vec(b_data.clone(), &[n, k]).requires_grad();
+            let a2 = Tensor::from_vec(a_data, &[m, k]).requires_grad();
+            let b2 = Tensor::from_vec(b_data, &[n, k]).requires_grad();
+            let nt = a1.matmul_nt(&b1);
+            let chain = a2.matmul(&b2.transpose());
+            let nb: Vec<u32> = nt.to_vec().iter().map(|v| v.to_bits()).collect();
+            let cb: Vec<u32> = chain.to_vec().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(nb, cb, "forward diverged at ({m},{k},{n})");
+
+            let w: Vec<f32> = (0..m * n).map(|_| rng.uniform_range(-1.0, 1.0)).collect();
+            let wt = Tensor::from_vec(w, &[m, n]);
+            nt.mul(&wt).sum().backward();
+            chain.mul(&wt).sum().backward();
+            for (x, y) in [(&a1, &a2), (&b1, &b2)] {
+                let gx: Vec<u32> = x.grad().unwrap().iter().map(|v| v.to_bits()).collect();
+                let gy: Vec<u32> = y.grad().unwrap().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(gx, gy, "backward diverged at ({m},{k},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_nt_gradcheck_both_sides() {
+        let a = Tensor::from_vec(vec![0.1, -0.2, 0.3, 0.4, 0.5, -0.6], &[2, 3]).requires_grad();
+        check_gradient(
+            &a,
+            |x| {
+                let b = Tensor::from_vec(vec![1.0, 2.0, -1.0, 0.5, 0.25, -0.75], &[2, 3]);
+                x.matmul_nt(&b).sum()
+            },
+            1e-3,
+            1e-2,
+        );
+        let b = Tensor::from_vec(vec![1.0, 2.0, -1.0, 0.5], &[2, 2]).requires_grad();
+        check_gradient(
+            &b,
+            |x| {
+                let a = Tensor::from_vec(vec![0.3, -0.7, 1.1, 0.9], &[2, 2]);
+                a.matmul_nt(x).sum()
             },
             1e-3,
             1e-2,

@@ -7,7 +7,16 @@ use crate::tensor::Tensor;
 impl Tensor {
     /// Row-wise softmax of a rank-2 tensor (a rank-1 tensor is treated as a
     /// single row). Numerically stabilized by max subtraction.
+    ///
+    /// Under `inference_mode` with the simd kernel tier active, dispatches
+    /// to the fused single-pass kernel (see `ops::fused`) — epsilon-close,
+    /// rank-preserving, no tape or backward-buffer copies. Every other
+    /// caller (training, eval, packed-tier serving) stays on the bitwise
+    /// three-pass path below.
     pub fn softmax_rows(&self) -> Tensor {
+        if super::fused::use_fused_softmax() {
+            return self.softmax_rows_fused();
+        }
         let (rows, cols) = self.shape().as_matrix();
         let d = self.data();
         let mut out = pool::take_zeroed(rows * cols);

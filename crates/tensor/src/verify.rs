@@ -174,7 +174,7 @@ fn infer_shape(op: &str, parents: &[Shape], out: &Shape) -> Result<Option<Shape>
         // Unary same-shape ops.
         "add_scalar" | "mul_scalar" | "sigmoid" | "tanh" | "relu" | "exp" | "log" | "sqrt"
         | "square" | "clamp" | "softmax_rows" | "log_softmax_rows" | "layer_norm_rows"
-        | "l2_normalize_rows" => same_as_first(parents),
+        | "l2_normalize_rows" | "normalize_scale_rows" => same_as_first(parents),
         "matmul" => {
             if parents.len() != 2 {
                 return Err(format!("matmul expects 2 parents, tape has {}", parents.len()));
@@ -187,6 +187,21 @@ fn infer_shape(op: &str, parents: &[Shape], out: &Shape) -> Result<Option<Shape>
             let (k2, n) = r.as_matrix();
             if k != k2 {
                 return Err(format!("matmul inner dims disagree: {l} · {r}"));
+            }
+            Ok(Some(Shape::new(&[m, n])))
+        }
+        "matmul_nt" => {
+            if parents.len() != 2 {
+                return Err(format!("matmul_nt expects 2 parents, tape has {}", parents.len()));
+            }
+            let (l, r) = (&parents[0], &parents[1]);
+            if l.rank() != 2 || r.rank() != 2 {
+                return Err(format!("matmul_nt needs rank-2 operands, got {l} · {r}"));
+            }
+            let (m, k) = l.as_matrix();
+            let (n, k2) = r.as_matrix();
+            if k != k2 {
+                return Err(format!("matmul_nt inner dims disagree: {l} · {r}"));
             }
             Ok(Some(Shape::new(&[m, n])))
         }
@@ -291,7 +306,13 @@ fn infer_shape(op: &str, parents: &[Shape], out: &Shape) -> Result<Option<Shape>
 fn is_guard(op: &str) -> bool {
     matches!(
         op,
-        "clamp" | "add_scalar" | "softmax_rows" | "sigmoid" | "exp" | "l2_normalize_rows"
+        "clamp"
+            | "add_scalar"
+            | "softmax_rows"
+            | "sigmoid"
+            | "exp"
+            | "l2_normalize_rows"
+            | "normalize_scale_rows"
     )
 }
 
@@ -700,6 +721,37 @@ pub fn gradcheck_specs() -> Vec<GradSpec> {
             eps: 1e-2,
             tol: 1e-2,
             build: |x| weights(&[3, 4], 12).matmul(x).mul(&w(&[3, 2])).sum(),
+        },
+        GradSpec {
+            name: "matmul::matmul_nt_lhs",
+            file: "matmul",
+            dims: &[3, 4],
+            lo: -1.0,
+            hi: 1.0,
+            eps: 1e-2,
+            tol: 1e-2,
+            build: |x| x.matmul_nt(&weights(&[2, 4], 11)).mul(&w(&[3, 2])).sum(),
+        },
+        GradSpec {
+            name: "matmul::matmul_nt_rhs",
+            file: "matmul",
+            dims: &[2, 4],
+            lo: -1.0,
+            hi: 1.0,
+            eps: 1e-2,
+            tol: 1e-2,
+            build: |x| weights(&[3, 4], 12).matmul_nt(x).mul(&w(&[3, 2])).sum(),
+        },
+        // ---- fused ----------------------------------------------------
+        GradSpec {
+            name: "fused::normalize_scale_rows",
+            file: "fused",
+            dims: &[2, 6],
+            lo: -1.5,
+            hi: 1.5,
+            eps: 1e-3,
+            tol: 2e-2,
+            build: |x| x.normalize_scale_rows(1e-12, 12.0).mul(&w(&[2, 6])).sum(),
         },
         GradSpec {
             name: "matmul::transpose",

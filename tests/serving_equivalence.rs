@@ -1,17 +1,36 @@
-//! Serving-path equivalence: the frozen, batched, tape-free scoring path
-//! must be **bitwise identical** to the per-session taped
-//! `Recommender::scores` path.
+//! Serving-path equivalence, tiered by kernel dispatch and snapshot
+//! precision (DESIGN.md §11):
 //!
-//! Batched scoring computes `[B, d] · [d, |V|]` GEMMs whose rows are
-//! independent sequential dot products — the same arithmetic, in the same
-//! order, as the per-session `[1, d]` product — so equality here is exact
-//! (`f32::to_bits`), not approximate. The batch sizes exercised are ragged
-//! on purpose: 1, 3, 4, 5 and 32 straddle the packed-GEMM kernel tiles, so
-//! both the partial-tile and full-tile code paths are held to equality.
+//! * **Within any tier**, batched scoring must be **bitwise identical**
+//!   (`f32::to_bits`) to per-session scoring at the same tier: GEMM rows
+//!   are independent reductions and the fused softmax/normalize kernels
+//!   process rows independently, so batching changes throughput, never
+//!   scores. The batch sizes exercised are ragged on purpose: 1, 3, 4, 5
+//!   and 32 straddle both GEMM tiles (packed NR=8, vectorized NR=32), so
+//!   partial- and full-tile code paths are held to equality.
+//! * The **packed tier** (`KernelTier::Packed`) stays bitwise identical to
+//!   the per-session taped `Recommender::scores` path — the historical
+//!   contract, still available by `set_tier` for audit runs.
+//! * The **vectorized tier** (`KernelTier::Simd`, the serving default) and
+//!   the **reduced-precision snapshots** (f16/bf16) relax to an
+//!   epsilon-gated score equivalence plus **exact Hit@20 / MRR@20 metric
+//!   identity** against the f32 scalar-reference taped path running the
+//!   deployed weights: lane-split reductions may move a logit by a few
+//!   ULPs, but recommendations must not move at all. Quantization rounds
+//!   the weights exactly once, at freeze — so the deployed weights for a
+//!   reduced-precision snapshot *are* the quantized values, the taped
+//!   reference runs those same values (`import_params` from the snapshot),
+//!   and the quantization loss itself is gated separately with a
+//!   precision-scaled epsilon against the pre-quantization f32 weights
+//!   (rank identity against pre-quantization weights is not a meaningful
+//!   contract: adjacent logits of any model can sit closer than a bf16
+//!   step, so some rank flip is unavoidable and the right gate for the
+//!   rounding is magnitude, not order).
 
 use embsr_baselines::{Gru4Rec, Narm};
 use embsr_core::{Embsr, EmbsrConfig};
-use embsr_serve::FrozenModel;
+use embsr_eval::{hit_at_k, rank_of_target, reciprocal_rank_at_k};
+use embsr_serve::{FrozenModel, KernelTier, Precision};
 use embsr_sessions::{MicroBehavior, Session};
 use embsr_train::{NeuralRecommender, Recommender, SessionModel, TrainConfig};
 
@@ -42,11 +61,12 @@ fn test_sessions(seed: u64) -> Vec<Session> {
         .collect()
 }
 
-/// Asserts the frozen batched path reproduces the per-session path bit for
-/// bit, across every ragged batch size.
-fn assert_equivalence<M: SessionModel>(model: M, reference: M, seed: u64) {
+/// Asserts the packed-tier frozen batched path reproduces the per-session
+/// taped path bit for bit, across every ragged batch size.
+fn assert_packed_bitwise<M: SessionModel>(model: M, reference: M, seed: u64) {
     let max_len = TrainConfig::fast().max_session_len;
-    let frozen = FrozenModel::freeze(model, max_len);
+    let mut frozen = FrozenModel::freeze(model, max_len);
+    frozen.set_tier(KernelTier::Packed);
     let rec = NeuralRecommender::new(reference, TrainConfig::fast());
     let sessions = test_sessions(seed);
     for &batch in &RAGGED_BATCHES {
@@ -71,19 +91,115 @@ fn assert_equivalence<M: SessionModel>(model: M, reference: M, seed: u64) {
     }
 }
 
+/// Asserts batched == single **bitwise at the frozen model's own tier**
+/// (the serving default, vectorized), across every ragged batch size.
+fn assert_batch_matches_single<M: SessionModel>(frozen: &FrozenModel<M>, seed: u64) {
+    let sessions = test_sessions(seed);
+    for &batch in &RAGGED_BATCHES {
+        for chunk in sessions.chunks(batch) {
+            let batched = frozen.score_batch(chunk);
+            for (session, row) in chunk.iter().zip(&batched) {
+                let single = frozen.score(session);
+                assert_eq!(row.len(), single.len());
+                for (i, (a, b)) in row.iter().zip(&single).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "model {} tier {:?} seed {seed} batch {batch} session {} item {i}: \
+                         batched {a} != single {b}",
+                        frozen.name(),
+                        frozen.tier(),
+                        session.id,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The relaxed serving contract: the taped scalar-reference path is loaded
+/// with the frozen model's **deployed** weights (for full-precision freezes
+/// that import is a no-op), then every served score must sit within `tol`
+/// of the reference and the session-level Hit@20 / MRR@20 contributions
+/// (target = the session's last item, pessimistic tie handling) must be
+/// **exactly** equal — the serving stack may not move a recommendation.
+fn assert_epsilon_and_metric_identity<M: SessionModel>(
+    frozen: &FrozenModel<M>,
+    reference: M,
+    seed: u64,
+    tol: f32,
+    label: &str,
+) {
+    embsr_tensor::import_params(&reference.parameters(), frozen.snapshot());
+    let rec = NeuralRecommender::new(reference, TrainConfig::fast());
+    let sessions = test_sessions(seed);
+    let mut hits = (0.0f64, 0.0f64);
+    let mut mrrs = (0.0f64, 0.0f64);
+    for chunk in sessions.chunks(8) {
+        let batched = frozen.score_batch(chunk);
+        for (session, row) in chunk.iter().zip(&batched) {
+            let single = rec.scores(session);
+            assert_eq!(row.len(), single.len());
+            for (i, (a, b)) in row.iter().zip(&single).enumerate() {
+                let bound = tol * b.abs().max(1.0);
+                assert!(
+                    (a - b).abs() <= bound,
+                    "{label} model {} seed {seed} session {} item {i}: \
+                     |{a} - {b}| > {bound}",
+                    frozen.name(),
+                    session.id,
+                );
+            }
+            let target = session.events.last().map(|e| e.item as usize).unwrap_or(0);
+            let (ra, rb) = (rank_of_target(row, target), rank_of_target(&single, target));
+            assert_eq!(
+                hit_at_k(ra, 20),
+                hit_at_k(rb, 20),
+                "{label} model {} seed {seed} session {}: Hit@20 moved (rank {ra} vs {rb})",
+                frozen.name(),
+                session.id,
+            );
+            assert_eq!(
+                reciprocal_rank_at_k(ra, 20),
+                reciprocal_rank_at_k(rb, 20),
+                "{label} model {} seed {seed} session {}: MRR@20 moved (rank {ra} vs {rb})",
+                frozen.name(),
+                session.id,
+            );
+            hits.0 += hit_at_k(ra, 20);
+            hits.1 += hit_at_k(rb, 20);
+            mrrs.0 += reciprocal_rank_at_k(ra, 20);
+            mrrs.1 += reciprocal_rank_at_k(rb, 20);
+        }
+    }
+    // aggregate identity follows from per-session identity, but assert it
+    // anyway — it is the number a paper table would print
+    assert_eq!(hits.0.to_bits(), hits.1.to_bits(), "{label}: aggregate Hit@20");
+    assert_eq!(mrrs.0.to_bits(), mrrs.1.to_bits(), "{label}: aggregate MRR@20");
+}
+
+fn embsr_pair(seed: u64) -> (Embsr, Embsr) {
+    let mut cfg = EmbsrConfig::full(NUM_ITEMS, NUM_OPS, DIM);
+    cfg.seed = seed;
+    (Embsr::new(cfg.clone()), Embsr::new(cfg))
+}
+
+// ---------------------------------------------------------------------------
+// Packed tier: bitwise with the taped path (the historical contract)
+// ---------------------------------------------------------------------------
+
 #[test]
-fn embsr_frozen_scores_are_bitwise_equal() {
+fn embsr_packed_tier_is_bitwise_equal_to_taped() {
     for seed in SEEDS {
-        let mut cfg = EmbsrConfig::full(NUM_ITEMS, NUM_OPS, DIM);
-        cfg.seed = seed;
-        assert_equivalence(Embsr::new(cfg.clone()), Embsr::new(cfg), seed);
+        let (a, b) = embsr_pair(seed);
+        assert_packed_bitwise(a, b, seed);
     }
 }
 
 #[test]
-fn gru4rec_frozen_scores_are_bitwise_equal() {
+fn gru4rec_packed_tier_is_bitwise_equal_to_taped() {
     for seed in SEEDS {
-        assert_equivalence(
+        assert_packed_bitwise(
             Gru4Rec::new(NUM_ITEMS, DIM, seed),
             Gru4Rec::new(NUM_ITEMS, DIM, seed),
             seed,
@@ -92,15 +208,194 @@ fn gru4rec_frozen_scores_are_bitwise_equal() {
 }
 
 #[test]
-fn narm_frozen_scores_are_bitwise_equal() {
+fn narm_packed_tier_is_bitwise_equal_to_taped() {
     for seed in SEEDS {
-        assert_equivalence(
+        assert_packed_bitwise(
             Narm::new(NUM_ITEMS, DIM, 0.25, seed),
             Narm::new(NUM_ITEMS, DIM, 0.25, seed),
             seed,
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Vectorized tier (serving default): batched == single bitwise within tier,
+// epsilon + exact metric identity against the taped f32 reference
+// ---------------------------------------------------------------------------
+
+#[test]
+fn simd_tier_batches_match_single_scores_bitwise() {
+    let max_len = TrainConfig::fast().max_session_len;
+    for seed in SEEDS {
+        let (model, _) = embsr_pair(seed);
+        let frozen = FrozenModel::freeze(model, max_len);
+        assert_eq!(frozen.tier(), KernelTier::Simd, "serving default tier");
+        assert_batch_matches_single(&frozen, seed);
+        assert_batch_matches_single(
+            &FrozenModel::freeze(Gru4Rec::new(NUM_ITEMS, DIM, seed), max_len),
+            seed,
+        );
+        assert_batch_matches_single(
+            &FrozenModel::freeze(Narm::new(NUM_ITEMS, DIM, 0.25, seed), max_len),
+            seed,
+        );
+    }
+}
+
+#[test]
+fn embsr_simd_tier_keeps_epsilon_and_metrics() {
+    let max_len = TrainConfig::fast().max_session_len;
+    for seed in SEEDS {
+        let (model, reference) = embsr_pair(seed);
+        let frozen = FrozenModel::freeze(model, max_len);
+        assert_epsilon_and_metric_identity(&frozen, reference, seed, 1e-4, "simd/f32");
+    }
+}
+
+#[test]
+fn gru4rec_simd_tier_keeps_epsilon_and_metrics() {
+    let max_len = TrainConfig::fast().max_session_len;
+    for seed in SEEDS {
+        let frozen = FrozenModel::freeze(Gru4Rec::new(NUM_ITEMS, DIM, seed), max_len);
+        assert_epsilon_and_metric_identity(
+            &frozen,
+            Gru4Rec::new(NUM_ITEMS, DIM, seed),
+            seed,
+            1e-4,
+            "simd/f32",
+        );
+    }
+}
+
+#[test]
+fn narm_simd_tier_keeps_epsilon_and_metrics() {
+    let max_len = TrainConfig::fast().max_session_len;
+    for seed in SEEDS {
+        let frozen = FrozenModel::freeze(Narm::new(NUM_ITEMS, DIM, 0.25, seed), max_len);
+        assert_epsilon_and_metric_identity(
+            &frozen,
+            Narm::new(NUM_ITEMS, DIM, 0.25, seed),
+            seed,
+            1e-4,
+            "simd/f32",
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reduced-precision snapshots: the serving stack keeps epsilon + exact
+// metric identity on the deployed (quantized) weights, and the quantization
+// loss itself stays within a precision-scaled epsilon of the original f32
+// weights
+// ---------------------------------------------------------------------------
+
+/// Precision grids and their quantization-loss tolerances vs the original
+/// f32 weights. bf16 keeps 8 significand bits (relative step 2⁻⁸), f16
+/// keeps 11 (2⁻¹¹); the tolerances leave headroom for error accumulating
+/// over the `d`-deep reductions and nonlinearities.
+const PRECISION_GATES: [(Precision, f32); 2] = [(Precision::F16, 2e-2), (Precision::Bf16, 2e-1)];
+
+/// Gates the quantization loss: frozen (quantized) scores must stay within
+/// `tol` of the taped reference running the **original f32** weights.
+fn assert_quantization_epsilon<M: SessionModel>(
+    frozen: &FrozenModel<M>,
+    original: M,
+    seed: u64,
+    tol: f32,
+    label: &str,
+) {
+    let rec = NeuralRecommender::new(original, TrainConfig::fast());
+    for chunk in test_sessions(seed).chunks(8) {
+        let batched = frozen.score_batch(chunk);
+        for (session, row) in chunk.iter().zip(&batched) {
+            let single = rec.scores(session);
+            for (i, (a, b)) in row.iter().zip(&single).enumerate() {
+                let bound = tol * b.abs().max(1.0);
+                assert!(
+                    (a - b).abs() <= bound,
+                    "{label} model {} seed {seed} session {} item {i}: \
+                     quantization moved score |{a} - {b}| > {bound}",
+                    frozen.name(),
+                    session.id,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn embsr_reduced_precision_keeps_epsilon_and_metrics() {
+    let max_len = TrainConfig::fast().max_session_len;
+    for seed in SEEDS {
+        for (precision, tol) in PRECISION_GATES {
+            let (model, reference) = embsr_pair(seed);
+            let frozen = FrozenModel::freeze_with_precision(model, max_len, precision);
+            assert_epsilon_and_metric_identity(&frozen, reference, seed, 1e-4, precision.name());
+            let (_, original) = embsr_pair(seed);
+            assert_quantization_epsilon(&frozen, original, seed, tol, precision.name());
+        }
+    }
+}
+
+#[test]
+fn gru4rec_reduced_precision_keeps_epsilon_and_metrics() {
+    let max_len = TrainConfig::fast().max_session_len;
+    for seed in SEEDS {
+        for (precision, tol) in PRECISION_GATES {
+            let frozen = FrozenModel::freeze_with_precision(
+                Gru4Rec::new(NUM_ITEMS, DIM, seed),
+                max_len,
+                precision,
+            );
+            assert_epsilon_and_metric_identity(
+                &frozen,
+                Gru4Rec::new(NUM_ITEMS, DIM, seed),
+                seed,
+                1e-4,
+                precision.name(),
+            );
+            assert_quantization_epsilon(
+                &frozen,
+                Gru4Rec::new(NUM_ITEMS, DIM, seed),
+                seed,
+                tol,
+                precision.name(),
+            );
+        }
+    }
+}
+
+#[test]
+fn narm_reduced_precision_keeps_epsilon_and_metrics() {
+    let max_len = TrainConfig::fast().max_session_len;
+    for seed in SEEDS {
+        for (precision, tol) in PRECISION_GATES {
+            let frozen = FrozenModel::freeze_with_precision(
+                Narm::new(NUM_ITEMS, DIM, 0.25, seed),
+                max_len,
+                precision,
+            );
+            assert_epsilon_and_metric_identity(
+                &frozen,
+                Narm::new(NUM_ITEMS, DIM, 0.25, seed),
+                seed,
+                1e-4,
+                precision.name(),
+            );
+            assert_quantization_epsilon(
+                &frozen,
+                Narm::new(NUM_ITEMS, DIM, 0.25, seed),
+                seed,
+                tol,
+                precision.name(),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot replication and pooling invariants
+// ---------------------------------------------------------------------------
 
 #[test]
 fn snapshot_replicas_score_identically() {
@@ -122,10 +417,52 @@ fn snapshot_replicas_score_identically() {
 }
 
 #[test]
+fn reduced_precision_replicas_score_identically() {
+    // Quantization happens once, at freeze: a replica rebuilt from the
+    // serialized reduced-precision snapshot scores bitwise like the master.
+    for (precision, _) in PRECISION_GATES {
+        let mut cfg = EmbsrConfig::full(NUM_ITEMS, NUM_OPS, DIM);
+        cfg.seed = 42;
+        let frozen = FrozenModel::freeze_with_precision(Embsr::new(cfg.clone()), 40, precision);
+        cfg.seed = 7;
+        let bytes = frozen.snapshot_bytes();
+        let replica = FrozenModel::from_snapshot_bytes(Embsr::new(cfg), &bytes)
+            .expect("snapshot bytes decode");
+        assert_eq!(replica.precision(), precision);
+        let sessions = test_sessions(42);
+        let a = frozen.score_batch(&sessions[..8]);
+        let b = replica.score_batch(&sessions[..8]);
+        for (ra, rb) in a.iter().zip(&b) {
+            for (x, y) in ra.iter().zip(rb) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{precision:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn reduced_precision_snapshots_are_half_the_size() {
+    let mut cfg = EmbsrConfig::full(NUM_ITEMS, NUM_OPS, DIM);
+    cfg.seed = 11;
+    let full = FrozenModel::freeze(Embsr::new(cfg.clone()), 40).snapshot_bytes().len();
+    for (precision, _) in PRECISION_GATES {
+        let reduced = FrozenModel::freeze_with_precision(Embsr::new(cfg.clone()), 40, precision)
+            .snapshot_bytes()
+            .len();
+        let ratio = full as f64 / reduced as f64;
+        assert!(
+            ratio > 1.9 && ratio < 2.1,
+            "{precision:?}: {full} vs {reduced} bytes ({ratio:.2}×)"
+        );
+    }
+}
+
+#[test]
 fn steady_state_batches_allocate_nothing() {
     // Inference-mode scoring recycles activations through the tensor buffer
     // pool: after a warm-up batch has populated the pool's free lists, a
-    // same-shape batch must be served entirely from recycled buffers.
+    // same-shape batch must be served entirely from recycled buffers — on
+    // the vectorized serving tier included.
     let mut cfg = EmbsrConfig::full(NUM_ITEMS, NUM_OPS, DIM);
     cfg.seed = 11;
     let frozen = FrozenModel::freeze(Embsr::new(cfg), 40);
