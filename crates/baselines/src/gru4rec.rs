@@ -59,6 +59,14 @@ impl SessionModel for Gru4Rec {
         let reprs: Vec<Tensor> = sessions.iter().map(|s| self.session_repr(s)).collect();
         DotScorer::logits_rows(&Tensor::stack_rows(&reprs), &self.items.weight)
     }
+
+    fn repr_infer(&self, session: &Session) -> Option<Tensor> {
+        Some(self.session_repr(session))
+    }
+
+    fn logits_of_reprs(&self, reprs: &Tensor) -> Option<Tensor> {
+        Some(DotScorer::logits_rows(reprs, &self.items.weight))
+    }
 }
 
 #[cfg(test)]

@@ -101,6 +101,15 @@ impl SessionModel for Narm {
             .collect();
         DotScorer::logits_rows(&Tensor::stack_rows(&reprs), &self.items.weight)
     }
+
+    fn repr_infer(&self, session: &Session) -> Option<Tensor> {
+        let mut rng = Rng::seed_from_u64(0); // dropout is off: never drawn from
+        Some(self.session_repr(session, false, &mut rng))
+    }
+
+    fn logits_of_reprs(&self, reprs: &Tensor) -> Option<Tensor> {
+        Some(DotScorer::logits_rows(reprs, &self.items.weight))
+    }
 }
 
 #[cfg(test)]

@@ -9,23 +9,35 @@
 //! Zipfian (log-uniform rank) from millions of distinct synthetic users,
 //! so rendezvous sharding sees a realistic skewed key stream.
 //!
-//! Three phases:
+//! Every phase drives a **fixed connection pool** and pipelines over it
+//! with the protocol-v2 multiplexed client (the pre-v2 generator's
+//! one-request-per-connection shape survives only as the depth-1 arm of
+//! the multiplexing A/B). The phases:
 //!
 //! 1. `calibrate` — closed-loop burst that measures the deployment's
 //!    capacity (sessions/s) for the phases below;
+//! 1b. `multiplex A/B` — the same closed loop on two fixed connections at
+//!    pipeline depth 1 vs 8: the throughput ratio is what request-id
+//!    multiplexing buys over serial request/response;
 //! 2. `steady` — open loop at ~0.5× capacity: everything should complete,
 //!    with the client-observed latency histogram feeding the SLO gate;
 //! 3. `overload` — open loop at ~2× capacity against a small admission
 //!    cap: the server must refuse the excess with typed `Overloaded`
 //!    responses (client- and server-side rejection counts are reconciled
-//!    one-for-one; anything else is a silent drop).
+//!    one-for-one; anything else is a silent drop);
+//! 4. `repr-cache A/B` — a repeat-heavy Zipfian stream (tiny user
+//!    universe) against two fresh deployments differing only in
+//!    `EngineConfig::repr_cache`, both pre-warmed: the throughput ratio
+//!    and hit rate are what the session-repr cache buys.
 //!
 //! Writes `results/load.json` plus the aggregate `BENCH_net.json`
-//! (sessions/s/core, p50/p95/p99, rejection rate). The CI net job runs
+//! (sessions/s/core, p50/p95/p99, rejection rate, connection/pipeline
+//! shape, cache ratios). The CI net job runs
 //! `--check-baseline crates/bench/net_baseline.json`: the **ratios**
-//! (steady completion, overload answered) are machine-portable, unlike raw
-//! sessions/s, and the run exits non-zero past the baseline tolerance.
-//! `--enforce-slo` turns missed `--slo` objectives fatal.
+//! (steady completion, overload answered, pipeline/cache speedups, cache
+//! hit rate) are machine-portable, unlike raw sessions/s, and the run
+//! exits non-zero past the baseline tolerance. `--enforce-slo` turns
+//! missed `--slo` objectives fatal.
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -102,17 +114,37 @@ struct PhaseCounts {
     completed: AtomicU64,
     rejected: AtomicU64,
     failed: AtomicU64,
+    /// High-water mark of pipelined requests in flight on any one
+    /// connection, sampled at submit time.
+    max_in_flight: AtomicU64,
 }
 
-/// Open-loop phase: `clients` connections issue `total` single-session
+/// Connects the fixed connection pool every load phase draws from. The
+/// pre-v2 generator opened one connection per in-flight request; the
+/// multiplexed protocol carries `lanes_per_conn` concurrent requests on
+/// each of these instead.
+fn connect_pool(server: &Server, conns: usize) -> Vec<NetClient> {
+    (0..conns)
+        .map(|_| {
+            NetClient::connect(server.addr())
+                .unwrap_or_else(|e| fail(&format!("pool connect: {e}")))
+        })
+        .collect()
+}
+
+/// Open-loop phase: `conns` pooled connections shared by
+/// `conns * lanes_per_conn` generator lanes issue `total` single-session
 /// requests whose arrival times are pre-scheduled at `offered_per_sec`.
-/// A thread that falls behind schedule fires immediately (the backlog is
+/// A lane that falls behind schedule fires immediately (the backlog is
 /// the point); it never waits for earlier responses to schedule later
-/// arrivals. Returns the phase's wall-clock seconds.
+/// arrivals. Lanes sharing a connection pipeline over it — each submits,
+/// samples the connection's in-flight depth, then waits its own response.
+/// Returns the phase's wall-clock seconds.
 #[allow(clippy::too_many_arguments)]
 fn open_loop_phase(
     server: &Server,
-    clients: usize,
+    conns: usize,
+    lanes_per_conn: usize,
     total: usize,
     offered_per_sec: f64,
     universe: u64,
@@ -122,24 +154,18 @@ fn open_loop_phase(
     counts: &PhaseCounts,
 ) -> f64 {
     let interval_us = 1.0e6 / offered_per_sec.max(1.0);
-    let addr = server.addr();
+    let pool = connect_pool(server, conns);
+    let lanes = conns * lanes_per_conn;
     let phase = Stopwatch::start();
     std::thread::scope(|scope| {
-        for c in 0..clients {
+        for lane in 0..lanes {
             let counts = &counts;
             let phase = &phase;
+            let client = &pool[lane % conns];
             scope.spawn(move || {
-                let Ok(mut client) = NetClient::connect(addr) else {
-                    counts.failed.fetch_add(
-                        (total / clients) as u64,
-                        // ordering: Relaxed — statistics counter only.
-                        Ordering::Relaxed,
-                    );
-                    return;
-                };
-                let mut rng = Rand(seed ^ (c as u64).wrapping_mul(0x243F_6A88));
-                // Thread c owns arrivals c, c+clients, c+2*clients, ...
-                let mut i = c;
+                let mut rng = Rand(seed ^ (lane as u64).wrapping_mul(0x243F_6A88));
+                // Lane L owns arrivals L, L+lanes, L+2*lanes, ...
+                let mut i = lane;
                 while i < total {
                     let due_us = (i as f64 * interval_us) as u64;
                     let now_us = phase.elapsed_us();
@@ -148,7 +174,7 @@ fn open_loop_phase(
                     }
                     let session = zipf_session(&mut rng, universe, vocab);
                     let watch = Stopwatch::start();
-                    match client.score(
+                    let pending = client.submit_score(
                         &ScoreBatch {
                             sessions: vec![session],
                         },
@@ -156,7 +182,12 @@ fn open_loop_phase(
                             deadline_us: 2_000_000,
                             shed: true,
                         },
-                    ) {
+                    );
+                    // ordering: Relaxed — statistics high-water mark only.
+                    counts
+                        .max_in_flight
+                        .fetch_max(client.in_flight() as u64, Ordering::Relaxed);
+                    match pending.wait() {
                         Ok(_) => {
                             embsr_obs::metrics::histogram(latency_metric)
                                 .record(watch.elapsed_us());
@@ -172,7 +203,7 @@ fn open_loop_phase(
                             counts.failed.fetch_add(1, Ordering::Relaxed);
                         }
                     }
-                    i += clients;
+                    i += lanes;
                 }
             });
         }
@@ -180,33 +211,43 @@ fn open_loop_phase(
     phase.elapsed_us() as f64 / 1.0e6
 }
 
-/// Closed-loop capacity probe: `clients` connections hammer `total`
-/// requests as fast as responses return. Returns sessions/s.
-fn calibrate(server: &Server, clients: usize, total: usize, universe: u64, vocab: usize, seed: u64) -> f64 {
+/// Closed-loop pooled driver: `conns` connections shared by
+/// `conns * lanes_per_conn` lanes, each hammering its share of `total`
+/// sessions (in requests of `batch` sessions) as fast as its own
+/// responses return. `universe` controls the repeat rate of the Zipfian
+/// key stream (small universe → repeat-heavy). Returns completed
+/// sessions/s.
+#[allow(clippy::too_many_arguments)]
+fn closed_loop(
+    server: &Server,
+    conns: usize,
+    lanes_per_conn: usize,
+    total: usize,
+    batch: usize,
+    universe: u64,
+    vocab: usize,
+    seed: u64,
+) -> f64 {
     let done = AtomicU64::new(0);
-    let addr = server.addr();
+    let pool = connect_pool(server, conns);
+    let lanes = conns * lanes_per_conn;
     let watch = Stopwatch::start();
     std::thread::scope(|scope| {
-        for c in 0..clients {
+        for lane in 0..lanes {
             let done = &done;
+            let client = &pool[lane % conns];
             scope.spawn(move || {
-                let Ok(mut client) = NetClient::connect(addr) else {
-                    return;
-                };
-                let mut rng = Rand(seed ^ 0xCA11_B007 ^ c as u64);
-                for _ in 0..total / clients {
-                    let session = zipf_session(&mut rng, universe, vocab);
+                let mut rng = Rand(seed ^ 0xCA11_B007 ^ lane as u64);
+                for _ in 0..total / lanes / batch {
+                    let sessions: Vec<Session> = (0..batch)
+                        .map(|_| zipf_session(&mut rng, universe, vocab))
+                        .collect();
                     if client
-                        .score(
-                            &ScoreBatch {
-                                sessions: vec![session],
-                            },
-                            SubmitOptions::default(),
-                        )
+                        .score(&ScoreBatch { sessions }, SubmitOptions::default())
                         .is_ok()
                     {
                         // ordering: Relaxed — statistics counter only.
-                        done.fetch_add(1, Ordering::Relaxed);
+                        done.fetch_add(batch as u64, Ordering::Relaxed);
                     }
                 }
             });
@@ -271,25 +312,42 @@ fn main() {
     let mut model_cfg = EmbsrConfig::full(vocab, NUM_OPS, dim);
     model_cfg.seed = args.seed;
     let frozen = embsr_serve::FrozenModel::freeze(Embsr::new(model_cfg.clone()), 40);
+    let model_cfg2 = model_cfg.clone(); // the cache A/B redeploys the same model
     let factory_cfg = model_cfg;
     let server = match Server::start(&frozen, move || Embsr::new(factory_cfg.clone()), cfg) {
         Ok(s) => s,
         Err(e) => fail(&format!("server start: {e}")),
     };
 
-    // --- phase 1: capacity calibration (closed loop) --------------------
-    let capacity = calibrate(&server, 8, calibrate_n, universe, vocab, args.seed);
+    // --- phase 1: capacity calibration (closed loop, pooled) -------------
+    let capacity = closed_loop(&server, 8, 2, calibrate_n, 1, universe, vocab, args.seed);
     println!(
         "  calibrate: {capacity:.0} sessions/s capacity ({:.0}/s/core)",
         capacity / cores
     );
 
+    // --- phase 1b: multiplexing A/B on the same deployment ---------------
+    // Two fixed connections either way; only the per-connection pipeline
+    // depth changes. The v1 generator's one-request-per-connection shape
+    // is the depth-1 arm, so the ratio is exactly what protocol v2 buys.
+    let pipeline_n = calibrate_n;
+    let thr_serial = closed_loop(&server, 2, 1, pipeline_n, 1, universe, vocab, args.seed + 7);
+    let thr_deep = closed_loop(&server, 2, 8, pipeline_n, 1, universe, vocab, args.seed + 7);
+    let pipeline_speedup = thr_deep / thr_serial.max(1e-9);
+    println!(
+        "  multiplex: depth 1 {thr_serial:.0}/s → depth 8 {thr_deep:.0}/s on 2 connections \
+         ({pipeline_speedup:.2}×)"
+    );
+
     // --- phase 2: steady state at ~0.5× capacity (open loop) ------------
     let steady = PhaseCounts::default();
     let steady_rate = (capacity * 0.5).max(10.0);
+    let steady_conns = 8usize;
+    let steady_depth = 4usize;
     let steady_secs = open_loop_phase(
         &server,
-        8,
+        steady_conns,
+        steady_depth,
         steady_n,
         steady_rate,
         universe,
@@ -317,6 +375,7 @@ fn main() {
     let overload_secs = open_loop_phase(
         &server,
         16,
+        4,
         overload_n,
         overload_rate,
         universe,
@@ -353,7 +412,70 @@ fn main() {
         "  accounting: {} completed / {} rejected server-side — reconciled with clients",
         stats.completed, stats.rejected
     );
+    // ordering: Relaxed — high-water reads after the phases joined.
+    let max_in_flight = steady
+        .max_in_flight
+        .load(Ordering::Relaxed)
+        .max(overload.max_in_flight.load(Ordering::Relaxed));
+    println!(
+        "  multiplex: {steady_conns} pooled connections × depth {steady_depth}, \
+         deepest pipeline observed {max_in_flight}"
+    );
     server.shutdown();
+
+    // --- phase 4: session-repr cache A/B ---------------------------------
+    // A repeat-heavy Zipfian stream (tiny user universe, so the head users
+    // recur constantly) against two fresh deployments differing only in
+    // `EngineConfig::repr_cache`. Both arms get an untimed warm pass, so
+    // the ratio isolates the cache, not first-touch effects.
+    let cache_universe = 48u64;
+    let cache_n = if quick { 768 } else { 3200 };
+    let cache_server = |repr_cache: usize| {
+        let frozen = embsr_serve::FrozenModel::freeze(Embsr::new(model_cfg2.clone()), 40);
+        let factory = model_cfg2.clone();
+        Server::start(
+            &frozen,
+            move || Embsr::new(factory.clone()),
+            ServerConfig {
+                replicas,
+                dispatchers: 2,
+                engine: EngineConfig {
+                    workers,
+                    max_batch: 32,
+                    flush_deadline_us: 300,
+                    repr_cache,
+                    ..EngineConfig::default()
+                },
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap_or_else(|e| fail(&format!("cache A/B server start: {e}")))
+    };
+    let off = cache_server(0);
+    let _ = closed_loop(&off, 4, 4, cache_n, 8, cache_universe, vocab, args.seed + 3);
+    let thr_cache_off = closed_loop(&off, 4, 4, cache_n, 8, cache_universe, vocab, args.seed + 3);
+    off.shutdown();
+    let on = cache_server(8192);
+    let _ = closed_loop(&on, 4, 4, cache_n, 8, cache_universe, vocab, args.seed + 3);
+    let probe = NetClient::connect(on.addr())
+        .unwrap_or_else(|e| fail(&format!("cache status probe: {e}")));
+    let warm_status = probe.status().unwrap_or_else(|e| fail(&format!("status: {e}")));
+    let thr_cache_on = closed_loop(&on, 4, 4, cache_n, 8, cache_universe, vocab, args.seed + 3);
+    let hot_status = probe.status().unwrap_or_else(|e| fail(&format!("status: {e}")));
+    drop(probe);
+    on.shutdown();
+    let sum = |s: &embsr_net::ServerStatus, f: fn(&embsr_serve::CacheStats) -> u64| -> u64 {
+        s.replicas.iter().map(|r| f(&r.cache)).sum()
+    };
+    let d_hits = sum(&hot_status, |c| c.hits) - sum(&warm_status, |c| c.hits);
+    let d_misses = sum(&hot_status, |c| c.misses) - sum(&warm_status, |c| c.misses);
+    let cache_hit_rate = d_hits as f64 / (d_hits + d_misses).max(1) as f64;
+    let cache_speedup = thr_cache_on / thr_cache_off.max(1e-9);
+    println!(
+        "  repr cache: off {thr_cache_off:.0}/s → on {thr_cache_on:.0}/s \
+         ({cache_speedup:.2}×) · hit rate {:.1}% over the timed pass",
+        cache_hit_rate * 100.0
+    );
 
     // --- SLOs -------------------------------------------------------------
     let mut slo_specs = Vec::new();
@@ -387,9 +509,14 @@ fn main() {
     let ratios: Vec<(String, f64)> = vec![
         ("steady_completion".into(), steady_completion),
         ("overload_answered".into(), overload_answered),
+        ("pipeline_speedup".into(), pipeline_speedup),
+        ("cache_speedup".into(), cache_speedup),
+        ("cache_hit_rate".into(), cache_hit_rate),
     ];
     println!(
-        "  ratios: steady_completion {steady_completion:.3} · overload_answered {overload_answered:.3}"
+        "  ratios: steady_completion {steady_completion:.3} · overload_answered {overload_answered:.3} · \
+         pipeline_speedup {pipeline_speedup:.2} · cache_speedup {cache_speedup:.2} · \
+         cache_hit_rate {cache_hit_rate:.3}"
     );
 
     let phase_rows: Vec<JsonValue> = [
@@ -462,6 +589,9 @@ fn main() {
                 "steady_goodput_per_sec_per_core",
                 JsonValue::Number(steady_goodput / cores),
             ),
+            ("connections", JsonValue::Number(steady_conns as f64)),
+            ("pipeline_depth", JsonValue::Number(steady_depth as f64)),
+            ("max_in_flight", JsonValue::Number(max_in_flight as f64)),
             ("latency_p50_us", JsonValue::Number(s_p50)),
             ("latency_p95_us", JsonValue::Number(s_p95)),
             ("latency_p99_us", JsonValue::Number(s_p99)),
@@ -533,10 +663,13 @@ fn main() {
 
     println!(
         "Shape to verify: the steady phase completes ~everything it was \
-         offered at half capacity, the overload phase converts the excess \
-         into typed Overloaded rejections that reconcile exactly with the \
-         server's counters, and BENCH_net.json carries sessions/s/core with \
-         p50/p95/p99 and the rejection rate."
+         offered at half capacity over a fixed pipelined connection pool, \
+         the overload phase converts the excess into typed Overloaded \
+         rejections that reconcile exactly with the server's counters, \
+         deeper pipelines and a warm repr cache both beat their baselines, \
+         and BENCH_net.json carries sessions/s/core with p50/p95/p99, the \
+         rejection rate, the connection/pipeline shape, and the cache \
+         ratios."
     );
 }
 

@@ -377,6 +377,15 @@ impl SessionModel for Embsr {
         self.scorer
             .logits_rows(&Tensor::stack_rows(&reprs), &self.items.weight)
     }
+
+    fn repr_infer(&self, session: &Session) -> Option<Tensor> {
+        let mut rng = Rng::seed_from_u64(0); // dropout is off: never drawn from
+        Some(self.session_repr(session, false, &mut rng))
+    }
+
+    fn logits_of_reprs(&self, reprs: &Tensor) -> Option<Tensor> {
+        Some(self.scorer.logits_rows(reprs, &self.items.weight))
+    }
 }
 
 #[cfg(test)]

@@ -5,12 +5,19 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic        "EMBN" (0x45 0x4D 0x42 0x4E)
-//! 4       1     version      protocol version, currently 1
+//! 4       1     version      protocol version, 1 or 2
 //! 5       1     kind         FrameKind discriminant
 //! 6       8     request id   u64, little-endian; responses echo it
 //! 14      4     payload len  u32, little-endian, <= MAX_PAYLOAD
 //! 18      len   payload      UTF-8 JSON (see `wire`)
 //! ```
+//!
+//! Version 1 is the original one-request-per-connection protocol (kinds
+//! 1–5). Version 2 keeps the header layout and all v1 payload schemas
+//! bit-for-bit, and adds the multiplexing handshake (`Hello`/`HelloAck`)
+//! and the control plane (`Control`/`ControlReply`). A decoder for either
+//! version reads the other's score/top-k frames unchanged; peers negotiate
+//! the connection version with a `Hello` frame (see `client`).
 //!
 //! The codec is deliberately paranoid: every malformed input maps to a
 //! typed [`FrameError`] — bad magic, unknown version or kind, oversized
@@ -30,8 +37,10 @@ use std::io::{self, Read, Write};
 
 /// Leading bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"EMBN";
-/// Current protocol version.
-pub const VERSION: u8 = 1;
+/// The original protocol version (blocking, one request in flight).
+pub const VERSION_V1: u8 = 1;
+/// Current protocol version: multiplexed connections + control plane.
+pub const VERSION: u8 = 2;
 /// Upper bound on the payload of one frame (64 MiB). A length field above
 /// this is rejected before any allocation, so a hostile header cannot OOM
 /// the server.
@@ -55,6 +64,15 @@ pub enum FrameKind {
     TopKResponse = 4,
     /// Server → client: a typed error (see `wire::decode_error`).
     ErrorResponse = 5,
+    /// Client → server (v2): version negotiation opener.
+    Hello = 6,
+    /// Server → client (v2): negotiation answer.
+    HelloAck = 7,
+    /// Client → server (v2): a control-plane command
+    /// (`LoadSnapshot`/`Activate`/`Status`).
+    Control = 8,
+    /// Server → client (v2): the control-plane answer.
+    ControlReply = 9,
 }
 
 impl FrameKind {
@@ -66,6 +84,10 @@ impl FrameKind {
             3 => Some(FrameKind::ScoreResponse),
             4 => Some(FrameKind::TopKResponse),
             5 => Some(FrameKind::ErrorResponse),
+            6 => Some(FrameKind::Hello),
+            7 => Some(FrameKind::HelloAck),
+            8 => Some(FrameKind::Control),
+            9 => Some(FrameKind::ControlReply),
             _ => None,
         }
     }
@@ -74,12 +96,38 @@ impl FrameKind {
 /// One decoded frame.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Frame {
+    /// Protocol version the frame was encoded under. Responses echo the
+    /// version of the request they answer, so a v1 peer never sees a v2
+    /// header byte.
+    pub version: u8,
     pub kind: FrameKind,
     /// Correlates responses with requests on a connection; the server
     /// echoes the id of the request it is answering.
     pub request_id: u64,
     /// UTF-8 JSON, interpreted by the `wire` layer according to `kind`.
     pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// A frame at the current protocol version.
+    pub fn new(kind: FrameKind, request_id: u64, payload: Vec<u8>) -> Frame {
+        Frame {
+            version: VERSION,
+            kind,
+            request_id,
+            payload,
+        }
+    }
+
+    /// A frame at an explicit protocol version (used to answer v1 peers).
+    pub fn versioned(version: u8, kind: FrameKind, request_id: u64, payload: Vec<u8>) -> Frame {
+        Frame {
+            version,
+            kind,
+            request_id,
+            payload,
+        }
+    }
 }
 
 /// Everything that can go wrong at the framing layer. All variants are
@@ -135,9 +183,12 @@ pub fn encode(frame: &Frame) -> Result<Vec<u8>, FrameError> {
             max: MAX_PAYLOAD,
         });
     }
+    if frame.version < VERSION_V1 || frame.version > VERSION {
+        return Err(FrameError::BadVersion(frame.version));
+    }
     let mut out = Vec::with_capacity(HEADER_LEN + len);
     out.extend_from_slice(&MAGIC);
-    out.push(VERSION);
+    out.push(frame.version);
     out.push(frame.kind as u8);
     out.extend_from_slice(&frame.request_id.to_le_bytes());
     out.extend_from_slice(&(len as u32).to_le_bytes());
@@ -216,8 +267,9 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameError> {
     if magic != MAGIC {
         return Err(FrameError::BadMagic(magic));
     }
-    if header[4] != VERSION {
-        return Err(FrameError::BadVersion(header[4]));
+    let version = header[4];
+    if !(VERSION_V1..=VERSION).contains(&version) {
+        return Err(FrameError::BadVersion(version));
     }
     let kind = FrameKind::from_u8(header[5]).ok_or(FrameError::BadKind(header[5]))?;
     let mut id_bytes = [0u8; 8];
@@ -235,6 +287,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameError> {
     let mut payload = vec![0u8; len as usize];
     read_full(r, &mut payload, HEADER_LEN, HEADER_LEN + len as usize)?;
     Ok(Frame {
+        version,
         kind,
         request_id,
         payload,

@@ -2,9 +2,10 @@
 //! replicas behind a rendezvous-hash router with bounded admission.
 //!
 //! ```text
-//! conn handler ──decode──▶ router ──(session shard)──▶ replica 0 queue ─▶ dispatchers ─▶ serve() engine
-//!      ▲                     │                          replica 1 queue ─▶ ...
-//!      └───────reassemble────┴─ per-(slot) replies via mpsc
+//! conn reader ──┬─ Hello/HelloAck (inline)
+//!               └─▶ conn workers ──decode──▶ router ──(session shard)──▶ replica 0 queue ─▶ dispatchers ─▶ serve() engine
+//!      ▲                            │                                    replica 1 queue ─▶ ...
+//!      └──────────reassemble────────┴─ per-(slot) replies via mpsc
 //! ```
 //!
 //! Each replica is its own [`FrozenModel`] rebuilt from the shared weight
@@ -16,14 +17,34 @@
 //! which is score-safe because every replica holds bitwise-identical
 //! weights (pinned by `tests/net_equivalence.rs`).
 //!
+//! **Connection multiplexing (protocol v2).** Every connection runs a
+//! reader thread plus [`ServerConfig::conn_workers`] request workers:
+//! the reader demultiplexes incoming frames into a per-connection queue,
+//! workers process requests concurrently, and whole-frame writes are
+//! serialized on a write lock — so one connection can carry many requests
+//! in flight, completing out of order (responses are keyed by request id).
+//! `Hello` handshakes are answered inline by the reader so negotiation
+//! never queues behind scoring. Responses echo the *request frame's*
+//! protocol version, so a v1 peer never sees a v2 header and needs no
+//! handshake at all.
+//!
+//! **Control plane (protocol v2).** `Control` frames carry the
+//! zero-downtime snapshot lifecycle: `LoadSnapshot` stages an `EMBSRSNP`
+//! blob in every alive replica's engine (bypassing admission), `Activate`
+//! atomically flips scoring to a staged version with no drain — in-flight
+//! batches finish under the version that scored them and every response
+//! is tagged with it — and `Status` reports per-replica active/staged
+//! versions plus session-repr cache counters.
+//!
 //! **Failure semantics** (exercised by the fault-injection suite):
 //!
 //! * *Replica death* ([`Server::kill_replica`]) — the replica is marked
 //!   dead under its queue lock (no new work can slip in), its queued items
 //!   are re-routed to survivors via the rendezvous hash over the reduced
-//!   alive set, and its thread is joined. In-flight items it already
-//!   popped complete normally: zero wrong answers, and the only error
-//!   responses are the bounded set that could not be re-homed.
+//!   alive set (queued control commands fail `Unavailable`), and its
+//!   thread is joined. In-flight items it already popped complete
+//!   normally: zero wrong answers, and the only error responses are the
+//!   bounded set that could not be re-homed.
 //! * *Overload* — a shedding request whose target queue is at
 //!   [`ServerConfig::admission_cap`] is refused with a typed `Overloaded`
 //!   error, never silently dropped; the server counts every rejection so
@@ -48,15 +69,16 @@ use std::time::Duration;
 use embsr_obs::trace::{self, TraceCtx};
 use embsr_obs::{metrics, Stopwatch};
 use embsr_serve::{
-    serve, top_k_of_row, Client, EngineConfig, FrozenModel, ScoreBatch, ScoreResponse, ScoredItem,
-    SubmitOptions, TopKResponse,
+    serve, top_k_of_row, Client, EngineConfig, EngineStatus, FrozenModel, ScoreBatch,
+    ScoreResponse, ScoredItem, SubmitOptions, SwapError, TopKResponse,
 };
 use embsr_sessions::Session;
 use embsr_train::SessionModel;
 
-use crate::frame::{self, Frame, FrameError, FrameKind};
+use crate::frame::{self, Frame, FrameError, FrameKind, VERSION, VERSION_V1};
 use crate::shard;
-use crate::wire::{self, NetError, RequestEnvelope};
+use crate::wire::{self, ControlReply, ControlRequest, NetError, Request, RequestEnvelope,
+    Response, ServerStatus};
 
 /// Counter of requests received by connection handlers.
 pub const METRIC_NET_REQUESTS: &str = "net.requests";
@@ -67,6 +89,8 @@ pub const METRIC_NET_REROUTED: &str = "net.rerouted_sessions";
 /// Counter of router-level deadline expiries (engine-level ones land in
 /// `serve.deadline_expired`).
 pub const METRIC_NET_DEADLINE_EXPIRED: &str = "net.deadline_expired";
+/// Counter of control-plane commands processed.
+pub const METRIC_NET_CONTROL: &str = "net.control_requests";
 /// Histogram of server-side request latency (decode → response written),
 /// in microseconds.
 pub const METRIC_NET_LATENCY_US: &str = "net.request_latency_us";
@@ -85,6 +109,10 @@ pub struct ServerConfig {
     /// more dispatchers mean more concurrent requests coalescing into one
     /// engine's micro-batches.
     pub dispatchers: usize,
+    /// Request workers per connection: the per-connection concurrency
+    /// ceiling of the multiplexed protocol (a pipelining client can keep
+    /// this many requests of one connection in flight at once).
+    pub conn_workers: usize,
     /// Per-replica engine configuration.
     pub engine: EngineConfig,
     /// Bounded admission: work items allowed to wait in one replica's
@@ -100,6 +128,7 @@ impl Default for ServerConfig {
         ServerConfig {
             replicas: 2,
             dispatchers: 2,
+            conn_workers: 8,
             engine: EngineConfig::default(),
             admission_cap: 64,
             read_timeout_ms: 20,
@@ -124,6 +153,9 @@ pub struct ServerStats {
     pub unavailable: u64,
     /// Requests whose payload did not decode.
     pub bad_requests: u64,
+    /// Control-plane commands received (snapshot staging/activation and
+    /// status probes).
+    pub control: u64,
 }
 
 /// One routed unit of work: the slice of a request's sessions that shard
@@ -143,13 +175,34 @@ struct WorkItem {
 }
 
 enum Reply {
-    Rows(Vec<(usize, Vec<f32>)>),
-    Items(Vec<(usize, Vec<ScoredItem>)>),
+    /// Score rows plus the snapshot version that produced them.
+    Rows(Vec<(usize, Vec<f32>)>, u64),
+    /// Top-k rows plus the snapshot version that produced them.
+    Items(Vec<(usize, Vec<ScoredItem>)>, u64),
     Failed(NetError),
 }
 
+/// What a control command produced on one replica.
+enum ControlOutcome {
+    Done,
+    Status(EngineStatus),
+}
+
+/// A control command fanned out to one replica's engine.
+struct ControlJob {
+    replica: usize,
+    cmd: ControlRequest,
+    reply: Sender<(usize, Result<ControlOutcome, NetError>)>,
+}
+
+/// A queued unit on a replica: routed scoring work or a control command.
+enum Work {
+    Score(WorkItem),
+    Control(ControlJob),
+}
+
 struct ReplicaState {
-    jobs: VecDeque<WorkItem>,
+    jobs: VecDeque<Work>,
     alive: bool,
     /// Fault injection: artificial per-item latency, µs.
     delay_us: u64,
@@ -167,10 +220,21 @@ fn lock_state(q: &ReplicaQueue) -> MutexGuard<'_, ReplicaState> {
     }
 }
 
+/// Poison-tolerant lock for plain data (a panicked peer cannot leave a
+/// socket guard or receiver structurally broken).
+fn lock_plain<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // lock: recover from poisoning — the protected state is still sound.
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
 struct Inner {
     queues: Vec<ReplicaQueue>,
     shutdown: AtomicBool,
     admission_cap: usize,
+    conn_workers: usize,
     read_timeout_ms: u64,
     handlers: Mutex<Vec<JoinHandle<()>>>,
     completed: AtomicU64,
@@ -179,6 +243,7 @@ struct Inner {
     deadline_expired: AtomicU64,
     unavailable: AtomicU64,
     bad_requests: AtomicU64,
+    control: AtomicU64,
 }
 
 impl Inner {
@@ -216,7 +281,7 @@ fn push_item(inner: &Inner, idx: usize, item: WorkItem, shed: bool) -> Result<()
             cap: inner.admission_cap,
         });
     }
-    st.jobs.push_back(item);
+    st.jobs.push_back(Work::Score(item));
     drop(st);
     q.arrivals.notify_one();
     Ok(())
@@ -292,12 +357,12 @@ fn route_and_enqueue(
 // Dispatchers (router queue → engine)
 // ---------------------------------------------------------------------------
 
-fn pop_item(inner: &Inner, idx: usize) -> Option<(WorkItem, u64)> {
+fn pop_work(inner: &Inner, idx: usize) -> Option<(Work, u64)> {
     let q = &inner.queues[idx];
     let mut st = lock_state(q);
     loop {
-        if let Some(item) = st.jobs.pop_front() {
-            return Some((item, st.delay_us));
+        if let Some(work) = st.jobs.pop_front() {
+            return Some((work, st.delay_us));
         }
         if !st.alive || inner.is_shutdown() {
             return None;
@@ -350,7 +415,10 @@ fn handle_item(client: &Client<'_>, item: WorkItem, injected_delay_us: u64) {
     match client.try_score_in(ScoreBatch { sessions }, opts, ctx) {
         Ok(resp) => match k {
             None => {
-                let _ = reply.send(Reply::Rows(slots.into_iter().zip(resp.scores).collect()));
+                let _ = reply.send(Reply::Rows(
+                    slots.into_iter().zip(resp.scores).collect(),
+                    resp.model_version,
+                ));
             }
             Some(k) => {
                 let _select = trace::child(ctx, "top_k");
@@ -359,13 +427,37 @@ fn handle_item(client: &Client<'_>, item: WorkItem, injected_delay_us: u64) {
                     .zip(resp.scores.iter().map(|row| top_k_of_row(row, k)))
                     .collect();
                 drop(_select);
-                let _ = reply.send(Reply::Items(items));
+                let _ = reply.send(Reply::Items(items, resp.model_version));
             }
         },
         Err(e) => {
             let _ = reply.send(Reply::Failed(e.into()));
         }
     }
+}
+
+fn swap_to_net(e: SwapError) -> NetError {
+    match e {
+        SwapError::UnknownVersion(_) | SwapError::WrongLayout { .. } | SwapError::Malformed(_) => {
+            NetError::BadRequest(e.to_string())
+        }
+    }
+}
+
+/// Applies one control command on this replica's engine and reports back.
+fn handle_control(client: &Client<'_>, job: ControlJob) {
+    let outcome = match &job.cmd {
+        ControlRequest::LoadSnapshot { version, snapshot } => client
+            .stage_snapshot(*version, snapshot)
+            .map(|()| ControlOutcome::Done)
+            .map_err(swap_to_net),
+        ControlRequest::Activate { version } => client
+            .activate(*version)
+            .map(|()| ControlOutcome::Done)
+            .map_err(swap_to_net),
+        ControlRequest::Status => Ok(ControlOutcome::Status(client.status())),
+    };
+    let _ = job.reply.send((job.replica, outcome));
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -392,13 +484,94 @@ fn run_replica<M, F>(
             for _ in 0..dispatchers.max(1) {
                 let inner = &inner;
                 scope.spawn(move || {
-                    while let Some((item, delay_us)) = pop_item(inner, idx) {
-                        handle_item(client, item, delay_us);
+                    while let Some((work, delay_us)) = pop_work(inner, idx) {
+                        match work {
+                            Work::Score(item) => handle_item(client, item, delay_us),
+                            // Control commands skip the fault-injection
+                            // delay: they model the operator plane, not the
+                            // data plane.
+                            Work::Control(job) => handle_control(client, job),
+                        }
                     }
                 });
             }
         });
     });
+}
+
+// ---------------------------------------------------------------------------
+// Control-plane fan-out
+// ---------------------------------------------------------------------------
+
+/// Fans one control command out to every alive replica's engine and folds
+/// the answers: lifecycle commands must succeed everywhere (`Done`),
+/// status concatenates per-replica reports in replica order. Control
+/// bypasses admission (the operator plane must work *because* the data
+/// plane is saturated).
+fn process_control(inner: &Inner, cmd: ControlRequest) -> Result<ControlReply, NetError> {
+    let _span = embsr_obs::span("embsr_net", "process_control");
+    let (tx, rx) = std::sync::mpsc::channel();
+    let mut fanned = 0usize;
+    for (idx, q) in inner.queues.iter().enumerate() {
+        let job = ControlJob {
+            replica: idx,
+            cmd: cmd.clone(),
+            reply: tx.clone(),
+        };
+        let mut st = lock_state(q);
+        if !st.alive {
+            continue;
+        }
+        st.jobs.push_back(Work::Control(job));
+        drop(st);
+        q.arrivals.notify_one();
+        fanned += 1;
+    }
+    drop(tx);
+    if fanned == 0 {
+        return Err(NetError::Unavailable("no replicas alive".into()));
+    }
+    let mut statuses: Vec<(usize, EngineStatus)> = Vec::new();
+    let mut got = 0usize;
+    let stall = Stopwatch::start();
+    while got < fanned {
+        match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok((idx, Ok(outcome))) => {
+                got += 1;
+                if let ControlOutcome::Status(s) = outcome {
+                    statuses.push((idx, s));
+                }
+            }
+            // First failure wins; replicas that already applied the command
+            // keep it staged (staging is idempotent — the operator
+            // re-issues after fixing the cause).
+            Ok((_, Err(e))) => return Err(e),
+            Err(RecvTimeoutError::Timeout) => {
+                if inner.is_shutdown() {
+                    return Err(NetError::Unavailable("server shutting down".into()));
+                }
+                if stall.elapsed_us() > REQUEST_STALL_CEILING_US {
+                    return Err(NetError::Unavailable("control command stalled".into()));
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                return Err(NetError::Unavailable(
+                    "replica dropped the control command".into(),
+                ));
+            }
+        }
+    }
+    match cmd {
+        ControlRequest::Status => {
+            statuses.sort_by_key(|&(idx, _)| idx);
+            Ok(ControlReply::Status(ServerStatus {
+                replicas: statuses.into_iter().map(|(_, s)| s).collect(),
+            }))
+        }
+        ControlRequest::LoadSnapshot { version, .. } | ControlRequest::Activate { version } => {
+            Ok(ControlReply::Done { version })
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -429,17 +602,23 @@ fn run_request(inner: &Inner, env: RequestEnvelope, ctx: TraceCtx) -> Result<Out
     drop(tx);
     let mut rows: Vec<Vec<f32>> = vec![Vec::new(); n];
     let mut items: Vec<Vec<ScoredItem>> = vec![Vec::new(); n];
+    // The newest snapshot version that contributed rows: one request's
+    // sessions can straddle an activation across replicas, and the tag
+    // reports the newest weights involved (0 = nothing scored).
+    let mut model_version = 0u64;
     let mut got = 0usize;
     let stall = Stopwatch::start();
     while got < expected {
         match rx.recv_timeout(Duration::from_millis(50)) {
-            Ok(Reply::Rows(slice)) => {
+            Ok(Reply::Rows(slice, version)) => {
+                model_version = model_version.max(version);
                 for (slot, row) in slice {
                     rows[slot] = row;
                     got += 1;
                 }
             }
-            Ok(Reply::Items(slice)) => {
+            Ok(Reply::Items(slice, version)) => {
+                model_version = model_version.max(version);
                 for (slot, recs) in slice {
                     items[slot] = recs;
                     got += 1;
@@ -462,20 +641,28 @@ fn run_request(inner: &Inner, env: RequestEnvelope, ctx: TraceCtx) -> Result<Out
         }
     }
     Ok(match env.k {
-        None => Outcome::Scores(ScoreResponse { scores: rows }),
-        Some(_) => Outcome::Recs(TopKResponse { items }),
+        None => Outcome::Scores(ScoreResponse {
+            scores: rows,
+            model_version,
+        }),
+        Some(_) => Outcome::Recs(TopKResponse {
+            items,
+            model_version,
+        }),
     })
 }
 
-fn error_frame(request_id: u64, err: &NetError) -> Frame {
-    Frame {
-        kind: FrameKind::ErrorResponse,
+/// An error response, framed at `version` so the peer can parse it.
+fn error_frame(version: u8, request_id: u64, err: &NetError) -> Frame {
+    Frame::versioned(
+        version,
+        FrameKind::ErrorResponse,
         request_id,
-        payload: wire::encode_error(err),
-    }
+        wire::encode_error(err),
+    )
 }
 
-fn account(inner: &Inner, result: &Result<Outcome, NetError>) {
+fn account<T>(inner: &Inner, result: &Result<T, NetError>) {
     // ordering: Relaxed (all) — exact statistics counters; readers snapshot
     // them after quiescing, no synchronization rides on the values.
     match result {
@@ -502,20 +689,41 @@ fn account(inner: &Inner, result: &Result<Outcome, NetError>) {
 
 fn process_request(inner: &Inner, req: Frame) -> Frame {
     let id = req.request_id;
+    let version = req.version;
     let top_k = match req.kind {
         FrameKind::ScoreRequest => false,
         FrameKind::TopKRequest => true,
+        FrameKind::Control => {
+            // ordering: Relaxed — statistics counter, no synchronization.
+            inner.control.fetch_add(1, Ordering::Relaxed);
+            if metrics::enabled() {
+                metrics::counter(METRIC_NET_CONTROL).inc();
+            }
+            let result = match wire::decode_request_frame(req.kind, &req.payload) {
+                Ok(Request::Control(cmd)) => process_control(inner, cmd),
+                Ok(_) => Err(NetError::BadRequest("control frame expected".into())),
+                Err(e) => Err(e),
+            };
+            account(inner, &result);
+            return match result {
+                Ok(reply) => {
+                    let (kind, payload) = wire::encode_response(&Response::Control(reply));
+                    Frame::versioned(version, kind, id, payload)
+                }
+                Err(e) => error_frame(version, id, &e),
+            };
+        }
         other => {
             let e = NetError::BadRequest(format!("unexpected frame kind {other:?}"));
-            account(inner, &Err(e.clone()));
-            return error_frame(id, &e);
+            account(inner, &Err::<(), _>(e.clone()));
+            return error_frame(version, id, &e);
         }
     };
     let env = match wire::decode_request(&req.payload, top_k) {
         Ok(env) => env,
         Err(e) => {
-            account(inner, &Err(e.clone()));
-            return error_frame(id, &e);
+            account(inner, &Err::<(), _>(e.clone()));
+            return error_frame(version, id, &e);
         }
     };
     // The client's root span crossed the wire inside the payload; nest the
@@ -525,63 +733,119 @@ fn process_request(inner: &Inner, req: Frame) -> Frame {
     drop(span);
     account(inner, &result);
     match result {
-        Ok(Outcome::Scores(resp)) => Frame {
-            kind: FrameKind::ScoreResponse,
-            request_id: id,
-            payload: wire::encode_score_response(&resp),
-        },
-        Ok(Outcome::Recs(resp)) => Frame {
-            kind: FrameKind::TopKResponse,
-            request_id: id,
-            payload: wire::encode_top_k_response(&resp),
-        },
-        Err(e) => error_frame(id, &e),
+        Ok(Outcome::Scores(resp)) => Frame::versioned(
+            version,
+            FrameKind::ScoreResponse,
+            id,
+            wire::encode_score_response(&resp),
+        ),
+        Ok(Outcome::Recs(resp)) => Frame::versioned(
+            version,
+            FrameKind::TopKResponse,
+            id,
+            wire::encode_top_k_response(&resp),
+        ),
+        Err(e) => error_frame(version, id, &e),
     }
 }
 
+/// One connection: a reader demultiplexing frames into a per-connection
+/// queue drained by [`ServerConfig::conn_workers`] request workers, whose
+/// responses are written whole-frame under a shared write lock — so many
+/// requests of one connection proceed concurrently and complete out of
+/// order. `Hello` frames are answered inline by the reader.
 fn handle_conn(stream: TcpStream, inner: Arc<Inner>) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(inner.read_timeout_ms.max(1))));
-    loop {
-        let mut reader = &stream;
-        match frame::read_frame(&mut reader) {
-            Ok(req) => {
+    let write = Mutex::new(());
+    let write_frame = |frame: &Frame| -> bool {
+        // lock: whole-frame writes from concurrent workers must not
+        // interleave mid-frame.
+        let _serialize = lock_plain(&write);
+        let mut writer = &stream;
+        frame::write_frame(&mut writer, frame).is_ok()
+    };
+    let (tx, rx) = std::sync::mpsc::channel::<Frame>();
+    let rx = Mutex::new(rx);
+    std::thread::scope(|scope| {
+        for _ in 0..inner.conn_workers.max(1) {
+            let rx = &rx;
+            let inner = &inner;
+            let write_frame = &write_frame;
+            scope.spawn(move || loop {
+                // lock: held across recv — idle workers queue on the mutex
+                // and take requests in arrival order, one each.
+                let req = lock_plain(rx).recv();
+                let Ok(req) = req else { return };
                 let watch = Stopwatch::start();
                 if metrics::enabled() {
                     metrics::counter(METRIC_NET_REQUESTS).inc();
                 }
-                let resp = process_request(&inner, req);
-                let mut writer = &stream;
-                if frame::write_frame(&mut writer, &resp).is_err() {
-                    break;
+                let resp = process_request(inner, req);
+                if !write_frame(&resp) {
+                    return;
                 }
                 if metrics::enabled() {
                     metrics::histogram(METRIC_NET_LATENCY_US).record(watch.elapsed_us());
                 }
-            }
-            Err(FrameError::Idle) => {
-                if inner.is_shutdown() {
+            });
+        }
+        loop {
+            let mut reader = &stream;
+            match frame::read_frame(&mut reader) {
+                Ok(req) if req.kind == FrameKind::Hello => {
+                    // Inline so negotiation never queues behind scoring.
+                    let resp = match wire::decode_request_frame(req.kind, &req.payload) {
+                        Ok(Request::Hello { max_version }) => {
+                            let version = max_version.min(VERSION).max(VERSION_V1);
+                            let (kind, payload) =
+                                wire::encode_response(&Response::HelloAck { version });
+                            Frame::versioned(req.version, kind, req.request_id, payload)
+                        }
+                        Ok(_) => error_frame(
+                            req.version,
+                            req.request_id,
+                            &NetError::BadRequest("hello frame expected".into()),
+                        ),
+                        Err(e) => error_frame(req.version, req.request_id, &e),
+                    };
+                    if !write_frame(&resp) {
+                        break;
+                    }
+                }
+                Ok(req) => {
+                    if tx.send(req).is_err() {
+                        break;
+                    }
+                }
+                Err(FrameError::Idle) => {
+                    if inner.is_shutdown() {
+                        break;
+                    }
+                }
+                Err(FrameError::Closed) => break,
+                Err(
+                    e @ (FrameError::BadMagic(_)
+                    | FrameError::BadVersion(_)
+                    | FrameError::BadKind(_)
+                    | FrameError::TooLarge { .. }),
+                ) => {
+                    // Protocol violation: tell the peer why, then drop the
+                    // connection — framing sync is lost. Id 0 marks it
+                    // connection-level; framed at v1 so any peer parses it.
+                    let err = NetError::Frame(e);
+                    account(&inner, &Err::<(), _>(err.clone()));
+                    let _ = write_frame(&error_frame(VERSION_V1, 0, &err));
                     break;
                 }
+                Err(_) => break,
             }
-            Err(FrameError::Closed) => break,
-            Err(
-                e @ (FrameError::BadMagic(_)
-                | FrameError::BadVersion(_)
-                | FrameError::BadKind(_)
-                | FrameError::TooLarge { .. }),
-            ) => {
-                // Protocol violation: tell the peer why, then drop the
-                // connection — framing sync is lost.
-                let err = NetError::Frame(e);
-                account(&inner, &Err(err.clone()));
-                let mut writer = &stream;
-                let _ = frame::write_frame(&mut writer, &error_frame(0, &err));
-                break;
-            }
-            Err(_) => break,
         }
-    }
+        // Reader done: close the queue so idle workers drain out. Workers
+        // mid-request finish and write (or fail) their response first —
+        // the scope join below waits for them.
+        drop(tx);
+    });
 }
 
 // ---------------------------------------------------------------------------
@@ -632,6 +896,7 @@ impl Server {
                 .collect(),
             shutdown: AtomicBool::new(false),
             admission_cap: cfg.admission_cap.max(1),
+            conn_workers: cfg.conn_workers.max(1),
             read_timeout_ms: cfg.read_timeout_ms,
             handlers: Mutex::new(Vec::new()),
             completed: AtomicU64::new(0),
@@ -640,6 +905,7 @@ impl Server {
             deadline_expired: AtomicU64::new(0),
             unavailable: AtomicU64::new(0),
             bad_requests: AtomicU64::new(0),
+            control: AtomicU64::new(0),
         });
         let factory = Arc::new(factory);
         let snapshot = Arc::new(frozen.snapshot().to_vec());
@@ -683,10 +949,7 @@ impl Server {
                         .name("embsr-net-conn".into())
                         .spawn(move || handle_conn(stream, conn_inner));
                     if let Ok(handle) = spawned {
-                        let mut handlers = match accept_inner.handlers.lock() {
-                            Ok(g) => g,
-                            Err(poisoned) => poisoned.into_inner(),
-                        };
+                        let mut handlers = lock_plain(&accept_inner.handlers);
                         handlers.push(handle);
                     }
                 }
@@ -709,7 +972,7 @@ impl Server {
     /// Exact request accounting so far.
     pub fn stats(&self) -> ServerStats {
         // ordering: Relaxed (all) — see `account`; callers quiesce traffic
-        // before reconciling counts.
+        // before reconciling counts (they pair with `metrics::` snapshots).
         ServerStats {
             completed: self.inner.completed.load(Ordering::Relaxed),
             rejected: self.inner.rejected.load(Ordering::Relaxed),
@@ -717,6 +980,7 @@ impl Server {
             deadline_expired: self.inner.deadline_expired.load(Ordering::Relaxed),
             unavailable: self.inner.unavailable.load(Ordering::Relaxed),
             bad_requests: self.inner.bad_requests.load(Ordering::Relaxed),
+            control: self.inner.control.load(Ordering::Relaxed),
         }
     }
 
@@ -724,6 +988,8 @@ impl Server {
     /// every work item replica `idx` dispatches. Returns false for an
     /// unknown replica.
     pub fn set_replica_delay_us(&self, idx: usize, delay_us: u64) -> bool {
+        // Fault-injection knob; the faults suite pairs it with `metrics::`
+        // snapshots.
         let Some(q) = self.inner.queues.get(idx) else {
             return false;
         };
@@ -733,45 +999,54 @@ impl Server {
 
     /// Fault injection: kills replica `idx`. The replica is marked dead
     /// under its queue lock, its queued work is re-routed to the surviving
-    /// replicas (or failed `Unavailable` when none survive), and its
-    /// thread is joined before this returns. Work it had already started
-    /// completes normally. Returns false for an unknown replica.
+    /// replicas (or failed `Unavailable` when none survive; queued control
+    /// commands always fail — the operator re-issues against the reduced
+    /// set), and its thread is joined before this returns. Work it had
+    /// already started completes normally. Returns false for an unknown
+    /// replica.
     pub fn kill_replica(&self, idx: usize) -> bool {
         let _span = embsr_obs::span("embsr_net", "kill_replica");
         let Some(q) = self.inner.queues.get(idx) else {
             return false;
         };
-        let drained: Vec<WorkItem> = {
+        let drained: Vec<Work> = {
             let mut st = lock_state(q);
             st.alive = false;
             st.jobs.drain(..).collect()
         };
         q.arrivals.notify_all();
-        for item in drained {
-            let WorkItem {
-                sessions,
-                k,
-                deadline_us,
-                ctx,
-                reply,
-                ..
-            } = item;
-            let opts = SubmitOptions {
-                deadline_us,
-                // Re-routes never shed: admission already accepted this
-                // work, so refusing it now would be a silent drop in
-                // disguise. The deadline still bounds it.
-                shed: false,
-            };
-            if let Err(e) = route_and_enqueue(&self.inner, sessions, k, opts, ctx, &reply) {
-                let _ = reply.send(Reply::Failed(e));
+        for work in drained {
+            match work {
+                Work::Score(item) => {
+                    let WorkItem {
+                        sessions,
+                        k,
+                        deadline_us,
+                        ctx,
+                        reply,
+                        ..
+                    } = item;
+                    let opts = SubmitOptions {
+                        deadline_us,
+                        // Re-routes never shed: admission already accepted
+                        // this work, so refusing it now would be a silent
+                        // drop in disguise. The deadline still bounds it.
+                        shed: false,
+                    };
+                    if let Err(e) = route_and_enqueue(&self.inner, sessions, k, opts, ctx, &reply) {
+                        let _ = reply.send(Reply::Failed(e));
+                    }
+                }
+                Work::Control(job) => {
+                    let _ = job.reply.send((
+                        job.replica,
+                        Err(NetError::Unavailable("replica died".into())),
+                    ));
+                }
             }
         }
         let handle = {
-            let mut replicas = match self.replicas.lock() {
-                Ok(g) => g,
-                Err(poisoned) => poisoned.into_inner(),
-            };
+            let mut replicas = lock_plain(&self.replicas);
             replicas.get_mut(idx).and_then(Option::take)
         };
         if let Some(handle) = handle {
@@ -795,10 +1070,7 @@ impl Server {
         // handles so no late-accepted connection can slip past the joins.
         let _ = TcpStream::connect(self.addr);
         let accept = {
-            let mut slot = match self.accept.lock() {
-                Ok(g) => g,
-                Err(poisoned) => poisoned.into_inner(),
-            };
+            let mut slot = lock_plain(&self.accept);
             slot.take()
         };
         if let Some(handle) = accept {
@@ -806,35 +1078,33 @@ impl Server {
         }
         // Close every replica and fail whatever was still queued.
         for q in &self.inner.queues {
-            let drained: Vec<WorkItem> = {
+            let drained: Vec<Work> = {
                 let mut st = lock_state(q);
                 st.alive = false;
                 st.jobs.drain(..).collect()
             };
             q.arrivals.notify_all();
-            for item in drained {
-                let _ = item
-                    .reply
-                    .send(Reply::Failed(NetError::Unavailable(
-                        "server shutting down".into(),
-                    )));
+            for work in drained {
+                let err = NetError::Unavailable("server shutting down".into());
+                match work {
+                    Work::Score(item) => {
+                        let _ = item.reply.send(Reply::Failed(err));
+                    }
+                    Work::Control(job) => {
+                        let _ = job.reply.send((job.replica, Err(err)));
+                    }
+                }
             }
         }
         let replica_handles: Vec<JoinHandle<()>> = {
-            let mut replicas = match self.replicas.lock() {
-                Ok(g) => g,
-                Err(poisoned) => poisoned.into_inner(),
-            };
+            let mut replicas = lock_plain(&self.replicas);
             replicas.iter_mut().filter_map(Option::take).collect()
         };
         for handle in replica_handles {
             let _ = handle.join();
         }
         let handler_handles: Vec<JoinHandle<()>> = {
-            let mut handlers = match self.inner.handlers.lock() {
-                Ok(g) => g,
-                Err(poisoned) => poisoned.into_inner(),
-            };
+            let mut handlers = lock_plain(&self.inner.handlers);
             handlers.drain(..).collect()
         };
         for handle in handler_handles {

@@ -18,10 +18,11 @@
 use embsr_obs::{JsonValue, TraceCtx};
 use embsr_sessions::{MicroBehavior, Session};
 use embsr_serve::{
-    ScoreBatch, ScoreResponse, ScoredItem, ServeError, SubmitOptions, TopK, TopKResponse,
+    CacheStats, EngineStatus, ScoreBatch, ScoreResponse, ScoredItem, ServeError, SubmitOptions,
+    TopK, TopKResponse,
 };
 
-use crate::frame::FrameError;
+use crate::frame::{FrameError, FrameKind, VERSION};
 
 /// Every way a networked request can fail, client-visible. `Overloaded`
 /// and `DeadlineExpired` mirror the engine's [`ServeError`] — load
@@ -247,19 +248,24 @@ pub fn decode_request(payload: &[u8], top_k: bool) -> Result<RequestEnvelope, Ne
 // Responses
 // ---------------------------------------------------------------------------
 
-/// Encodes a [`ScoreResponse`] payload: `{"scores": [[...], ...]}`.
+/// Encodes a [`ScoreResponse`] payload: `{"scores": [[...], ...],
+/// "model_version": N}`. v1 decoders ignore the unknown `model_version`
+/// key, so the tag is safe to send to old peers.
 pub fn encode_score_response(resp: &ScoreResponse) -> Vec<u8> {
-    JsonValue::object(vec![(
-        "scores",
-        JsonValue::Array(
-            resp.scores
-                .iter()
-                .map(|row| {
-                    JsonValue::Array(row.iter().map(|&s| JsonValue::Number(s as f64)).collect())
-                })
-                .collect(),
+    JsonValue::object(vec![
+        (
+            "scores",
+            JsonValue::Array(
+                resp.scores
+                    .iter()
+                    .map(|row| {
+                        JsonValue::Array(row.iter().map(|&s| JsonValue::Number(s as f64)).collect())
+                    })
+                    .collect(),
+            ),
         ),
-    )])
+        ("model_version", resp.model_version.into()),
+    ])
     .to_json()
     .into_bytes()
 }
@@ -285,31 +291,43 @@ pub fn decode_score_response(payload: &[u8]) -> Result<ScoreResponse, NetError> 
         }
         scores.push(out);
     }
-    Ok(ScoreResponse { scores })
+    // Absent on v1 payloads: version tagging arrived with protocol v2.
+    let model_version = match v.get("model_version") {
+        Some(mv) => non_negative_int(mv, "model_version")?,
+        None => 0,
+    };
+    Ok(ScoreResponse {
+        scores,
+        model_version,
+    })
 }
 
-/// Encodes a [`TopKResponse`] payload: `{"items": [[[item, score], ...], ...]}`.
+/// Encodes a [`TopKResponse`] payload: `{"items": [[[item, score], ...], ...],
+/// "model_version": N}`.
 pub fn encode_top_k_response(resp: &TopKResponse) -> Vec<u8> {
-    JsonValue::object(vec![(
-        "items",
-        JsonValue::Array(
-            resp.items
-                .iter()
-                .map(|recs| {
-                    JsonValue::Array(
-                        recs.iter()
-                            .map(|r| {
-                                JsonValue::Array(vec![
-                                    (r.item as u64).into(),
-                                    JsonValue::Number(r.score as f64),
-                                ])
-                            })
-                            .collect(),
-                    )
-                })
-                .collect(),
+    JsonValue::object(vec![
+        (
+            "items",
+            JsonValue::Array(
+                resp.items
+                    .iter()
+                    .map(|recs| {
+                        JsonValue::Array(
+                            recs.iter()
+                                .map(|r| {
+                                    JsonValue::Array(vec![
+                                        (r.item as u64).into(),
+                                        JsonValue::Number(r.score as f64),
+                                    ])
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            ),
         ),
-    )])
+        ("model_version", resp.model_version.into()),
+    ])
     .to_json()
     .into_bytes()
 }
@@ -349,7 +367,15 @@ pub fn decode_top_k_response(payload: &[u8]) -> Result<TopKResponse, NetError> {
         }
         items.push(out);
     }
-    Ok(TopKResponse { items })
+    // Absent on v1 payloads: version tagging arrived with protocol v2.
+    let model_version = match v.get("model_version") {
+        Some(mv) => non_negative_int(mv, "model_version")?,
+        None => 0,
+    };
+    Ok(TopKResponse {
+        items,
+        model_version,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -414,5 +440,334 @@ pub fn decode_error(payload: &[u8]) -> NetError {
         Some("bad_request") => NetError::BadRequest(message()),
         Some(other) => NetError::Wire(format!("unknown error code `{other}`")),
         None => NetError::Wire("error response without a `code`".into()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hex codec (snapshot bytes inside JSON control payloads)
+// ---------------------------------------------------------------------------
+
+const HEX_DIGITS: &[u8; 16] = b"0123456789abcdef";
+
+/// Lower-case hex encoding; `EMBSRSNP` snapshot bytes ride inside JSON
+/// control payloads this way (the workspace has no base64 and snapshots
+/// are staged rarely, so 2× expansion is acceptable).
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(HEX_DIGITS[(b >> 4) as usize] as char);
+        out.push(HEX_DIGITS[(b & 0x0f) as usize] as char);
+    }
+    out
+}
+
+fn hex_decode(s: &str) -> Result<Vec<u8>, NetError> {
+    let raw = s.as_bytes();
+    if raw.len() % 2 != 0 {
+        return Err(NetError::Wire(format!(
+            "hex string has odd length {}",
+            raw.len()
+        )));
+    }
+    fn nibble(b: u8) -> Result<u8, NetError> {
+        match b {
+            b'0'..=b'9' => Ok(b - b'0'),
+            b'a'..=b'f' => Ok(b - b'a' + 10),
+            b'A'..=b'F' => Ok(b - b'A' + 10),
+            other => Err(NetError::Wire(format!("invalid hex digit 0x{other:02x}"))),
+        }
+    }
+    let mut out = Vec::with_capacity(raw.len() / 2);
+    for pair in raw.chunks_exact(2) {
+        out.push((nibble(pair[0])? << 4) | nibble(pair[1])?);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// The unified, versioned request/response surface (protocol v2)
+// ---------------------------------------------------------------------------
+
+/// Every client → server message, as one typed enum. `Score`/`TopK`
+/// payloads are byte-identical to their v1 forms (the encoders delegate to
+/// the per-type functions above); `Hello` and `Control` are new in
+/// protocol v2.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    Score {
+        batch: ScoreBatch,
+        opts: SubmitOptions,
+        ctx: TraceCtx,
+    },
+    TopK {
+        batch: TopK,
+        opts: SubmitOptions,
+        ctx: TraceCtx,
+    },
+    /// Version negotiation opener: the highest protocol version the client
+    /// speaks. The server answers with [`Response::HelloAck`].
+    Hello { max_version: u8 },
+    Control(ControlRequest),
+}
+
+/// Control-plane commands: the zero-downtime snapshot lifecycle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ControlRequest {
+    /// Stage an `EMBSRSNP` snapshot under `version` in every replica
+    /// without touching live scoring.
+    LoadSnapshot { version: u64, snapshot: Vec<u8> },
+    /// Atomically flip scoring to a previously staged version.
+    Activate { version: u64 },
+    /// Report the active/staged versions and cache counters per replica.
+    Status,
+}
+
+/// Every server → client message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    Scores(ScoreResponse),
+    Recs(TopKResponse),
+    /// The protocol version the connection will speak from here on.
+    HelloAck { version: u8 },
+    Control(ControlReply),
+    Error(NetError),
+}
+
+/// Control-plane answers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ControlReply {
+    /// The command was applied on every alive replica; echoes the snapshot
+    /// version acted on.
+    Done { version: u64 },
+    Status(ServerStatus),
+}
+
+/// Per-replica serving state, as reported by `ControlRequest::Status`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServerStatus {
+    pub replicas: Vec<EngineStatus>,
+}
+
+fn u64_list_to_json(xs: &[u64]) -> JsonValue {
+    JsonValue::Array(xs.iter().map(|&x| x.into()).collect())
+}
+
+fn u64_list_from_json(v: &JsonValue, what: &str) -> Result<Vec<u64>, NetError> {
+    let rows = v
+        .as_array()
+        .ok_or_else(|| NetError::Wire(format!("`{what}` is not an array")))?;
+    rows.iter().map(|x| non_negative_int(x, what)).collect()
+}
+
+fn engine_status_to_json(s: &EngineStatus) -> JsonValue {
+    JsonValue::object(vec![
+        ("active_version", s.active_version.into()),
+        ("staged", u64_list_to_json(&s.staged)),
+        (
+            "cache",
+            JsonValue::object(vec![
+                ("hits", s.cache.hits.into()),
+                ("misses", s.cache.misses.into()),
+                ("insertions", s.cache.insertions.into()),
+                ("evictions", s.cache.evictions.into()),
+                ("entries", s.cache.entries.into()),
+                ("bytes", s.cache.bytes.into()),
+            ]),
+        ),
+    ])
+}
+
+fn engine_status_from_json(v: &JsonValue) -> Result<EngineStatus, NetError> {
+    let cache = field(v, "cache")?;
+    let counter = |key: &str| non_negative_int(field(cache, key)?, key);
+    Ok(EngineStatus {
+        active_version: non_negative_int(field(v, "active_version")?, "active_version")?,
+        staged: u64_list_from_json(field(v, "staged")?, "staged")?,
+        cache: CacheStats {
+            hits: counter("hits")?,
+            misses: counter("misses")?,
+            insertions: counter("insertions")?,
+            evictions: counter("evictions")?,
+            entries: counter("entries")?,
+            bytes: counter("bytes")?,
+        },
+    })
+}
+
+/// Encodes a [`Request`] into the frame kind + payload to send.
+pub fn encode_request(req: &Request) -> (FrameKind, Vec<u8>) {
+    match req {
+        Request::Score { batch, opts, ctx } => (
+            FrameKind::ScoreRequest,
+            encode_score_request(batch, *opts, *ctx),
+        ),
+        Request::TopK { batch, opts, ctx } => (
+            FrameKind::TopKRequest,
+            encode_top_k_request(batch, *opts, *ctx),
+        ),
+        Request::Hello { max_version } => (
+            FrameKind::Hello,
+            JsonValue::object(vec![("max_version", (*max_version as u64).into())])
+                .to_json()
+                .into_bytes(),
+        ),
+        Request::Control(cmd) => {
+            let pairs = match cmd {
+                ControlRequest::LoadSnapshot { version, snapshot } => vec![
+                    ("op", "load_snapshot".into()),
+                    ("version", (*version).into()),
+                    ("snapshot", hex_encode(snapshot).into()),
+                ],
+                ControlRequest::Activate { version } => {
+                    vec![("op", "activate".into()), ("version", (*version).into())]
+                }
+                ControlRequest::Status => vec![("op", "status".into())],
+            };
+            (FrameKind::Control, JsonValue::object(pairs).to_json().into_bytes())
+        }
+    }
+}
+
+/// Decodes any request-direction frame into a [`Request`]. v1 peers only
+/// ever produce the `Score`/`TopK` arms; their payload schemas are
+/// unchanged, which the protocol tests pin.
+pub fn decode_request_frame(kind: FrameKind, payload: &[u8]) -> Result<Request, NetError> {
+    match kind {
+        FrameKind::ScoreRequest => {
+            let env = decode_request(payload, false)?;
+            Ok(Request::Score {
+                batch: ScoreBatch {
+                    sessions: env.sessions,
+                },
+                opts: env.opts,
+                ctx: env.ctx,
+            })
+        }
+        FrameKind::TopKRequest => {
+            let env = decode_request(payload, true)?;
+            let k = env.k.unwrap_or(0);
+            Ok(Request::TopK {
+                batch: TopK {
+                    sessions: env.sessions,
+                    k,
+                },
+                opts: env.opts,
+                ctx: env.ctx,
+            })
+        }
+        FrameKind::Hello => {
+            let v = parse_payload(payload)?;
+            let max = non_negative_int(field(&v, "max_version")?, "max_version")?;
+            let max_version = u8::try_from(max)
+                .map_err(|_| NetError::Wire(format!("max_version {max} overflows u8")))?;
+            Ok(Request::Hello { max_version })
+        }
+        FrameKind::Control => {
+            let v = parse_payload(payload)?;
+            let op = field(&v, "op")?
+                .as_str()
+                .ok_or_else(|| NetError::Wire("`op` is not a string".into()))?;
+            match op {
+                "load_snapshot" => Ok(Request::Control(ControlRequest::LoadSnapshot {
+                    version: non_negative_int(field(&v, "version")?, "version")?,
+                    snapshot: hex_decode(
+                        field(&v, "snapshot")?
+                            .as_str()
+                            .ok_or_else(|| NetError::Wire("`snapshot` is not a string".into()))?,
+                    )?,
+                })),
+                "activate" => Ok(Request::Control(ControlRequest::Activate {
+                    version: non_negative_int(field(&v, "version")?, "version")?,
+                })),
+                "status" => Ok(Request::Control(ControlRequest::Status)),
+                other => Err(NetError::Wire(format!("unknown control op `{other}`"))),
+            }
+        }
+        other => Err(NetError::Wire(format!(
+            "frame kind {other:?} is not a request"
+        ))),
+    }
+}
+
+/// Encodes a [`Response`] into the frame kind + payload to send.
+pub fn encode_response(resp: &Response) -> (FrameKind, Vec<u8>) {
+    match resp {
+        Response::Scores(r) => (FrameKind::ScoreResponse, encode_score_response(r)),
+        Response::Recs(r) => (FrameKind::TopKResponse, encode_top_k_response(r)),
+        Response::HelloAck { version } => (
+            FrameKind::HelloAck,
+            JsonValue::object(vec![("version", (*version as u64).into())])
+                .to_json()
+                .into_bytes(),
+        ),
+        Response::Control(reply) => {
+            let pairs = match reply {
+                ControlReply::Done { version } => {
+                    vec![("op", "done".into()), ("version", (*version).into())]
+                }
+                ControlReply::Status(status) => vec![
+                    ("op", "status".into()),
+                    (
+                        "replicas",
+                        JsonValue::Array(
+                            status.replicas.iter().map(engine_status_to_json).collect(),
+                        ),
+                    ),
+                ],
+            };
+            (
+                FrameKind::ControlReply,
+                JsonValue::object(pairs).to_json().into_bytes(),
+            )
+        }
+        Response::Error(err) => (FrameKind::ErrorResponse, encode_error(err)),
+    }
+}
+
+/// Decodes any response-direction frame into a [`Response`].
+pub fn decode_response_frame(kind: FrameKind, payload: &[u8]) -> Result<Response, NetError> {
+    match kind {
+        FrameKind::ScoreResponse => Ok(Response::Scores(decode_score_response(payload)?)),
+        FrameKind::TopKResponse => Ok(Response::Recs(decode_top_k_response(payload)?)),
+        FrameKind::ErrorResponse => Ok(Response::Error(decode_error(payload))),
+        FrameKind::HelloAck => {
+            let v = parse_payload(payload)?;
+            let raw = non_negative_int(field(&v, "version")?, "version")?;
+            let version = u8::try_from(raw)
+                .map_err(|_| NetError::Wire(format!("version {raw} overflows u8")))?;
+            if version == 0 || version > VERSION {
+                return Err(NetError::Wire(format!(
+                    "peer negotiated unsupported version {version}"
+                )));
+            }
+            Ok(Response::HelloAck { version })
+        }
+        FrameKind::ControlReply => {
+            let v = parse_payload(payload)?;
+            let op = field(&v, "op")?
+                .as_str()
+                .ok_or_else(|| NetError::Wire("`op` is not a string".into()))?;
+            match op {
+                "done" => Ok(Response::Control(ControlReply::Done {
+                    version: non_negative_int(field(&v, "version")?, "version")?,
+                })),
+                "status" => {
+                    let rows = field(&v, "replicas")?
+                        .as_array()
+                        .ok_or_else(|| NetError::Wire("`replicas` is not an array".into()))?;
+                    let replicas = rows
+                        .iter()
+                        .map(engine_status_from_json)
+                        .collect::<Result<Vec<_>, _>>()?;
+                    Ok(Response::Control(ControlReply::Status(ServerStatus {
+                        replicas,
+                    })))
+                }
+                other => Err(NetError::Wire(format!("unknown control reply `{other}`"))),
+            }
+        }
+        other => Err(NetError::Wire(format!(
+            "frame kind {other:?} is not a response"
+        ))),
     }
 }

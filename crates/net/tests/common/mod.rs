@@ -50,6 +50,16 @@ impl SessionModel for ToyModel {
         let idx: Vec<usize> = session.events.iter().map(|e| e.item as usize).collect();
         self.weight.gather_rows(&idx).mean_rows()
     }
+    // The repr seam, trivially: the "representation" is the logits row and
+    // the final projection is the identity, which satisfies the bitwise
+    // factoring contract and lets the engine-level repr cache engage in
+    // networked tests.
+    fn repr_infer(&self, session: &Session) -> Option<Tensor> {
+        Some(self.logits_infer(session))
+    }
+    fn logits_of_reprs(&self, reprs: &Tensor) -> Option<Tensor> {
+        Some(reprs.clone())
+    }
 }
 
 pub fn sess(id: u64, items: &[u32]) -> Session {

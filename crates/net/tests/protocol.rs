@@ -10,7 +10,7 @@ use std::io::{self, Read};
 
 use embsr_net::frame::{
     encode, read_frame, write_frame, Frame, FrameError, FrameKind, HEADER_LEN, MAGIC, MAX_PAYLOAD,
-    VERSION,
+    VERSION, VERSION_V1,
 };
 
 /// Local SplitMix64 so the fuzz schedule is seeded and reproducible.
@@ -74,20 +74,29 @@ impl Read for AlwaysTimeout {
     }
 }
 
-fn kinds() -> [FrameKind; 5] {
+fn kinds() -> [FrameKind; 9] {
     [
         FrameKind::ScoreRequest,
         FrameKind::TopKRequest,
         FrameKind::ScoreResponse,
         FrameKind::TopKResponse,
         FrameKind::ErrorResponse,
+        FrameKind::Hello,
+        FrameKind::HelloAck,
+        FrameKind::Control,
+        FrameKind::ControlReply,
     ]
 }
 
 fn random_frame(rng: &mut Rand, payload_len: usize) -> Frame {
-    let kind = kinds()[rng.below(5) as usize];
+    let all = kinds();
+    let kind = all[rng.below(all.len() as u64) as usize];
+    // Both wire versions are live on real links (v1 peers never handshake),
+    // so the fuzz schedule exercises both headers.
+    let version = if rng.below(2) == 0 { VERSION_V1 } else { VERSION };
     let payload: Vec<u8> = (0..payload_len).map(|_| rng.next() as u8).collect();
     Frame {
+        version,
         kind,
         request_id: rng.next(),
         payload,
@@ -164,6 +173,7 @@ fn truncation_at_every_prefix_is_a_typed_error_never_a_panic() {
 #[test]
 fn corrupt_headers_map_to_their_typed_errors() {
     let frame = Frame {
+        version: VERSION,
         kind: FrameKind::ScoreRequest,
         request_id: 7,
         payload: b"{}".to_vec(),
@@ -215,6 +225,7 @@ fn corrupt_headers_map_to_their_typed_errors() {
 #[test]
 fn oversized_payload_is_refused_at_encode_time() {
     let frame = Frame {
+        version: VERSION,
         kind: FrameKind::ScoreRequest,
         request_id: 1,
         // Declared via a zero-filled Vec; 64 MiB + 1 allocates but never
@@ -250,9 +261,64 @@ fn random_garbage_never_panics_the_decoder() {
 }
 
 #[test]
+fn v1_frames_round_trip_and_keep_their_version() {
+    // A v1 peer's frames carry version 1 in the header; the v2 codec must
+    // accept them unchanged and report which version it saw (the server
+    // echoes it on responses so v1 peers never see a v2 header).
+    for kind in kinds() {
+        let frame = Frame::versioned(VERSION_V1, kind, 42, b"payload".to_vec());
+        let bytes = encode(&frame).expect("within cap");
+        assert_eq!(bytes[4], VERSION_V1, "header carries the frame's version");
+        let mut t = Chunked::new(bytes, 11, 8);
+        let got = read_frame(&mut t).expect("v1 frame accepted");
+        assert_eq!(got, frame);
+        assert_eq!(got.version, VERSION_V1);
+    }
+}
+
+#[test]
+fn version_bounds_are_enforced_on_both_paths() {
+    // Encode refuses versions outside [VERSION_V1, VERSION]...
+    let below = Frame::versioned(0, FrameKind::ScoreRequest, 1, Vec::new());
+    assert_eq!(encode(&below), Err(FrameError::BadVersion(0)));
+    let above = Frame::versioned(VERSION + 1, FrameKind::ScoreRequest, 1, Vec::new());
+    assert_eq!(encode(&above), Err(FrameError::BadVersion(VERSION + 1)));
+    // ...and decode rejects a zero version byte on the wire.
+    let good = encode(&Frame::new(FrameKind::ScoreRequest, 1, Vec::new())).expect("within cap");
+    let mut bytes = good;
+    bytes[4] = 0;
+    let mut t = Chunked::new(bytes, 21, 8);
+    assert_eq!(read_frame(&mut t), Err(FrameError::BadVersion(0)));
+}
+
+#[test]
+fn v1_response_payloads_still_decode_under_the_unified_codec() {
+    // A v1 server's score/top-k response JSON has no `model_version` key;
+    // the redesigned decoders must accept it and default the tag to 0.
+    let v1_scores = br#"{"scores":[[0.5,-1.25],[3.0,0.0]]}"#;
+    let resp = embsr_net::wire::decode_score_response(v1_scores).expect("v1 payload");
+    assert_eq!(resp.model_version, 0, "missing tag defaults to 0");
+    assert_eq!(resp.scores.len(), 2);
+    assert_eq!(resp.scores[0][1].to_bits(), (-1.25f32).to_bits());
+
+    let v1_recs = br#"{"items":[[[7,0.5],[3,0.25]]]}"#;
+    let recs = embsr_net::wire::decode_top_k_response(v1_recs).expect("v1 payload");
+    assert_eq!(recs.model_version, 0);
+    assert_eq!(recs.items[0][0].item, 7);
+
+    // And the v2 encoders only *append* the tag — a decoder that ignores
+    // unknown keys (as the v1 parser did) keeps working, which the round
+    // trip through the tagged form pins structurally.
+    let encoded = embsr_net::wire::encode_score_response(&resp);
+    let again = embsr_net::wire::decode_score_response(&encoded).expect("tagged payload");
+    assert_eq!(again.scores, resp.scores);
+}
+
+#[test]
 fn request_ids_round_trip_at_the_extremes() {
     for id in [0u64, 1, u64::MAX, u64::MAX - 1, 1 << 53] {
         let frame = Frame {
+            version: VERSION,
             kind: FrameKind::ErrorResponse,
             request_id: id,
             payload: Vec::new(),

@@ -83,9 +83,13 @@ fn anchor() -> Instant {
 
 /// Microseconds since the process-local trace epoch (the first call wins
 /// the race to plant the anchor). Monotonic and shared by every thread, so
-/// timestamps taken on different threads are directly comparable.
+/// timestamps taken on different threads are directly comparable. Never
+/// returns 0: callers use zero as the "not traced" sentinel in queued
+/// timestamps, and the clock's first microsecond must not alias it.
 pub fn now_us() -> u64 {
-    u64::try_from(anchor().elapsed().as_micros()).unwrap_or(u64::MAX)
+    u64::try_from(anchor().elapsed().as_micros())
+        .unwrap_or(u64::MAX)
+        .max(1)
 }
 
 fn fresh_id() -> u64 {

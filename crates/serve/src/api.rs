@@ -21,6 +21,10 @@ pub struct ScoreBatch {
 pub struct ScoreResponse {
     /// `scores[i][v]` is the model's score of item `v` after `sessions[i]`.
     pub scores: Vec<Vec<f32>>,
+    /// Snapshot version that produced the scores. During a hot-swap a
+    /// batch may mix replicas on the old and new versions; the tag is the
+    /// newest contributing version (0 when the server predates tagging).
+    pub model_version: u64,
 }
 
 /// Request: the `k` highest-scored items for each session prefix.
@@ -39,6 +43,9 @@ pub struct TopKResponse {
     /// score (ties broken by ascending item id, so responses are
     /// deterministic).
     pub items: Vec<Vec<ScoredItem>>,
+    /// Snapshot version that produced the recommendations (see
+    /// [`ScoreResponse::model_version`]).
+    pub model_version: u64,
 }
 
 /// One recommended item with its score.

@@ -23,10 +23,10 @@
 //! whole machinery costs one relaxed atomic load per request and per
 //! batch.
 
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{RecvTimeoutError, Sender};
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
 use embsr_obs::trace::{self, TraceCtx};
@@ -36,7 +36,9 @@ use embsr_sessions::Session;
 use embsr_train::SessionModel;
 
 use crate::api::{top_k_of_row, ScoreBatch, ScoreResponse, TopK, TopKResponse};
+use crate::cache::{CacheStats, ReprCache};
 use crate::frozen::FrozenModel;
+use crate::snapshot::{self, Precision};
 
 /// Histogram of end-to-end request latency in microseconds.
 pub const METRIC_REQUEST_LATENCY_US: &str = "serve.request_latency_us";
@@ -55,6 +57,9 @@ pub const METRIC_REJECTED: &str = "serve.rejected";
 /// Counter of sessions shed by a worker because their request's deadline
 /// expired while they waited in the queue.
 pub const METRIC_DEADLINE_EXPIRED: &str = "serve.deadline_expired";
+/// Counter of per-worker replica rebuilds triggered by snapshot
+/// activation ([`Client::activate`]); `workers` increments per swap.
+pub const METRIC_SNAPSHOT_SWAPS: &str = "serve.snapshot_swaps";
 
 /// Tuning knobs of the micro-batching engine.
 #[derive(Clone, Copy, Debug)]
@@ -70,6 +75,14 @@ pub struct EngineConfig {
     /// shedding submit ([`SubmitOptions::shed`]) is rejected with
     /// [`ServeError::Overloaded`]. Non-shedding submits ignore the cap.
     pub queue_cap: usize,
+    /// Entry capacity of the session-repr cache shared by this engine's
+    /// workers; `0` (the default) disables caching. Only models exposing
+    /// the repr seam ([`SessionModel::repr_infer`]) are cached — others
+    /// fall back to uncached scoring transparently.
+    pub repr_cache: usize,
+    /// Version tag of the snapshot the engine starts serving; responses
+    /// carry the tag of the snapshot that scored them.
+    pub initial_version: u64,
 }
 
 impl Default for EngineConfig {
@@ -79,6 +92,8 @@ impl Default for EngineConfig {
             max_batch: 32,
             flush_deadline_us: 500,
             queue_cap: usize::MAX,
+            repr_cache: 0,
+            initial_version: 1,
         }
     }
 }
@@ -123,6 +138,149 @@ impl std::fmt::Display for ServeError {
     }
 }
 
+/// Why a control-plane call ([`Client::stage_snapshot`] /
+/// [`Client::activate`]) was refused. All variants leave serving
+/// untouched: a bad snapshot can never reach a replica.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SwapError {
+    /// [`Client::activate`] named a version that was never staged.
+    UnknownVersion(u64),
+    /// The staged snapshot's weight count does not match the serving
+    /// model's parameter layout.
+    WrongLayout { expected: usize, got: usize },
+    /// The snapshot bytes failed to decode (`EMBSRSNP` framing).
+    Malformed(String),
+}
+
+impl std::fmt::Display for SwapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SwapError::UnknownVersion(v) => write!(f, "version {v} was never staged"),
+            SwapError::WrongLayout { expected, got } => {
+                write!(f, "snapshot has {got} weights, model expects {expected}")
+            }
+            SwapError::Malformed(msg) => write!(f, "malformed snapshot: {msg}"),
+        }
+    }
+}
+
+/// Point-in-time control-plane view of one engine ([`Client::status`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EngineStatus {
+    /// Version currently scoring new batches.
+    pub active_version: u64,
+    /// Every staged version (including the active one), ascending.
+    pub staged: Vec<u64>,
+    /// Session-repr cache counters (all zero when the cache is disabled).
+    pub cache: CacheStats,
+}
+
+/// A decoded snapshot held by the [`ModelBank`], ready for replicas to
+/// import.
+struct StagedSnapshot {
+    weights: Vec<f32>,
+    max_session_len: usize,
+    precision: Precision,
+}
+
+/// The staged-snapshot registry shared by an engine's workers: versions
+/// accumulate under the mutex, activation atomically flips `active` and
+/// bumps `epoch`, and workers compare `epoch` against their local copy
+/// between batches — the flip itself never blocks scoring.
+struct ModelBank {
+    versions: Mutex<BTreeMap<u64, Arc<StagedSnapshot>>>,
+    /// Version new batches must score under.
+    active: AtomicU64,
+    /// Bumped on every activation; workers rebuild when it moves.
+    epoch: AtomicU64,
+    /// Flat weight count of the serving model's layout; staging validates
+    /// against it so a wrong-architecture snapshot is refused up front.
+    expected_weights: usize,
+}
+
+impl ModelBank {
+    fn new(initial_version: u64, initial: StagedSnapshot) -> ModelBank {
+        let expected_weights = initial.weights.len();
+        let mut versions = BTreeMap::new();
+        versions.insert(initial_version, Arc::new(initial));
+        ModelBank {
+            versions: Mutex::new(versions),
+            active: AtomicU64::new(initial_version),
+            epoch: AtomicU64::new(0),
+            expected_weights,
+        }
+    }
+
+    fn lock_versions(&self) -> MutexGuard<'_, BTreeMap<u64, Arc<StagedSnapshot>>> {
+        match self.versions.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn stage(&self, version: u64, snap: StagedSnapshot) -> Result<(), SwapError> {
+        if snap.weights.len() != self.expected_weights {
+            return Err(SwapError::WrongLayout {
+                expected: self.expected_weights,
+                got: snap.weights.len(),
+            });
+        }
+        self.lock_versions().insert(version, Arc::new(snap));
+        Ok(())
+    }
+
+    fn activate(&self, version: u64) -> Result<(), SwapError> {
+        let versions = self.lock_versions();
+        if !versions.contains_key(&version) {
+            return Err(SwapError::UnknownVersion(version));
+        }
+        // Both stores happen under the versions lock, so a worker that
+        // observes the new epoch and then calls `active_state` (which takes
+        // the same lock) is guaranteed to see this activation or a later one.
+        // ordering: SeqCst — the flip must totally order against workers'
+        // epoch loads; a weaker pair could let a worker read the new epoch
+        // but a stale active version without the lock round trip.
+        self.active.store(version, Ordering::SeqCst);
+        // ordering: SeqCst — published after `active` so epoch movement
+        // implies the new active version is visible.
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    fn active_version(&self) -> u64 {
+        // ordering: SeqCst — pairs with the store in `activate`.
+        self.active.load(Ordering::SeqCst)
+    }
+
+    fn epoch(&self) -> u64 {
+        // ordering: SeqCst — pairs with the bump in `activate`.
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// The consistent (epoch, version, snapshot) triple workers rebuild
+    /// from; taken under the versions lock so the three never tear.
+    fn active_state(&self) -> (u64, u64, Arc<StagedSnapshot>) {
+        let versions = self.lock_versions();
+        let epoch = self.epoch();
+        let version = self.active_version();
+        let snap = versions
+            .get(&version)
+            .cloned()
+            // The active version is always a key: activation checks under
+            // the same lock and staged versions are never removed.
+            .unwrap_or_else(|| Arc::new(StagedSnapshot {
+                weights: Vec::new(),
+                max_session_len: 0,
+                precision: Precision::F32,
+            }));
+        (epoch, version, snap)
+    }
+
+    fn staged_versions(&self) -> Vec<u64> {
+        self.lock_versions().keys().copied().collect()
+    }
+}
+
 /// One enqueued session awaiting scoring.
 struct Job {
     session: Session,
@@ -138,7 +296,8 @@ struct Job {
     deadline_us: u64,
     /// Position inside the originating request.
     slot: usize,
-    reply: Sender<(usize, Result<Vec<f32>, ServeError>)>,
+    /// Replies carry the model version that scored (or shed) the job.
+    reply: Sender<(usize, u64, Result<Vec<f32>, ServeError>)>,
 }
 
 /// Queue state shared between the client thread and the workers.
@@ -147,6 +306,10 @@ struct Shared {
     arrivals: Condvar,
     /// Cleared on shutdown; workers drain the queue and exit.
     open: AtomicBool,
+    /// Staged snapshot versions + the active flip (hot-swap control plane).
+    bank: ModelBank,
+    /// Session-repr cache, when [`EngineConfig::repr_cache`] > 0.
+    cache: Option<ReprCache>,
 }
 
 fn lock(shared: &Shared) -> MutexGuard<'_, VecDeque<Job>> {
@@ -202,8 +365,10 @@ impl Client<'_> {
         } else {
             trace::child(parent, "score_request")
         };
+        let (scores, model_version) = self.submit(req.sessions, span.ctx(), opts)?;
         Ok(ScoreResponse {
-            scores: self.submit(req.sessions, span.ctx(), opts)?,
+            scores,
+            model_version,
         })
     }
 
@@ -218,11 +383,62 @@ impl Client<'_> {
     /// [`Client::try_score`]).
     pub fn try_top_k(&self, req: TopK, opts: SubmitOptions) -> Result<TopKResponse, ServeError> {
         let root = trace::root("top_k_request");
-        let rows = self.submit(req.sessions, root.ctx(), opts)?;
+        let (rows, model_version) = self.submit(req.sessions, root.ctx(), opts)?;
         let _select = trace::child(root.ctx(), "top_k");
         Ok(TopKResponse {
             items: rows.iter().map(|row| top_k_of_row(row, req.k)).collect(),
+            model_version,
         })
+    }
+
+    /// Stages serialized `EMBSRSNP` snapshot bytes under `version` without
+    /// touching live scoring; flip to it later with [`Client::activate`].
+    /// Staging an already-staged version replaces it (it only takes effect
+    /// on the next activation).
+    pub fn stage_snapshot(&self, version: u64, bytes: &[u8]) -> Result<(), SwapError> {
+        let _span = embsr_obs::span("embsr_serve", "stage_snapshot");
+        let dec = snapshot::decode_snapshot(bytes)
+            .map_err(|e| SwapError::Malformed(e.to_string()))?;
+        self.shared.bank.stage(
+            version,
+            StagedSnapshot {
+                weights: dec.weights,
+                max_session_len: dec.max_session_len,
+                precision: dec.precision,
+            },
+        )
+    }
+
+    /// Atomically makes a staged `version` the one scoring new batches.
+    /// In-flight batches finish under the version they started with (their
+    /// responses are tagged accordingly); no request is dropped or drained.
+    pub fn activate(&self, version: u64) -> Result<(), SwapError> {
+        let _span = embsr_obs::span("embsr_serve", "activate");
+        self.shared.bank.activate(version)?;
+        // Wake idle workers so they rebuild ahead of the next arrival.
+        self.shared.arrivals.notify_all();
+        Ok(())
+    }
+
+    /// The version tag new batches are scored under.
+    pub fn active_version(&self) -> u64 {
+        self.shared.bank.active_version()
+    }
+
+    /// Control-plane snapshot: active/staged versions + cache counters.
+    pub fn status(&self) -> EngineStatus {
+        let _span = embsr_obs::span("embsr_serve", "engine_status")
+            .with_close_level(embsr_obs::Level::Trace);
+        EngineStatus {
+            active_version: self.shared.bank.active_version(),
+            staged: self.shared.bank.staged_versions(),
+            cache: self
+                .shared
+                .cache
+                .as_ref()
+                .map(ReprCache::stats)
+                .unwrap_or_default(),
+        }
     }
 
     fn submit(
@@ -230,15 +446,15 @@ impl Client<'_> {
         sessions: Vec<Session>,
         ctx: TraceCtx,
         opts: SubmitOptions,
-    ) -> Result<Vec<Vec<f32>>, ServeError> {
+    ) -> Result<(Vec<Vec<f32>>, u64), ServeError> {
         let n = sessions.len();
         if n == 0 {
-            return Ok(Vec::new());
+            return Ok((Vec::new(), self.shared.bank.active_version()));
         }
         let watch = Stopwatch::start();
         let tracing = !ctx.is_none() && trace::active();
         let (reply, replies) =
-            std::sync::mpsc::channel::<(usize, Result<Vec<f32>, ServeError>)>();
+            std::sync::mpsc::channel::<(usize, u64, Result<Vec<f32>, ServeError>)>();
         let mut pending = 0usize;
         let depth;
         {
@@ -280,14 +496,18 @@ impl Client<'_> {
         drop(reply);
 
         let mut rows: Vec<Vec<f32>> = vec![Vec::new(); n];
+        // Mixed-version batches can happen mid-swap; the response reports
+        // the newest contributing version.
+        let mut model_version = 0u64;
         let mut received = 0;
         while received < pending {
             match replies.recv_timeout(Duration::from_millis(50)) {
-                Ok((slot, Ok(row))) => {
+                Ok((slot, version, Ok(row))) => {
                     rows[slot] = row;
+                    model_version = model_version.max(version);
                     received += 1;
                 }
-                Ok((_, Err(e))) => {
+                Ok((_, _, Err(e))) => {
                     // One shed session fails the whole request: the caller
                     // asked for a deadline and this reply is already late.
                     // Replies for the request's other sessions go to a
@@ -314,7 +534,11 @@ impl Client<'_> {
         if embsr_obs::metrics::enabled() {
             embsr_obs::metrics::histogram(METRIC_REQUEST_LATENCY_US).record(watch.elapsed_us());
         }
-        Ok(rows)
+        if pending == 0 {
+            // Only empty sessions: nothing scored, tag the current version.
+            model_version = self.shared.bank.active_version();
+        }
+        Ok((rows, model_version))
     }
 }
 
@@ -402,23 +626,58 @@ where
     F: Fn() -> M + Sync,
 {
     let _engine_span = embsr_obs::span("embsr_serve", "serve");
-    let snapshot = frozen.snapshot().to_vec();
-    let max_session_len = frozen.max_session_len();
     let tier = frozen.tier();
     let shared = Shared {
         queue: Mutex::new(VecDeque::new()),
         arrivals: Condvar::new(),
         open: AtomicBool::new(true),
+        bank: ModelBank::new(
+            cfg.initial_version,
+            StagedSnapshot {
+                weights: frozen.snapshot().to_vec(),
+                max_session_len: frozen.max_session_len(),
+                precision: frozen.precision(),
+            },
+        ),
+        cache: if cfg.repr_cache > 0 {
+            Some(ReprCache::new(cfg.repr_cache))
+        } else {
+            None
+        },
     };
     run_with_workers(
         cfg.workers.max(1),
         |_worker_id| {
             // replicas score on the master's kernel tier (snapshots are
             // already quantized, so weights match the master bitwise)
-            let mut replica = FrozenModel::from_snapshot(factory(), &snapshot, max_session_len);
+            let (mut local_epoch, mut local_version, snap) = shared.bank.active_state();
+            let mut replica =
+                FrozenModel::from_snapshot(factory(), &snap.weights, snap.max_session_len);
             replica.set_tier(tier);
-            let replica = replica;
+            drop(snap);
             while let Some(batch) = next_batch(&shared, &cfg) {
+                // Hot-swap seam: rebuild this replica when an activation
+                // moved the epoch since the last batch. The batch drained
+                // above scores under the *new* version; batches drained
+                // before the flip finished under the old one — either way
+                // each reply is tagged with the version that scored it.
+                if shared.bank.epoch() != local_epoch {
+                    let (epoch, version, snap) = shared.bank.active_state();
+                    if replica
+                        .swap_snapshot(&snap.weights, snap.max_session_len, snap.precision)
+                        .is_ok()
+                    {
+                        // Layout is validated at stage time, so the swap
+                        // only fails on an impossible bank inconsistency —
+                        // in which case the replica keeps serving the old
+                        // weights rather than corrupting state.
+                        local_version = version;
+                        if embsr_obs::metrics::enabled() {
+                            embsr_obs::metrics::counter(METRIC_SNAPSHOT_SWAPS).inc();
+                        }
+                    }
+                    local_epoch = epoch;
+                }
                 let tracing = trace::active();
                 let drained_us = if tracing { trace::now_us() } else { 0 };
                 // Shed jobs whose queue-wait budget ran out before this
@@ -434,9 +693,11 @@ where
                         if tracing && job.enqueued_us != 0 {
                             trace::emit_span(job.trace, "queue_wait", job.enqueued_us, drained_us);
                         }
-                        let _ = job
-                            .reply
-                            .send((job.slot, Err(ServeError::DeadlineExpired { waited_us })));
+                        let _ = job.reply.send((
+                            job.slot,
+                            local_version,
+                            Err(ServeError::DeadlineExpired { waited_us }),
+                        ));
                     } else {
                         live.push(job);
                     }
@@ -446,7 +707,10 @@ where
                 }
                 let sessions: Vec<Session> = live.iter().map(|j| j.session.clone()).collect();
                 let assembled_us = if tracing { trace::now_us() } else { 0 };
-                let rows = replica.score_batch(&sessions);
+                let rows = match &shared.cache {
+                    Some(cache) => replica.score_batch_cached(&sessions, cache, local_version),
+                    None => replica.score_batch(&sessions),
+                };
                 let scored_us = if tracing { trace::now_us() } else { 0 };
                 if embsr_obs::metrics::enabled() {
                     embsr_obs::metrics::histogram(METRIC_BATCH_SESSIONS)
@@ -463,7 +727,7 @@ where
                     }
                     // A receiver gone away just means the caller bailed out;
                     // drop its rows rather than killing the worker.
-                    let _ = job.reply.send((job.slot, Ok(row)));
+                    let _ = job.reply.send((job.slot, local_version, Ok(row)));
                 }
             }
         },
@@ -489,7 +753,7 @@ fn notify_shutdown(shared: &Shared) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testing::{sess, ToyModel};
+    use crate::testing::{sess, ReprToyModel, ToyModel};
 
     fn frozen(n: usize, seed: u64) -> FrozenModel<ToyModel> {
         FrozenModel::freeze(ToyModel::new(n, seed), 32)
@@ -640,6 +904,7 @@ mod tests {
             max_batch: 4,
             flush_deadline_us: 200,
             queue_cap: 0, // every shedding submit sees a full queue
+            ..EngineConfig::default()
         };
         let got = serve(&f, || ToyModel::new(5, 0), cfg, |client| {
             let opts = SubmitOptions {
@@ -742,5 +1007,129 @@ mod tests {
         );
         assert_eq!(got_a, want_a);
         assert_eq!(got_b, want_b);
+    }
+
+    #[test]
+    fn hot_swap_retags_and_rescores_without_drain() {
+        let f_a = frozen(5, 4);
+        let f_b = frozen(5, 5);
+        let sessions = vec![sess(&[1, 2]), sess(&[3])];
+        let want_a = f_a.score_batch(&sessions);
+        let want_b = f_b.score_batch(&sessions);
+        assert_ne!(want_a, want_b, "the two seeds must score differently");
+        let bytes =
+            snapshot::encode_snapshot(f_b.snapshot(), f_b.max_session_len(), Precision::F32);
+        let (before, after) = serve(
+            &f_a,
+            || ToyModel::new(5, 4),
+            EngineConfig::default(),
+            |client| {
+                let before = client.score(ScoreBatch {
+                    sessions: sessions.clone(),
+                });
+                client.stage_snapshot(2, &bytes).expect("stage");
+                client.activate(2).expect("activate");
+                let after = client.score(ScoreBatch {
+                    sessions: sessions.clone(),
+                });
+                (before, after)
+            },
+        );
+        assert_eq!(before.scores, want_a);
+        assert_eq!(before.model_version, 1);
+        assert_eq!(after.scores, want_b);
+        assert_eq!(after.model_version, 2);
+    }
+
+    #[test]
+    fn control_plane_rejects_bad_snapshots_and_keeps_serving() {
+        let f = frozen(5, 11);
+        let wrong = FrozenModel::freeze(ToyModel::new(7, 1), 32);
+        let wrong_bytes = snapshot::encode_snapshot(wrong.snapshot(), 32, Precision::F32);
+        let got = serve(
+            &f,
+            || ToyModel::new(5, 11),
+            EngineConfig::default(),
+            |client| {
+                let malformed = client.stage_snapshot(2, b"not a snapshot");
+                let layout = client.stage_snapshot(2, &wrong_bytes);
+                let unknown = client.activate(9);
+                let healthy = client.score(ScoreBatch {
+                    sessions: vec![sess(&[1])],
+                });
+                (malformed, layout, unknown, healthy)
+            },
+        );
+        assert!(matches!(got.0, Err(SwapError::Malformed(_))), "{:?}", got.0);
+        assert!(
+            matches!(got.1, Err(SwapError::WrongLayout { .. })),
+            "{:?}",
+            got.1
+        );
+        assert_eq!(got.2, Err(SwapError::UnknownVersion(9)));
+        assert_eq!(got.3.model_version, 1, "rejections must not move the tag");
+        assert_eq!(got.3.scores.len(), 1);
+    }
+
+    #[test]
+    fn status_reports_active_and_staged_versions() {
+        let f = frozen(5, 3);
+        let bytes = snapshot::encode_snapshot(f.snapshot(), f.max_session_len(), Precision::F32);
+        let (s0, s1, s2) = serve(
+            &f,
+            || ToyModel::new(5, 3),
+            EngineConfig::default(),
+            |client| {
+                let s0 = client.status();
+                client.stage_snapshot(7, &bytes).expect("stage");
+                let s1 = client.status();
+                client.activate(7).expect("activate");
+                let s2 = client.status();
+                (s0, s1, s2)
+            },
+        );
+        assert_eq!(s0.active_version, 1);
+        assert_eq!(s0.staged, vec![1]);
+        assert_eq!(s0.cache, crate::CacheStats::default(), "cache off by default");
+        assert_eq!(s1.active_version, 1);
+        assert_eq!(s1.staged, vec![1, 7]);
+        assert_eq!(s2.active_version, 7);
+    }
+
+    #[test]
+    fn repr_cache_keeps_scores_bitwise_and_records_hits() {
+        let f = FrozenModel::freeze(ReprToyModel(ToyModel::new(6, 9)), 32);
+        let sessions = vec![sess(&[1, 2]), sess(&[3, 4]), sess(&[1, 2])];
+        let want = f.score_batch(&sessions);
+        let cfg = EngineConfig {
+            repr_cache: 64,
+            ..EngineConfig::default()
+        };
+        let (cold, warm, status) = serve(
+            &f,
+            || ReprToyModel(ToyModel::new(6, 9)),
+            cfg,
+            |client| {
+                let cold = client.score(ScoreBatch {
+                    sessions: sessions.clone(),
+                });
+                let warm = client.score(ScoreBatch {
+                    sessions: sessions.clone(),
+                });
+                (cold, warm, client.status())
+            },
+        );
+        for got in [&cold.scores, &warm.scores] {
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.len(), w.len());
+                for (a, b) in g.iter().zip(w) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "cached row must be bitwise");
+                }
+            }
+        }
+        // the warm pass alone replays three sessions whose reprs are resident
+        assert!(status.cache.hits >= 3, "expected warm hits: {:?}", status.cache);
+        assert!(status.cache.entries >= 1);
     }
 }

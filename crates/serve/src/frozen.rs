@@ -1,14 +1,16 @@
 //! Frozen model snapshots for inference.
 
+use std::cell::Cell;
 use std::io;
 use std::path::Path;
 
 use embsr_sessions::Session;
 use embsr_tensor::kernels::{self, KernelTier};
-use embsr_tensor::{export_params, import_params, inference_mode};
+use embsr_tensor::{export_params, import_params, inference_mode, Tensor};
 use embsr_train::{truncate_session, SessionModel};
 
 use crate::api::{top_k_of_row, ScoredItem};
+use crate::cache::ReprCache;
 use crate::snapshot::{self, Precision};
 
 /// A [`SessionModel`] frozen for serving: the weights are captured as a flat
@@ -38,6 +40,9 @@ pub struct FrozenModel<M: SessionModel> {
     max_session_len: usize,
     tier: KernelTier,
     precision: Precision,
+    /// Whether the model exposes the repr seam (`SessionModel::repr_infer`),
+    /// probed lazily on the first cached scoring call. `None` = unknown.
+    repr_capable: Cell<Option<bool>>,
 }
 
 impl<M: SessionModel> FrozenModel<M> {
@@ -66,6 +71,7 @@ impl<M: SessionModel> FrozenModel<M> {
             max_session_len,
             tier: KernelTier::Simd,
             precision,
+            repr_capable: Cell::new(None),
         }
     }
 
@@ -81,7 +87,40 @@ impl<M: SessionModel> FrozenModel<M> {
             max_session_len,
             tier: KernelTier::Simd,
             precision: Precision::F32,
+            repr_capable: Cell::new(None),
         }
+    }
+
+    /// Replaces the weights (and horizon) of a live replica in place — the
+    /// zero-downtime hot-swap primitive. The model instance, kernel tier
+    /// and any caller-held state survive; only the parameters change. The
+    /// new snapshot must match the model's flat parameter layout.
+    ///
+    /// # Errors
+    /// Fails (leaving the replica untouched) when the weight count differs
+    /// from the model's layout.
+    pub fn swap_snapshot(
+        &mut self,
+        snapshot: &[f32],
+        max_session_len: usize,
+        precision: Precision,
+    ) -> io::Result<()> {
+        let _span = embsr_obs::span("embsr_serve", "swap_snapshot");
+        let expected: usize = self.model.parameters().iter().map(|p| p.len()).sum();
+        if snapshot.len() != expected {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "snapshot has {} weights, model expects {expected}",
+                    snapshot.len()
+                ),
+            ));
+        }
+        import_params(&self.model.parameters(), snapshot);
+        self.snapshot = snapshot.to_vec();
+        self.max_session_len = max_session_len;
+        self.precision = precision;
+        Ok(())
     }
 
     /// Rebuilds a frozen replica from serialized `EMBSRSNP` bytes
@@ -236,6 +275,92 @@ impl<M: SessionModel> FrozenModel<M> {
             .collect()
     }
 
+    /// [`FrozenModel::score_batch`] through the session-repr cache: each
+    /// non-empty session's representation is either a cache hit (the
+    /// encoder is skipped entirely) or computed via
+    /// [`SessionModel::repr_infer`] and inserted; the batch then runs the
+    /// same final logits GEMM as the uncached path.
+    ///
+    /// **Bitwise contract:** every row equals the `score_batch` row at the
+    /// same tier. Hits replay the exact `f32` values the encoder produced
+    /// (keys verify the exact event sequence, so a hash collision is a
+    /// miss, never a wrong answer), and the GEMM consumes identical inputs
+    /// either way. Models without the repr seam fall back to
+    /// [`FrozenModel::score_batch`] transparently.
+    pub fn score_batch_cached(
+        &self,
+        sessions: &[Session],
+        cache: &ReprCache,
+        version: u64,
+    ) -> Vec<Vec<f32>> {
+        if self.repr_capable.get() == Some(false) {
+            return self.score_batch(sessions);
+        }
+        let _span = embsr_obs::span("embsr_serve", "score_batch_cached")
+            .with_close_level(embsr_obs::Level::Trace);
+        let truncated: Vec<Session> = sessions
+            .iter()
+            .filter(|s| !s.is_empty())
+            .map(|s| truncate_session(s, self.max_session_len))
+            .collect();
+        if truncated.is_empty() {
+            return sessions.iter().map(|_| Vec::new()).collect();
+        }
+        // Probe the seam once per replica; models that keep the default
+        // `repr_infer = None` use the plain batched path forever after.
+        if self.repr_capable.get().is_none() {
+            let capable = kernels::with_tier(self.tier, || {
+                inference_mode(|| self.model.repr_infer(&truncated[0]).is_some())
+            });
+            self.repr_capable.set(Some(capable));
+            if !capable {
+                return self.score_batch(sessions);
+            }
+        }
+        let logits: Option<embsr_tensor::Tensor> = kernels::with_tier(self.tier, || {
+            inference_mode(|| {
+                let mut rows: Vec<Tensor> = Vec::with_capacity(truncated.len());
+                for s in &truncated {
+                    let repr = match cache.lookup(version, &s.events) {
+                        Some(v) => {
+                            let d = v.len();
+                            Tensor::from_vec(v, &[d])
+                        }
+                        None => {
+                            let r = self.model.repr_infer(s)?;
+                            cache.insert(version, &s.events, r.to_vec());
+                            r
+                        }
+                    };
+                    rows.push(repr);
+                }
+                self.model.logits_of_reprs(&Tensor::stack_rows(&rows))
+            })
+        });
+        let logits = match logits {
+            Some(l) => l,
+            // An override answering `repr_infer` but not `logits_of_reprs`
+            // (or vice versa) violates the seam contract; serve correctly
+            // anyway via the uncached path.
+            None => return self.score_batch(sessions),
+        };
+        let v = self.model.num_items();
+        assert_eq!(logits.rows(), truncated.len(), "one logit row per session");
+        assert_eq!(logits.cols(), v, "full-vocabulary rows");
+        let flat = logits.to_vec();
+        let mut scored = flat.chunks(v).map(|row| row.to_vec());
+        sessions
+            .iter()
+            .map(|s| {
+                if s.is_empty() {
+                    Vec::new()
+                } else {
+                    scored.next().unwrap_or_default()
+                }
+            })
+            .collect()
+    }
+
     /// The `k` best items per session, best-first (ties broken by ascending
     /// item id).
     pub fn top_k(&self, sessions: &[Session], k: usize) -> Vec<Vec<ScoredItem>> {
@@ -251,7 +376,7 @@ impl<M: SessionModel> FrozenModel<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testing::{sess, ToyModel};
+    use crate::testing::{sess, ReprToyModel, ToyModel};
 
     #[test]
     fn snapshot_round_trips_weights() {
@@ -353,6 +478,60 @@ mod tests {
         assert_eq!(half.score(&s), replica.score(&s));
         // layout mismatch is rejected, not mis-imported
         assert!(FrozenModel::from_snapshot_bytes(ToyModel::new(7, 0), &half_bytes).is_err());
+    }
+
+    #[test]
+    fn swap_snapshot_replaces_weights_in_place() {
+        let next = FrozenModel::freeze(ToyModel::new(6, 8), 16);
+        let mut live = FrozenModel::freeze(ToyModel::new(6, 7), 32);
+        let s = sess(&[1, 3]);
+        let before = live.score(&s);
+        live.swap_snapshot(next.snapshot(), next.max_session_len(), next.precision())
+            .unwrap();
+        assert_eq!(live.score(&s), next.score(&s));
+        assert_ne!(live.score(&s), before);
+        assert_eq!(live.max_session_len(), 16);
+        // a wrong-layout snapshot is rejected and the replica is untouched
+        let wrong = FrozenModel::freeze(ToyModel::new(9, 0), 16);
+        assert!(live
+            .swap_snapshot(wrong.snapshot(), 16, Precision::F32)
+            .is_err());
+        assert_eq!(live.score(&s), next.score(&s));
+    }
+
+    #[test]
+    fn cached_scores_are_bitwise_equal_cold_and_warm() {
+        let frozen = FrozenModel::freeze(ReprToyModel(ToyModel::new(8, 3)), 32);
+        let cache = crate::cache::ReprCache::new(64);
+        let sessions = vec![sess(&[1]), sess(&[2, 5]), sess(&[]), sess(&[7, 0, 4])];
+        let plain = frozen.score_batch(&sessions);
+        let cold = frozen.score_batch_cached(&sessions, &cache, 1);
+        let warm = frozen.score_batch_cached(&sessions, &cache, 1);
+        for (p, (c, w)) in plain.iter().zip(cold.iter().zip(&warm)) {
+            let pb: Vec<u32> = p.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(pb, c.iter().map(|x| x.to_bits()).collect::<Vec<_>>());
+            assert_eq!(pb, w.iter().map(|x| x.to_bits()).collect::<Vec<_>>());
+        }
+        let stats = cache.stats();
+        assert!(stats.hits >= 3, "warm pass should hit: {stats:?}");
+        assert_eq!(stats.entries, 3);
+    }
+
+    #[test]
+    fn models_without_the_repr_seam_fall_back_to_uncached_scoring() {
+        let frozen = FrozenModel::freeze(ToyModel::new(8, 3), 32);
+        let cache = crate::cache::ReprCache::new(64);
+        let sessions = vec![sess(&[1]), sess(&[2, 5])];
+        assert_eq!(
+            frozen.score_batch_cached(&sessions, &cache, 1),
+            frozen.score_batch(&sessions)
+        );
+        // second call takes the remembered-incapable early exit
+        assert_eq!(
+            frozen.score_batch_cached(&sessions, &cache, 1),
+            frozen.score_batch(&sessions)
+        );
+        assert_eq!(cache.stats().entries, 0);
     }
 
     #[test]

@@ -28,15 +28,20 @@
 //! precisions are epsilon-gated with **exact Hit@20/MRR@20 identity**.
 
 mod api;
+mod cache;
 mod engine;
 mod frozen;
 pub mod snapshot;
 
 pub use api::{top_k_of_row, ScoreBatch, ScoreResponse, ScoredItem, TopK, TopKResponse};
+pub use cache::{
+    CacheStats, ReprCache, METRIC_CACHE_BYTES, METRIC_CACHE_EVICTIONS, METRIC_CACHE_HITS,
+    METRIC_CACHE_MISSES,
+};
 pub use engine::{
-    serve, Client, EngineConfig, ServeError, SubmitOptions, METRIC_BATCH_SESSIONS,
-    METRIC_DEADLINE_EXPIRED, METRIC_QUEUE_DEPTH, METRIC_REJECTED, METRIC_REQUEST_LATENCY_US,
-    METRIC_SESSIONS_SCORED,
+    serve, Client, EngineConfig, EngineStatus, ServeError, SubmitOptions, SwapError,
+    METRIC_BATCH_SESSIONS, METRIC_DEADLINE_EXPIRED, METRIC_QUEUE_DEPTH, METRIC_REJECTED,
+    METRIC_REQUEST_LATENCY_US, METRIC_SESSIONS_SCORED, METRIC_SNAPSHOT_SWAPS,
 };
 pub use frozen::FrozenModel;
 pub use snapshot::Precision;
@@ -82,6 +87,34 @@ pub(crate) mod testing {
             let idx: Vec<usize> = session.events.iter().map(|e| e.item as usize).collect();
             assert!(!idx.is_empty(), "empty session");
             self.weight.gather_rows(&idx).mean_rows()
+        }
+    }
+
+    /// [`ToyModel`] with the repr seam: the "representation" is the logits
+    /// row itself and the final GEMM is the identity, which satisfies the
+    /// bitwise factoring contract trivially. Exercises the cached scoring
+    /// path (plain `ToyModel` keeps the seamless default and exercises the
+    /// fallback).
+    pub struct ReprToyModel(pub ToyModel);
+
+    impl SessionModel for ReprToyModel {
+        fn name(&self) -> &str {
+            "ReprToy"
+        }
+        fn num_items(&self) -> usize {
+            self.0.num_items()
+        }
+        fn parameters(&self) -> Vec<Tensor> {
+            self.0.parameters()
+        }
+        fn logits(&self, session: &Session, training: bool, rng: &mut Rng) -> Tensor {
+            self.0.logits(session, training, rng)
+        }
+        fn repr_infer(&self, session: &Session) -> Option<Tensor> {
+            Some(self.logits_infer(session))
+        }
+        fn logits_of_reprs(&self, reprs: &Tensor) -> Option<Tensor> {
+            Some(reprs.clone())
         }
     }
 

@@ -91,6 +91,29 @@ pub trait SessionModel {
             .collect();
         Tensor::concat_rows(&rows)
     }
+
+    /// Inference-time session representation `[d]` — the model state right
+    /// before the final logits GEMM, when the model has such a seam.
+    ///
+    /// The contract that makes the serving-side repr cache sound: for any
+    /// batch, stacking `repr_infer` rows and applying
+    /// [`SessionModel::logits_of_reprs`] must reproduce
+    /// [`SessionModel::logits_batch`] **bitwise** (same kernel tier, same
+    /// inference mode). Models whose forward does not factor this way keep
+    /// the default `None`, which disables caching for them.
+    fn repr_infer(&self, session: &Session) -> Option<Tensor> {
+        let _ = session;
+        None
+    }
+
+    /// Logits `[B, |V|]` from stacked representations `[B, d]` — the final
+    /// GEMM of the factored forward. Must be `Some` exactly when
+    /// [`SessionModel::repr_infer`] is, and together with it reproduce
+    /// [`SessionModel::logits_batch`] bitwise.
+    fn logits_of_reprs(&self, reprs: &Tensor) -> Option<Tensor> {
+        let _ = reprs;
+        None
+    }
 }
 
 /// Adapter turning a trained [`SessionModel`] into a [`Recommender`].

@@ -30,7 +30,7 @@
 use embsr_baselines::{Gru4Rec, Narm};
 use embsr_core::{Embsr, EmbsrConfig};
 use embsr_eval::{hit_at_k, rank_of_target, reciprocal_rank_at_k};
-use embsr_serve::{FrozenModel, KernelTier, Precision};
+use embsr_serve::{FrozenModel, KernelTier, Precision, ReprCache};
 use embsr_sessions::{MicroBehavior, Session};
 use embsr_train::{NeuralRecommender, Recommender, SessionModel, TrainConfig};
 
@@ -391,6 +391,103 @@ fn narm_reduced_precision_keeps_epsilon_and_metrics() {
             );
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Session-repr cache: cached scoring is bitwise-identical to uncached, cold
+// and warm, across every model with the repr seam
+// ---------------------------------------------------------------------------
+
+/// The cache contract at the frozen-model layer: `score_batch_cached` must
+/// reproduce `score_batch` at `f32::to_bits` equality on a cold cache (all
+/// misses → encoder runs, reprs inserted) AND on a warm one (hits skip the
+/// encoder and replay stored reprs into the same logits GEMM) — and the
+/// warm pass must actually hit, or the test is vacuous.
+fn assert_cached_bitwise<M: SessionModel>(frozen: &FrozenModel<M>, seed: u64) {
+    let cache = ReprCache::new(256);
+    let sessions = test_sessions(seed);
+    for pass in ["cold", "warm"] {
+        for &batch in &RAGGED_BATCHES {
+            for chunk in sessions.chunks(batch) {
+                let uncached = frozen.score_batch(chunk);
+                let cached = frozen.score_batch_cached(chunk, &cache, 1);
+                assert_eq!(uncached.len(), cached.len());
+                for (session, (u, c)) in chunk.iter().zip(uncached.iter().zip(&cached)) {
+                    assert_eq!(u.len(), c.len());
+                    for (i, (a, b)) in u.iter().zip(c).enumerate() {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "model {} seed {seed} {pass} batch {batch} session {} item {i}: \
+                             uncached {a} != cached {b}",
+                            frozen.name(),
+                            session.id,
+                        );
+                    }
+                }
+            }
+        }
+    }
+    let stats = cache.stats();
+    assert!(stats.hits > 0, "warm pass must hit: {stats:?}");
+    assert!(stats.insertions > 0, "cold pass must insert: {stats:?}");
+    assert!(stats.entries > 0 && stats.bytes > 0, "cache holds state: {stats:?}");
+}
+
+#[test]
+fn embsr_repr_cache_is_bitwise_equal_cold_and_warm() {
+    let max_len = TrainConfig::fast().max_session_len;
+    for seed in SEEDS {
+        let (model, _) = embsr_pair(seed);
+        assert_cached_bitwise(&FrozenModel::freeze(model, max_len), seed);
+    }
+}
+
+#[test]
+fn gru4rec_repr_cache_is_bitwise_equal_cold_and_warm() {
+    let max_len = TrainConfig::fast().max_session_len;
+    for seed in SEEDS {
+        let frozen = FrozenModel::freeze(Gru4Rec::new(NUM_ITEMS, DIM, seed), max_len);
+        assert_cached_bitwise(&frozen, seed);
+    }
+}
+
+#[test]
+fn narm_repr_cache_is_bitwise_equal_cold_and_warm() {
+    let max_len = TrainConfig::fast().max_session_len;
+    for seed in SEEDS {
+        let frozen = FrozenModel::freeze(Narm::new(NUM_ITEMS, DIM, 0.25, seed), max_len);
+        assert_cached_bitwise(&frozen, seed);
+    }
+}
+
+#[test]
+fn repr_cache_isolates_versions_and_packed_tier_stays_bitwise() {
+    // Same sessions, two snapshot versions in one cache: neither pollutes
+    // the other (the key includes the version), and the cached path holds
+    // its bitwise contract on the audit (packed) tier too.
+    let max_len = TrainConfig::fast().max_session_len;
+    let (model_a, _) = embsr_pair(11);
+    let (model_b, _) = embsr_pair(42);
+    let mut frozen_a = FrozenModel::freeze(model_a, max_len);
+    let mut frozen_b = FrozenModel::freeze(model_b, max_len);
+    frozen_a.set_tier(KernelTier::Packed);
+    frozen_b.set_tier(KernelTier::Packed);
+    let cache = ReprCache::new(256);
+    let sessions = &test_sessions(7)[..16];
+    for _ in 0..2 {
+        for (frozen, version) in [(&frozen_a, 1u64), (&frozen_b, 2u64)] {
+            let uncached = frozen.score_batch(sessions);
+            let cached = frozen.score_batch_cached(sessions, &cache, version);
+            for (u, c) in uncached.iter().zip(&cached) {
+                for (a, b) in u.iter().zip(c) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "version {version}");
+                }
+            }
+        }
+    }
+    let stats = cache.stats();
+    assert!(stats.hits > 0, "both versions warm: {stats:?}");
 }
 
 // ---------------------------------------------------------------------------
